@@ -1,0 +1,150 @@
+//! Logic-cone extraction: carve a standalone AIG out of a host AIG,
+//! cutting at primary inputs or at an arbitrary set of internal nodes.
+
+use crate::aig::{Aig, AigNode};
+use crate::lit::{AigLit, NodeId};
+
+/// Result of [`Aig::extract_cone`]: the carved-out AIG plus the mapping
+/// from its inputs back to nodes of the host.
+#[derive(Clone, Debug)]
+pub struct Cone {
+    /// The standalone cone.
+    pub aig: Aig,
+    /// For each input of `aig`, the host node it represents.
+    pub input_nodes: Vec<NodeId>,
+}
+
+impl Aig {
+    /// Extracts the cone of `roots` as a standalone AIG whose outputs
+    /// are the roots (in order) and whose inputs are the host nodes in
+    /// `cut` (plus any primary inputs reached that are not in `cut`).
+    ///
+    /// Traversal stops at `cut` nodes: their logic is not copied; they
+    /// become fresh inputs. This is how patch functions are re-expressed
+    /// over divisor signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a root or cut node is out of range.
+    pub fn extract_cone(&self, roots: &[AigLit], cut: &[NodeId]) -> Cone {
+        let mut cone = Aig::new();
+        let mut map: Vec<Option<AigLit>> = vec![None; self.num_nodes()];
+        let mut input_nodes: Vec<NodeId> = Vec::new();
+        map[NodeId::CONST0.index()] = Some(AigLit::FALSE);
+        for &c in cut {
+            if map[c.index()].is_none() {
+                let lit = cone.add_input();
+                map[c.index()] = Some(lit);
+                input_nodes.push(c);
+            }
+        }
+        // Iterative DFS over host nodes.
+        let mut stack: Vec<(NodeId, bool)> = roots.iter().map(|r| (r.node(), false)).collect();
+        while let Some((id, expanded)) = stack.pop() {
+            if map[id.index()].is_some() {
+                continue;
+            }
+            match self.node(id) {
+                AigNode::Const0 => {}
+                AigNode::Input { .. } => {
+                    let lit = cone.add_input();
+                    map[id.index()] = Some(lit);
+                    input_nodes.push(id);
+                }
+                AigNode::And { f0, f1 } => {
+                    if expanded {
+                        let a = map[f0.node().index()].expect("fanin mapped")
+                            .xor_complement(f0.is_complement());
+                        let b = map[f1.node().index()].expect("fanin mapped")
+                            .xor_complement(f1.is_complement());
+                        map[id.index()] = Some(cone.and(a, b));
+                    } else {
+                        stack.push((id, true));
+                        stack.push((f0.node(), false));
+                        stack.push((f1.node(), false));
+                    }
+                }
+            }
+        }
+        for r in roots {
+            let lit = map[r.node().index()].expect("root mapped").xor_complement(r.is_complement());
+            cone.add_output(lit);
+        }
+        Cone { aig: cone, input_nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_full_cone_over_inputs() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let ab = g.and(a, b);
+        let o = g.or(ab, c);
+        g.add_output(o);
+        let cone = g.extract_cone(&[o], &[]);
+        assert_eq!(cone.aig.num_inputs(), 3);
+        assert_eq!(cone.aig.num_outputs(), 1);
+        let mut sorted = cone.input_nodes.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![a.node(), b.node(), c.node()]);
+        // Functional equivalence on all assignments (order of inputs may
+        // differ, so evaluate through the mapping).
+        for mask in 0..8u32 {
+            let host_in = [mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1];
+            let cone_in: Vec<bool> = cone
+                .input_nodes
+                .iter()
+                .map(|n| {
+                    let idx = g
+                        .inputs()
+                        .iter()
+                        .position(|i| i == n)
+                        .expect("input node");
+                    host_in[idx]
+                })
+                .collect();
+            assert_eq!(g.eval(&host_in), cone.aig.eval(&cone_in));
+        }
+    }
+
+    #[test]
+    fn cut_nodes_become_inputs() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let ab = g.and(a, b);
+        let o = g.xor(ab, a);
+        g.add_output(o);
+        // Cut at the AND node: its logic must not be copied.
+        let cone = g.extract_cone(&[o], &[ab.node()]);
+        assert!(cone.input_nodes.contains(&ab.node()));
+        assert!(cone.input_nodes.contains(&a.node()));
+        assert!(!cone.input_nodes.contains(&b.node()), "b is behind the cut");
+    }
+
+    #[test]
+    fn complemented_roots_and_constants() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let cone = g.extract_cone(&[!a, AigLit::TRUE], &[]);
+        assert_eq!(cone.aig.num_outputs(), 2);
+        assert_eq!(cone.aig.eval(&[false]), vec![true, true]);
+        assert_eq!(cone.aig.eval(&[true]), vec![false, true]);
+    }
+
+    #[test]
+    fn duplicate_cut_nodes_map_once() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        let cone = g.extract_cone(&[x], &[a.node(), a.node()]);
+        assert_eq!(cone.input_nodes.iter().filter(|&&n| n == a.node()).count(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Irredundant sum-of-products covers from truth tables via the
+//! Minato-Morreale ISOP algorithm — an independent (non-SAT) SOP
+//! generator used for small patch synthesis and as a differential
+//! oracle for the SAT-based cube enumeration.
+
+use crate::cube::{Cube, CubeLit, Sop};
+use crate::tt::TruthTable;
+
+impl TruthTable {
+    /// Computes an irredundant prime cover of the (completely
+    /// specified) function, i.e. `isop(f, f)`.
+    pub fn isop(&self) -> Sop {
+        isop_between(self, self)
+    }
+}
+
+/// Computes an irredundant cover `F` with `lower ⇒ F ⇒ upper`
+/// (Minato-Morreale). `lower` must imply `upper`.
+///
+/// # Panics
+///
+/// Panics if the tables have different variable counts or
+/// `lower ⇏ upper`.
+///
+/// # Examples
+///
+/// ```
+/// use eco_aig::{isop_between, TruthTable};
+///
+/// let a = TruthTable::var(2, 0);
+/// let b = TruthTable::var(2, 1);
+/// let f = &a | &b;
+/// let cover = isop_between(&f, &f);
+/// assert_eq!(cover.truth_table(), f);
+/// assert_eq!(cover.len(), 2); // a + b
+/// ```
+pub fn isop_between(lower: &TruthTable, upper: &TruthTable) -> Sop {
+    assert_eq!(lower.num_vars(), upper.num_vars(), "variable count mismatch");
+    assert!(lower.implies(upper), "lower must imply upper");
+    let num_vars = lower.num_vars();
+    let cubes = isop_rec(lower, upper, num_vars, &mut Vec::new());
+    Sop::new(num_vars, cubes)
+}
+
+/// Recursive core: splits on variable `var - 1` (top-down).
+fn isop_rec(
+    lower: &TruthTable,
+    upper: &TruthTable,
+    var: usize,
+    _scratch: &mut Vec<u64>,
+) -> Vec<Cube> {
+    if lower.is_zero() {
+        return Vec::new();
+    }
+    if upper.is_ones() {
+        return vec![Cube::one()];
+    }
+    debug_assert!(var > 0, "non-constant interval needs a splitting variable");
+    let x = var - 1;
+    let l0 = lower.cofactor(x, false);
+    let l1 = lower.cofactor(x, true);
+    let u0 = upper.cofactor(x, false);
+    let u1 = upper.cofactor(x, true);
+
+    // Cubes that must contain !x: onset points of the 0-cofactor not
+    // coverable in the 1-branch.
+    let f0 = isop_rec(&(&l0 & &!&u1), &u0, x, _scratch);
+    // Cubes that must contain x.
+    let f1 = isop_rec(&(&l1 & &!&u0), &u1, x, _scratch);
+
+    let cover_tt = |cubes: &[Cube], nv: usize| -> TruthTable {
+        let mut t = TruthTable::zeros(nv);
+        for c in cubes {
+            t = &t | &c.truth_table(nv);
+        }
+        t
+    };
+    let nv = lower.num_vars();
+    let t0 = cover_tt(&f0, nv);
+    let t1 = cover_tt(&f1, nv);
+    // Remaining onset, coverable by x-free cubes.
+    let l_rest = &(&l0 & &!&t0) | &(&l1 & &!&t1);
+    let f_rest = isop_rec(&l_rest, &(&u0 & &u1), x, _scratch);
+
+    let mut out = Vec::with_capacity(f0.len() + f1.len() + f_rest.len());
+    for c in f0 {
+        out.push(add_literal(c, x as u32, true));
+    }
+    for c in f1 {
+        out.push(add_literal(c, x as u32, false));
+    }
+    out.extend(f_rest);
+    out
+}
+
+fn add_literal(c: Cube, var: u32, negated: bool) -> Cube {
+    let mut lits: Vec<CubeLit> = c.lits().to_vec();
+    lits.push(CubeLit::new(var, negated));
+    Cube::new(lits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(f: &TruthTable) -> Sop {
+        let cover = f.isop();
+        assert_eq!(cover.truth_table(), *f, "cover must equal the function");
+        // Irredundancy: removing any cube changes the function.
+        for skip in 0..cover.len() {
+            let mut t = TruthTable::zeros(f.num_vars());
+            for (i, c) in cover.cubes().iter().enumerate() {
+                if i != skip {
+                    t = &t | &c.truth_table(f.num_vars());
+                }
+            }
+            assert_ne!(t, *f, "cube {skip} is redundant in {cover:?}");
+        }
+        cover
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(TruthTable::zeros(3).isop().len(), 0);
+        let ones = TruthTable::ones(3).isop();
+        assert_eq!(ones.len(), 1);
+        assert!(ones.cubes()[0].is_empty());
+    }
+
+    #[test]
+    fn single_variable() {
+        let a = TruthTable::var(2, 0);
+        let cover = check(&a);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover.cubes()[0].len(), 1);
+    }
+
+    #[test]
+    fn or_function_is_two_primes() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let cover = check(&(&a | &b));
+        assert_eq!(cover.len(), 2);
+        assert!(cover.cubes().iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn xor_needs_full_cubes() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let f = &(&a ^ &b) ^ &c;
+        let cover = check(&f);
+        assert_eq!(cover.len(), 4);
+        assert!(cover.cubes().iter().all(|cb| cb.len() == 3));
+    }
+
+    #[test]
+    fn majority_is_three_pair_cubes() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let f = &(&(&a & &b) | &(&a & &c)) | &(&b & &c);
+        let cover = check(&f);
+        assert_eq!(cover.len(), 3);
+        assert!(cover.cubes().iter().all(|cb| cb.len() == 2));
+    }
+
+    #[test]
+    fn interval_covers_respect_dont_cares() {
+        // lower = a&b, upper = a: the single cube `a` fits the interval.
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let lower = &a & &b;
+        let cover = isop_between(&lower, &a);
+        assert_eq!(cover.len(), 1);
+        let t = cover.truth_table();
+        assert!(lower.implies(&t));
+        assert!(t.implies(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower must imply upper")]
+    fn inverted_interval_panics() {
+        let a = TruthTable::var(1, 0);
+        let _ = isop_between(&TruthTable::ones(1), &a);
+    }
+
+    #[test]
+    fn exhaustive_three_variable_functions() {
+        // All 256 functions of 3 variables: cover == function, always.
+        for code in 0u64..256 {
+            let f = TruthTable::from_words(3, vec![code]);
+            let cover = f.isop();
+            assert_eq!(cover.truth_table(), f, "function {code:#x}");
+        }
+    }
+}

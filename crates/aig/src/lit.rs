@@ -1,0 +1,180 @@
+//! Node identifiers and signal literals for the And-Inverter Graph.
+
+use std::fmt;
+use std::ops::Not;
+
+/// Identifier of an AIG node (constant, input, or AND gate), densely
+/// indexed. Node `0` is always the constant-false node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant-false node present in every AIG.
+    pub const CONST0: NodeId = NodeId(0);
+
+    /// Creates a node id from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+
+    /// Dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The literal referring to this node without complement.
+    #[inline]
+    pub fn lit(self) -> AigLit {
+        AigLit(self.0 << 1)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A signal in an AIG: a node plus an optional complement, encoded as
+/// `node << 1 | complement` (the AIGER convention).
+///
+/// # Examples
+///
+/// ```
+/// use eco_aig::{Aig, AigLit};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// assert_eq!(!!a, a);
+/// assert_eq!(AigLit::FALSE, !AigLit::TRUE);
+/// assert_ne!(a, !a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AigLit(pub(crate) u32);
+
+impl AigLit {
+    /// The constant-false signal.
+    pub const FALSE: AigLit = AigLit(0);
+    /// The constant-true signal.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Creates a literal from its raw AIGER encoding (`2*node + compl`).
+    #[inline]
+    pub fn from_code(code: u32) -> AigLit {
+        AigLit(code)
+    }
+
+    /// The raw AIGER encoding.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// The node this literal refers to.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the signal is complemented.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns this literal complemented iff `c` is true.
+    #[inline]
+    pub fn xor_complement(self, c: bool) -> AigLit {
+        AigLit(self.0 ^ c as u32)
+    }
+
+    /// `true` if this is one of the two constant signals.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.node() == NodeId::CONST0
+    }
+}
+
+impl Not for AigLit {
+    type Output = AigLit;
+
+    #[inline]
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl From<NodeId> for AigLit {
+    #[inline]
+    fn from(n: NodeId) -> AigLit {
+        n.lit()
+    }
+}
+
+impl fmt::Debug for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == AigLit::FALSE {
+            write!(f, "0")
+        } else if *self == AigLit::TRUE {
+            write!(f, "1")
+        } else if self.is_complement() {
+            write!(f, "!n{}", self.0 >> 1)
+        } else {
+            write!(f, "n{}", self.0 >> 1)
+        }
+    }
+}
+
+impl fmt::Display for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_relate_by_complement() {
+        assert_eq!(!AigLit::FALSE, AigLit::TRUE);
+        assert_eq!(AigLit::FALSE.node(), NodeId::CONST0);
+        assert_eq!(AigLit::TRUE.node(), NodeId::CONST0);
+        assert!(AigLit::TRUE.is_const());
+        assert!(AigLit::FALSE.is_const());
+    }
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let n = NodeId::from_index(9);
+        let l = n.lit();
+        assert_eq!(l.code(), 18);
+        assert_eq!(AigLit::from_code(19), !l);
+        assert_eq!((!l).node(), n);
+        assert!((!l).is_complement());
+    }
+
+    #[test]
+    fn xor_complement_conditionally_flips() {
+        let l = NodeId::from_index(4).lit();
+        assert_eq!(l.xor_complement(false), l);
+        assert_eq!(l.xor_complement(true), !l);
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = NodeId::from_index(2).lit();
+        assert_eq!(format!("{l}"), "n2");
+        assert_eq!(format!("{}", !l), "!n2");
+        assert_eq!(format!("{}", AigLit::TRUE), "1");
+        assert_eq!(format!("{}", AigLit::FALSE), "0");
+    }
+}

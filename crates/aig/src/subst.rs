@@ -1,0 +1,322 @@
+//! Node substitution: rebuild an AIG with selected nodes' functions
+//! replaced by patch networks — the operation that applies computed ECO
+//! patches to the implementation netlist.
+
+use crate::aig::{Aig, AigNode};
+use crate::lit::{AigLit, NodeId};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// A replacement function for one node: a standalone AIG with a single
+/// output, whose inputs are bound to `support` literals of the *host*
+/// AIG.
+#[derive(Clone, Debug)]
+pub struct NodePatch {
+    /// The patch logic; must have exactly one output.
+    pub aig: Aig,
+    /// Host literals bound to the patch inputs, in input order.
+    pub support: Vec<AigLit>,
+}
+
+/// Error returned by [`Aig::substitute`] when a patch's support passes
+/// through a node being replaced, creating a combinational cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubstituteCycleError {
+    /// The node on which the cycle was detected.
+    pub node: NodeId,
+}
+
+impl fmt::Display for SubstituteCycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "substitution creates a combinational cycle through {}", self.node)
+    }
+}
+
+impl Error for SubstituteCycleError {}
+
+/// Result of [`Aig::substitute_with_map`]: the rebuilt AIG plus the
+/// correspondence from old nodes to new literals.
+#[derive(Clone, Debug)]
+pub struct SubstituteResult {
+    /// The rebuilt AIG.
+    pub aig: Aig,
+    /// For each old node: the literal computing the (possibly patched)
+    /// function in the new AIG, or `None` if the node became
+    /// unreachable from the outputs.
+    pub node_map: Vec<Option<AigLit>>,
+}
+
+impl Aig {
+    /// Rebuilds this AIG with each node in `patches` replaced by its
+    /// patch function. Unreachable logic is dropped (the result contains
+    /// only the cones of the outputs). Input order and output order are
+    /// preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubstituteCycleError`] if a patch's support depends
+    /// (transitively) on the node it replaces or on another replaced node
+    /// that depends back on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a patch has more than one output or a support arity
+    /// mismatch.
+    pub fn substitute(
+        &self,
+        patches: &HashMap<NodeId, NodePatch>,
+    ) -> Result<Aig, SubstituteCycleError> {
+        Ok(self.substitute_with_map(patches)?.aig)
+    }
+
+    /// Like [`Aig::substitute`] but also returns the old-node → new-lit
+    /// correspondence, needed to carry per-node metadata (costs, target
+    /// lists) across the rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubstituteCycleError`] as for [`Aig::substitute`].
+    pub fn substitute_with_map(
+        &self,
+        patches: &HashMap<NodeId, NodePatch>,
+    ) -> Result<SubstituteResult, SubstituteCycleError> {
+        self.substitute_protected(patches, &HashSet::new())
+    }
+
+    /// Like [`Aig::substitute_with_map`], but nodes in `protected` are
+    /// rebuilt as *fresh* AND nodes exempt from constant folding and
+    /// structural hashing, so they keep a distinct identity in the
+    /// result (their mapped literal is never a constant and never
+    /// aliases another node). Used to preserve not-yet-patched ECO
+    /// targets across patch insertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubstituteCycleError`] as for [`Aig::substitute`].
+    pub fn substitute_protected(
+        &self,
+        patches: &HashMap<NodeId, NodePatch>,
+        protected: &HashSet<NodeId>,
+    ) -> Result<SubstituteResult, SubstituteCycleError> {
+        for (n, p) in patches {
+            assert_eq!(p.aig.num_outputs(), 1, "patch for {n} must have one output");
+            assert_eq!(
+                p.aig.num_inputs(),
+                p.support.len(),
+                "patch for {n} has support arity mismatch"
+            );
+        }
+        let mut result = Aig::new();
+        // Pre-create all inputs so indices line up.
+        let mut map: Vec<Option<AigLit>> = vec![None; self.num_nodes()];
+        map[NodeId::CONST0.index()] = Some(AigLit::FALSE);
+        let mut input_lits: Vec<AigLit> = Vec::with_capacity(self.num_inputs());
+        for &n in self.inputs() {
+            let lit = result.add_input();
+            input_lits.push(lit);
+            if !patches.contains_key(&n) {
+                map[n.index()] = Some(lit);
+            }
+        }
+
+        // Iterative DFS with on-stack cycle detection.
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            Fresh,
+            OnStack,
+            Done,
+        }
+        let mut state = vec![State::Fresh; self.num_nodes()];
+        for (i, s) in state.iter_mut().enumerate() {
+            if map[i].is_some() {
+                *s = State::Done;
+            }
+        }
+
+        let mut stack: Vec<(NodeId, bool)> =
+            self.outputs().iter().rev().map(|o| (o.node(), false)).collect();
+        while let Some((id, expanded)) = stack.pop() {
+            if state[id.index()] == State::Done {
+                continue;
+            }
+            if !expanded {
+                if state[id.index()] == State::OnStack {
+                    return Err(SubstituteCycleError { node: id });
+                }
+                state[id.index()] = State::OnStack;
+                stack.push((id, true));
+                if let Some(p) = patches.get(&id) {
+                    for s in &p.support {
+                        if state[s.node().index()] != State::Done {
+                            if state[s.node().index()] == State::OnStack {
+                                return Err(SubstituteCycleError { node: s.node() });
+                            }
+                            stack.push((s.node(), false));
+                        }
+                    }
+                } else if let AigNode::And { f0, f1 } = self.node(id) {
+                    for f in [f0, f1] {
+                        if state[f.node().index()] != State::Done {
+                            if state[f.node().index()] == State::OnStack {
+                                return Err(SubstituteCycleError { node: f.node() });
+                            }
+                            stack.push((f.node(), false));
+                        }
+                    }
+                }
+            } else {
+                let lit = if let Some(p) = patches.get(&id) {
+                    let bindings: Vec<AigLit> = p
+                        .support
+                        .iter()
+                        .map(|s| {
+                            map[s.node().index()]
+                                .expect("support mapped")
+                                .xor_complement(s.is_complement())
+                        })
+                        .collect();
+                    result.import(&p.aig, &bindings)[0]
+                } else {
+                    match self.node(id) {
+                        AigNode::Const0 => AigLit::FALSE,
+                        AigNode::Input { index } => input_lits[index as usize],
+                        AigNode::And { f0, f1 } => {
+                            let a = map[f0.node().index()]
+                                .expect("fanin mapped")
+                                .xor_complement(f0.is_complement());
+                            let b = map[f1.node().index()]
+                                .expect("fanin mapped")
+                                .xor_complement(f1.is_complement());
+                            if protected.contains(&id) {
+                                result.and_fresh(a, b)
+                            } else {
+                                result.and(a, b)
+                            }
+                        }
+                    }
+                };
+                map[id.index()] = Some(lit);
+                state[id.index()] = State::Done;
+            }
+        }
+        for o in self.outputs() {
+            let lit =
+                map[o.node().index()].expect("output mapped").xor_complement(o.is_complement());
+            result.add_output(lit);
+        }
+        Ok(SubstituteResult { aig: result, node_map: map })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Patch that computes the AND of its two inputs.
+    fn and_patch(support: Vec<AigLit>) -> NodePatch {
+        let mut p = Aig::new();
+        let x = p.add_input();
+        let y = p.add_input();
+        let o = p.and(x, y);
+        p.add_output(o);
+        NodePatch { aig: p, support }
+    }
+
+    /// Patch that computes the complement of its single input.
+    fn not_patch(support: Vec<AigLit>) -> NodePatch {
+        let mut p = Aig::new();
+        let x = p.add_input();
+        p.add_output(!x);
+        NodePatch { aig: p, support }
+    }
+
+    #[test]
+    fn substitute_replaces_node_function() {
+        // host: o = (a | b); replace the OR node by AND(a, b).
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let o = g.or(a, b);
+        g.add_output(o);
+        let mut patches = HashMap::new();
+        // `o` is !and(!a,!b): the AND node carries the function.
+        patches.insert(o.node(), and_patch(vec![a, b]));
+        let patched = g.substitute(&patches).expect("no cycle");
+        // output literal was complemented: new function = !(a & b)
+        for mask in 0..4u32 {
+            let bits = [mask & 1 == 1, mask >> 1 & 1 == 1];
+            assert_eq!(patched.eval(&bits)[0], !(bits[0] && bits[1]));
+        }
+    }
+
+    #[test]
+    fn substitute_preserves_unpatched_logic() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let ab = g.and(a, b);
+        let o1 = g.or(ab, c);
+        g.add_output(o1);
+        g.add_output(ab);
+        let mut patches = HashMap::new();
+        patches.insert(ab.node(), not_patch(vec![c]));
+        let patched = g.substitute(&patches).expect("no cycle");
+        for mask in 0..8u32 {
+            let bits = [mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1];
+            let new_ab = !bits[2];
+            assert_eq!(patched.eval(&bits), vec![new_ab || bits[2], new_ab]);
+        }
+    }
+
+    #[test]
+    fn substitute_input_node() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let o = g.and(a, b);
+        g.add_output(o);
+        let mut patches = HashMap::new();
+        patches.insert(a.node(), not_patch(vec![b]));
+        let patched = g.substitute(&patches).expect("no cycle");
+        assert_eq!(patched.num_inputs(), 2, "input slots preserved");
+        for mask in 0..4u32 {
+            let bits = [mask & 1 == 1, mask >> 1 & 1 == 1];
+            // a is replaced by !b, so the output (!b & b) is constant false.
+            assert!(!patched.eval(&bits)[0]);
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        // Replace node x by a function of y, and y by a function of x.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        let y = g.or(x, a);
+        g.add_output(y);
+        let mut patches = HashMap::new();
+        patches.insert(x.node(), not_patch(vec![y]));
+        let err = g.substitute(&patches);
+        assert!(err.is_err(), "support through own TFO must be rejected");
+    }
+
+    #[test]
+    fn empty_patch_map_is_identity_modulo_dead_logic() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        let _dead = g.xor(a, b);
+        g.add_output(x);
+        let patched = g.substitute(&HashMap::new()).expect("no cycle");
+        assert_eq!(patched.num_outputs(), 1);
+        assert!(patched.num_ands() <= g.num_ands());
+        for mask in 0..4u32 {
+            let bits = [mask & 1 == 1, mask >> 1 & 1 == 1];
+            assert_eq!(patched.eval(&bits), g.eval(&bits));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Packed truth tables for completely specified Boolean functions of a
+//! small, fixed number of variables. Used for verifying patch
+//! functions, SOP manipulation, and tests.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A truth table over `num_vars` variables, one bit per input row,
+/// packed LSB-first into `u64` words: row `r` assigns variable `i` the
+/// bit `(r >> i) & 1`.
+///
+/// # Examples
+///
+/// ```
+/// use eco_aig::TruthTable;
+///
+/// let a = TruthTable::var(3, 0);
+/// let b = TruthTable::var(3, 1);
+/// let f = &a & &b;
+/// assert_eq!(f.count_ones(), 2); // rows 3 and 7
+/// assert!(f.get(3) && f.get(7));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+fn num_words(num_vars: usize) -> usize {
+    1usize.max((1usize << num_vars) >> 6)
+}
+
+/// Mask of the valid bits in the (single) word of a small table.
+fn tail_mask(num_vars: usize) -> u64 {
+    if num_vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << num_vars)) - 1
+    }
+}
+
+impl TruthTable {
+    /// Maximum supported variable count (2^20 rows).
+    pub const MAX_VARS: usize = 20;
+
+    /// The constant-zero function of `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > Self::MAX_VARS`.
+    pub fn zeros(num_vars: usize) -> TruthTable {
+        assert!(num_vars <= Self::MAX_VARS, "too many variables");
+        TruthTable { num_vars, words: vec![0; num_words(num_vars)] }
+    }
+
+    /// The constant-one function of `num_vars` variables.
+    pub fn ones(num_vars: usize) -> TruthTable {
+        let mut t = TruthTable::zeros(num_vars);
+        for w in &mut t.words {
+            *w = u64::MAX;
+        }
+        t.mask_tail();
+        t
+    }
+
+    /// The projection function of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(num_vars: usize, var: usize) -> TruthTable {
+        assert!(var < num_vars, "variable out of range");
+        let mut t = TruthTable::zeros(num_vars);
+        if var < 6 {
+            let pat = crate::sim::var_word(var);
+            for w in &mut t.words {
+                *w = pat;
+            }
+        } else {
+            for (i, w) in t.words.iter_mut().enumerate() {
+                if i >> (var - 6) & 1 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        t.mask_tail();
+        t
+    }
+
+    /// Builds a table from raw words (LSB-first rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count does not match `num_vars`.
+    pub fn from_words(num_vars: usize, words: Vec<u64>) -> TruthTable {
+        assert_eq!(words.len(), num_words(num_vars), "word count mismatch");
+        let mut t = TruthTable { num_vars, words };
+        t.mask_tail();
+        t
+    }
+
+    fn mask_tail(&mut self) {
+        let m = tail_mask(self.num_vars);
+        if self.words.len() == 1 {
+            self.words[0] &= m;
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The packed words (LSB-first rows).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Value of the function on input row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 2^num_vars`.
+    pub fn get(&self, row: usize) -> bool {
+        assert!(row < 1usize << self.num_vars, "row out of range");
+        self.words[row >> 6] >> (row & 63) & 1 == 1
+    }
+
+    /// Sets the value of the function on input row `row`.
+    pub fn set(&mut self, row: usize, value: bool) {
+        assert!(row < 1usize << self.num_vars, "row out of range");
+        if value {
+            self.words[row >> 6] |= 1 << (row & 63);
+        } else {
+            self.words[row >> 6] &= !(1 << (row & 63));
+        }
+    }
+
+    /// Number of onset rows.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// `true` when the function is constant zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` when the function is constant one.
+    pub fn is_ones(&self) -> bool {
+        self == &TruthTable::ones(self.num_vars)
+    }
+
+    /// The cofactor with variable `var` fixed to `value`, still over
+    /// `num_vars` variables (the freed variable becomes don't-care,
+    /// duplicated across both phases).
+    pub fn cofactor(&self, var: usize, value: bool) -> TruthTable {
+        assert!(var < self.num_vars, "variable out of range");
+        let mut out = TruthTable::zeros(self.num_vars);
+        for row in 0..1usize << self.num_vars {
+            let src = if value { row | (1 << var) } else { row & !(1 << var) };
+            out.set(row, self.get(src));
+        }
+        out
+    }
+
+    /// `true` if `self` implies `other` (self's onset is a subset).
+    pub fn implies(&self, other: &TruthTable) -> bool {
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+    }
+}
+
+impl Not for &TruthTable {
+    type Output = TruthTable;
+
+    fn not(self) -> TruthTable {
+        let mut t = TruthTable {
+            num_vars: self.num_vars,
+            words: self.words.iter().map(|&w| !w).collect(),
+        };
+        t.mask_tail();
+        t
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl $trait for &TruthTable {
+            type Output = TruthTable;
+
+            fn $fn(self, rhs: &TruthTable) -> TruthTable {
+                assert_eq!(self.num_vars, rhs.num_vars, "variable count mismatch");
+                TruthTable {
+                    num_vars: self.num_vars,
+                    words: self
+                        .words
+                        .iter()
+                        .zip(&rhs.words)
+                        .map(|(&a, &b)| a $op b)
+                        .collect(),
+                }
+            }
+        }
+    };
+}
+
+impl_binop!(BitAnd, bitand, &);
+impl_binop!(BitOr, bitor, |);
+impl_binop!(BitXor, bitxor, ^);
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars:", self.num_vars)?;
+        for w in self.words.iter().rev() {
+            write!(f, " {w:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_vars() {
+        let z = TruthTable::zeros(3);
+        let o = TruthTable::ones(3);
+        assert!(z.is_zero());
+        assert!(o.is_ones());
+        assert_eq!(o.count_ones(), 8);
+        let a = TruthTable::var(3, 2);
+        assert_eq!(a.count_ones(), 4);
+        for row in 0..8 {
+            assert_eq!(a.get(row), row >> 2 & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let and = &a & &b;
+        let or = &a | &b;
+        let xor = &a ^ &b;
+        assert_eq!(and.count_ones(), 1);
+        assert_eq!(or.count_ones(), 3);
+        assert_eq!(xor.count_ones(), 2);
+        assert_eq!(&(!&and) & &or, xor);
+    }
+
+    #[test]
+    fn big_tables_with_words() {
+        let a = TruthTable::var(8, 7);
+        assert_eq!(a.words().len(), 4);
+        assert_eq!(a.count_ones(), 128);
+        assert!(a.get(255));
+        assert!(!a.get(127));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = TruthTable::zeros(4);
+        t.set(5, true);
+        t.set(12, true);
+        assert!(t.get(5) && t.get(12) && !t.get(3));
+        t.set(5, false);
+        assert!(!t.get(5));
+        assert_eq!(t.count_ones(), 1);
+    }
+
+    #[test]
+    fn cofactor_fixes_variable() {
+        // f = a XOR b; f|a=1 = !b (as a function duplicated over a).
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let f = &a ^ &b;
+        let c1 = f.cofactor(0, true);
+        for row in 0..4 {
+            assert_eq!(c1.get(row), row >> 1 & 1 == 0, "row {row}");
+        }
+        let c0 = f.cofactor(0, false);
+        for row in 0..4 {
+            assert_eq!(c0.get(row), row >> 1 & 1 == 1, "row {row}");
+        }
+    }
+
+    #[test]
+    fn implication() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let and = &a & &b;
+        assert!(and.implies(&a));
+        assert!(and.implies(&b));
+        assert!(!a.implies(&and));
+    }
+
+    #[test]
+    fn tail_masking_small_tables() {
+        let t = TruthTable::ones(2);
+        assert_eq!(t.words()[0], 0xf);
+        let n = !&TruthTable::zeros(1);
+        assert_eq!(n.words()[0], 0b11);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the AIG package: random expression trees
+//! evaluated against a truth-table oracle, serialization round trips,
+//! cone extraction, and factoring.
+
+use eco_aig::{factor_sop, Aig, AigLit, TruthTable};
+use proptest::prelude::*;
+
+/// A random Boolean expression over `n` inputs.
+#[derive(Debug, Clone)]
+enum Expr {
+    Input(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+fn arb_expr(num_inputs: usize) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..num_inputs).prop_map(Expr::Input),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(s, t, e)| Expr::Mux(Box::new(s), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+fn build(aig: &mut Aig, inputs: &[AigLit], e: &Expr) -> AigLit {
+    match e {
+        Expr::Input(i) => inputs[*i],
+        Expr::Const(true) => AigLit::TRUE,
+        Expr::Const(false) => AigLit::FALSE,
+        Expr::Not(a) => !build(aig, inputs, a),
+        Expr::And(a, b) => {
+            let (x, y) = (build(aig, inputs, a), build(aig, inputs, b));
+            aig.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build(aig, inputs, a), build(aig, inputs, b));
+            aig.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build(aig, inputs, a), build(aig, inputs, b));
+            aig.xor(x, y)
+        }
+        Expr::Mux(s, t, f) => {
+            let (x, y, z) = (
+                build(aig, inputs, s),
+                build(aig, inputs, t),
+                build(aig, inputs, f),
+            );
+            aig.mux(x, y, z)
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, bits: &[bool]) -> bool {
+    match e {
+        Expr::Input(i) => bits[*i],
+        Expr::Const(c) => *c,
+        Expr::Not(a) => !eval_expr(a, bits),
+        Expr::And(a, b) => eval_expr(a, bits) && eval_expr(b, bits),
+        Expr::Or(a, b) => eval_expr(a, bits) || eval_expr(b, bits),
+        Expr::Xor(a, b) => eval_expr(a, bits) ^ eval_expr(b, bits),
+        Expr::Mux(s, t, f) => {
+            if eval_expr(s, bits) {
+                eval_expr(t, bits)
+            } else {
+                eval_expr(f, bits)
+            }
+        }
+    }
+}
+
+const N: usize = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn aig_matches_expression_semantics(e in arb_expr(N)) {
+        let mut aig = Aig::new();
+        let inputs: Vec<AigLit> = (0..N).map(|_| aig.add_input()).collect();
+        let root = build(&mut aig, &inputs, &e);
+        aig.add_output(root);
+        for row in 0..1usize << N {
+            let bits: Vec<bool> = (0..N).map(|i| row >> i & 1 == 1).collect();
+            prop_assert_eq!(aig.eval(&bits)[0], eval_expr(&e, &bits), "row {}", row);
+        }
+    }
+
+    #[test]
+    fn aag_roundtrip_preserves_semantics(e in arb_expr(N)) {
+        let mut aig = Aig::new();
+        let inputs: Vec<AigLit> = (0..N).map(|_| aig.add_input()).collect();
+        let root = build(&mut aig, &inputs, &e);
+        aig.add_output(root);
+        let back = Aig::from_aag(&aig.to_aag()).expect("roundtrip parses");
+        for row in 0..1usize << N {
+            let bits: Vec<bool> = (0..N).map(|i| row >> i & 1 == 1).collect();
+            prop_assert_eq!(aig.eval(&bits), back.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn cone_extraction_preserves_function(e in arb_expr(N)) {
+        let mut aig = Aig::new();
+        let inputs: Vec<AigLit> = (0..N).map(|_| aig.add_input()).collect();
+        let root = build(&mut aig, &inputs, &e);
+        aig.add_output(root);
+        let cone = aig.extract_cone(&[root], &[]);
+        for row in 0..1usize << N {
+            let bits: Vec<bool> = (0..N).map(|i| row >> i & 1 == 1).collect();
+            let cone_bits: Vec<bool> = cone
+                .input_nodes
+                .iter()
+                .map(|n| {
+                    let idx = aig.inputs().iter().position(|i| i == n).expect("input");
+                    bits[idx]
+                })
+                .collect();
+            prop_assert_eq!(cone.aig.eval(&cone_bits)[0], aig.eval(&bits)[0]);
+        }
+    }
+
+    #[test]
+    fn isop_factoring_pipeline_preserves_function(e in arb_expr(4)) {
+        // truth table -> ISOP -> factored AIG must reproduce the function.
+        let mut aig = Aig::new();
+        let inputs: Vec<AigLit> = (0..4).map(|_| aig.add_input()).collect();
+        let root = build(&mut aig, &inputs, &e);
+        aig.add_output(root);
+        let tt_words = aig.simulate_all_inputs();
+        let tt = TruthTable::from_words(4, vec![tt_words[0][0] & 0xffff]);
+        let cover = tt.isop();
+        prop_assert_eq!(cover.truth_table(), tt.clone());
+        let mut synth = Aig::new();
+        let sup: Vec<AigLit> = (0..4).map(|_| synth.add_input()).collect();
+        let f = factor_sop(&mut synth, &cover, &sup);
+        synth.add_output(f);
+        for row in 0..16usize {
+            let bits: Vec<bool> = (0..4).map(|i| row >> i & 1 == 1).collect();
+            prop_assert_eq!(synth.eval(&bits)[0], tt.get(row), "row {}", row);
+        }
+    }
+
+    #[test]
+    fn simulation_agrees_with_eval(e in arb_expr(N), words in prop::collection::vec(any::<u64>(), N)) {
+        let mut aig = Aig::new();
+        let inputs: Vec<AigLit> = (0..N).map(|_| aig.add_input()).collect();
+        let root = build(&mut aig, &inputs, &e);
+        aig.add_output(root);
+        let sim = aig.simulate_outputs(&words);
+        for bit in 0..64usize {
+            let bits: Vec<bool> = (0..N).map(|i| words[i] >> bit & 1 == 1).collect();
+            prop_assert_eq!(sim[0] >> bit & 1 == 1, aig.eval(&bits)[0], "bit {}", bit);
+        }
+    }
+}

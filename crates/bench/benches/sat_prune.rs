@@ -1,0 +1,85 @@
+//! Criterion timing of `SAT_prune` exact support search (Sec. 3.4.2)
+//! against the minimal-but-not-minimum `minimize_assumptions`, over a
+//! growing redundant divisor pool — the scalability-for-QoR trade the
+//! paper describes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eco_aig::{Aig, NodeId};
+use eco_core::{
+    sat_prune_support, EcoProblem, QuantifiedMiter, SatPruneOptions, SupportSolver,
+};
+use std::hint::black_box;
+
+/// Problem with one xor target and `extra` redundant divisor signals of
+/// varying cost, so the exact search has real pruning to do.
+fn instance(extra: usize) -> (EcoProblem, Vec<NodeId>, Vec<u64>) {
+    let mut im = Aig::new();
+    let a = im.add_input();
+    let b = im.add_input();
+    let x = im.xor(a, b);
+    let t = im.and(a, b);
+    im.add_output(t);
+    im.add_output(x);
+    let mut divisors = vec![a.node(), b.node(), x.node()];
+    let mut costs = vec![4u64, 4, 3];
+    let mut prev = x;
+    for i in 0..extra {
+        let d = im.xor(prev, if i % 2 == 0 { a } else { b });
+        im.add_output(d);
+        divisors.push(d.node());
+        costs.push(5 + (i as u64 % 7));
+        prev = d;
+    }
+    let t_node = t.node();
+    // The specification is the implementation with the target's function
+    // corrected to xor — guaranteeing a consistent interface and a
+    // solvable instance.
+    let mut patch = Aig::new();
+    let pa = patch.add_input();
+    let pb = patch.add_input();
+    let px = patch.xor(pa, pb);
+    patch.add_output(px);
+    let mut patches = std::collections::HashMap::new();
+    patches.insert(t_node, eco_aig::NodePatch { aig: patch, support: vec![a, b] });
+    let sp = im.substitute(&patches).expect("acyclic");
+    let mut p = EcoProblem::with_unit_weights(im, sp, vec![t_node]).expect("valid");
+    for (d, &c) in divisors.iter().zip(&costs) {
+        p.weights[d.index()] = c;
+    }
+    (p, divisors, costs)
+}
+
+fn bench_sat_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_prune");
+    group.sample_size(10);
+    for &extra in &[4usize, 8, 16] {
+        let (p, divisors, costs) = instance(extra);
+        let qm = QuantifiedMiter::build(&p, 0, &[], None);
+        group.bench_with_input(
+            BenchmarkId::new("minimize_assumptions", extra),
+            &extra,
+            |b, _| {
+                b.iter(|| {
+                    let mut ss =
+                        SupportSolver::new(&qm, divisors.clone(), costs.clone(), None);
+                    assert!(ss.all_feasible().expect("unbudgeted"));
+                    black_box(ss.minimized_support(8).expect("support").cost)
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("sat_prune", extra), &extra, |b, _| {
+            b.iter(|| {
+                let mut ss = SupportSolver::new(&qm, divisors.clone(), costs.clone(), None);
+                assert!(ss.all_feasible().expect("unbudgeted"));
+                let seed = ss.minimized_support(8).expect("support");
+                let r = sat_prune_support(&mut ss, Some(seed), SatPruneOptions::default())
+                    .expect("prune");
+                black_box(r.support.cost)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat_prune);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation A — Algorithm 1 call complexity: the paper claims
+//! `minimize_assumptions` needs `O(max{log N, M})` SAT calls versus the
+//! naive `O(N)` one-at-a-time removal.
+//!
+//! For divisor counts `N ∈ {16..1024}` with a small planted core of `M`
+//! needed assumptions, we count actual SAT calls for both procedures.
+//!
+//! Usage: `cargo run --release -p eco-bench --bin ablation_minassump`
+
+use eco_core::{minimize_assumptions, naive_minimize_assumptions};
+use eco_sat::{Lit, Solver, Var};
+
+/// Builds a solver with `n` marker assumptions where exactly the `m`
+/// markers at pseudo-random positions are jointly needed for UNSAT.
+fn planted_core(n: usize, m: usize, seed: u64) -> (Solver, Vec<Lit>) {
+    let mut s = Solver::new();
+    let xs: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+    let ms: Vec<Lit> = (0..n).map(|_| s.new_var().positive()).collect();
+    for i in 0..n {
+        s.add_clause(&[!ms[i], xs[i].positive()]);
+    }
+    // Pick m distinct positions deterministically.
+    let mut state = seed;
+    let mut core: Vec<usize> = Vec::new();
+    while core.len() < m {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let p = (state >> 33) as usize % n;
+        if !core.contains(&p) {
+            core.push(p);
+        }
+    }
+    // The conjunction of the core x's is forbidden.
+    let clause: Vec<Lit> = core.iter().map(|&i| xs[i].negative()).collect();
+    s.add_clause(&clause);
+    (s, ms)
+}
+
+fn main() {
+    println!("{:>6} {:>4} {:>12} {:>12} {:>10}", "N", "M", "alg1 calls", "naive calls", "ratio");
+    for &n in &[16usize, 32, 64, 128, 256, 512, 1024] {
+        for &m in &[1usize, 2, 4] {
+            let mut alg1_total = 0u64;
+            let mut naive_total = 0u64;
+            const TRIALS: u64 = 5;
+            for trial in 0..TRIALS {
+                let (mut s1, ms1) = planted_core(n, m, 7 + trial);
+                let mut a1 = ms1.clone();
+                let (k1, c1) =
+                    minimize_assumptions(&mut s1, &[], &mut a1).expect("unbudgeted");
+                assert_eq!(k1, m, "algorithm 1 must find the planted core");
+                alg1_total += c1;
+
+                let (mut s2, ms2) = planted_core(n, m, 7 + trial);
+                let mut a2 = ms2.clone();
+                let (k2, c2) =
+                    naive_minimize_assumptions(&mut s2, &[], &mut a2).expect("unbudgeted");
+                assert_eq!(k2, m, "naive must find the planted core");
+                naive_total += c2;
+            }
+            let alg1 = alg1_total as f64 / TRIALS as f64;
+            let naive = naive_total as f64 / TRIALS as f64;
+            println!("{:>6} {:>4} {:>12.1} {:>12.1} {:>9.1}x", n, m, alg1, naive, naive / alg1);
+        }
+    }
+    println!("\npaper's claim: O(max{{log N, M}}) vs O(N) SAT calls — the ratio");
+    println!("should grow roughly like N / log N as N increases.");
+}

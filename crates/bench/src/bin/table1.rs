@@ -1,0 +1,45 @@
+//! Regenerates Table 1 of the paper on the synthetic 20-unit suite:
+//! for each unit, the resource cost, patch gate count, and runtime of
+//! the three methods (`analyze_final` baseline, `minimize_assumptions`,
+//! `SAT_prune`+`CEGAR_min`), plus the geomean-ratio footer.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p eco-bench --bin table1 [SCALE] [BUDGET]
+//! ```
+//!
+//! `SCALE` (default 0.05) shrinks every unit proportionally — the
+//! relative behaviour of the methods (the paper's headline geomeans) is
+//! scale-independent in shape. `BUDGET` (default 500000) is the
+//! per-SAT-call conflict budget; units exceeding it take the structural
+//! path exactly like the paper's timed-out units 6/10/11/19.
+
+use eco_bench::{print_table, run_unit, Table1Row};
+use eco_benchgen::{build_unit, table1_units};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let budget: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+    eprintln!("# table1: scale={scale} per-call-conflict-budget={budget}");
+    let mut rows: Vec<Table1Row> = Vec::new();
+    for unit in table1_units(scale) {
+        eprint!("# {} ...", unit.name);
+        let problem = build_unit(&unit);
+        let row = run_unit(&unit, &problem, Some(budget));
+        eprintln!(
+            " baseline {:.2}s / minimize {:.2}s / prune {:.2}s",
+            row.baseline.time.as_secs_f64(),
+            row.minimized.time.as_secs_f64(),
+            row.pruned.time.as_secs_f64()
+        );
+        rows.push(row);
+    }
+    print_table(&rows);
+}

@@ -1,0 +1,34 @@
+//! # eco-benchgen
+//!
+//! Deterministic synthetic stand-in for the ICCAD'17 CAD Contest
+//! Problem A benchmark suite evaluated in the paper: 20 units mirroring
+//! Table 1's per-unit PI/PO/gate/target statistics, with ECO changes
+//! injected at known rectification points (so every instance is
+//! solvable by construction) and resource weights drawn from the
+//! contest's T1–T8 distributions.
+//!
+//! # Examples
+//!
+//! ```
+//! use eco_benchgen::{build_unit, table1_units};
+//!
+//! // Unit 1 at 100% scale: 3 inputs, 2 outputs, 1 target.
+//! let spec = &table1_units(1.0)[0];
+//! let problem = build_unit(spec);
+//! assert_eq!(problem.targets.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inject;
+mod randckt;
+mod rng;
+mod suite;
+mod suite_io;
+
+pub use inject::{inject_eco, InjectSpec, InjectedEco};
+pub use randckt::{random_aig, CircuitSpec};
+pub use rng::SplitMix64;
+pub use suite::{build_unit, suite, table1_units, UnitSpec};
+pub use suite_io::{render_unit, write_unit, UnitFiles};

@@ -1,0 +1,177 @@
+//! The 20-unit benchmark suite mirroring the per-unit statistics of
+//! Table 1 of the paper (ICCAD'17 CAD Contest Problem A instances).
+//!
+//! The contest files are not redistributable, so each unit is a
+//! deterministic synthetic instance with the same PI/PO/gate/target
+//! counts, weighted under the contest's T1–T8 distributions. A `scale`
+//! knob shrinks every unit proportionally for quick test runs.
+
+use crate::inject::{inject_eco, InjectSpec};
+use crate::randckt::{random_aig, CircuitSpec};
+use eco_core::{generate_weights, EcoProblem, WeightDistribution};
+
+/// Static description of one suite unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitSpec {
+    /// Unit name (`unit1`..`unit20`).
+    pub name: &'static str,
+    /// Primary inputs (from Table 1).
+    pub num_inputs: usize,
+    /// Primary outputs (from Table 1).
+    pub num_outputs: usize,
+    /// Gates in the old implementation (from Table 1).
+    pub num_gates: usize,
+    /// Number of rectification targets (from Table 1).
+    pub num_targets: usize,
+    /// Weight distribution applied (contest types cycle T1..T8).
+    pub weights: WeightDistribution,
+    /// Base seed of the unit.
+    pub seed: u64,
+}
+
+/// Table 1's `(PI, PO, gates(F), targets)` columns, in unit order.
+const TABLE1_SHAPE: [(usize, usize, usize, usize); 20] = [
+    (3, 2, 6, 1),
+    (157, 64, 1120, 1),
+    (411, 128, 2074, 1),
+    (11, 6, 75, 1),
+    (450, 282, 24357, 2),
+    (99, 128, 13828, 2),
+    (207, 24, 2944, 1),
+    (179, 64, 2513, 1),
+    (256, 245, 5849, 4),
+    (32, 129, 1581, 2),
+    (48, 50, 2057, 8),
+    (46, 27, 13804, 1),
+    (25, 39, 369, 1),
+    (17, 15, 1981, 12),
+    (198, 14, 1886, 1),
+    (417, 214, 2371, 2),
+    (136, 31, 2910, 8),
+    (245, 100, 4860, 1),
+    (99, 128, 13349, 4),
+    (1874, 7105, 30876, 4),
+];
+
+const UNIT_NAMES: [&str; 20] = [
+    "unit1", "unit2", "unit3", "unit4", "unit5", "unit6", "unit7", "unit8", "unit9",
+    "unit10", "unit11", "unit12", "unit13", "unit14", "unit15", "unit16", "unit17",
+    "unit18", "unit19", "unit20",
+];
+
+/// The 20 unit specs at the given scale (`1.0` = the paper's sizes).
+///
+/// Scaling shrinks gate/input/output counts proportionally with sane
+/// floors; target counts are preserved (they define the problem's
+/// multi-target structure).
+pub fn table1_units(scale: f64) -> Vec<UnitSpec> {
+    assert!(scale > 0.0, "scale must be positive");
+    TABLE1_SHAPE
+        .iter()
+        .enumerate()
+        .map(|(i, &(pi, po, gates, targets))| {
+            let s = |v: usize, floor: usize| -> usize {
+                (((v as f64) * scale).round() as usize).max(floor)
+            };
+            UnitSpec {
+                name: UNIT_NAMES[i],
+                num_inputs: s(pi, 3),
+                num_outputs: s(po, 2),
+                num_gates: s(gates, targets * 12 + 8),
+                num_targets: targets,
+                weights: WeightDistribution::from_index(i),
+                seed: 0x5EED_0000 + i as u64,
+            }
+        })
+        .collect()
+}
+
+/// Builds the ECO problem of one unit. Deterministic in the spec.
+///
+/// # Panics
+///
+/// Panics if injection fails even after seed retries (only possible for
+/// degenerate shapes far below the suite's floors).
+pub fn build_unit(spec: &UnitSpec) -> EcoProblem {
+    for retry in 0..16u64 {
+        let seed = spec.seed.wrapping_add(retry * 0x10_0001);
+        let implementation = random_aig(&CircuitSpec {
+            num_inputs: spec.num_inputs,
+            num_outputs: spec.num_outputs,
+            num_gates: spec.num_gates,
+            seed,
+        });
+        let Some(injected) = inject_eco(
+            &implementation,
+            &InjectSpec { num_targets: spec.num_targets, seed: seed ^ 0xABCD },
+        ) else {
+            continue;
+        };
+        let weights = generate_weights(&implementation, spec.weights, seed ^ 0x77);
+        if let Ok(problem) =
+            EcoProblem::new(implementation, injected.specification, injected.targets, weights)
+        {
+            return problem;
+        }
+    }
+    panic!("could not build unit {} at this scale", spec.name);
+}
+
+/// Generates the whole suite at a scale: `(spec, problem)` pairs.
+pub fn suite(scale: f64) -> Vec<(UnitSpec, EcoProblem)> {
+    table1_units(scale)
+        .into_iter()
+        .map(|u| {
+            let p = build_unit(&u);
+            (u, p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_specs_match_table1() {
+        let units = table1_units(1.0);
+        assert_eq!(units.len(), 20);
+        assert_eq!(units[0].num_inputs, 3);
+        assert_eq!(units[4].num_gates, 24357);
+        assert_eq!(units[13].num_targets, 12);
+        assert_eq!(units[19].num_outputs, 7105);
+    }
+
+    #[test]
+    fn scaling_preserves_targets_and_shrinks_gates() {
+        let units = table1_units(0.1);
+        assert_eq!(units[13].num_targets, 12);
+        assert!(units[4].num_gates < 3000);
+        assert!(units[0].num_inputs >= 3);
+    }
+
+    #[test]
+    fn small_scale_units_build_and_validate() {
+        for (spec, problem) in suite(0.04) {
+            assert_eq!(problem.targets.len(), spec.num_targets, "{}", spec.name);
+            assert_eq!(problem.num_inputs(), spec.num_inputs, "{}", spec.name);
+            assert_eq!(
+                problem.weights.len(),
+                problem.implementation.num_nodes(),
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn unit_build_is_deterministic() {
+        let spec = &table1_units(0.05)[1];
+        let a = build_unit(spec);
+        let b = build_unit(spec);
+        assert_eq!(a.implementation.to_aag(), b.implementation.to_aag());
+        assert_eq!(a.specification.to_aag(), b.specification.to_aag());
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.weights, b.weights);
+    }
+}

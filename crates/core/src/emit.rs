@@ -1,0 +1,193 @@
+//! Bridging engine results back to the netlist level: express each
+//! applied patch over *named nets* of the original implementation so it
+//! can be spliced with [`Netlist::insert_patch`] — the deliverable
+//! format of the contest flow (patched netlist plus patch modules).
+
+use crate::engine::{AppliedPatch, EcoOutcome};
+use eco_aig::{AigLit, NodeId};
+use eco_netlist::{AigConversion, Netlist, NetlistPatch};
+use std::collections::HashMap;
+
+/// A patch expressed over nets, ready for insertion.
+#[derive(Clone, Debug)]
+pub struct NamedPatch {
+    /// The target net to re-drive.
+    pub target_net: String,
+    /// The splice-ready patch.
+    pub patch: NetlistPatch,
+}
+
+/// Converts the outcome's applied patches into net-level patches for
+/// the original implementation netlist.
+///
+/// `target_nets[i]` names the net of original target `i`. Returns one
+/// entry per applied patch; `None` when a patch's support includes
+/// logic created by earlier patches (no original net to name — splice
+/// order matters in that case and the AIG-level
+/// [`EcoOutcome::patched_implementation`] should be used instead).
+pub fn netlist_patches(
+    outcome: &EcoOutcome,
+    target_nets: &[&str],
+    netlist: &Netlist,
+    conversion: &AigConversion,
+) -> Vec<Option<NamedPatch>> {
+    // Reverse map: AIG literal -> a net name computing it.
+    let mut name_of: HashMap<AigLit, String> = HashMap::new();
+    for idx in 0..netlist.num_nets() {
+        let id = eco_netlist::NetId::from_index(idx);
+        let lit = conversion.net_lits[idx];
+        name_of.entry(lit).or_insert_with(|| netlist.net_name(id).to_string());
+    }
+    let support_name = |node: NodeId, complemented: bool| -> Option<String> {
+        let lit = node.lit().xor_complement(complemented);
+        if let Some(n) = name_of.get(&lit) {
+            return Some(n.clone());
+        }
+        // A net of the opposite polarity works with a `!` prefix.
+        name_of.get(&!lit).map(|n| format!("!{n}"))
+    };
+    outcome
+        .patches
+        .iter()
+        .map(|applied: &AppliedPatch| {
+            let target_net = target_nets.get(applied.target_index)?.to_string();
+            let mut support = Vec::with_capacity(applied.support.len());
+            for (lit, orig) in applied.support.iter().zip(&applied.original_support) {
+                let node = (*orig)?;
+                support.push(support_name(node, lit.is_complement())?);
+            }
+            // The engine patches the AIG *node*; the net may be the
+            // complemented literal of that node (e.g. an OR-gate net),
+            // in which case the net-level patch is the complement.
+            let net_id = netlist.net(&target_net)?;
+            let net_lit = conversion.net_lits[net_id.index()];
+            let mut aig = applied.aig.clone();
+            if net_lit.is_complement() {
+                let out = aig.outputs()[0];
+                aig.set_output(0, !out);
+            }
+            Some(NamedPatch { target_net, patch: NetlistPatch { aig, support } })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cec::{check_equivalence, CecResult};
+    use crate::engine::{EcoEngine, EcoOptions};
+    use crate::problem::EcoProblem;
+    use eco_netlist::{parse_verilog, WeightTable};
+
+    #[test]
+    fn emitted_patches_splice_back_into_the_netlist() {
+        let impl_src = "
+            module m (a, b, c, y, z);
+              input a, b, c;
+              output y, z;
+              wire s, t;
+              // eco_target t
+              xor g1 (s, a, b);
+              and g2 (t, s, c);   // BUG: spec wants xor
+              or  g3 (y, t, a);
+              not g4 (z, s);
+            endmodule";
+        let spec_src = "
+            module m (a, b, c, y, z);
+              input a, b, c;
+              output y, z;
+              wire s, t;
+              xor g1 (s, a, b);
+              xor g2 (t, s, c);
+              or  g3 (y, t, a);
+              not g4 (z, s);
+            endmodule";
+        let parsed = parse_verilog(impl_src).expect("impl");
+        let spec = parse_verilog(spec_src).expect("spec").netlist;
+        let names: Vec<&str> = parsed.targets.iter().map(String::as_str).collect();
+        let problem = EcoProblem::from_netlists(
+            &parsed.netlist,
+            &spec,
+            &names,
+            &WeightTable::new(),
+            5,
+        )
+        .expect("problem");
+        let outcome = EcoEngine::new(EcoOptions::default()).run(&problem).expect("run");
+        assert!(outcome.verified);
+
+        let conversion = parsed.netlist.to_aig().expect("valid");
+        let named = netlist_patches(&outcome, &names, &parsed.netlist, &conversion);
+        assert_eq!(named.len(), 1);
+        let named = named[0].as_ref().expect("support is nameable");
+        assert_eq!(named.target_net, "t");
+
+        // Splice and check the netlist-level result against the spec.
+        let patched = parsed
+            .netlist
+            .insert_patch(&named.target_net, &named.patch, "eco")
+            .expect("insert");
+        let patched_aig = patched.to_aig().expect("valid").aig;
+        let spec_aig = spec.to_aig().expect("valid").aig;
+        assert_eq!(
+            check_equivalence(&patched_aig, &spec_aig, None),
+            CecResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn multi_target_patches_emit_in_order() {
+        let impl_src = "
+            module m (a, b, c, d, y);
+              input a, b, c, d;
+              output y;
+              wire t1, t2, u;
+              // eco_target t1
+              // eco_target t2
+              or  g1 (t1, a, b);   // BUG: spec wants and
+              or  g2 (t2, c, d);   // BUG: spec wants xor
+              and g3 (u, t1, t2);
+              buf g4 (y, u);
+            endmodule";
+        let spec_src = "
+            module m (a, b, c, d, y);
+              input a, b, c, d;
+              output y;
+              wire t1, t2, u;
+              and g1 (t1, a, b);
+              xor g2 (t2, c, d);
+              and g3 (u, t1, t2);
+              buf g4 (y, u);
+            endmodule";
+        let parsed = parse_verilog(impl_src).expect("impl");
+        let spec = parse_verilog(spec_src).expect("spec").netlist;
+        let names: Vec<&str> = parsed.targets.iter().map(String::as_str).collect();
+        let problem = EcoProblem::from_netlists(
+            &parsed.netlist,
+            &spec,
+            &names,
+            &WeightTable::new(),
+            5,
+        )
+        .expect("problem");
+        let outcome = EcoEngine::new(EcoOptions::default()).run(&problem).expect("run");
+        assert!(outcome.verified);
+        let conversion = parsed.netlist.to_aig().expect("valid");
+        let named = netlist_patches(&outcome, &names, &parsed.netlist, &conversion);
+
+        // Splice every nameable patch in order; the result must match.
+        let mut current = parsed.netlist.clone();
+        for (i, entry) in named.iter().enumerate() {
+            let entry = entry.as_ref().unwrap_or_else(|| panic!("patch {i} nameable"));
+            current = current
+                .insert_patch(&entry.target_net, &entry.patch, &format!("eco{i}"))
+                .expect("insert");
+        }
+        let patched_aig = current.to_aig().expect("valid").aig;
+        let spec_aig = spec.to_aig().expect("valid").aig;
+        assert_eq!(
+            check_equivalence(&patched_aig, &spec_aig, None),
+            CecResult::Equivalent
+        );
+    }
+}

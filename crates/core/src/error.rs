@@ -1,0 +1,93 @@
+//! Error type for the ECO engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the ECO patch computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EcoError {
+    /// The given targets cannot rectify the implementation: expression
+    /// (1) of the paper is satisfiable. Carries a witness input
+    /// assignment on which no target values can fix the difference.
+    TargetsInsufficient {
+        /// Primary-input assignment witnessing infeasibility.
+        witness: Vec<bool>,
+    },
+    /// Implementation and specification have mismatched interfaces.
+    InterfaceMismatch {
+        /// Explanation of the mismatch.
+        message: String,
+    },
+    /// A problem field is malformed (bad target node, weight arity...).
+    InvalidProblem {
+        /// Explanation.
+        message: String,
+    },
+    /// A SAT budget ran out and no structural fallback was allowed.
+    SolverBudgetExhausted {
+        /// The phase in which the budget ran out.
+        phase: &'static str,
+    },
+    /// No feasible patch support exists within the candidate divisors
+    /// for the named target position (0-based).
+    NoFeasibleSupport {
+        /// Index into the problem's target list.
+        target_index: usize,
+    },
+    /// Applying a patch would create a combinational cycle.
+    CyclicPatch {
+        /// Explanation.
+        message: String,
+    },
+    /// The final equivalence check failed: the computed patches are
+    /// wrong (indicates an internal bug or an unsound quantification).
+    VerificationFailed {
+        /// Counterexample input assignment.
+        counterexample: Vec<bool>,
+    },
+}
+
+impl fmt::Display for EcoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoError::TargetsInsufficient { .. } => {
+                write!(f, "the target set cannot rectify the implementation")
+            }
+            EcoError::InterfaceMismatch { message } => {
+                write!(f, "interface mismatch: {message}")
+            }
+            EcoError::InvalidProblem { message } => write!(f, "invalid problem: {message}"),
+            EcoError::SolverBudgetExhausted { phase } => {
+                write!(f, "SAT budget exhausted during {phase}")
+            }
+            EcoError::NoFeasibleSupport { target_index } => {
+                write!(f, "no feasible patch support for target {target_index}")
+            }
+            EcoError::CyclicPatch { message } => write!(f, "cyclic patch: {message}"),
+            EcoError::VerificationFailed { .. } => {
+                write!(f, "patched implementation is not equivalent to the specification")
+            }
+        }
+    }
+}
+
+impl Error for EcoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EcoError::NoFeasibleSupport { target_index: 3 };
+        assert!(e.to_string().contains("target 3"));
+        let e = EcoError::SolverBudgetExhausted { phase: "support" };
+        assert!(e.to_string().contains("support"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&EcoError::InvalidProblem { message: "x".into() });
+    }
+}

@@ -1,0 +1,88 @@
+//! Differential test: the SAT-based cube enumeration (Sec. 3.5) against
+//! a truth-table oracle. For small single-target instances over
+//! primary-input support, the patch interval is
+//! `[M(0,x), ¬M(1,x)]`; the enumerated SOP must lie inside it, and the
+//! Minato-Morreale ISOP of the interval provides an independent valid
+//! patch of comparable size.
+
+use eco_aig::{isop_between, Aig, TruthTable};
+use eco_core::{enumerate_patch_sop, EcoProblem, QuantifiedMiter};
+use proptest::prelude::*;
+
+/// Random 3-input target function pair (wrong, right) by truth table
+/// codes; skip degenerate pairs that need no patch or admit none.
+fn build_problem(wrong_code: u8, right_code: u8) -> Option<EcoProblem> {
+    if wrong_code == right_code {
+        return None;
+    }
+    let synth = |code: u8| -> Aig {
+        let tt = TruthTable::from_words(3, vec![code as u64]);
+        let cover = tt.isop();
+        let mut aig = Aig::new();
+        let sup: Vec<_> = (0..3).map(|_| aig.add_input()).collect();
+        let f = eco_aig::factor_sop(&mut aig, &cover, &sup);
+        aig.add_output(f);
+        aig
+    };
+    let spec = synth(right_code);
+    // Implementation: a wrapper whose target node computes the wrong
+    // function; the output is the target, keeping the ECO exactly "fix
+    // the target's function".
+    let wrong = synth(wrong_code);
+    let mut im = Aig::new();
+    let ins: Vec<_> = (0..3).map(|_| im.add_input()).collect();
+    let w = im.import(&wrong, &ins)[0];
+    // Ensure the target is a real AND node (non-degenerate function).
+    if w.is_const() || !im.is_and(w.node()) {
+        return None;
+    }
+    im.add_output(w);
+    EcoProblem::with_unit_weights(im, spec, vec![w.node()]).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn enumerated_sop_lies_in_the_patch_interval(
+        wrong_code in 1u8..255,
+        right_code in 1u8..255,
+    ) {
+        let Some(p) = build_problem(wrong_code, right_code) else {
+            return Ok(());
+        };
+        let qm = QuantifiedMiter::build(&p, 0, &[], None);
+        let support: Vec<_> = p.implementation.inputs().to_vec();
+        let sop = enumerate_patch_sop(&qm, &support, 0, None, 1 << 10)
+            .expect("input support is always sufficient");
+
+        // Oracle interval from the miter cofactors.
+        let m0 = qm.cofactor(false).simulate_all_inputs()[0][0] & 0xff;
+        let m1 = qm.cofactor(true).simulate_all_inputs()[0][0] & 0xff;
+        let onset = TruthTable::from_words(3, vec![m0]);
+        let offset_complement = !&TruthTable::from_words(3, vec![m1]);
+        prop_assert!(
+            onset.implies(&offset_complement),
+            "interval must be non-empty for a feasible ECO"
+        );
+
+        // The enumerated patch must cover the onset and avoid the offset.
+        let patch_tt = sop.sop.truth_table();
+        prop_assert!(onset.implies(&patch_tt), "patch must cover M(0)");
+        prop_assert!(patch_tt.implies(&offset_complement), "patch must avoid M(1)");
+
+        // The ISOP of the interval is an independent valid patch; the
+        // SAT enumeration should not be wildly larger (both are prime
+        // irredundant covers of functions in the same interval).
+        let oracle = isop_between(&onset, &offset_complement);
+        let oracle_tt = oracle.truth_table();
+        prop_assert!(onset.implies(&oracle_tt));
+        prop_assert!(oracle_tt.implies(&offset_complement));
+        prop_assert!(
+            sop.sop.len() <= 2 * oracle.len().max(1) + 2,
+            "enumerated {} cubes vs oracle {} cubes",
+            sop.sop.len(),
+            oracle.len()
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # eco-graph
+//!
+//! Graph substrate for the ECO patch engine: Dinic maximum flow and
+//! node-capacitated minimum cuts, used by the `CEGAR_min` max-flow
+//! resubstitution of patch supports (Sec. 3.6.3 of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use eco_graph::NodeCutGraph;
+//!
+//! let mut g = NodeCutGraph::new(3);
+//! g.set_node_capacity(1, 2);
+//! g.add_arc(0, 1);
+//! g.add_arc(1, 2);
+//! let (weight, cut) = g.min_node_cut(0, 2).expect("finite cut");
+//! assert_eq!((weight, cut), (2, vec![1]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod maxflow;
+
+pub use maxflow::{FlowNetwork, NodeCutGraph, INF};

@@ -1,0 +1,332 @@
+//! Dinic's maximum-flow algorithm on integer-capacity directed graphs,
+//! with a node-splitting helper for node-capacitated min-cuts (the
+//! construction used by the paper's `CEGAR_min` resubstitution,
+//! Sec. 3.6.3).
+
+/// Capacity value treated as unbounded.
+pub const INF: u64 = u64::MAX / 4;
+
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    to: u32,
+    cap: u64,
+    /// Index of the reverse edge in `edges`.
+    rev: u32,
+}
+
+/// A flow network under construction / after solving.
+///
+/// # Examples
+///
+/// ```
+/// use eco_graph::FlowNetwork;
+///
+/// let mut net = FlowNetwork::new(4);
+/// net.add_edge(0, 1, 3);
+/// net.add_edge(0, 2, 2);
+/// net.add_edge(1, 3, 2);
+/// net.add_edge(2, 3, 3);
+/// assert_eq!(net.max_flow(0, 3), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    adj: Vec<Vec<u32>>,
+    edges: Vec<Edge>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes (0-based ids) and no edges.
+    pub fn new(n: usize) -> FlowNetwork {
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge with the given capacity; the implicit
+    /// reverse edge has capacity zero. Returns the edge id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> usize {
+        assert!(from < self.adj.len() && to < self.adj.len(), "endpoint out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge { to: to as u32, cap, rev: (id + 1) as u32 });
+        self.edges.push(Edge { to: from as u32, cap: 0, rev: id as u32 });
+        self.adj[from].push(id as u32);
+        self.adj[to].push((id + 1) as u32);
+        id
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &eid in &self.adj[v] {
+                let e = self.edges[eid as usize];
+                if e.cap > 0 && self.level[e.to as usize] < 0 {
+                    self.level[e.to as usize] = self.level[v] + 1;
+                    queue.push_back(e.to as usize);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: u64) -> u64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.adj[v].len() {
+            let eid = self.adj[v][self.iter[v]] as usize;
+            let Edge { to, cap, rev } = self.edges[eid];
+            let to = to as usize;
+            if cap > 0 && self.level[to] == self.level[v] + 1 {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > 0 {
+                    self.edges[eid].cap -= d;
+                    self.edges[rev as usize].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum flow from `s` to `t`, mutating residual
+    /// capacities in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert!(s < self.adj.len() && t < self.adj.len() && s != t, "bad terminals");
+        let mut flow = 0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, INF);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// After [`FlowNetwork::max_flow`]: the set of nodes reachable from
+    /// `s` in the residual graph (the source side of a minimum cut).
+    pub fn source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(v) = stack.pop() {
+            for &eid in &self.adj[v] {
+                let e = self.edges[eid as usize];
+                if e.cap > 0 && !seen[e.to as usize] {
+                    seen[e.to as usize] = true;
+                    stack.push(e.to as usize);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// A node-capacitated min-cut instance: each node may carry a finite
+/// weight (cuttable) or be uncuttable ([`INF`]). Solved by splitting
+/// every node `v` into `v_in -> v_out` with the node's capacity.
+#[derive(Clone, Debug)]
+pub struct NodeCutGraph {
+    caps: Vec<u64>,
+    arcs: Vec<(usize, usize)>,
+}
+
+impl NodeCutGraph {
+    /// Creates an instance with `n` nodes, all initially uncuttable.
+    pub fn new(n: usize) -> NodeCutGraph {
+        NodeCutGraph { caps: vec![INF; n], arcs: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Sets the cut weight of a node ([`INF`] = uncuttable).
+    pub fn set_node_capacity(&mut self, v: usize, cap: u64) {
+        self.caps[v] = cap;
+    }
+
+    /// Adds a directed arc `from -> to` (infinite capacity).
+    pub fn add_arc(&mut self, from: usize, to: usize) {
+        assert!(from < self.caps.len() && to < self.caps.len(), "endpoint out of range");
+        self.arcs.push((from, to));
+    }
+
+    /// Finds a minimum-weight set of nodes whose removal disconnects
+    /// `source` from `sink`, returning `(total_weight, cut_nodes)`.
+    /// Returns `None` when no finite cut exists (a path of uncuttable
+    /// nodes connects the terminals).
+    ///
+    /// The terminals themselves are never part of the cut.
+    pub fn min_node_cut(&self, source: usize, sink: usize) -> Option<(u64, Vec<usize>)> {
+        let n = self.caps.len();
+        // v_in = 2v, v_out = 2v + 1.
+        let mut net = FlowNetwork::new(2 * n);
+        for (v, &c) in self.caps.iter().enumerate() {
+            let cap = if v == source || v == sink { INF } else { c };
+            net.add_edge(2 * v, 2 * v + 1, cap);
+        }
+        for &(a, b) in &self.arcs {
+            net.add_edge(2 * a + 1, 2 * b, INF);
+        }
+        let flow = net.max_flow(2 * source, 2 * sink + 1);
+        if flow >= INF {
+            return None;
+        }
+        let reach = net.source_side(2 * source);
+        // A node is cut when its in-half is reachable but its out-half is
+        // not: the internal edge is saturated and on the cut.
+        let cut: Vec<usize> = (0..n)
+            .filter(|&v| reach[2 * v] && !reach[2 * v + 1])
+            .collect();
+        Some((flow, cut))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_max_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10);
+        net.add_edge(0, 2, 10);
+        net.add_edge(1, 3, 5);
+        net.add_edge(2, 3, 15);
+        assert_eq!(net.max_flow(0, 3), 15);
+    }
+
+    #[test]
+    fn bottleneck_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 100);
+        net.add_edge(1, 2, 1);
+        assert_eq!(net.max_flow(0, 2), 1);
+    }
+
+    #[test]
+    fn disconnected_flow_is_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn classic_dinic_example() {
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16);
+        net.add_edge(0, 2, 13);
+        net.add_edge(1, 2, 10);
+        net.add_edge(2, 1, 4);
+        net.add_edge(1, 3, 12);
+        net.add_edge(3, 2, 9);
+        net.add_edge(2, 4, 14);
+        net.add_edge(4, 3, 7);
+        net.add_edge(3, 5, 20);
+        net.add_edge(4, 5, 4);
+        assert_eq!(net.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn source_side_is_a_cut() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(1, 2, 1);
+        net.add_edge(2, 3, 3);
+        net.max_flow(0, 3);
+        let side = net.source_side(0);
+        assert!(side[0] && side[1]);
+        assert!(!side[2] && !side[3]);
+    }
+
+    #[test]
+    fn node_cut_prefers_cheap_nodes() {
+        // s -> a -> t and s -> b -> t; a cheap, b expensive.
+        let mut g = NodeCutGraph::new(4);
+        let (s, a, b, t) = (0, 1, 2, 3);
+        g.set_node_capacity(a, 1);
+        g.set_node_capacity(b, 7);
+        g.add_arc(s, a);
+        g.add_arc(a, t);
+        g.add_arc(s, b);
+        g.add_arc(b, t);
+        let (w, cut) = g.min_node_cut(s, t).expect("finite cut");
+        assert_eq!(w, 8);
+        let mut cut = cut;
+        cut.sort_unstable();
+        assert_eq!(cut, vec![a, b]);
+    }
+
+    #[test]
+    fn node_cut_single_chokepoint() {
+        // Two parallel paths merging through one cheap node.
+        let mut g = NodeCutGraph::new(5);
+        let (s, x, y, m, t) = (0, 1, 2, 3, 4);
+        g.set_node_capacity(x, 5);
+        g.set_node_capacity(y, 5);
+        g.set_node_capacity(m, 3);
+        g.add_arc(s, x);
+        g.add_arc(s, y);
+        g.add_arc(x, m);
+        g.add_arc(y, m);
+        g.add_arc(m, t);
+        let (w, cut) = g.min_node_cut(s, t).expect("finite cut");
+        assert_eq!(w, 3);
+        assert_eq!(cut, vec![m]);
+    }
+
+    #[test]
+    fn uncuttable_path_yields_none() {
+        let mut g = NodeCutGraph::new(3);
+        g.add_arc(0, 1);
+        g.add_arc(1, 2);
+        // node 1 stays uncuttable (INF)
+        assert!(g.min_node_cut(0, 2).is_none());
+    }
+
+    #[test]
+    fn no_path_gives_empty_cut() {
+        let g = NodeCutGraph::new(2);
+        let (w, cut) = g.min_node_cut(0, 1).expect("finite (empty) cut");
+        assert_eq!(w, 0);
+        assert!(cut.is_empty());
+    }
+
+    #[test]
+    fn zero_weight_nodes_cut_for_free() {
+        let mut g = NodeCutGraph::new(3);
+        g.set_node_capacity(1, 0);
+        g.add_arc(0, 1);
+        g.add_arc(1, 2);
+        let (w, cut) = g.min_node_cut(0, 2).expect("finite cut");
+        assert_eq!(w, 0);
+        assert_eq!(cut, vec![1]);
+    }
+}

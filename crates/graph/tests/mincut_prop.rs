@@ -1,0 +1,117 @@
+//! Property-based validation of the node-capacitated min cut against a
+//! brute-force search over all node subsets on small random DAGs.
+
+use eco_graph::{NodeCutGraph, INF};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Dag {
+    n: usize,
+    caps: Vec<u64>,
+    arcs: Vec<(usize, usize)>,
+}
+
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (3usize..8).prop_flat_map(|n| {
+        let caps = prop::collection::vec(1u64..12, n);
+        let arcs = prop::collection::vec((0..n, 0..n), 1..(2 * n));
+        (caps, arcs).prop_map(move |(caps, arcs)| {
+            // Enforce acyclicity: only forward arcs (i < j).
+            let arcs = arcs
+                .into_iter()
+                .filter(|&(a, b)| a < b)
+                .collect::<Vec<_>>();
+            Dag { n, caps, arcs }
+        })
+    })
+}
+
+/// Is `sink` reachable from `source` after deleting `removed` nodes?
+fn reachable(dag: &Dag, removed: u32, source: usize, sink: usize) -> bool {
+    let mut seen = vec![false; dag.n];
+    let mut stack = vec![source];
+    seen[source] = true;
+    while let Some(v) = stack.pop() {
+        if v == sink {
+            return true;
+        }
+        for &(a, b) in &dag.arcs {
+            if a == v && removed >> b & 1 == 0 && !seen[b] {
+                seen[b] = true;
+                stack.push(b);
+            }
+        }
+    }
+    false
+}
+
+/// Minimum cut weight by exhaustive enumeration of node subsets
+/// (terminals excluded).
+fn brute_force(dag: &Dag, source: usize, sink: usize) -> Option<u64> {
+    if !reachable(dag, 0, source, sink) {
+        return Some(0);
+    }
+    let mut best: Option<u64> = None;
+    for mask in 0u32..(1 << dag.n) {
+        if mask >> source & 1 == 1 || mask >> sink & 1 == 1 {
+            continue;
+        }
+        if reachable(dag, mask, source, sink) {
+            continue;
+        }
+        let w: u64 = (0..dag.n).filter(|&i| mask >> i & 1 == 1).map(|i| dag.caps[i]).sum();
+        best = Some(best.map_or(w, |b: u64| b.min(w)));
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn min_node_cut_matches_brute_force(dag in arb_dag()) {
+        let source = 0;
+        let sink = dag.n - 1;
+        let mut g = NodeCutGraph::new(dag.n);
+        for (i, &c) in dag.caps.iter().enumerate() {
+            g.set_node_capacity(i, c);
+        }
+        for &(a, b) in &dag.arcs {
+            g.add_arc(a, b);
+        }
+        let got = g.min_node_cut(source, sink);
+        let expect = brute_force(&dag, source, sink);
+        match (got, expect) {
+            (Some((w, cut)), Some(bw)) => {
+                prop_assert_eq!(w, bw, "weights must match");
+                // The returned cut must actually disconnect and cost w.
+                let mask: u32 = cut.iter().fold(0, |m, &i| m | 1 << i);
+                prop_assert!(!reachable(&dag, mask, source, sink), "cut must disconnect");
+                let cut_w: u64 = cut.iter().map(|&i| dag.caps[i]).sum();
+                prop_assert_eq!(cut_w, w);
+            }
+            (None, None) => {}
+            (g, e) => prop_assert!(false, "mismatch: got {:?}, expected {:?}", g.map(|x| x.0), e),
+        }
+    }
+
+    #[test]
+    fn uncuttable_middle_nodes_are_respected(dag in arb_dag(), frozen in 1usize..6) {
+        let source = 0;
+        let sink = dag.n - 1;
+        let frozen = frozen % dag.n;
+        if frozen == source || frozen == sink {
+            return Ok(());
+        }
+        let mut g = NodeCutGraph::new(dag.n);
+        for (i, &c) in dag.caps.iter().enumerate() {
+            g.set_node_capacity(i, if i == frozen { INF } else { c });
+        }
+        for &(a, b) in &dag.arcs {
+            g.add_arc(a, b);
+        }
+        if let Some((_, cut)) = g.min_node_cut(source, sink) {
+            prop_assert!(!cut.contains(&frozen), "frozen node must not be cut");
+        }
+    }
+}

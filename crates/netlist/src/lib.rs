@@ -1,0 +1,34 @@
+//! # eco-netlist
+//!
+//! Gate-level netlist substrate for the ECO patch engine: the
+//! ICCAD'17-contest-style structural-Verilog subset, per-net weight
+//! files, and conversion to/from [`eco_aig::Aig`].
+//!
+//! # Examples
+//!
+//! ```
+//! use eco_netlist::{parse_verilog, WeightTable};
+//!
+//! let parsed = parse_verilog(
+//!     "module m (a, b, y); input a, b; output y; and g (y, a, b); endmodule",
+//! )?;
+//! let conv = parsed.netlist.to_aig().expect("valid netlist");
+//! assert_eq!(conv.aig.eval(&[true, true]), vec![true]);
+//!
+//! let weights = WeightTable::parse("y 4\n")?;
+//! assert_eq!(weights.get("y"), Some(4));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod insert;
+mod netlist;
+mod parse;
+mod weights;
+
+pub use insert::NetlistPatch;
+pub use netlist::{AigConversion, Gate, GateKind, NetId, Netlist, NetlistError};
+pub use parse::{parse_verilog, ParsedModule, ParseVerilogError};
+pub use weights::{ParseWeightsError, WeightTable};

@@ -1,0 +1,418 @@
+//! Parser for the structural-Verilog subset used by the ICCAD'17
+//! contest benchmarks: one module of primitive gate instances, plus
+//! `// eco_target <net>` directives marking rectification points.
+
+use crate::netlist::{GateKind, Netlist};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`parse_verilog`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseVerilogError {
+    /// 1-based line of the offending token (best effort).
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseVerilogError {}
+
+/// Result of parsing: the netlist and any `eco_target` directives found
+/// (net names, in file order).
+#[derive(Clone, Debug)]
+pub struct ParsedModule {
+    /// The parsed netlist.
+    pub netlist: Netlist,
+    /// Net names marked as ECO targets via `// eco_target <net>`.
+    pub targets: Vec<String>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Token {
+    text: String,
+    line: usize,
+}
+
+fn tokenize(src: &str) -> Result<(Vec<Token>, Vec<(usize, String)>), ParseVerilogError> {
+    let mut tokens = Vec::new();
+    let mut directives = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1usize;
+    while let Some((_, c)) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            c if c.is_whitespace() => {}
+            '/' => match chars.peek() {
+                Some(&(_, '/')) => {
+                    chars.next();
+                    let mut comment = String::new();
+                    for (_, c2) in chars.by_ref() {
+                        if c2 == '\n' {
+                            line += 1;
+                            break;
+                        }
+                        comment.push(c2);
+                    }
+                    let comment = comment.trim();
+                    if let Some(rest) = comment.strip_prefix("eco_target") {
+                        directives.push((line, rest.trim().to_string()));
+                    }
+                }
+                Some(&(_, '*')) => {
+                    chars.next();
+                    let mut prev = ' ';
+                    for (_, c2) in chars.by_ref() {
+                        if c2 == '\n' {
+                            line += 1;
+                        }
+                        if prev == '*' && c2 == '/' {
+                            break;
+                        }
+                        prev = c2;
+                    }
+                }
+                _ => {
+                    return Err(ParseVerilogError {
+                        line,
+                        message: "unexpected '/'".to_string(),
+                    })
+                }
+            },
+            '(' | ')' | ',' | ';' => {
+                tokens.push(Token { text: c.to_string(), line });
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '\'' || c == '\\' || c == '[' || c == ']' || c == '.' => {
+                let mut word = String::new();
+                word.push(c);
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric()
+                        || c2 == '_'
+                        || c2 == '\''
+                        || c2 == '['
+                        || c2 == ']'
+                        || c2 == '.'
+                    {
+                        word.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { text: word, line });
+            }
+            other => {
+                return Err(ParseVerilogError {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok((tokens, directives))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseVerilogError> {
+        let t = self.tokens.get(self.pos).cloned().ok_or(ParseVerilogError {
+            line: self.tokens.last().map_or(0, |t| t.line),
+            message: "unexpected end of file".to_string(),
+        })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, text: &str) -> Result<Token, ParseVerilogError> {
+        let t = self.next()?;
+        if t.text != text {
+            return Err(ParseVerilogError {
+                line: t.line,
+                message: format!("expected {text:?}, found {:?}", t.text),
+            });
+        }
+        Ok(t)
+    }
+
+    fn name_list(&mut self) -> Result<Vec<String>, ParseVerilogError> {
+        let mut names = Vec::new();
+        loop {
+            let t = self.next()?;
+            names.push(t.text);
+            let sep = self.next()?;
+            match sep.text.as_str() {
+                "," => continue,
+                ";" => break,
+                other => {
+                    return Err(ParseVerilogError {
+                        line: sep.line,
+                        message: format!("expected ',' or ';', found {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(names)
+    }
+}
+
+/// Resolves a connection token to a net id, mapping the constants
+/// `1'b0`/`1'b1` to dedicated constant-driven nets.
+fn conn_net(nl: &mut Netlist, token: &str) -> crate::netlist::NetId {
+    match token {
+        "1'b0" | "1'h0" => {
+            // The net is literally named `1'b0`, so `to_verilog` prints it
+            // back verbatim and the driver gate is implicit.
+            let id = nl.add_net("1'b0");
+            if !nl.gates().iter().any(|g| g.output == id) {
+                nl.add_gate(GateKind::Const0, "__gconst0", id, vec![]);
+            }
+            id
+        }
+        "1'b1" | "1'h1" => {
+            let id = nl.add_net("1'b1");
+            if !nl.gates().iter().any(|g| g.output == id) {
+                nl.add_gate(GateKind::Const1, "__gconst1", id, vec![]);
+            }
+            id
+        }
+        name => nl.add_net(name),
+    }
+}
+
+/// Parses a single structural-Verilog module.
+///
+/// Supported constructs: `module name (ports);`, `input`/`output`/`wire`
+/// declarations, primitive instances
+/// (`and`/`or`/`nand`/`nor`/`xor`/`xnor`/`buf`/`not`), the constants
+/// `1'b0`/`1'b1` as connections, comments, and `// eco_target <net>`
+/// directives.
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] on any unsupported or malformed
+/// construct.
+///
+/// # Examples
+///
+/// ```
+/// use eco_netlist::parse_verilog;
+///
+/// let src = "
+/// module top (a, b, y);
+///   input a, b;
+///   output y;
+///   wire w;
+///   // eco_target w
+///   and g1 (w, a, b);
+///   not g2 (y, w);
+/// endmodule";
+/// let parsed = parse_verilog(src)?;
+/// assert_eq!(parsed.targets, vec!["w"]);
+/// assert_eq!(parsed.netlist.gates().len(), 2);
+/// # Ok::<(), eco_netlist::ParseVerilogError>(())
+/// ```
+pub fn parse_verilog(src: &str) -> Result<ParsedModule, ParseVerilogError> {
+    let (tokens, directives) = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect("module")?;
+    let name = p.next()?;
+    let mut nl = Netlist::new(name.text);
+    // Port list (names recorded; direction comes from declarations).
+    p.expect("(")?;
+    loop {
+        let t = p.next()?;
+        match t.text.as_str() {
+            ")" => break,
+            "," => continue,
+            _ => {
+                nl.add_net(t.text);
+            }
+        }
+    }
+    p.expect(";")?;
+    let mut outputs: Vec<String> = Vec::new();
+    loop {
+        let t = p.peek().cloned().ok_or(ParseVerilogError {
+            line: 0,
+            message: "missing endmodule".to_string(),
+        })?;
+        match t.text.as_str() {
+            "endmodule" => {
+                p.next()?;
+                break;
+            }
+            "input" => {
+                p.next()?;
+                for n in p.name_list()? {
+                    nl.add_input(n);
+                }
+            }
+            "output" => {
+                p.next()?;
+                outputs.extend(p.name_list()?);
+            }
+            "wire" => {
+                p.next()?;
+                for n in p.name_list()? {
+                    nl.add_net(n);
+                }
+            }
+            prim => {
+                let kind = GateKind::from_name(prim).ok_or(ParseVerilogError {
+                    line: t.line,
+                    message: format!("unsupported primitive or keyword {prim:?}"),
+                })?;
+                p.next()?;
+                // Optional instance name.
+                let mut inst = format!("g_auto_{}", p.pos);
+                if let Some(tok) = p.peek() {
+                    if tok.text != "(" {
+                        inst = p.next()?.text;
+                    }
+                }
+                p.expect("(")?;
+                let mut conns: Vec<String> = Vec::new();
+                loop {
+                    let tok = p.next()?;
+                    match tok.text.as_str() {
+                        ")" => break,
+                        "," => continue,
+                        _ => conns.push(tok.text),
+                    }
+                }
+                p.expect(";")?;
+                if conns.is_empty() {
+                    return Err(ParseVerilogError {
+                        line: t.line,
+                        message: format!("gate {inst:?} has no connections"),
+                    });
+                }
+                let out = conn_net(&mut nl, &conns[0]);
+                let ins: Vec<_> = conns[1..].iter().map(|c| conn_net(&mut nl, c)).collect();
+                // `buf g (w, 1'b0)` is how constants appear: rewrite to a
+                // constant driver.
+                nl.add_gate(kind, inst, out, ins);
+            }
+        }
+    }
+    for o in outputs {
+        let id = nl.net(&o).ok_or(ParseVerilogError {
+            line: 0,
+            message: format!("output {o:?} never declared"),
+        })?;
+        nl.mark_output(id);
+    }
+    let targets = directives.into_iter().map(|(_, n)| n).collect();
+    Ok(ParsedModule { netlist: nl, targets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+// A sample contest-style module.
+module top (a, b, c, y, z);
+  input a, b, c;
+  output y, z;
+  wire w1, w2;
+  and g1 (w1, a, b);
+  // eco_target w1
+  xor g2 (w2, w1, c);
+  not g3 (y, w2);
+  buf g4 (z, 1'b1);
+endmodule
+";
+
+    #[test]
+    fn parses_sample_module() {
+        let parsed = parse_verilog(SAMPLE).expect("parse");
+        let nl = &parsed.netlist;
+        assert_eq!(nl.name(), "top");
+        assert_eq!(nl.inputs().len(), 3);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(parsed.targets, vec!["w1"]);
+        let conv = nl.to_aig().expect("valid");
+        for mask in 0..8u32 {
+            let bits = [mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1];
+            let w1 = bits[0] && bits[1];
+            let w2 = w1 ^ bits[2];
+            assert_eq!(conv.aig.eval(&bits), vec![!w2, true]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_to_verilog() {
+        let parsed = parse_verilog(SAMPLE).expect("parse");
+        let text = parsed.netlist.to_verilog();
+        let again = parse_verilog(&text).expect("reparse");
+        let a = parsed.netlist.to_aig().expect("valid").aig;
+        let b = again.netlist.to_aig().expect("valid").aig;
+        for mask in 0..8u32 {
+            let bits = [mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1];
+            assert_eq!(a.eval(&bits), b.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn block_comments_are_skipped() {
+        let src = "module m (a, y); /* multi\nline */ input a; output y; buf g (y, a); endmodule";
+        let parsed = parse_verilog(src).expect("parse");
+        assert_eq!(parsed.netlist.gates().len(), 1);
+    }
+
+    #[test]
+    fn unnamed_instances_get_generated_names() {
+        let src = "module m (a, y); input a; output y; not (y, a); endmodule";
+        let parsed = parse_verilog(src).expect("parse");
+        assert_eq!(parsed.netlist.gates().len(), 1);
+        assert!(parsed.netlist.gates()[0].name.starts_with("g_auto"));
+    }
+
+    #[test]
+    fn unsupported_primitive_is_an_error() {
+        let src = "module m (a, y); input a; output y; dff g (y, a); endmodule";
+        let e = parse_verilog(src).unwrap_err();
+        assert!(e.message.contains("unsupported"));
+    }
+
+    #[test]
+    fn undeclared_output_is_an_error() {
+        let src = "module m (a); input a; output y; endmodule";
+        assert!(parse_verilog(src).is_err());
+    }
+
+    #[test]
+    fn missing_endmodule_is_an_error() {
+        let src = "module m (a); input a;";
+        assert!(parse_verilog(src).is_err());
+    }
+
+    #[test]
+    fn constants_create_single_driver() {
+        let src = "module m (y, z); output y, z; buf g1 (y, 1'b0); buf g2 (z, 1'b0); endmodule";
+        let parsed = parse_verilog(src).expect("parse");
+        let consts = parsed
+            .netlist
+            .gates()
+            .iter()
+            .filter(|g| g.kind == GateKind::Const0)
+            .count();
+        assert_eq!(consts, 1, "constant net must be driven once");
+        let conv = parsed.netlist.to_aig().expect("valid");
+        assert_eq!(conv.aig.eval(&[]), vec![false, false]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Weight (resource cost) files: one `<net> <weight>` pair per line, as
+//! in the ICCAD'17 contest's resource-aware instances.
+
+use crate::netlist::{NetId, Netlist};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`WeightTable::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseWeightsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseWeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "weights parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseWeightsError {}
+
+/// Per-net resource costs. Nets missing from the table fall back to a
+/// configurable default weight.
+///
+/// # Examples
+///
+/// ```
+/// use eco_netlist::WeightTable;
+///
+/// let table = WeightTable::parse("# comment\nw1 10\nw2 3\n")?;
+/// assert_eq!(table.get("w1"), Some(10));
+/// assert_eq!(table.get("nope"), None);
+/// # Ok::<(), eco_netlist::ParseWeightsError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WeightTable {
+    weights: HashMap<String, u64>,
+}
+
+impl WeightTable {
+    /// Creates an empty table.
+    pub fn new() -> WeightTable {
+        WeightTable::default()
+    }
+
+    /// Parses the `<net> <weight>` line format. Blank lines and lines
+    /// starting with `#` or `//` are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseWeightsError`] on malformed lines.
+    pub fn parse(text: &str) -> Result<WeightTable, ParseWeightsError> {
+        let mut weights = HashMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let name = parts.next().ok_or(ParseWeightsError {
+                line: i + 1,
+                message: "missing net name".to_string(),
+            })?;
+            let w: u64 = parts
+                .next()
+                .ok_or(ParseWeightsError {
+                    line: i + 1,
+                    message: "missing weight".to_string(),
+                })?
+                .parse()
+                .map_err(|_| ParseWeightsError {
+                    line: i + 1,
+                    message: "weight is not a non-negative integer".to_string(),
+                })?;
+            if parts.next().is_some() {
+                return Err(ParseWeightsError {
+                    line: i + 1,
+                    message: "trailing tokens".to_string(),
+                });
+            }
+            weights.insert(name.to_string(), w);
+        }
+        Ok(WeightTable { weights })
+    }
+
+    /// Sets the weight of a net.
+    pub fn set(&mut self, net: impl Into<String>, weight: u64) {
+        self.weights.insert(net.into(), weight);
+    }
+
+    /// The weight of a net, if present.
+    pub fn get(&self, net: &str) -> Option<u64> {
+        self.weights.get(net).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Serializes in the `<net> <weight>` line format (sorted by name
+    /// for determinism).
+    pub fn to_text(&self) -> String {
+        let mut entries: Vec<(&String, &u64)> = self.weights.iter().collect();
+        entries.sort();
+        entries
+            .iter()
+            .map(|(n, w)| format!("{n} {w}\n"))
+            .collect()
+    }
+
+    /// Resolves weights per net id of `netlist`, with `default` for nets
+    /// not in the table.
+    pub fn resolve(&self, netlist: &Netlist, default: u64) -> Vec<u64> {
+        (0..netlist.num_nets())
+            .map(|i| {
+                self.get(netlist.net_name(NetId(i as u32))).unwrap_or(default)
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<(String, u64)> for WeightTable {
+    fn from_iter<T: IntoIterator<Item = (String, u64)>>(iter: T) -> WeightTable {
+        WeightTable { weights: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GateKind;
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let t = WeightTable::parse("a 1\nb 20\n# c 3\n\n// d 4\n").expect("parse");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("b"), Some(20));
+        let text = t.to_text();
+        let t2 = WeightTable::parse(&text).expect("reparse");
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let e = WeightTable::parse("a 1\nbad\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e2 = WeightTable::parse("a notanumber\n").unwrap_err();
+        assert_eq!(e2.line, 1);
+        let e3 = WeightTable::parse("a 1 extra\n").unwrap_err();
+        assert!(e3.message.contains("trailing"));
+    }
+
+    #[test]
+    fn resolve_with_default() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_input("a");
+        let w = nl.add_net("w");
+        nl.add_gate(GateKind::Buf, "g", w, vec![a]);
+        nl.mark_output(w);
+        let mut t = WeightTable::new();
+        t.set("w", 7);
+        let resolved = t.resolve(&nl, 5);
+        assert_eq!(resolved[a.index()], 5);
+        assert_eq!(resolved[w.index()], 7);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: WeightTable = vec![("x".to_string(), 3u64)].into_iter().collect();
+        assert_eq!(t.get("x"), Some(3));
+    }
+}

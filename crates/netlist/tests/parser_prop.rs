@@ -1,0 +1,104 @@
+//! Property-based tests of the netlist layer: random netlists round
+//! trip through Verilog text, AIG conversion is stable, and weights
+//! resolve consistently.
+
+use eco_netlist::{parse_verilog, GateKind, NetId, Netlist, WeightTable};
+use proptest::prelude::*;
+
+/// A random netlist recipe: gate kinds plus input arities, wired to
+/// randomly chosen earlier nets.
+#[derive(Debug, Clone)]
+struct Recipe {
+    num_inputs: usize,
+    gates: Vec<(u8, Vec<usize>)>, // (kind selector, fanin picks)
+    num_outputs: usize,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (2usize..6, 1usize..20, 1usize..4).prop_flat_map(|(num_inputs, num_gates, num_outputs)| {
+        let gates = prop::collection::vec(
+            (0u8..8, prop::collection::vec(0usize..64, 1..4)),
+            num_gates,
+        );
+        gates.prop_map(move |gates| Recipe { num_inputs, gates, num_outputs })
+    })
+}
+
+fn build(recipe: &Recipe) -> Netlist {
+    let mut nl = Netlist::new("rand");
+    let mut nets: Vec<NetId> = (0..recipe.num_inputs)
+        .map(|i| nl.add_input(format!("i{i}")))
+        .collect();
+    for (gi, (kind_sel, picks)) in recipe.gates.iter().enumerate() {
+        let kind = match kind_sel % 8 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            5 => GateKind::Xnor,
+            6 => GateKind::Buf,
+            _ => GateKind::Not,
+        };
+        let arity = match kind {
+            GateKind::Buf | GateKind::Not => 1,
+            _ => picks.len().max(1),
+        };
+        let ins: Vec<NetId> =
+            (0..arity).map(|k| nets[picks[k % picks.len()] % nets.len()]).collect();
+        let out = nl.add_net(format!("w{gi}"));
+        nl.add_gate(kind, format!("g{gi}"), out, ins);
+        nets.push(out);
+    }
+    for k in 0..recipe.num_outputs {
+        let src = nets[nets.len() - 1 - (k % nets.len().min(4))];
+        let po = nl.add_net(format!("o{k}"));
+        nl.add_gate(GateKind::Buf, format!("gpo{k}"), po, vec![src]);
+        nl.mark_output(po);
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn verilog_roundtrip_preserves_function(recipe in arb_recipe()) {
+        let nl = build(&recipe);
+        let conv = nl.to_aig().expect("generated netlists are valid");
+        let text = nl.to_verilog();
+        let again = parse_verilog(&text).expect("emitted text parses").netlist;
+        let conv2 = again.to_aig().expect("reparsed netlist is valid");
+        prop_assert_eq!(conv.aig.num_inputs(), conv2.aig.num_inputs());
+        prop_assert_eq!(conv.aig.num_outputs(), conv2.aig.num_outputs());
+        let n = conv.aig.num_inputs();
+        // 64 random-ish patterns via fixed words.
+        let words: Vec<u64> = (0..n).map(|i| 0x9E37_79B9u64.rotate_left(i as u32 * 7) ^ (i as u64)).collect();
+        prop_assert_eq!(conv.aig.simulate_outputs(&words), conv2.aig.simulate_outputs(&words));
+    }
+
+    #[test]
+    fn aig_conversion_is_deterministic(recipe in arb_recipe()) {
+        let nl = build(&recipe);
+        let a = nl.to_aig().expect("valid").aig.to_aag();
+        let b = nl.to_aig().expect("valid").aig.to_aag();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weight_resolution_defaults_consistently(
+        recipe in arb_recipe(),
+        default in 1u64..100,
+    ) {
+        let nl = build(&recipe);
+        let mut table = WeightTable::new();
+        table.set("w0", 7);
+        let resolved = table.resolve(&nl, default);
+        prop_assert_eq!(resolved.len(), nl.num_nets());
+        for idx in 0..nl.num_nets() {
+            let name = nl.net_name(NetId::from_index(idx));
+            let expect = if name == "w0" { 7 } else { default };
+            prop_assert_eq!(resolved[idx], expect, "net {}", name);
+        }
+    }
+}

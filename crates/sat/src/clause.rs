@@ -1,0 +1,167 @@
+//! Clause storage for the CDCL solver.
+//!
+//! Clauses live in a simple arena indexed by [`ClauseRef`]. Deleted
+//! clauses are tombstoned and their slots recycled, which keeps
+//! references stable across database reductions (no relocation pass is
+//! needed, and proof logs can keep pointing at original clause ids).
+
+use crate::types::Lit;
+
+/// Stable handle to a clause in the solver's clause arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    /// Creates a reference from a dense arena index (for proof
+    /// traversal; only meaningful for indices below the arena length).
+    #[inline]
+    pub fn from_index(index: usize) -> ClauseRef {
+        ClauseRef(index as u32)
+    }
+
+    /// Returns the dense arena index of the clause.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single clause: literals plus bookkeeping for the learnt-clause
+/// reduction heuristic.
+#[derive(Clone, Debug)]
+pub(crate) struct Clause {
+    pub lits: Vec<Lit>,
+    pub learnt: bool,
+    pub deleted: bool,
+    pub activity: f32,
+    /// Literal block distance at learning time (Glucose-style quality).
+    pub lbd: u32,
+}
+
+/// Arena of clauses with tombstone deletion and slot recycling.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ClauseDb {
+    arena: Vec<Clause>,
+    free: Vec<u32>,
+    pub num_learnt: usize,
+    pub learnt_literals: u64,
+}
+
+impl ClauseDb {
+    pub fn new() -> ClauseDb {
+        ClauseDb::default()
+    }
+
+    pub fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(!lits.is_empty(), "empty clauses are represented by the ok flag");
+        if learnt {
+            self.num_learnt += 1;
+            self.learnt_literals += lits.len() as u64;
+        }
+        let clause = Clause { lits, learnt, deleted: false, activity: 0.0, lbd };
+        if let Some(slot) = self.free.pop() {
+            self.arena[slot as usize] = clause;
+            ClauseRef(slot)
+        } else {
+            self.arena.push(clause);
+            ClauseRef((self.arena.len() - 1) as u32)
+        }
+    }
+
+    pub fn free(&mut self, cref: ClauseRef) {
+        let c = &mut self.arena[cref.index()];
+        debug_assert!(!c.deleted);
+        if c.learnt {
+            self.num_learnt -= 1;
+            self.learnt_literals -= c.lits.len() as u64;
+        }
+        c.deleted = true;
+        c.lits = Vec::new();
+        self.free.push(cref.0);
+    }
+
+    #[inline]
+    pub fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.arena[cref.index()]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.arena[cref.index()]
+    }
+
+    /// Iterates over the refs of all live learnt clauses.
+    pub fn learnt_refs(&self) -> Vec<ClauseRef> {
+        self.arena
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+            .collect()
+    }
+
+    /// Number of live clauses (learnt and original).
+    pub fn len(&self) -> usize {
+        self.arena.len() - self.free.len()
+    }
+
+    /// Total arena length including tombstones (equals the live count
+    /// in proof mode, which never frees).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(ids: &[i32]) -> Vec<Lit> {
+        ids.iter()
+            .map(|&i| Var::from_index(i.unsigned_abs() as usize).lit(i < 0))
+            .collect()
+    }
+
+    #[test]
+    fn alloc_and_get_roundtrip() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(lits(&[1, -2, 3]), false, 0);
+        assert_eq!(db.get(c).lits, lits(&[1, -2, 3]));
+        assert!(!db.get(c).learnt);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn free_recycles_slots() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2]), true, 2);
+        assert_eq!(db.num_learnt, 1);
+        db.free(a);
+        assert_eq!(db.num_learnt, 0);
+        assert_eq!(db.len(), 0);
+        let b = db.alloc(lits(&[3, 4]), false, 0);
+        assert_eq!(a.0, b.0, "slot should be recycled");
+        assert_eq!(db.get(b).lits, lits(&[3, 4]));
+    }
+
+    #[test]
+    fn learnt_refs_filters_deleted_and_original() {
+        let mut db = ClauseDb::new();
+        let _orig = db.alloc(lits(&[1, 2]), false, 0);
+        let l1 = db.alloc(lits(&[2, 3]), true, 2);
+        let l2 = db.alloc(lits(&[3, 4]), true, 2);
+        db.free(l1);
+        assert_eq!(db.learnt_refs(), vec![l2]);
+    }
+
+    #[test]
+    fn learnt_literal_accounting() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(&[1, 2, 3]), true, 3);
+        let _b = db.alloc(lits(&[4, 5]), true, 2);
+        assert_eq!(db.learnt_literals, 5);
+        db.free(a);
+        assert_eq!(db.learnt_literals, 2);
+    }
+}

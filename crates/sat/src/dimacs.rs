@@ -1,0 +1,204 @@
+//! DIMACS CNF interchange: parse `p cnf` files into a [`Solver`] and
+//! serialize clause sets back out — the standard format for exchanging
+//! SAT instances with external tools.
+
+use crate::solver::Solver;
+use crate::types::{Lit, Var};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`parse_dimacs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending token.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// A parsed DIMACS instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsInstance {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// The clauses as signed 1-based literals.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl DimacsInstance {
+    /// Loads the instance into a fresh solver, returning it together
+    /// with the variables (index `i` = DIMACS variable `i + 1`).
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&raw| vars[raw.unsigned_abs() as usize - 1].lit(raw < 0))
+                .collect();
+            solver.add_clause(&lits);
+        }
+        (solver, vars)
+    }
+
+    /// Serializes in DIMACS format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                out.push_str(&lit.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+/// Parses DIMACS CNF text (comments and blank lines allowed; clauses
+/// are zero-terminated and may span lines).
+///
+/// # Errors
+///
+/// [`ParseDimacsError`] for malformed headers, out-of-range variables,
+/// or unterminated clauses.
+///
+/// # Examples
+///
+/// ```
+/// use eco_sat::{parse_dimacs, SolveResult};
+///
+/// let inst = parse_dimacs("c tiny\np cnf 2 2\n1 2 0\n-1 2 0\n")?;
+/// let (mut solver, vars) = inst.into_solver();
+/// assert_eq!(solver.solve(&[]), SolveResult::Sat);
+/// assert!(solver.model_value(vars[1].positive()).is_true());
+/// # Ok::<(), eco_sat::ParseDimacsError>(())
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<DimacsInstance, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut declared_clauses = 0usize;
+    let mut clauses: Vec<Vec<i32>> = Vec::new();
+    let mut current: Vec<i32> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if line.starts_with('p') {
+            if num_vars.is_some() {
+                return Err(ParseDimacsError {
+                    line: i + 1,
+                    message: "duplicate problem line".into(),
+                });
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 || fields[1] != "cnf" {
+                return Err(ParseDimacsError {
+                    line: i + 1,
+                    message: "expected 'p cnf <vars> <clauses>'".into(),
+                });
+            }
+            num_vars = Some(fields[2].parse().map_err(|_| ParseDimacsError {
+                line: i + 1,
+                message: "bad variable count".into(),
+            })?);
+            declared_clauses = fields[3].parse().map_err(|_| ParseDimacsError {
+                line: i + 1,
+                message: "bad clause count".into(),
+            })?;
+            continue;
+        }
+        let nv = num_vars.ok_or(ParseDimacsError {
+            line: i + 1,
+            message: "clause before problem line".into(),
+        })?;
+        for tok in line.split_whitespace() {
+            let raw: i32 = tok.parse().map_err(|_| ParseDimacsError {
+                line: i + 1,
+                message: format!("bad literal {tok:?}"),
+            })?;
+            if raw == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if raw.unsigned_abs() as usize > nv {
+                    return Err(ParseDimacsError {
+                        line: i + 1,
+                        message: format!("variable {} out of range", raw.abs()),
+                    });
+                }
+                current.push(raw);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: text.lines().count(),
+            message: "unterminated clause".into(),
+        });
+    }
+    let num_vars = num_vars.ok_or(ParseDimacsError {
+        line: 0,
+        message: "missing problem line".into(),
+    })?;
+    let _ = declared_clauses; // informative only; actual count wins
+    Ok(DimacsInstance { num_vars, clauses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SolveResult;
+
+    #[test]
+    fn parse_solve_roundtrip() {
+        let text = "c example\np cnf 3 3\n1 -2 0\n2 3 0\n-1 0\n";
+        let inst = parse_dimacs(text).expect("parse");
+        assert_eq!(inst.num_vars, 3);
+        assert_eq!(inst.clauses.len(), 3);
+        let again = parse_dimacs(&inst.to_dimacs()).expect("reparse");
+        assert_eq!(inst, again);
+        let (mut solver, vars) = inst.into_solver();
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        // -1 unit: v1 false; (1 or -2): -2 must hold; (2 or 3): 3 holds.
+        assert!(solver.model_value(vars[0].positive()).is_false());
+        assert!(solver.model_value(vars[1].positive()).is_false());
+        assert!(solver.model_value(vars[2].positive()).is_true());
+    }
+
+    #[test]
+    fn multiline_clauses() {
+        let inst = parse_dimacs("p cnf 2 1\n1\n2\n0\n").expect("parse");
+        assert_eq!(inst.clauses, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let inst = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").expect("parse");
+        let (mut solver, _) = inst.into_solver();
+        assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert!(parse_dimacs("1 2 0\n").is_err());
+        assert_eq!(parse_dimacs("p cnf 1 1\n2 0\n").unwrap_err().line, 2);
+        assert!(parse_dimacs("p cnf 1 1\n1\n").is_err());
+        assert!(parse_dimacs("p dnf 1 1\n").is_err());
+        assert!(parse_dimacs("").is_err());
+    }
+
+    #[test]
+    fn comments_and_percent_lines_skipped() {
+        let inst =
+            parse_dimacs("c a\n%\np cnf 1 1\nc mid\n1 0\n").expect("parse");
+        assert_eq!(inst.clauses.len(), 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! Pseudo-Boolean sum encoding via a binary adder network
+//! (Warners-style bucket adder), used by the exact support pruner
+//! (`SAT_prune`, Sec. 3.4.2 of the paper) to bound patch cost.
+//!
+//! A weighted sum `Σ wᵢ·xᵢ` is materialized as a vector of binary output
+//! bits; strict upper bounds against constants are asserted under an
+//! activation literal so that the bound can be tightened incrementally
+//! without rebuilding the encoding.
+
+use crate::solver::Solver;
+use crate::types::Lit;
+
+/// A bit of the encoded sum: a solver literal or a constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Bit {
+    Const(bool),
+    Lit(Lit),
+}
+
+/// Binary representation (LSB first) of a pseudo-Boolean sum inside a
+/// [`Solver`].
+///
+/// # Examples
+///
+/// ```
+/// use eco_sat::{Solver, PbSum, SolveResult};
+///
+/// let mut s = Solver::new();
+/// let x = s.new_var();
+/// let y = s.new_var();
+/// let sum = PbSum::encode(&mut s, &[(x.positive(), 3), (y.positive(), 5)]);
+/// let act = s.new_var().positive();
+/// sum.assert_less_under(&mut s, 5, act);
+/// // With the bound active, picking y (weight 5) is impossible.
+/// assert_eq!(s.solve(&[act, y.positive()]), SolveResult::Unsat);
+/// assert_eq!(s.solve(&[act, x.positive()]), SolveResult::Sat);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PbSum {
+    bits: Vec<Bit>,
+}
+
+fn and_gate(s: &mut Solver, a: Bit, b: Bit) -> Bit {
+    match (a, b) {
+        (Bit::Const(false), _) | (_, Bit::Const(false)) => Bit::Const(false),
+        (Bit::Const(true), x) | (x, Bit::Const(true)) => x,
+        (Bit::Lit(a), Bit::Lit(b)) => {
+            let o = s.new_var().positive();
+            s.add_clause(&[!o, a]);
+            s.add_clause(&[!o, b]);
+            s.add_clause(&[o, !a, !b]);
+            Bit::Lit(o)
+        }
+    }
+}
+
+fn or_gate(s: &mut Solver, a: Bit, b: Bit) -> Bit {
+    match (a, b) {
+        (Bit::Const(true), _) | (_, Bit::Const(true)) => Bit::Const(true),
+        (Bit::Const(false), x) | (x, Bit::Const(false)) => x,
+        (Bit::Lit(a), Bit::Lit(b)) => {
+            let o = s.new_var().positive();
+            s.add_clause(&[o, !a]);
+            s.add_clause(&[o, !b]);
+            s.add_clause(&[!o, a, b]);
+            Bit::Lit(o)
+        }
+    }
+}
+
+fn xor_gate(s: &mut Solver, a: Bit, b: Bit) -> Bit {
+    match (a, b) {
+        (Bit::Const(false), x) | (x, Bit::Const(false)) => x,
+        (Bit::Const(true), Bit::Const(true)) => Bit::Const(false),
+        (Bit::Const(true), Bit::Lit(l)) | (Bit::Lit(l), Bit::Const(true)) => Bit::Lit(!l),
+        (Bit::Lit(a), Bit::Lit(b)) => {
+            let o = s.new_var().positive();
+            s.add_clause(&[!o, a, b]);
+            s.add_clause(&[!o, !a, !b]);
+            s.add_clause(&[o, !a, b]);
+            s.add_clause(&[o, a, !b]);
+            Bit::Lit(o)
+        }
+    }
+}
+
+/// Majority of three (the carry function of a full adder).
+fn maj_gate(s: &mut Solver, a: Bit, b: Bit, c: Bit) -> Bit {
+    match (a, b, c) {
+        (Bit::Const(false), x, y) | (x, Bit::Const(false), y) | (x, y, Bit::Const(false)) => {
+            and_gate(s, x, y)
+        }
+        (Bit::Const(true), x, y) | (x, Bit::Const(true), y) | (x, y, Bit::Const(true)) => {
+            or_gate(s, x, y)
+        }
+        (Bit::Lit(a), Bit::Lit(b), Bit::Lit(c)) => {
+            let o = s.new_var().positive();
+            s.add_clause(&[!o, a, b]);
+            s.add_clause(&[!o, a, c]);
+            s.add_clause(&[!o, b, c]);
+            s.add_clause(&[o, !a, !b]);
+            s.add_clause(&[o, !a, !c]);
+            s.add_clause(&[o, !b, !c]);
+            Bit::Lit(o)
+        }
+    }
+}
+
+impl PbSum {
+    /// Encodes `Σ weight·literal` as adder-network output bits.
+    ///
+    /// Terms with zero weight are ignored. The number of auxiliary
+    /// variables and clauses is `O(n · log maxweight)`.
+    pub fn encode(s: &mut Solver, terms: &[(Lit, u64)]) -> PbSum {
+        let max_bits = terms
+            .iter()
+            .map(|&(_, w)| 64 - w.leading_zeros() as usize)
+            .max()
+            .unwrap_or(0);
+        let mut buckets: Vec<Vec<Bit>> = vec![Vec::new(); max_bits + 1];
+        for &(l, w) in terms {
+            for (bit, bucket) in buckets.iter_mut().enumerate().take(64) {
+                if w >> bit & 1 == 1 {
+                    bucket.push(Bit::Lit(l));
+                }
+            }
+        }
+        let mut bit = 0;
+        while bit < buckets.len() {
+            while buckets[bit].len() >= 3 {
+                let a = buckets[bit].pop().expect("len >= 3");
+                let b = buckets[bit].pop().expect("len >= 2");
+                let c = buckets[bit].pop().expect("len >= 1");
+                let sum1 = xor_gate(s, a, b);
+                let sum = xor_gate(s, sum1, c);
+                let carry = maj_gate(s, a, b, c);
+                buckets[bit].push(sum);
+                if bit + 1 == buckets.len() {
+                    buckets.push(Vec::new());
+                }
+                buckets[bit + 1].push(carry);
+            }
+            if buckets[bit].len() == 2 {
+                let a = buckets[bit].pop().expect("len == 2");
+                let b = buckets[bit].pop().expect("len == 1");
+                let sum = xor_gate(s, a, b);
+                let carry = and_gate(s, a, b);
+                buckets[bit].push(sum);
+                if bit + 1 == buckets.len() {
+                    buckets.push(Vec::new());
+                }
+                buckets[bit + 1].push(carry);
+            }
+            bit += 1;
+        }
+        let bits = buckets
+            .into_iter()
+            .map(|b| b.first().copied().unwrap_or(Bit::Const(false)))
+            .collect();
+        PbSum { bits }
+    }
+
+    /// Number of output bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Asserts `sum < bound` whenever `activation` is true.
+    ///
+    /// Multiple bounds can be layered with distinct activation literals;
+    /// assuming the literal of the tightest bound enforces it. Passing
+    /// `bound == 0` forces `¬activation`.
+    pub fn assert_less_under(&self, s: &mut Solver, bound: u64, activation: Lit) {
+        // ge(i) = (sum[i..0] >= bound[i..0]); the recurrence consumes the
+        // lower-suffix result, so fold LSB -> MSB.
+        let mut ge = Bit::Const(true);
+        for i in 0..self.bits.len().max(64 - bound.leading_zeros() as usize) {
+            let sum_bit = self.bits.get(i).copied().unwrap_or(Bit::Const(false));
+            let bound_bit = bound >> i & 1 == 1;
+            ge = if bound_bit {
+                and_gate(s, sum_bit, ge)
+            } else {
+                or_gate(s, sum_bit, ge)
+            };
+        }
+        match ge {
+            Bit::Const(true) => {
+                s.add_clause(&[!activation]);
+            }
+            Bit::Const(false) => {}
+            Bit::Lit(l) => {
+                s.add_clause(&[!activation, !l]);
+            }
+        }
+    }
+
+    /// Reads the value of the sum from the solver's current model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called without a complete model (no prior `Sat`).
+    pub fn model_value(&self, s: &Solver) -> u64 {
+        let mut value = 0u64;
+        for (i, &b) in self.bits.iter().enumerate() {
+            let set = match b {
+                Bit::Const(c) => c,
+                Bit::Lit(l) => s
+                    .model_value(l)
+                    .to_option()
+                    .expect("model must be complete"),
+            };
+            if set {
+                value |= 1 << i;
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{SolveResult, Var};
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    /// Exhaustively checks the encoded sum against the arithmetic sum.
+    fn check_sum(weights: &[u64]) {
+        let mut s = Solver::new();
+        let xs = vars(&mut s, weights.len());
+        let terms: Vec<(Lit, u64)> = xs
+            .iter()
+            .zip(weights)
+            .map(|(&v, &w)| (v.positive(), w))
+            .collect();
+        let sum = PbSum::encode(&mut s, &terms);
+        for mask in 0..(1u32 << weights.len()) {
+            let assumptions: Vec<Lit> = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v.lit(mask >> i & 1 == 0))
+                .collect();
+            assert_eq!(s.solve(&assumptions), SolveResult::Sat);
+            let expect: u64 = weights
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &w)| w)
+                .sum();
+            assert_eq!(sum.model_value(&s), expect, "mask {mask:b} weights {weights:?}");
+        }
+    }
+
+    #[test]
+    fn unit_weights_count_correctly() {
+        check_sum(&[1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn mixed_weights_sum_correctly() {
+        check_sum(&[3, 5, 7, 2]);
+    }
+
+    #[test]
+    fn large_weights_sum_correctly() {
+        check_sum(&[1000, 999, 4096]);
+    }
+
+    #[test]
+    fn zero_weight_terms_are_ignored() {
+        check_sum(&[0, 4, 0]);
+    }
+
+    #[test]
+    fn bound_excludes_expensive_sets() {
+        let mut s = Solver::new();
+        let xs = vars(&mut s, 3);
+        let weights = [4u64, 5, 6];
+        let terms: Vec<(Lit, u64)> = xs
+            .iter()
+            .zip(&weights)
+            .map(|(&v, &w)| (v.positive(), w))
+            .collect();
+        let sum = PbSum::encode(&mut s, &terms);
+        let act = s.new_var().positive();
+        sum.assert_less_under(&mut s, 10, act);
+        // 4 + 5 = 9 < 10 is fine.
+        assert_eq!(
+            s.solve(&[act, xs[0].positive(), xs[1].positive(), xs[2].negative()]),
+            SolveResult::Sat
+        );
+        // 5 + 6 = 11 >= 10 is excluded.
+        assert_eq!(
+            s.solve(&[act, xs[1].positive(), xs[2].positive()]),
+            SolveResult::Unsat
+        );
+        // Without the activation literal nothing is constrained.
+        assert_eq!(
+            s.solve(&[xs[0].positive(), xs[1].positive(), xs[2].positive()]),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn tightening_bounds_with_multiple_activations() {
+        let mut s = Solver::new();
+        let xs = vars(&mut s, 4);
+        let terms: Vec<(Lit, u64)> = xs.iter().map(|&v| (v.positive(), 1)).collect();
+        let sum = PbSum::encode(&mut s, &terms);
+        let a3 = s.new_var().positive();
+        let a2 = s.new_var().positive();
+        sum.assert_less_under(&mut s, 3, a3);
+        sum.assert_less_under(&mut s, 2, a2);
+        // At most 2 selected under a3.
+        assert_eq!(
+            s.solve(&[a3, xs[0].positive(), xs[1].positive(), xs[2].positive()]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.solve(&[a3, xs[0].positive(), xs[1].positive()]), SolveResult::Sat);
+        // At most 1 under the tighter a2.
+        assert_eq!(s.solve(&[a2, xs[0].positive(), xs[1].positive()]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[a2, xs[0].positive()]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn zero_bound_forbids_activation() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let sum = PbSum::encode(&mut s, &[(x.positive(), 1)]);
+        let act = s.new_var().positive();
+        sum.assert_less_under(&mut s, 0, act);
+        assert_eq!(s.solve(&[act]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        let mut s = Solver::new();
+        let sum = PbSum::encode(&mut s, &[]);
+        let act = s.new_var().positive();
+        sum.assert_less_under(&mut s, 1, act);
+        assert_eq!(s.solve(&[act]), SolveResult::Sat);
+        assert_eq!(sum.model_value(&s), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Randomized differential testing of the CDCL solver against a
+//! brute-force evaluator on small CNFs, plus assumption-semantics
+//! properties.
+
+use eco_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A clause as a list of signed variable indices (1-based, sign =
+/// polarity) over `n` variables.
+type RawClause = Vec<i32>;
+
+fn arb_clause(num_vars: i32) -> impl Strategy<Value = RawClause> {
+    prop::collection::vec(
+        (1..=num_vars).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
+        1..=3,
+    )
+}
+
+fn arb_cnf() -> impl Strategy<Value = (usize, Vec<RawClause>)> {
+    (2usize..=8).prop_flat_map(|n| {
+        prop::collection::vec(arb_clause(n as i32), 1..=24).prop_map(move |cls| (n, cls))
+    })
+}
+
+fn to_lit(raw: i32) -> Lit {
+    let v = Var::from_index(raw.unsigned_abs() as usize - 1);
+    v.lit(raw < 0)
+}
+
+fn brute_force_sat(num_vars: usize, cnf: &[RawClause], fixed: &[(usize, bool)]) -> bool {
+    'outer: for mask in 0u32..(1 << num_vars) {
+        for &(v, val) in fixed {
+            if (mask >> v & 1 == 1) != val {
+                continue 'outer;
+            }
+        }
+        let ok = cnf.iter().all(|clause| {
+            clause.iter().any(|&raw| {
+                let idx = raw.unsigned_abs() as usize - 1;
+                let assigned = mask >> idx & 1 == 1;
+                (raw > 0) == assigned
+            })
+        });
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+fn build_solver(num_vars: usize, cnf: &[RawClause]) -> Solver {
+    let mut s = Solver::new();
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for clause in cnf {
+        let lits: Vec<Lit> = clause.iter().map(|&r| to_lit(r)).collect();
+        s.add_clause(&lits);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_matches_brute_force((num_vars, cnf) in arb_cnf()) {
+        let mut s = build_solver(num_vars, &cnf);
+        let expect = brute_force_sat(num_vars, &cnf, &[]);
+        let got = s.solve(&[]);
+        prop_assert_eq!(got == SolveResult::Sat, expect);
+        if got == SolveResult::Sat {
+            // The model must actually satisfy the formula.
+            for clause in &cnf {
+                let sat = clause.iter().any(|&r| s.model_value(to_lit(r)).is_true());
+                prop_assert!(sat, "model violates clause {:?}", clause);
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_match_brute_force(
+        (num_vars, cnf) in arb_cnf(),
+        pattern in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let mut s = build_solver(num_vars, &cnf);
+        // Assume the first min(2, n) variables with the given polarities.
+        let fixed: Vec<(usize, bool)> =
+            (0..num_vars.min(2)).map(|i| (i, pattern[i])).collect();
+        let assumptions: Vec<Lit> = fixed
+            .iter()
+            .map(|&(v, val)| Var::from_index(v).lit(!val))
+            .collect();
+        let expect = brute_force_sat(num_vars, &cnf, &fixed);
+        let got = s.solve(&assumptions);
+        prop_assert_eq!(got == SolveResult::Sat, expect);
+        if got == SolveResult::Unsat {
+            // Failed assumptions must be a subset of the assumptions, and
+            // assuming just them must still be UNSAT.
+            let confl = s.conflict().to_vec();
+            for l in &confl {
+                prop_assert!(assumptions.contains(l));
+            }
+            prop_assert_eq!(s.solve(&confl), SolveResult::Unsat);
+        }
+        // The solver must remain reusable after assumption solving.
+        let expect_free = brute_force_sat(num_vars, &cnf, &[]);
+        prop_assert_eq!(s.solve(&[]) == SolveResult::Sat, expect_free);
+    }
+}

@@ -1,0 +1,216 @@
+//! `eco-patch` — command-line ECO patch generation in the ICCAD'17
+//! contest style.
+//!
+//! ```text
+//! eco-patch --impl F.v --spec G.v [--weights W.txt] [--targets n1,n2]
+//!           [--detect] [--method baseline|minimize|prune]
+//!           [--out patched.v] [--budget N] [--default-weight N]
+//! ```
+//!
+//! Targets come from `--targets`, from `// eco_target <net>` directives
+//! in the implementation file, or from automatic detection (`--detect`).
+//! The patched netlist is written to `--out` (stdout by default), with
+//! per-target patch reports on stderr.
+
+use eco_patch::core::{
+    detect_targets, netlist_patches, DetectOptions, EcoEngine, EcoOptions, EcoProblem,
+    SupportMethod,
+};
+use eco_patch::netlist::{parse_verilog, Netlist, WeightTable};
+use std::process::ExitCode;
+
+#[derive(Debug, Default)]
+struct Args {
+    impl_path: Option<String>,
+    spec_path: Option<String>,
+    weights_path: Option<String>,
+    targets: Vec<String>,
+    detect: bool,
+    method: Option<String>,
+    out: Option<String>,
+    budget: Option<u64>,
+    default_weight: u64,
+}
+
+fn usage() -> &'static str {
+    "usage: eco-patch --impl F.v --spec G.v [--weights W.txt] \
+     [--targets n1,n2] [--detect] [--method baseline|minimize|prune] \
+     [--out patched.v] [--budget CONFLICTS] [--default-weight N]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { default_weight: 100, ..Args::default() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--impl" => args.impl_path = Some(value("--impl")?),
+            "--spec" => args.spec_path = Some(value("--spec")?),
+            "--weights" => args.weights_path = Some(value("--weights")?),
+            "--targets" => {
+                args.targets =
+                    value("--targets")?.split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--detect" => args.detect = true,
+            "--method" => args.method = Some(value("--method")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--budget" => {
+                args.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|_| "--budget expects an integer".to_string())?,
+                )
+            }
+            "--default-weight" => {
+                args.default_weight = value("--default-weight")?
+                    .parse()
+                    .map_err(|_| "--default-weight expects an integer".to_string())?
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if args.impl_path.is_none() || args.spec_path.is_none() {
+        return Err(format!("--impl and --spec are required\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let impl_text = read(args.impl_path.as_deref().expect("validated"))?;
+    let spec_text = read(args.spec_path.as_deref().expect("validated"))?;
+    let parsed_impl = parse_verilog(&impl_text).map_err(|e| e.to_string())?;
+    let parsed_spec = parse_verilog(&spec_text).map_err(|e| e.to_string())?;
+    let weights = match &args.weights_path {
+        Some(p) => WeightTable::parse(&read(p)?).map_err(|e| e.to_string())?,
+        None => WeightTable::new(),
+    };
+
+    // Resolve targets: flag > file directives > detection.
+    let mut target_names: Vec<String> = if !args.targets.is_empty() {
+        args.targets.clone()
+    } else {
+        parsed_impl.targets.clone()
+    };
+    let conversion = parsed_impl.netlist.to_aig().map_err(|e| e.to_string())?;
+    if target_names.is_empty() {
+        if !args.detect {
+            return Err(
+                "no targets: pass --targets, add // eco_target directives, or use --detect"
+                    .to_string(),
+            );
+        }
+        let spec_conv = parsed_spec.netlist.to_aig().map_err(|e| e.to_string())?;
+        let detected = detect_targets(
+            &conversion.aig,
+            &spec_conv.aig,
+            &DetectOptions { per_call_conflicts: args.budget.or(Some(2_000_000)), ..DetectOptions::default() },
+        )
+        .map_err(|e| e.to_string())?;
+        if !detected.sufficient {
+            return Err("detection could not find a sufficient target set".to_string());
+        }
+        // Name the detected nodes through the net map.
+        for node in &detected.targets {
+            let mut found = None;
+            for idx in 0..parsed_impl.netlist.num_nets() {
+                let lit = conversion.net_lits[idx];
+                if lit.node() == *node {
+                    found = Some(
+                        parsed_impl
+                            .netlist
+                            .net_name(eco_patch::netlist::NetId::from_index(idx))
+                            .to_string(),
+                    );
+                    break;
+                }
+            }
+            target_names.push(found.ok_or_else(|| {
+                format!("detected node {node} has no named net; rerun with --targets")
+            })?);
+        }
+        eprintln!("detected targets: {target_names:?}");
+    }
+
+    let method = match args.method.as_deref() {
+        None | Some("minimize") => SupportMethod::MinimizeAssumptions,
+        Some("baseline") => SupportMethod::AnalyzeFinal,
+        Some("prune") => SupportMethod::SatPrune,
+        Some(other) => return Err(format!("unknown method {other:?}")),
+    };
+    let names: Vec<&str> = target_names.iter().map(String::as_str).collect();
+    let problem = EcoProblem::from_netlists(
+        &parsed_impl.netlist,
+        &parsed_spec.netlist,
+        &names,
+        &weights,
+        args.default_weight,
+    )
+    .map_err(|e| e.to_string())?;
+    let engine = EcoEngine::new(EcoOptions {
+        method,
+        per_call_conflicts: args.budget.or(Some(2_000_000)),
+        ..EcoOptions::default()
+    });
+    let outcome = engine.run(&problem).map_err(|e| e.to_string())?;
+    eprintln!(
+        "solved: cost={} patch_gates={} verified={} in {:.2?}",
+        outcome.total_cost, outcome.total_gates, outcome.verified, outcome.elapsed
+    );
+    for r in &outcome.reports {
+        eprintln!(
+            "  target {} ({:?}): support={} cost={} gates={}",
+            target_names.get(r.target_index).map(String::as_str).unwrap_or("?"),
+            r.kind,
+            r.support_size,
+            r.cost,
+            r.gates
+        );
+    }
+
+    // Prefer name-preserving splices; fall back to the rebuilt netlist.
+    let named = netlist_patches(&outcome, &names, &parsed_impl.netlist, &conversion);
+    let patched = if named.iter().all(Option::is_some) {
+        let mut current = parsed_impl.netlist.clone();
+        for (i, entry) in named.iter().enumerate() {
+            let np = entry.as_ref().expect("checked");
+            current = current
+                .insert_patch(&np.target_net, &np.patch, &format!("eco{i}"))
+                .map_err(|e| e.to_string())?;
+        }
+        current
+    } else {
+        eprintln!("note: a patch uses patch-created logic; emitting rebuilt netlist");
+        Netlist::from_aig(
+            format!("{}_patched", parsed_impl.netlist.name()),
+            &outcome.patched_implementation,
+        )
+    };
+    let text = patched.to_verilog();
+    match &args.out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write: {e}"))?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `eco_patch` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+const IMPLEMENTATION: &str = "
+module adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire s1, c1, c2;
+  // eco_target c1
+  xor g1 (s1, a, b);
+  xor g2 (sum, s1, cin);
+  or  g3 (c1, a, b);
+  and g4 (c2, s1, cin);
+  or  g5 (cout, c1, c2);
+endmodule
+";
+
+const SPECIFICATION: &str = "
+module adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire s1, c1, c2;
+  xor g1 (s1, a, b);
+  xor g2 (sum, s1, cin);
+  and g3 (c1, a, b);
+  and g4 (c2, s1, cin);
+  or  g5 (cout, c1, c2);
+endmodule
+";
+
+struct TempFiles {
+    dir: std::path::PathBuf,
+}
+
+impl TempFiles {
+    fn new(tag: &str) -> TempFiles {
+        let dir = std::env::temp_dir().join(format!("eco_cli_test_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        TempFiles { dir }
+    }
+
+    fn write(&self, name: &str, content: &str) -> String {
+        let path = self.dir.join(name);
+        let mut f = std::fs::File::create(&path).expect("create");
+        f.write_all(content.as_bytes()).expect("write");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.dir.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempFiles {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eco_patch"))
+}
+
+#[test]
+fn patches_with_directive_targets() {
+    let tmp = TempFiles::new("directives");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let w = tmp.write("W.txt", "a 10\nb 10\ns1 1\ncin 3\n");
+    let out = tmp.path("patched.v");
+    let status = bin()
+        .args(["--impl", &f, "--spec", &g, "--weights", &w, "--method", "prune", "--out", &out])
+        .output()
+        .expect("run");
+    assert!(status.status.success(), "stderr: {}", String::from_utf8_lossy(&status.stderr));
+    let stderr = String::from_utf8_lossy(&status.stderr);
+    assert!(stderr.contains("verified=true"), "{stderr}");
+    // The emitted netlist must parse and be equivalent to the spec.
+    let text = std::fs::read_to_string(&out).expect("read output");
+    let patched = eco_patch::netlist::parse_verilog(&text).expect("parse").netlist;
+    let spec = eco_patch::netlist::parse_verilog(SPECIFICATION).expect("parse").netlist;
+    let a = patched.to_aig().expect("valid").aig;
+    let b = spec.to_aig().expect("valid").aig;
+    assert_eq!(
+        eco_patch::core::check_equivalence(&a, &b, None),
+        eco_patch::core::CecResult::Equivalent
+    );
+}
+
+#[test]
+fn detects_targets_without_directives() {
+    let tmp = TempFiles::new("detect");
+    let f = tmp.write("F.v", &IMPLEMENTATION.replace("// eco_target c1\n", ""));
+    let g = tmp.write("G.v", SPECIFICATION);
+    let output = bin()
+        .args(["--impl", &f, "--spec", &g, "--detect"])
+        .output()
+        .expect("run");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("detected targets"), "{stderr}");
+}
+
+#[test]
+fn missing_targets_is_a_clear_error() {
+    let tmp = TempFiles::new("notargets");
+    let f = tmp.write("F.v", &IMPLEMENTATION.replace("// eco_target c1\n", ""));
+    let g = tmp.write("G.v", SPECIFICATION);
+    let output = bin().args(["--impl", &f, "--spec", &g]).output().expect("run");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("no targets"), "{stderr}");
+}
+
+#[test]
+fn bad_flags_print_usage() {
+    let output = bin().args(["--nope"]).output().expect("run");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_files_error_cleanly() {
+    let output = bin()
+        .args(["--impl", "/nonexistent/F.v", "--spec", "/nonexistent/G.v"])
+        .output()
+        .expect("run");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
