@@ -133,14 +133,19 @@ impl Aig {
     /// Appends a fresh primary input and returns its literal.
     pub fn add_input(&mut self) -> AigLit {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(AigNode::Input { index: self.inputs.len() as u32 });
+        self.nodes.push(AigNode::Input {
+            index: self.inputs.len() as u32,
+        });
         self.inputs.push(id);
         id.lit()
     }
 
     /// Registers `lit` as the next primary output and returns its index.
     pub fn add_output(&mut self, lit: AigLit) -> usize {
-        assert!(lit.node().index() < self.nodes.len(), "output literal out of range");
+        assert!(
+            lit.node().index() < self.nodes.len(),
+            "output literal out of range"
+        );
         self.outputs.push(lit);
         self.outputs.len() - 1
     }
@@ -152,7 +157,10 @@ impl Aig {
     /// Panics if `index` is out of range or the literal references a
     /// nonexistent node.
     pub fn set_output(&mut self, index: usize, lit: AigLit) {
-        assert!(lit.node().index() < self.nodes.len(), "output literal out of range");
+        assert!(
+            lit.node().index() < self.nodes.len(),
+            "output literal out of range"
+        );
         self.outputs[index] = lit;
     }
 
@@ -264,7 +272,11 @@ impl Aig {
             "binding count must match input count"
         );
         let mapped = self.import_nodes(other, bindings);
-        other.outputs.iter().map(|o| mapped[o.node().index()].xor_complement(o.is_complement())).collect()
+        other
+            .outputs
+            .iter()
+            .map(|o| mapped[o.node().index()].xor_complement(o.is_complement()))
+            .collect()
     }
 
     /// Like [`Aig::import`] but returns the literal for an arbitrary
@@ -284,7 +296,11 @@ impl Aig {
     ///
     /// Panics if `bindings.len() != other.num_inputs()`.
     pub fn import_with_map(&mut self, other: &Aig, bindings: &[AigLit]) -> Vec<AigLit> {
-        assert_eq!(bindings.len(), other.num_inputs(), "binding count must match input count");
+        assert_eq!(
+            bindings.len(),
+            other.num_inputs(),
+            "binding count must match input count"
+        );
         self.import_nodes(other, bindings)
     }
 
@@ -378,7 +394,7 @@ mod tests {
         let tt = g.simulate_all_inputs();
         // inputs: bit0=a, bit1=b, bit2=s over 8 rows
         assert_eq!(tt[0][0] & 0xff, 0b0110_0110); // xor ignores s
-        // mux: s=0 -> b, s=1 -> a
+                                                  // mux: s=0 -> b, s=1 -> a
         let mut expect = 0u64;
         for row in 0..8u32 {
             let (a_v, b_v, s_v) = (row & 1 == 1, row >> 1 & 1 == 1, row >> 2 & 1 == 1);

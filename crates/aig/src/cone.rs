@@ -53,9 +53,11 @@ impl Aig {
                 }
                 AigNode::And { f0, f1 } => {
                     if expanded {
-                        let a = map[f0.node().index()].expect("fanin mapped")
+                        let a = map[f0.node().index()]
+                            .expect("fanin mapped")
                             .xor_complement(f0.is_complement());
-                        let b = map[f1.node().index()].expect("fanin mapped")
+                        let b = map[f1.node().index()]
+                            .expect("fanin mapped")
                             .xor_complement(f1.is_complement());
                         map[id.index()] = Some(cone.and(a, b));
                     } else {
@@ -67,10 +69,15 @@ impl Aig {
             }
         }
         for r in roots {
-            let lit = map[r.node().index()].expect("root mapped").xor_complement(r.is_complement());
+            let lit = map[r.node().index()]
+                .expect("root mapped")
+                .xor_complement(r.is_complement());
             cone.add_output(lit);
         }
-        Cone { aig: cone, input_nodes }
+        Cone {
+            aig: cone,
+            input_nodes,
+        }
     }
 }
 
@@ -101,11 +108,7 @@ mod tests {
                 .input_nodes
                 .iter()
                 .map(|n| {
-                    let idx = g
-                        .inputs()
-                        .iter()
-                        .position(|i| i == n)
-                        .expect("input node");
+                    let idx = g.inputs().iter().position(|i| i == n).expect("input node");
                     host_in[idx]
                 })
                 .collect();
@@ -145,6 +148,9 @@ mod tests {
         let b = g.add_input();
         let x = g.and(a, b);
         let cone = g.extract_cone(&[x], &[a.node(), a.node()]);
-        assert_eq!(cone.input_nodes.iter().filter(|&&n| n == a.node()).count(), 1);
+        assert_eq!(
+            cone.input_nodes.iter().filter(|&&n| n == a.node()).count(),
+            1
+        );
     }
 }

@@ -84,18 +84,24 @@ impl Cube {
 
     /// Evaluates the cube under a full assignment (indexed by variable).
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.lits.iter().all(|l| assignment[l.var as usize] != l.negated)
+        self.lits
+            .iter()
+            .all(|l| assignment[l.var as usize] != l.negated)
     }
 
     /// Returns the cube with the literal of `var` removed (if present).
     pub fn without(&self, var: u32) -> Cube {
-        Cube { lits: self.lits.iter().copied().filter(|l| l.var != var).collect() }
+        Cube {
+            lits: self.lits.iter().copied().filter(|l| l.var != var).collect(),
+        }
     }
 
     /// `true` if every literal of `self` appears in `other` (so `other`
     /// implies `self`).
     pub fn subsumes(&self, other: &Cube) -> bool {
-        self.lits.iter().all(|l| other.lits.binary_search(l).is_ok())
+        self.lits
+            .iter()
+            .all(|l| other.lits.binary_search(l).is_ok())
     }
 
     /// The truth table of the cube over `num_vars` variables.
@@ -167,7 +173,10 @@ impl Sop {
 
     /// The constant-zero cover.
     pub fn zero(num_vars: usize) -> Sop {
-        Sop { num_vars, cubes: Vec::new() }
+        Sop {
+            num_vars,
+            cubes: Vec::new(),
+        }
     }
 
     /// Number of variables of the cover's space.
@@ -198,7 +207,10 @@ impl Sop {
     /// Appends a cube.
     pub fn push(&mut self, cube: Cube) {
         for l in cube.lits() {
-            assert!((l.var as usize) < self.num_vars, "cube variable out of range");
+            assert!(
+                (l.var as usize) < self.num_vars,
+                "cube variable out of range"
+            );
         }
         self.cubes.push(cube);
     }
@@ -224,13 +236,13 @@ impl Sop {
             if !keep[i] {
                 continue;
             }
-            for j in 0..self.cubes.len() {
+            for (j, kj) in keep.iter_mut().enumerate() {
                 if i != j
-                    && keep[j]
+                    && *kj
                     && self.cubes[i].subsumes(&self.cubes[j])
                     && (self.cubes[i].len() < self.cubes[j].len() || i < j)
                 {
-                    keep[j] = false;
+                    *kj = false;
                 }
             }
         }
@@ -357,7 +369,10 @@ mod tests {
     fn identical_cubes_dedup_via_subsumption() {
         let mut sop = Sop::new(
             1,
-            vec![Cube::new(vec![lit(0, false)]), Cube::new(vec![lit(0, false)])],
+            vec![
+                Cube::new(vec![lit(0, false)]),
+                Cube::new(vec![lit(0, false)]),
+            ],
         );
         sop.remove_subsumed();
         assert_eq!(sop.len(), 1);

@@ -129,7 +129,10 @@ mod tests {
 
     #[test]
     fn single_cube_is_and_chain() {
-        let sop = Sop::new(3, vec![Cube::new(vec![lit(0, false), lit(1, true), lit(2, false)])]);
+        let sop = Sop::new(
+            3,
+            vec![Cube::new(vec![lit(0, false), lit(1, true), lit(2, false)])],
+        );
         assert_eq!(check_factor(&sop), 2);
     }
 
@@ -177,10 +180,13 @@ mod tests {
     #[test]
     fn tautology_like_cover() {
         // x | !x covers everything.
-        let sop = Sop::new(1, vec![
-            Cube::new(vec![lit(0, false)]),
-            Cube::new(vec![lit(0, true)]),
-        ]);
+        let sop = Sop::new(
+            1,
+            vec![
+                Cube::new(vec![lit(0, false)]),
+                Cube::new(vec![lit(0, true)]),
+            ],
+        );
         let mut aig = Aig::new();
         let support = vec![aig.add_input()];
         let f = factor_sop(&mut aig, &sop, &support);

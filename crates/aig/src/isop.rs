@@ -35,7 +35,11 @@ impl TruthTable {
 /// assert_eq!(cover.len(), 2); // a + b
 /// ```
 pub fn isop_between(lower: &TruthTable, upper: &TruthTable) -> Sop {
-    assert_eq!(lower.num_vars(), upper.num_vars(), "variable count mismatch");
+    assert_eq!(
+        lower.num_vars(),
+        upper.num_vars(),
+        "variable count mismatch"
+    );
     assert!(lower.implies(upper), "lower must imply upper");
     let num_vars = lower.num_vars();
     let cubes = isop_rec(lower, upper, num_vars, &mut Vec::new());

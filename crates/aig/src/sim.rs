@@ -26,15 +26,21 @@ impl Aig {
     ///
     /// Panics if `input_words.len() != self.num_inputs()`.
     pub fn simulate(&self, input_words: &[u64]) -> Vec<u64> {
-        assert_eq!(input_words.len(), self.num_inputs(), "one word per input required");
+        assert_eq!(
+            input_words.len(),
+            self.num_inputs(),
+            "one word per input required"
+        );
         let mut words = Vec::with_capacity(self.num_nodes());
         for id in self.iter_nodes() {
             let w = match self.node(id) {
                 AigNode::Const0 => 0,
                 AigNode::Input { index } => input_words[index as usize],
                 AigNode::And { f0, f1 } => {
-                    let a = words[f0.node().index()] ^ if f0.is_complement() { u64::MAX } else { 0 };
-                    let b = words[f1.node().index()] ^ if f1.is_complement() { u64::MAX } else { 0 };
+                    let a =
+                        words[f0.node().index()] ^ if f0.is_complement() { u64::MAX } else { 0 };
+                    let b =
+                        words[f1.node().index()] ^ if f1.is_complement() { u64::MAX } else { 0 };
                     a & b
                 }
             };
@@ -59,7 +65,10 @@ impl Aig {
     /// Panics if `inputs.len() != self.num_inputs()`.
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
         let words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
-        self.simulate_outputs(&words).iter().map(|w| w & 1 == 1).collect()
+        self.simulate_outputs(&words)
+            .iter()
+            .map(|w| w & 1 == 1)
+            .collect()
     }
 
     /// Evaluates one input assignment and returns the value of an

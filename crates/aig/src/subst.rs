@@ -29,7 +29,11 @@ pub struct SubstituteCycleError {
 
 impl fmt::Display for SubstituteCycleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "substitution creates a combinational cycle through {}", self.node)
+        write!(
+            f,
+            "substitution creates a combinational cycle through {}",
+            self.node
+        )
     }
 }
 
@@ -134,8 +138,12 @@ impl Aig {
             }
         }
 
-        let mut stack: Vec<(NodeId, bool)> =
-            self.outputs().iter().rev().map(|o| (o.node(), false)).collect();
+        let mut stack: Vec<(NodeId, bool)> = self
+            .outputs()
+            .iter()
+            .rev()
+            .map(|o| (o.node(), false))
+            .collect();
         while let Some((id, expanded)) = stack.pop() {
             if state[id.index()] == State::Done {
                 continue;
@@ -201,11 +209,15 @@ impl Aig {
             }
         }
         for o in self.outputs() {
-            let lit =
-                map[o.node().index()].expect("output mapped").xor_complement(o.is_complement());
+            let lit = map[o.node().index()]
+                .expect("output mapped")
+                .xor_complement(o.is_complement());
             result.add_output(lit);
         }
-        Ok(SubstituteResult { aig: result, node_map: map })
+        Ok(SubstituteResult {
+            aig: result,
+            node_map: map,
+        })
     }
 }
 

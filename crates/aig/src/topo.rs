@@ -79,8 +79,7 @@ impl Aig {
         let mut levels = vec![0u32; self.num_nodes()];
         for id in self.iter_nodes() {
             if let AigNode::And { f0, f1 } = self.node(id) {
-                levels[id.index()] =
-                    1 + levels[f0.node().index()].max(levels[f1.node().index()]);
+                levels[id.index()] = 1 + levels[f0.node().index()].max(levels[f1.node().index()]);
             }
         }
         levels

@@ -50,7 +50,10 @@ impl TruthTable {
     /// Panics if `num_vars > Self::MAX_VARS`.
     pub fn zeros(num_vars: usize) -> TruthTable {
         assert!(num_vars <= Self::MAX_VARS, "too many variables");
-        TruthTable { num_vars, words: vec![0; num_words(num_vars)] }
+        TruthTable {
+            num_vars,
+            words: vec![0; num_words(num_vars)],
+        }
     }
 
     /// The constant-one function of `num_vars` variables.
@@ -158,7 +161,11 @@ impl TruthTable {
         assert!(var < self.num_vars, "variable out of range");
         let mut out = TruthTable::zeros(self.num_vars);
         for row in 0..1usize << self.num_vars {
-            let src = if value { row | (1 << var) } else { row & !(1 << var) };
+            let src = if value {
+                row | (1 << var)
+            } else {
+                row & !(1 << var)
+            };
             out.set(row, self.get(src));
         }
         out
@@ -166,7 +173,10 @@ impl TruthTable {
 
     /// `true` if `self` implies `other` (self's onset is a subset).
     pub fn implies(&self, other: &TruthTable) -> bool {
-        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
     }
 }
 

@@ -24,7 +24,10 @@ impl fmt::Display for ParseAagError {
 impl Error for ParseAagError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseAagError {
-    ParseAagError { line, message: message.into() }
+    ParseAagError {
+        line,
+        message: message.into(),
+    }
 }
 
 impl Aig {
@@ -44,9 +47,8 @@ impl Aig {
             var_of[id.index()] = next;
             next += 1;
         }
-        let lit_code = |l: AigLit| -> usize {
-            2 * var_of[l.node().index()] + l.is_complement() as usize
-        };
+        let lit_code =
+            |l: AigLit| -> usize { 2 * var_of[l.node().index()] + l.is_complement() as usize };
         let mut out = String::new();
         out.push_str(&format!(
             "aag {} {} 0 {} {}\n",
@@ -91,7 +93,8 @@ impl Aig {
             return Err(err(1, "expected header 'aag M I L O A'"));
         }
         let parse = |s: &str, line: usize| -> Result<usize, ParseAagError> {
-            s.parse().map_err(|_| err(line, format!("bad number {s:?}")))
+            s.parse()
+                .map_err(|_| err(line, format!("bad number {s:?}")))
         };
         let m = parse(fields[1], 1)?;
         let i = parse(fields[2], 1)?;
@@ -142,14 +145,15 @@ impl Aig {
             if lhs <= rhs0 || rhs0 < rhs1 {
                 return Err(err(ln + 1, "and literals must satisfy lhs > rhs0 >= rhs1"));
             }
-            let get = |code: usize, ln: usize, vm: &[Option<AigLit>]| -> Result<AigLit, ParseAagError> {
-                let base = vm
-                    .get(code / 2)
-                    .copied()
-                    .flatten()
-                    .ok_or_else(|| err(ln + 1, format!("undefined literal {code}")))?;
-                Ok(base.xor_complement(code % 2 == 1))
-            };
+            let get =
+                |code: usize, ln: usize, vm: &[Option<AigLit>]| -> Result<AigLit, ParseAagError> {
+                    let base = vm
+                        .get(code / 2)
+                        .copied()
+                        .flatten()
+                        .ok_or_else(|| err(ln + 1, format!("undefined literal {code}")))?;
+                    Ok(base.xor_complement(code % 2 == 1))
+                };
             let f0 = get(rhs0, ln, &var_map)?;
             let f1 = get(rhs1, ln, &var_map)?;
             if var_map[lhs / 2].is_some() {
@@ -189,7 +193,11 @@ impl Aig {
                             "  n{} -> n{}{};\n",
                             f.node().index(),
                             id.index(),
-                            if f.is_complement() { " [style=dashed]" } else { "" }
+                            if f.is_complement() {
+                                " [style=dashed]"
+                            } else {
+                                ""
+                            }
                         ));
                     }
                 }
@@ -201,7 +209,11 @@ impl Aig {
                 "  n{} -> o{}{};\n",
                 o.node().index(),
                 i,
-                if o.is_complement() { " [style=dashed]" } else { "" }
+                if o.is_complement() {
+                    " [style=dashed]"
+                } else {
+                    ""
+                }
             ));
         }
         out.push_str("}\n");

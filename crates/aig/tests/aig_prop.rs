@@ -1,9 +1,9 @@
-//! Property-based tests for the AIG package: random expression trees
+//! Randomized tests for the AIG package: random expression trees
 //! evaluated against a truth-table oracle, serialization round trips,
 //! cone extraction, and factoring.
 
 use eco_aig::{factor_sop, Aig, AigLit, TruthTable};
-use proptest::prelude::*;
+use eco_testutil::{cases, Rng};
 
 /// A random Boolean expression over `n` inputs.
 #[derive(Debug, Clone)]
@@ -17,24 +17,30 @@ enum Expr {
     Const(bool),
 }
 
-fn arb_expr(num_inputs: usize) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..num_inputs).prop_map(Expr::Input),
-        any::<bool>().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(s, t, e)| Expr::Mux(Box::new(s), Box::new(t), Box::new(e))),
-        ]
-    })
+fn random_expr(rng: &mut Rng, num_inputs: usize, depth: usize) -> Expr {
+    // Leaves at the depth limit, and with 1-in-4 odds elsewhere so tree
+    // sizes vary.
+    if depth == 0 || rng.below(4) == 0 {
+        return if rng.bool() {
+            Expr::Input(rng.index(num_inputs))
+        } else {
+            Expr::Const(rng.bool())
+        };
+    }
+    fn sub(rng: &mut Rng, num_inputs: usize, depth: usize) -> Box<Expr> {
+        Box::new(random_expr(rng, num_inputs, depth - 1))
+    }
+    match rng.below(5) {
+        0 => Expr::Not(sub(rng, num_inputs, depth)),
+        1 => Expr::And(sub(rng, num_inputs, depth), sub(rng, num_inputs, depth)),
+        2 => Expr::Or(sub(rng, num_inputs, depth), sub(rng, num_inputs, depth)),
+        3 => Expr::Xor(sub(rng, num_inputs, depth), sub(rng, num_inputs, depth)),
+        _ => Expr::Mux(
+            sub(rng, num_inputs, depth),
+            sub(rng, num_inputs, depth),
+            sub(rng, num_inputs, depth),
+        ),
+    }
 }
 
 fn build(aig: &mut Aig, inputs: &[AigLit], e: &Expr) -> AigLit {
@@ -86,23 +92,29 @@ fn eval_expr(e: &Expr, bits: &[bool]) -> bool {
 
 const N: usize = 5;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn aig_matches_expression_semantics(e in arb_expr(N)) {
+#[test]
+fn aig_matches_expression_semantics() {
+    cases(128, |case, rng| {
+        let e = random_expr(rng, N, 5);
         let mut aig = Aig::new();
         let inputs: Vec<AigLit> = (0..N).map(|_| aig.add_input()).collect();
         let root = build(&mut aig, &inputs, &e);
         aig.add_output(root);
         for row in 0..1usize << N {
             let bits: Vec<bool> = (0..N).map(|i| row >> i & 1 == 1).collect();
-            prop_assert_eq!(aig.eval(&bits)[0], eval_expr(&e, &bits), "row {}", row);
+            assert_eq!(
+                aig.eval(&bits)[0],
+                eval_expr(&e, &bits),
+                "case {case} row {row}: {e:?}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn aag_roundtrip_preserves_semantics(e in arb_expr(N)) {
+#[test]
+fn aag_roundtrip_preserves_semantics() {
+    cases(128, |case, rng| {
+        let e = random_expr(rng, N, 5);
         let mut aig = Aig::new();
         let inputs: Vec<AigLit> = (0..N).map(|_| aig.add_input()).collect();
         let root = build(&mut aig, &inputs, &e);
@@ -110,12 +122,15 @@ proptest! {
         let back = Aig::from_aag(&aig.to_aag()).expect("roundtrip parses");
         for row in 0..1usize << N {
             let bits: Vec<bool> = (0..N).map(|i| row >> i & 1 == 1).collect();
-            prop_assert_eq!(aig.eval(&bits), back.eval(&bits));
+            assert_eq!(aig.eval(&bits), back.eval(&bits), "case {case} row {row}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn cone_extraction_preserves_function(e in arb_expr(N)) {
+#[test]
+fn cone_extraction_preserves_function() {
+    cases(128, |case, rng| {
+        let e = random_expr(rng, N, 5);
         let mut aig = Aig::new();
         let inputs: Vec<AigLit> = (0..N).map(|_| aig.add_input()).collect();
         let root = build(&mut aig, &inputs, &e);
@@ -131,13 +146,20 @@ proptest! {
                     bits[idx]
                 })
                 .collect();
-            prop_assert_eq!(cone.aig.eval(&cone_bits)[0], aig.eval(&bits)[0]);
+            assert_eq!(
+                cone.aig.eval(&cone_bits)[0],
+                aig.eval(&bits)[0],
+                "case {case} row {row}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn isop_factoring_pipeline_preserves_function(e in arb_expr(4)) {
+#[test]
+fn isop_factoring_pipeline_preserves_function() {
+    cases(128, |case, rng| {
         // truth table -> ISOP -> factored AIG must reproduce the function.
+        let e = random_expr(rng, 4, 5);
         let mut aig = Aig::new();
         let inputs: Vec<AigLit> = (0..4).map(|_| aig.add_input()).collect();
         let root = build(&mut aig, &inputs, &e);
@@ -145,19 +167,23 @@ proptest! {
         let tt_words = aig.simulate_all_inputs();
         let tt = TruthTable::from_words(4, vec![tt_words[0][0] & 0xffff]);
         let cover = tt.isop();
-        prop_assert_eq!(cover.truth_table(), tt.clone());
+        assert_eq!(cover.truth_table(), tt.clone(), "case {case}");
         let mut synth = Aig::new();
         let sup: Vec<AigLit> = (0..4).map(|_| synth.add_input()).collect();
         let f = factor_sop(&mut synth, &cover, &sup);
         synth.add_output(f);
         for row in 0..16usize {
             let bits: Vec<bool> = (0..4).map(|i| row >> i & 1 == 1).collect();
-            prop_assert_eq!(synth.eval(&bits)[0], tt.get(row), "row {}", row);
+            assert_eq!(synth.eval(&bits)[0], tt.get(row), "case {case} row {row}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn simulation_agrees_with_eval(e in arb_expr(N), words in prop::collection::vec(any::<u64>(), N)) {
+#[test]
+fn simulation_agrees_with_eval() {
+    cases(128, |case, rng| {
+        let e = random_expr(rng, N, 5);
+        let words: Vec<u64> = (0..N).map(|_| rng.next_u64()).collect();
         let mut aig = Aig::new();
         let inputs: Vec<AigLit> = (0..N).map(|_| aig.add_input()).collect();
         let root = build(&mut aig, &inputs, &e);
@@ -165,7 +191,11 @@ proptest! {
         let sim = aig.simulate_outputs(&words);
         for bit in 0..64usize {
             let bits: Vec<bool> = (0..N).map(|i| words[i] >> bit & 1 == 1).collect();
-            prop_assert_eq!(sim[0] >> bit & 1 == 1, aig.eval(&bits)[0], "bit {}", bit);
+            assert_eq!(
+                sim[0] >> bit & 1 == 1,
+                aig.eval(&bits)[0],
+                "case {case} bit {bit}"
+            );
         }
-    }
+    });
 }

@@ -1,11 +1,10 @@
-//! Criterion comparison of Algorithm 1 (`minimize_assumptions`) against
-//! the naive `O(N)` removal loop, over growing assumption counts with a
+//! Comparison of Algorithm 1 (`minimize_assumptions`) against the
+//! naive `O(N)` removal loop, over growing assumption counts with a
 //! small planted core — the complexity claim of Sec. 3.4.1.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eco_bench::timing::bench;
 use eco_core::{minimize_assumptions, naive_minimize_assumptions};
 use eco_sat::{Lit, Solver, Var};
-use std::hint::black_box;
 
 fn planted_core(n: usize, core: &[usize]) -> (Solver, Vec<Lit>) {
     let mut s = Solver::new();
@@ -19,29 +18,18 @@ fn planted_core(n: usize, core: &[usize]) -> (Solver, Vec<Lit>) {
     (s, ms)
 }
 
-fn bench_minimize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("minimize_assumptions");
+fn main() {
     for &n in &[64usize, 256, 1024] {
         let core = [n / 3, 2 * n / 3];
-        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, &n| {
-            b.iter(|| {
-                let (mut s, ms) = planted_core(n, &core);
-                let mut a = ms.clone();
-                let r = minimize_assumptions(&mut s, &[], &mut a).expect("unbudgeted");
-                black_box(r)
-            });
+        bench(&format!("minimize_assumptions/algorithm1/{n}"), 20, || {
+            let (mut s, ms) = planted_core(n, &core);
+            let mut a = ms.clone();
+            minimize_assumptions(&mut s, &[], &mut a).expect("unbudgeted")
         });
-        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
-            b.iter(|| {
-                let (mut s, ms) = planted_core(n, &core);
-                let mut a = ms.clone();
-                let r = naive_minimize_assumptions(&mut s, &[], &mut a).expect("unbudgeted");
-                black_box(r)
-            });
+        bench(&format!("minimize_assumptions/naive/{n}"), 20, || {
+            let (mut s, ms) = planted_core(n, &core);
+            let mut a = ms.clone();
+            naive_minimize_assumptions(&mut s, &[], &mut a).expect("unbudgeted")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_minimize);
-criterion_main!(benches);

@@ -1,11 +1,10 @@
-//! Criterion timing of the cube-enumeration patch computation
-//! (Sec. 3.5) across support widths, on a parity-flavoured target whose
-//! prime SOP grows with the support.
+//! Timing of the cube-enumeration patch computation (Sec. 3.5) across
+//! support widths, on a parity-flavoured target whose prime SOP grows
+//! with the support.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eco_aig::Aig;
+use eco_bench::timing::bench;
 use eco_core::{enumerate_patch_sop, EcoProblem, QuantifiedMiter};
-use std::hint::black_box;
 
 /// Problem whose correct patch is the XOR of `width` inputs: the prime
 /// SOP has `2^(width-1)` cubes, stressing the enumeration loop.
@@ -25,26 +24,18 @@ fn parity_problem(width: usize) -> EcoProblem {
     EcoProblem::with_unit_weights(im, sp, vec![t_node]).expect("valid")
 }
 
-fn bench_cubes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("patch_function");
+fn main() {
     for &width in &[4usize, 6, 8] {
         let problem = parity_problem(width);
         let qm = QuantifiedMiter::build(&problem, 0, &[], None);
         let support: Vec<_> = problem.implementation.inputs().to_vec();
-        group.bench_with_input(
-            BenchmarkId::new("cube_enumeration", width),
-            &width,
-            |b, _| {
-                b.iter(|| {
-                    let sop = enumerate_patch_sop(&qm, &support, 0, None, 1 << 12)
-                        .expect("enumerate");
-                    black_box(sop.sop.len())
-                });
+        bench(
+            &format!("patch_function/cube_enumeration/{width}"),
+            20,
+            || {
+                let sop = enumerate_patch_sop(&qm, &support, 0, None, 1 << 12).expect("enumerate");
+                sop.sop.len()
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cubes);
-criterion_main!(benches);

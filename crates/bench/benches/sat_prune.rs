@@ -1,14 +1,11 @@
-//! Criterion timing of `SAT_prune` exact support search (Sec. 3.4.2)
-//! against the minimal-but-not-minimum `minimize_assumptions`, over a
-//! growing redundant divisor pool — the scalability-for-QoR trade the
-//! paper describes.
+//! Timing of `SAT_prune` exact support search (Sec. 3.4.2) against the
+//! minimal-but-not-minimum `minimize_assumptions`, over a growing
+//! redundant divisor pool — the scalability-for-QoR trade the paper
+//! describes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eco_aig::{Aig, NodeId};
-use eco_core::{
-    sat_prune_support, EcoProblem, QuantifiedMiter, SatPruneOptions, SupportSolver,
-};
-use std::hint::black_box;
+use eco_bench::timing::bench;
+use eco_core::{sat_prune_support, EcoProblem, QuantifiedMiter, SatPruneOptions, SupportSolver};
 
 /// Problem with one xor target and `extra` redundant divisor signals of
 /// varying cost, so the exact search has real pruning to do.
@@ -40,7 +37,13 @@ fn instance(extra: usize) -> (EcoProblem, Vec<NodeId>, Vec<u64>) {
     let px = patch.xor(pa, pb);
     patch.add_output(px);
     let mut patches = std::collections::HashMap::new();
-    patches.insert(t_node, eco_aig::NodePatch { aig: patch, support: vec![a, b] });
+    patches.insert(
+        t_node,
+        eco_aig::NodePatch {
+            aig: patch,
+            support: vec![a, b],
+        },
+    );
     let sp = im.substitute(&patches).expect("acyclic");
     let mut p = EcoProblem::with_unit_weights(im, sp, vec![t_node]).expect("valid");
     for (d, &c) in divisors.iter().zip(&costs) {
@@ -49,37 +52,26 @@ fn instance(extra: usize) -> (EcoProblem, Vec<NodeId>, Vec<u64>) {
     (p, divisors, costs)
 }
 
-fn bench_sat_prune(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat_prune");
-    group.sample_size(10);
+fn main() {
     for &extra in &[4usize, 8, 16] {
         let (p, divisors, costs) = instance(extra);
         let qm = QuantifiedMiter::build(&p, 0, &[], None);
-        group.bench_with_input(
-            BenchmarkId::new("minimize_assumptions", extra),
-            &extra,
-            |b, _| {
-                b.iter(|| {
-                    let mut ss =
-                        SupportSolver::new(&qm, divisors.clone(), costs.clone(), None);
-                    assert!(ss.all_feasible().expect("unbudgeted"));
-                    black_box(ss.minimized_support(8).expect("support").cost)
-                });
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("sat_prune", extra), &extra, |b, _| {
-            b.iter(|| {
+        bench(
+            &format!("sat_prune/minimize_assumptions/{extra}"),
+            10,
+            || {
                 let mut ss = SupportSolver::new(&qm, divisors.clone(), costs.clone(), None);
                 assert!(ss.all_feasible().expect("unbudgeted"));
-                let seed = ss.minimized_support(8).expect("support");
-                let r = sat_prune_support(&mut ss, Some(seed), SatPruneOptions::default())
-                    .expect("prune");
-                black_box(r.support.cost)
-            });
+                ss.minimized_support(8).expect("support").cost
+            },
+        );
+        bench(&format!("sat_prune/sat_prune/{extra}"), 10, || {
+            let mut ss = SupportSolver::new(&qm, divisors.clone(), costs.clone(), None);
+            assert!(ss.all_feasible().expect("unbudgeted"));
+            let seed = ss.minimized_support(8).expect("support");
+            let r =
+                sat_prune_support(&mut ss, Some(seed), SatPruneOptions::default()).expect("prune");
+            r.support.cost
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sat_prune);
-criterion_main!(benches);

@@ -1,21 +1,16 @@
-//! Criterion timing of the three Table 1 method columns on
-//! representative suite units (single/multi target, small/large) at
-//! reduced scale, so `cargo bench` finishes in minutes while preserving
-//! the methods' relative runtimes (the paper's `1x / 2.12x / 19.31x`
-//! geomean shape).
+//! Timing of the three Table 1 method columns on representative suite
+//! units (single/multi target, small/large) at reduced scale, so the
+//! bench finishes in minutes while preserving the methods' relative
+//! runtimes (the paper's `1x / 2.12x / 19.31x` geomean shape).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eco_bench::options_for;
+use eco_bench::{options_for, timing::bench};
 use eco_benchgen::{build_unit, table1_units};
 use eco_core::{EcoEngine, SupportMethod};
-use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     let units = table1_units(0.02);
     // unit2 (single target), unit9 (4 targets), unit17 (8 targets).
     let picks = [1usize, 8, 16];
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
     for &i in &picks {
         let unit = units[i].clone();
         let problem = build_unit(&unit);
@@ -24,21 +19,11 @@ fn bench_table1(c: &mut Criterion) {
             ("minimize_assumptions", SupportMethod::MinimizeAssumptions),
             ("sat_prune_cegar_min", SupportMethod::SatPrune),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, unit.name),
-                &problem,
-                |b, problem| {
-                    let engine = EcoEngine::new(options_for(method, Some(500_000)));
-                    b.iter(|| {
-                        let out = engine.run(black_box(problem)).expect("engine run");
-                        black_box(out.total_cost)
-                    });
-                },
-            );
+            let engine = EcoEngine::new(options_for(method, Some(500_000)));
+            bench(&format!("table1/{name}/{}", unit.name), 10, || {
+                let out = engine.run(&problem).expect("engine run");
+                out.total_cost
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

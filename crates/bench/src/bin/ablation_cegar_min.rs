@@ -32,16 +32,20 @@ fn main() {
         let problem = build_unit(unit);
         let mut results = Vec::new();
         for cegar in [false, true] {
-            let engine = EcoEngine::new(EcoOptions {
-                per_call_conflicts: Some(0), // force the structural path
-                cegar_min: cegar,
-                verify: false,
-                ..EcoOptions::default()
-            });
+            let options = EcoOptions::builder()
+                .per_call_conflicts(Some(0)) // force the structural path
+                .cegar_min(cegar)
+                .verify(false)
+                .build();
+            let engine = EcoEngine::new(options);
             let out = engine.run(&problem).expect("structural run");
-            let cec =
-                check_equivalence(&out.patched_implementation, &problem.specification, None);
-            assert_eq!(cec, CecResult::Equivalent, "{}: patch must verify", unit.name);
+            let cec = check_equivalence(&out.patched_implementation, &problem.specification, None);
+            assert_eq!(
+                cec,
+                CecResult::Equivalent,
+                "{}: patch must verify",
+                unit.name
+            );
             results.push((out.total_cost, out.total_gates));
         }
         let (c0, g0) = results[0];

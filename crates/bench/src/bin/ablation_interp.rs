@@ -12,8 +12,8 @@
 use eco_aig::{factor_sop, Aig, AigLit, NodePatch};
 use eco_benchgen::{inject_eco, random_aig, CircuitSpec, InjectSpec};
 use eco_core::{
-    check_equivalence, enumerate_patch_sop, interpolation_patch, support_solver_for,
-    CecResult, EcoProblem, QuantifiedMiter,
+    check_equivalence, enumerate_patch_sop, interpolation_patch, support_solver_for, CecResult,
+    EcoProblem, QuantifiedMiter,
 };
 use std::collections::HashMap;
 use std::time::Instant;
@@ -35,17 +35,18 @@ fn main() {
             num_gates: 300,
             seed: 555 + seed,
         });
-        let Some(injected) =
-            inject_eco(&implementation, &InjectSpec { num_targets: 1, seed: 99 + seed })
-        else {
+        let Some(injected) = inject_eco(
+            &implementation,
+            &InjectSpec {
+                num_targets: 1,
+                seed: 99 + seed,
+            },
+        ) else {
             continue;
         };
-        let problem = EcoProblem::with_unit_weights(
-            implementation,
-            injected.specification,
-            injected.targets,
-        )
-        .expect("valid problem");
+        let problem =
+            EcoProblem::with_unit_weights(implementation, injected.specification, injected.targets)
+                .expect("valid problem");
         let qm = QuantifiedMiter::build(&problem, 0, &[], None);
         let window = eco_core::compute_window(&problem);
         // Shared support from minimize_assumptions so both methods solve
@@ -83,7 +84,10 @@ fn main() {
             };
             let mut patches = HashMap::new();
             patches.insert(problem.targets[0], patch);
-            let patched = problem.implementation.substitute(&patches).expect("acyclic");
+            let patched = problem
+                .implementation
+                .substitute(&patches)
+                .expect("acyclic");
             assert_eq!(
                 check_equivalence(&patched, &problem.specification, None),
                 CecResult::Equivalent,

@@ -23,7 +23,9 @@ fn planted_core(n: usize, m: usize, seed: u64) -> (Solver, Vec<Lit>) {
     let mut state = seed;
     let mut core: Vec<usize> = Vec::new();
     while core.len() < m {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let p = (state >> 33) as usize % n;
         if !core.contains(&p) {
             core.push(p);
@@ -36,7 +38,10 @@ fn planted_core(n: usize, m: usize, seed: u64) -> (Solver, Vec<Lit>) {
 }
 
 fn main() {
-    println!("{:>6} {:>4} {:>12} {:>12} {:>10}", "N", "M", "alg1 calls", "naive calls", "ratio");
+    println!(
+        "{:>6} {:>4} {:>12} {:>12} {:>10}",
+        "N", "M", "alg1 calls", "naive calls", "ratio"
+    );
     for &n in &[16usize, 32, 64, 128, 256, 512, 1024] {
         for &m in &[1usize, 2, 4] {
             let mut alg1_total = 0u64;
@@ -45,8 +50,7 @@ fn main() {
             for trial in 0..TRIALS {
                 let (mut s1, ms1) = planted_core(n, m, 7 + trial);
                 let mut a1 = ms1.clone();
-                let (k1, c1) =
-                    minimize_assumptions(&mut s1, &[], &mut a1).expect("unbudgeted");
+                let (k1, c1) = minimize_assumptions(&mut s1, &[], &mut a1).expect("unbudgeted");
                 assert_eq!(k1, m, "algorithm 1 must find the planted core");
                 alg1_total += c1;
 
@@ -59,7 +63,14 @@ fn main() {
             }
             let alg1 = alg1_total as f64 / TRIALS as f64;
             let naive = naive_total as f64 / TRIALS as f64;
-            println!("{:>6} {:>4} {:>12.1} {:>12.1} {:>9.1}x", n, m, alg1, naive, naive / alg1);
+            println!(
+                "{:>6} {:>4} {:>12.1} {:>12.1} {:>9.1}x",
+                n,
+                m,
+                alg1,
+                naive,
+                naive / alg1
+            );
         }
     }
     println!("\npaper's claim: O(max{{log N, M}}) vs O(N) SAT calls — the ratio");

@@ -13,7 +13,10 @@ use eco_benchgen::{inject_eco, random_aig, CircuitSpec, InjectSpec};
 use eco_core::{check_targets_sufficient, EcoProblem, QbfOutcome};
 
 fn main() {
-    println!("{:>3} {:>10} {:>12} {:>10} {:>10}", "k", "certs", "2^k copies", "saving", "SAT calls");
+    println!(
+        "{:>3} {:>10} {:>12} {:>10} {:>10}",
+        "k", "certs", "2^k copies", "saving", "SAT calls"
+    );
     for k in 2..=8usize {
         let mut cert_total = 0usize;
         let mut calls_total = 0u64;
@@ -25,9 +28,13 @@ fn main() {
                 num_gates: 420,
                 seed: 1000 * k as u64 + seed,
             });
-            let Some(injected) =
-                inject_eco(&implementation, &InjectSpec { num_targets: k, seed: 31 + seed })
-            else {
+            let Some(injected) = inject_eco(
+                &implementation,
+                &InjectSpec {
+                    num_targets: k,
+                    seed: 31 + seed,
+                },
+            ) else {
                 continue;
             };
             let problem = EcoProblem::with_unit_weights(
@@ -37,7 +44,10 @@ fn main() {
             )
             .expect("valid problem");
             match check_targets_sufficient(&problem, 4096, None) {
-                QbfOutcome::Solvable { certificates, sat_calls } => {
+                QbfOutcome::Solvable {
+                    certificates,
+                    sat_calls,
+                } => {
                     cert_total += certificates.len();
                     calls_total += sat_calls;
                     trials += 1;

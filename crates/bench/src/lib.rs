@@ -1,14 +1,17 @@
 //! # eco-bench
 //!
 //! Harness shared by the `table1` and ablation binaries and the
-//! Criterion benches: run the engine over the synthetic suite, collect
-//! the columns of the paper's Table 1, and print/aggregate them.
+//! hand-rolled benches: run the engine over the synthetic suite,
+//! collect the columns of the paper's Table 1, and print/aggregate
+//! them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use eco_benchgen::UnitSpec;
-use eco_core::{EcoEngine, EcoOptions, EcoProblem, SatPruneOptions, SupportMethod};
+use eco_core::{EcoEngine, EcoOptions, EcoProblem, RunMetrics, SatPruneOptions, SupportMethod};
 use std::time::Duration;
 
 /// One Table 1 cell group for one method: resource cost, patch size,
@@ -23,6 +26,9 @@ pub struct MethodResult {
     pub time: Duration,
     /// Whether the final equivalence check passed.
     pub verified: bool,
+    /// Aggregated solver telemetry for the run (`None` when the run
+    /// errored out).
+    pub metrics: Option<RunMetrics>,
 }
 
 /// A full row: unit statistics plus the three method results.
@@ -44,25 +50,25 @@ pub struct Table1Row {
 
 /// Engine options for one of the paper's three method columns.
 pub fn options_for(method: SupportMethod, per_call_conflicts: Option<u64>) -> EcoOptions {
-    EcoOptions {
-        method,
-        cegar_min: method == SupportMethod::SatPrune,
-        per_call_conflicts,
-        sat_prune: SatPruneOptions {
+    EcoOptions::builder()
+        .method(method)
+        .cegar_min(method == SupportMethod::SatPrune)
+        .per_call_conflicts(per_call_conflicts)
+        .sat_prune(SatPruneOptions {
             max_iterations: 400,
             per_call_conflicts: per_call_conflicts.map(|c| (c / 4).max(1)),
-        },
-        ..EcoOptions::default()
-    }
+        })
+        .build()
 }
 
-/// Runs one method on one problem and reports the Table 1 columns.
+/// Runs one method on one problem and reports the Table 1 columns,
+/// capturing [`RunMetrics`] telemetry alongside them.
 pub fn run_method(
     problem: &EcoProblem,
     method: SupportMethod,
     per_call_conflicts: Option<u64>,
 ) -> MethodResult {
-    let engine = EcoEngine::new(options_for(method, per_call_conflicts));
+    let engine = EcoEngine::new(options_for(method, per_call_conflicts)).with_metrics();
     let t = std::time::Instant::now();
     match engine.run(problem) {
         Ok(out) => MethodResult {
@@ -70,12 +76,19 @@ pub fn run_method(
             gates: out.total_gates,
             time: t.elapsed(),
             verified: out.verified,
+            metrics: out.metrics,
         },
         Err(e) => {
             // An error row is reported as unverified with saturated cost so
             // it is visible in the output rather than silently dropped.
             eprintln!("warning: {method:?} failed: {e}");
-            MethodResult { cost: u64::MAX, gates: usize::MAX, time: t.elapsed(), verified: false }
+            MethodResult {
+                cost: u64::MAX,
+                gates: usize::MAX,
+                time: t.elapsed(),
+                verified: false,
+                metrics: None,
+            }
         }
     }
 }
@@ -120,8 +133,15 @@ pub fn geomean_ratio(
 pub fn print_table(rows: &[Table1Row]) {
     println!(
         "{:<8} {:>5} {:>5} {:>7} {:>7} {:>3} | {:^26} | {:^26} | {:^26}",
-        "", "", "", "", "", "",
-        "w/o minimize_assumptions", "w/ minimize_assumptions", "SAT_prune+CEGAR_min"
+        "",
+        "",
+        "",
+        "",
+        "",
+        "",
+        "w/o minimize_assumptions",
+        "w/ minimize_assumptions",
+        "SAT_prune+CEGAR_min"
     );
     println!(
         "{:<8} {:>5} {:>5} {:>7} {:>7} {:>3} | {:>10} {:>6} {:>8} | {:>10} {:>6} {:>8} | {:>10} {:>6} {:>8}",
@@ -133,12 +153,20 @@ pub fn print_table(rows: &[Table1Row]) {
     for row in rows {
         let fmt = |m: &MethodResult| -> (String, String, String) {
             if m.cost == u64::MAX {
-                ("-".into(), "-".into(), format!("{:.2}", m.time.as_secs_f64()))
+                (
+                    "-".into(),
+                    "-".into(),
+                    format!("{:.2}", m.time.as_secs_f64()),
+                )
             } else {
                 (
                     m.cost.to_string(),
                     m.gates.to_string(),
-                    format!("{:.2}{}", m.time.as_secs_f64(), if m.verified { "" } else { "*" }),
+                    format!(
+                        "{:.2}{}",
+                        m.time.as_secs_f64(),
+                        if m.verified { "" } else { "*" }
+                    ),
                 )
             }
         };
@@ -156,18 +184,40 @@ pub fn print_table(rows: &[Table1Row]) {
             bc, bg, bt, mc, mg, mt, pc, pg, pt
         );
     }
-    let cost_min = geomean_ratio(rows, |r| r.minimized.cost as f64, |r| r.baseline.cost as f64);
-    let gate_min = geomean_ratio(rows, |r| r.minimized.gates as f64, |r| r.baseline.gates as f64);
-    let time_min =
-        geomean_ratio(rows, |r| r.minimized.time.as_secs_f64(), |r| r.baseline.time.as_secs_f64());
+    let cost_min = geomean_ratio(
+        rows,
+        |r| r.minimized.cost as f64,
+        |r| r.baseline.cost as f64,
+    );
+    let gate_min = geomean_ratio(
+        rows,
+        |r| r.minimized.gates as f64,
+        |r| r.baseline.gates as f64,
+    );
+    let time_min = geomean_ratio(
+        rows,
+        |r| r.minimized.time.as_secs_f64(),
+        |r| r.baseline.time.as_secs_f64(),
+    );
     let cost_prn = geomean_ratio(rows, |r| r.pruned.cost as f64, |r| r.baseline.cost as f64);
     let gate_prn = geomean_ratio(rows, |r| r.pruned.gates as f64, |r| r.baseline.gates as f64);
-    let time_prn =
-        geomean_ratio(rows, |r| r.pruned.time.as_secs_f64(), |r| r.baseline.time.as_secs_f64());
+    let time_prn = geomean_ratio(
+        rows,
+        |r| r.pruned.time.as_secs_f64(),
+        |r| r.baseline.time.as_secs_f64(),
+    );
     println!(
         "{:<38} | {:>10} {:>6} {:>8} | {:>10.2} {:>6.2} {:>7.2}x | {:>10.2} {:>6.2} {:>7.2}x",
-        "Geomean (ratio vs baseline)", "1", "1", "1x",
-        cost_min, gate_min, time_min, cost_prn, gate_prn, time_prn
+        "Geomean (ratio vs baseline)",
+        "1",
+        "1",
+        "1x",
+        cost_min,
+        gate_min,
+        time_min,
+        cost_prn,
+        gate_prn,
+        time_prn
     );
     println!("\npaper's geomeans:    w/ minimize_assumptions 0.26 / 0.47 / 2.12x");
     println!("                     SAT_prune+CEGAR_min      0.24 / 0.43 / 19.31x");
@@ -185,6 +235,7 @@ mod tests {
             gates: c as usize,
             time: Duration::from_millis(c.max(1)),
             verified: true,
+            metrics: None,
         };
         Table1Row {
             unit: UnitSpec {
@@ -207,14 +258,22 @@ mod tests {
     #[test]
     fn geomean_of_identical_rows() {
         let rows = vec![dummy_row(100, 25, 20), dummy_row(100, 25, 20)];
-        let r = geomean_ratio(&rows, |r| r.minimized.cost as f64, |r| r.baseline.cost as f64);
+        let r = geomean_ratio(
+            &rows,
+            |r| r.minimized.cost as f64,
+            |r| r.baseline.cost as f64,
+        );
         assert!((r - 0.25).abs() < 1e-9);
     }
 
     #[test]
     fn geomean_skips_zero_bases() {
         let rows = vec![dummy_row(0, 10, 10), dummy_row(100, 50, 25)];
-        let r = geomean_ratio(&rows, |r| r.minimized.cost as f64, |r| r.baseline.cost as f64);
+        let r = geomean_ratio(
+            &rows,
+            |r| r.minimized.cost as f64,
+            |r| r.baseline.cost as f64,
+        );
         assert!((r - 0.5).abs() < 1e-9);
     }
 

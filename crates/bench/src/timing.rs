@@ -1,0 +1,70 @@
+//! Minimal hand-rolled benchmark harness for the `harness = false`
+//! bench targets. The environment builds hermetically with no external
+//! crates, so this replaces Criterion with the same shape of output:
+//! warmup, repeated timed runs, and a mean/min summary line per case.
+
+use std::time::{Duration, Instant};
+
+/// Timing summary for one benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Case label, e.g. `minimize_assumptions/algorithm1/256`.
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: usize,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+}
+
+impl BenchReport {
+    fn print(&self) {
+        println!(
+            "{:<48} {:>12.3?} mean {:>12.3?} min  ({} iters)",
+            self.name, self.mean, self.min, self.iters
+        );
+    }
+}
+
+/// Times `f` for `iters` iterations after one untimed warmup run and
+/// prints a summary line. The closure returns a value that is passed
+/// through `std::hint::black_box` so the computation cannot be
+/// optimized away.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchReport {
+    std::hint::black_box(f());
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let dt = t.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let report = BenchReport {
+        name: name.to_string(),
+        iters,
+        mean: total / iters as u32,
+        min,
+    };
+    report.print();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_all_iterations() {
+        let mut runs = 0usize;
+        let r = bench("smoke", 5, || {
+            runs += 1;
+            runs
+        });
+        assert_eq!(r.iters, 5);
+        assert_eq!(runs, 6, "one warmup plus five timed runs");
+        assert!(r.min <= r.mean);
+    }
+}

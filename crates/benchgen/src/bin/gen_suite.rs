@@ -7,8 +7,14 @@ use eco_benchgen::{build_unit, table1_units, write_unit};
 use std::path::PathBuf;
 
 fn main() {
-    let out: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "suite_out".into()).into();
-    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "suite_out".into())
+        .into();
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
     for spec in table1_units(scale) {
         let problem = build_unit(&spec);
         write_unit(&out, &spec, &problem).expect("write unit files");

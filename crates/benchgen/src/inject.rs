@@ -45,8 +45,7 @@ pub fn inject_eco(implementation: &Aig, spec: &InjectSpec) -> Option<InjectedEco
     let mut rng = SplitMix64::new(spec.seed ^ 0xEC0_1A7C);
     let fanouts = implementation.fanouts();
     // Candidate targets: AND nodes that reach at least one output.
-    let out_roots: Vec<NodeId> =
-        implementation.outputs().iter().map(|o| o.node()).collect();
+    let out_roots: Vec<NodeId> = implementation.outputs().iter().map(|o| o.node()).collect();
     let tfi_of_outputs = implementation.tfi_mask(out_roots);
     let candidates: Vec<NodeId> = implementation
         .iter_ands()
@@ -116,7 +115,10 @@ pub fn inject_eco(implementation: &Aig, spec: &InjectSpec) -> Option<InjectedEco
         };
         // The change must be observable: compare by random simulation.
         if differs_by_simulation(implementation, &specification, spec.seed ^ attempt) {
-            return Some(InjectedEco { specification, targets });
+            return Some(InjectedEco {
+                specification,
+                targets,
+            });
         }
     }
     None
@@ -140,13 +142,25 @@ mod tests {
     use crate::randckt::{random_aig, CircuitSpec};
 
     fn circuit(seed: u64) -> Aig {
-        random_aig(&CircuitSpec { num_inputs: 10, num_outputs: 5, num_gates: 200, seed })
+        random_aig(&CircuitSpec {
+            num_inputs: 10,
+            num_outputs: 5,
+            num_gates: 200,
+            seed,
+        })
     }
 
     #[test]
     fn injection_changes_function() {
         let im = circuit(1);
-        let inj = inject_eco(&im, &InjectSpec { num_targets: 2, seed: 9 }).expect("inject");
+        let inj = inject_eco(
+            &im,
+            &InjectSpec {
+                num_targets: 2,
+                seed: 9,
+            },
+        )
+        .expect("inject");
         assert!(differs_by_simulation(&im, &inj.specification, 123));
         assert_eq!(inj.targets.len(), 2);
     }
@@ -155,18 +169,41 @@ mod tests {
     fn instance_is_solvable_by_construction() {
         use eco_core::{EcoEngine, EcoOptions, EcoProblem};
         let im = circuit(2);
-        let inj = inject_eco(&im, &InjectSpec { num_targets: 1, seed: 4 }).expect("inject");
+        let inj = inject_eco(
+            &im,
+            &InjectSpec {
+                num_targets: 1,
+                seed: 4,
+            },
+        )
+        .expect("inject");
         let p = EcoProblem::with_unit_weights(im, inj.specification, inj.targets)
             .expect("valid problem");
-        let out = EcoEngine::new(EcoOptions::default()).run(&p).expect("engine");
+        let out = EcoEngine::new(EcoOptions::default())
+            .run(&p)
+            .expect("engine");
         assert!(out.verified);
     }
 
     #[test]
     fn injection_is_deterministic() {
         let im = circuit(3);
-        let a = inject_eco(&im, &InjectSpec { num_targets: 2, seed: 5 }).expect("inject");
-        let b = inject_eco(&im, &InjectSpec { num_targets: 2, seed: 5 }).expect("inject");
+        let a = inject_eco(
+            &im,
+            &InjectSpec {
+                num_targets: 2,
+                seed: 5,
+            },
+        )
+        .expect("inject");
+        let b = inject_eco(
+            &im,
+            &InjectSpec {
+                num_targets: 2,
+                seed: 5,
+            },
+        )
+        .expect("inject");
         assert_eq!(a.targets, b.targets);
         assert_eq!(a.specification.to_aag(), b.specification.to_aag());
     }
@@ -178,13 +215,27 @@ mod tests {
         let b = im.add_input();
         let g = im.and(a, b);
         im.add_output(g);
-        assert!(inject_eco(&im, &InjectSpec { num_targets: 5, seed: 1 }).is_none());
+        assert!(inject_eco(
+            &im,
+            &InjectSpec {
+                num_targets: 5,
+                seed: 1
+            }
+        )
+        .is_none());
     }
 
     #[test]
     fn multi_target_instances_remain_interfaced() {
         let im = circuit(7);
-        let inj = inject_eco(&im, &InjectSpec { num_targets: 4, seed: 8 }).expect("inject");
+        let inj = inject_eco(
+            &im,
+            &InjectSpec {
+                num_targets: 4,
+                seed: 8,
+            },
+        )
+        .expect("inject");
         assert_eq!(inj.specification.num_inputs(), im.num_inputs());
         assert_eq!(inj.specification.num_outputs(), im.num_outputs());
     }

@@ -96,7 +96,12 @@ mod tests {
 
     #[test]
     fn shape_is_respected() {
-        let spec = CircuitSpec { num_inputs: 12, num_outputs: 6, num_gates: 300, seed: 5 };
+        let spec = CircuitSpec {
+            num_inputs: 12,
+            num_outputs: 6,
+            num_gates: 300,
+            seed: 5,
+        };
         let aig = random_aig(&spec);
         assert_eq!(aig.num_inputs(), 12);
         assert_eq!(aig.num_outputs(), 6);
@@ -106,7 +111,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let spec = CircuitSpec { num_inputs: 6, num_outputs: 3, num_gates: 64, seed: 11 };
+        let spec = CircuitSpec {
+            num_inputs: 6,
+            num_outputs: 3,
+            num_gates: 64,
+            seed: 11,
+        };
         let a = random_aig(&spec);
         let b = random_aig(&spec);
         assert_eq!(a.to_aag(), b.to_aag());
@@ -114,7 +124,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let mut spec = CircuitSpec { num_inputs: 6, num_outputs: 3, num_gates: 64, seed: 1 };
+        let mut spec = CircuitSpec {
+            num_inputs: 6,
+            num_outputs: 3,
+            num_gates: 64,
+            seed: 1,
+        };
         let a = random_aig(&spec);
         spec.seed = 2;
         let b = random_aig(&spec);
@@ -123,15 +138,28 @@ mod tests {
 
     #[test]
     fn circuit_is_deep_not_flat() {
-        let spec = CircuitSpec { num_inputs: 8, num_outputs: 4, num_gates: 200, seed: 3 };
+        let spec = CircuitSpec {
+            num_inputs: 8,
+            num_outputs: 4,
+            num_gates: 200,
+            seed: 3,
+        };
         let aig = random_aig(&spec);
         let max_level = aig.levels().into_iter().max().unwrap_or(0);
-        assert!(max_level >= 8, "expected multi-level logic, depth {max_level}");
+        assert!(
+            max_level >= 8,
+            "expected multi-level logic, depth {max_level}"
+        );
     }
 
     #[test]
     fn outputs_are_not_constants() {
-        let spec = CircuitSpec { num_inputs: 4, num_outputs: 8, num_gates: 30, seed: 7 };
+        let spec = CircuitSpec {
+            num_inputs: 4,
+            num_outputs: 8,
+            num_gates: 30,
+            seed: 7,
+        };
         let aig = random_aig(&spec);
         for &o in aig.outputs() {
             assert!(!o.is_const());

@@ -54,9 +54,9 @@ const TABLE1_SHAPE: [(usize, usize, usize, usize); 20] = [
 ];
 
 const UNIT_NAMES: [&str; 20] = [
-    "unit1", "unit2", "unit3", "unit4", "unit5", "unit6", "unit7", "unit8", "unit9",
-    "unit10", "unit11", "unit12", "unit13", "unit14", "unit15", "unit16", "unit17",
-    "unit18", "unit19", "unit20",
+    "unit1", "unit2", "unit3", "unit4", "unit5", "unit6", "unit7", "unit8", "unit9", "unit10",
+    "unit11", "unit12", "unit13", "unit14", "unit15", "unit16", "unit17", "unit18", "unit19",
+    "unit20",
 ];
 
 /// The 20 unit specs at the given scale (`1.0` = the paper's sizes).
@@ -103,14 +103,20 @@ pub fn build_unit(spec: &UnitSpec) -> EcoProblem {
         });
         let Some(injected) = inject_eco(
             &implementation,
-            &InjectSpec { num_targets: spec.num_targets, seed: seed ^ 0xABCD },
+            &InjectSpec {
+                num_targets: spec.num_targets,
+                seed: seed ^ 0xABCD,
+            },
         ) else {
             continue;
         };
         let weights = generate_weights(&implementation, spec.weights, seed ^ 0x77);
-        if let Ok(problem) =
-            EcoProblem::new(implementation, injected.specification, injected.targets, weights)
-        {
+        if let Ok(problem) = EcoProblem::new(
+            implementation,
+            injected.specification,
+            injected.targets,
+            weights,
+        ) {
             return problem;
         }
     }

@@ -30,8 +30,11 @@ pub struct UnitFiles {
 pub fn render_unit(spec: &UnitSpec, problem: &EcoProblem) -> UnitFiles {
     let impl_netlist = Netlist::from_aig(spec.name, &problem.implementation);
     let spec_netlist = Netlist::from_aig(spec.name, &problem.specification);
-    let target_nets: Vec<String> =
-        problem.targets.iter().map(|t| format!("n{}", t.index())).collect();
+    let target_nets: Vec<String> = problem
+        .targets
+        .iter()
+        .map(|t| format!("n{}", t.index()))
+        .collect();
     for t in &target_nets {
         assert!(
             impl_netlist.net(t).is_some(),
@@ -125,8 +128,9 @@ mod tests {
             problem.default_weight,
         )
         .expect("valid problem");
-        let outcome =
-            EcoEngine::new(EcoOptions::default()).run(&file_problem).expect("engine");
+        let outcome = EcoEngine::new(EcoOptions::default())
+            .run(&file_problem)
+            .expect("engine");
         assert!(outcome.verified);
     }
 

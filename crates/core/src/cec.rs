@@ -3,6 +3,7 @@
 //! verification.
 
 use crate::cnf::CnfEncoder;
+use crate::observe::{ObserverHandle, SatCallKind};
 use eco_aig::Aig;
 use eco_sat::{Lit, SolveResult, Solver};
 
@@ -54,6 +55,18 @@ impl CecResult {
 /// assert_eq!(check_equivalence(&f, &g, None), CecResult::Equivalent);
 /// ```
 pub fn check_equivalence(a: &Aig, b: &Aig, conflict_budget: Option<u64>) -> CecResult {
+    check_equivalence_observed(a, b, conflict_budget, &ObserverHandle::default())
+}
+
+/// [`check_equivalence`] with event emission: the SAT call (if the
+/// miter is not discharged structurally) reports as
+/// [`SatCallKind::Cec`], unattributed.
+pub(crate) fn check_equivalence_observed(
+    a: &Aig,
+    b: &Aig,
+    conflict_budget: Option<u64>,
+    obs: &ObserverHandle,
+) -> CecResult {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input count mismatch");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output count mismatch");
     // Build the miter in a fresh AIG so structural hashing can prove
@@ -81,7 +94,10 @@ pub fn check_equivalence(a: &Aig, b: &Aig, conflict_budget: Option<u64>) -> CecR
         .iter()
         .map(|&i| enc.lit(&miter, &mut solver, i))
         .collect();
-    match solver.solve(&[out_lit]) {
+    let before = obs.snapshot(&solver);
+    let result = solver.solve(&[out_lit]);
+    obs.sat_call(before, &solver, SatCallKind::Cec, None, result);
+    match result {
         SolveResult::Unsat => CecResult::Equivalent,
         SolveResult::Sat => {
             let cex = in_lits

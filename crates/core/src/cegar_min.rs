@@ -6,6 +6,7 @@
 
 use crate::cnf::CnfEncoder;
 use crate::error::EcoError;
+use crate::observe::{EcoEvent, ObserverHandle, SatCallKind};
 use eco_aig::{Aig, AigLit, NodeId};
 use eco_graph::{NodeCutGraph, INF};
 use eco_sat::{Lit, SolveResult, Solver};
@@ -56,7 +57,14 @@ pub fn cegar_min(
     bindings: &[AigLit],
     per_call_conflicts: Option<u64>,
 ) -> Result<CegarMinResult, EcoError> {
-    cegar_min_filtered(implementation, weight, &|_| true, patch, bindings, per_call_conflicts)
+    cegar_min_filtered(
+        implementation,
+        weight,
+        &|_| true,
+        patch,
+        bindings,
+        per_call_conflicts,
+    )
 }
 
 /// Like [`cegar_min`] but only implementation nodes passing `eligible`
@@ -72,6 +80,32 @@ pub fn cegar_min_filtered(
     bindings: &[AigLit],
     per_call_conflicts: Option<u64>,
 ) -> Result<CegarMinResult, EcoError> {
+    cegar_min_observed(
+        implementation,
+        weight,
+        eligible,
+        patch,
+        bindings,
+        per_call_conflicts,
+        &ObserverHandle::default(),
+        None,
+    )
+}
+
+/// [`cegar_min_filtered`] with event emission: equivalence queries
+/// report as [`SatCallKind::CegarMin`] attributed to `target_index`,
+/// and the completed round as [`EcoEvent::CegarMinRound`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cegar_min_observed(
+    implementation: &Aig,
+    weight: &dyn Fn(NodeId) -> u64,
+    eligible: &dyn Fn(NodeId) -> bool,
+    patch: &Aig,
+    bindings: &[AigLit],
+    per_call_conflicts: Option<u64>,
+    obs: &ObserverHandle,
+    target_index: Option<usize>,
+) -> Result<CegarMinResult, EcoError> {
     assert_eq!(patch.num_outputs(), 1, "patch must be single-output");
     assert_eq!(patch.num_inputs(), bindings.len(), "binding arity mismatch");
 
@@ -83,15 +117,17 @@ pub fn cegar_min_filtered(
     // patterns (4 words of 64).
     const ROUNDS: usize = 4;
     let mut seed = 0x00C0_FFEE_u64;
-    let mut signatures: Vec<[u64; ROUNDS]> = vec![[0; ROUNDS]; combined.num_nodes()];
-    for round in 0..ROUNDS {
-        let words: Vec<u64> =
-            (0..combined.num_inputs()).map(|_| splitmix(&mut seed)).collect();
-        let sim = combined.simulate(&words);
-        for (i, &w) in sim.iter().enumerate() {
-            signatures[i][round] = w;
-        }
-    }
+    let sims: Vec<Vec<u64>> = (0..ROUNDS)
+        .map(|_| {
+            let words: Vec<u64> = (0..combined.num_inputs())
+                .map(|_| splitmix(&mut seed))
+                .collect();
+            combined.simulate(&words)
+        })
+        .collect();
+    let signatures: Vec<[u64; ROUNDS]> = (0..combined.num_nodes())
+        .map(|i| std::array::from_fn(|round| sims[round][i]))
+        .collect();
     // Bucket implementation nodes by signature (both phases).
     use std::collections::HashMap;
     let mut buckets: HashMap<[u64; ROUNDS], Vec<(NodeId, bool)>> = HashMap::new();
@@ -124,7 +160,10 @@ pub fn cegar_min_filtered(
                 solver.set_budget(Some(c), None);
             }
             sat_calls += 1;
-            match solver.solve(&[x, y]) {
+            let before = obs.snapshot(solver);
+            let result = solver.solve(&[x, y]);
+            obs.sat_call(before, solver, SatCallKind::CegarMin, target_index, result);
+            match result {
                 SolveResult::Unsat => Some(true),
                 SolveResult::Sat => Some(false),
                 SolveResult::Unknown => None,
@@ -157,7 +196,9 @@ pub fn cegar_min_filtered(
         } else {
             sig
         };
-        let Some(cands) = buckets.get(&adjusted) else { continue };
+        let Some(cands) = buckets.get(&adjusted) else {
+            continue;
+        };
         let mut cands: Vec<(NodeId, bool)> = cands.clone();
         cands.sort_by_key(|&(n, _)| (weight(n), n.index()));
         cands.truncate(MAX_CANDIDATES);
@@ -226,7 +267,17 @@ pub fn cegar_min_filtered(
         }
         support.push(lit);
     }
-    Ok(CegarMinResult { aig: cone.aig, support, cost, sat_calls })
+    obs.emit(|| EcoEvent::CegarMinRound {
+        target_index,
+        sat_calls,
+        cost,
+    });
+    Ok(CegarMinResult {
+        aig: cone.aig,
+        support,
+        cost,
+        sat_calls,
+    })
 }
 
 #[cfg(test)]
@@ -257,7 +308,11 @@ mod tests {
         assert_eq!(r.support.len(), 1);
         assert_eq!(r.support[0].node(), x.node(), "collapses onto the xor node");
         assert_eq!(r.cost, 1);
-        assert_eq!(r.aig.num_ands(), 0, "patch is a bare (possibly inverted) wire");
+        assert_eq!(
+            r.aig.num_ands(),
+            0,
+            "patch is a bare (possibly inverted) wire"
+        );
         // Function preserved: patch(support) == a ^ b.
         for mask in 0..4u32 {
             let bits = [mask & 1 == 1, mask >> 1 & 1 == 1];
@@ -287,8 +342,7 @@ mod tests {
         // Function preserved.
         for mask in 0..4u32 {
             let bits = [mask & 1 == 1, mask >> 1 & 1 == 1];
-            let vals: Vec<bool> =
-                r.support.iter().map(|&l| im.eval_lit(&bits, l)).collect();
+            let vals: Vec<bool> = r.support.iter().map(|&l| im.eval_lit(&bits, l)).collect();
             assert_eq!(r.aig.eval(&vals)[0], bits[0] || bits[1]);
         }
     }
@@ -313,8 +367,7 @@ mod tests {
         // Verify function: output must equal a & b.
         for mask in 0..4u32 {
             let bits = [mask & 1 == 1, mask >> 1 & 1 == 1];
-            let vals: Vec<bool> =
-                r.support.iter().map(|&l| im.eval_lit(&bits, l)).collect();
+            let vals: Vec<bool> = r.support.iter().map(|&l| im.eval_lit(&bits, l)).collect();
             assert_eq!(r.aig.eval(&vals)[0], bits[0] && bits[1]);
         }
     }
@@ -355,8 +408,7 @@ mod tests {
         assert_eq!(nodes, expect);
         for mask in 0..8u32 {
             let bits = [mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1];
-            let vals: Vec<bool> =
-                r.support.iter().map(|&l| im.eval_lit(&bits, l)).collect();
+            let vals: Vec<bool> = r.support.iter().map(|&l| im.eval_lit(&bits, l)).collect();
             assert_eq!(r.aig.eval(&vals)[0], (bits[0] ^ bits[1]) && bits[2]);
         }
     }

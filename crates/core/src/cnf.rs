@@ -38,14 +38,20 @@ pub struct CnfEncoder {
 impl CnfEncoder {
     /// Creates an encoder for `aig` (no clauses are emitted yet).
     pub fn new(aig: &Aig) -> CnfEncoder {
-        CnfEncoder { var_of: vec![None; aig.num_nodes()], tag: 0 }
+        CnfEncoder {
+            var_of: vec![None; aig.num_nodes()],
+            tag: 0,
+        }
     }
 
     /// Creates an encoder whose emitted clauses carry a proof-partition
     /// tag (used with [`eco_sat::Solver::enable_proof`] for Craig
     /// interpolation).
     pub fn with_tag(aig: &Aig, tag: u8) -> CnfEncoder {
-        CnfEncoder { var_of: vec![None; aig.num_nodes()], tag }
+        CnfEncoder {
+            var_of: vec![None; aig.num_nodes()],
+            tag,
+        }
     }
 
     /// Returns the SAT literal for an AIG literal, emitting Tseitin
@@ -152,7 +158,11 @@ mod tests {
                 let mut wrong = assumptions.clone();
                 let pos = in_lits.len() + o;
                 wrong[pos] = if expect { !ol } else { ol };
-                assert_eq!(solver.solve(&wrong), SolveResult::Unsat, "row {row} out {o}");
+                assert_eq!(
+                    solver.solve(&wrong),
+                    SolveResult::Unsat,
+                    "row {row} out {o}"
+                );
             }
         }
     }
@@ -215,6 +225,6 @@ mod tests {
         // Only the xor-specific nodes should be new.
         assert!(solver.num_vars() > vars_after_first);
         assert!(solver.num_vars() - vars_after_first <= 3);
-        assert_eq!(enc.var(ab.node()).is_some(), true);
+        assert!(enc.var(ab.node()).is_some());
     }
 }

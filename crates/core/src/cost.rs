@@ -93,7 +93,7 @@ pub fn generate_weights(aig: &Aig, dist: WeightDistribution, seed: u64) -> Vec<u
                 // and node hash, giving chains of heavy nodes.
                 let mut s = seed ^ 0x7A57;
                 let stripe = splitmix(&mut s) % 7 + 2;
-                if (lv + node as u64) % stripe == 0 && in_region(node, seed ^ 1, 60) {
+                if (lv + node as u64).is_multiple_of(stripe) && in_region(node, seed ^ 1, 60) {
                     80
                 } else {
                     5
@@ -183,21 +183,28 @@ mod tests {
         // Among in-region nodes, T1 decreases with level and T2
         // increases; check the correlation sign on region members by
         // comparing the level-0 vs max-level members.
-        let shallow: Vec<usize> =
-            (0..g.num_nodes()).filter(|&i| levels[i] <= 2 && w1[i] != 10).collect();
-        let deep: Vec<usize> =
-            (0..g.num_nodes()).filter(|&i| levels[i] >= 30 && w1[i] != 10).collect();
+        let shallow: Vec<usize> = (0..g.num_nodes())
+            .filter(|&i| levels[i] <= 2 && w1[i] != 10)
+            .collect();
+        let deep: Vec<usize> = (0..g.num_nodes())
+            .filter(|&i| levels[i] >= 30 && w1[i] != 10)
+            .collect();
         if !shallow.is_empty() && !deep.is_empty() {
             let avg = |v: &[usize], w: &[u64]| -> f64 {
                 v.iter().map(|&i| w[i] as f64).sum::<f64>() / v.len() as f64
             };
             assert!(avg(&shallow, &w1) > avg(&deep, &w1), "T1 heavy near PIs");
-            let shallow2: Vec<usize> =
-                (0..g.num_nodes()).filter(|&i| levels[i] <= 2 && w2[i] != 10).collect();
-            let deep2: Vec<usize> =
-                (0..g.num_nodes()).filter(|&i| levels[i] >= 30 && w2[i] != 10).collect();
+            let shallow2: Vec<usize> = (0..g.num_nodes())
+                .filter(|&i| levels[i] <= 2 && w2[i] != 10)
+                .collect();
+            let deep2: Vec<usize> = (0..g.num_nodes())
+                .filter(|&i| levels[i] >= 30 && w2[i] != 10)
+                .collect();
             if !shallow2.is_empty() && !deep2.is_empty() {
-                assert!(avg(&deep2, &w2) > avg(&shallow2, &w2), "T2 heavy far from PIs");
+                assert!(
+                    avg(&deep2, &w2) > avg(&shallow2, &w2),
+                    "T2 heavy far from PIs"
+                );
             }
         }
     }

@@ -5,7 +5,8 @@
 use crate::cnf::CnfEncoder;
 use crate::error::EcoError;
 use crate::miter::QuantifiedMiter;
-use crate::support::minimize_assumptions;
+use crate::observe::{ObserverHandle, SatCallKind};
+use crate::support::minimize_assumptions_observed;
 use eco_aig::{Cube, CubeLit, NodeId, Sop};
 use eco_sat::{Lit, SolveResult, Solver};
 
@@ -48,6 +49,33 @@ pub fn enumerate_patch_sop(
     per_call_conflicts: Option<u64>,
     max_cubes: usize,
 ) -> Result<PatchSop, EcoError> {
+    let mut calls = 0u64;
+    enumerate_patch_sop_observed(
+        qm,
+        support,
+        target_index,
+        per_call_conflicts,
+        max_cubes,
+        &ObserverHandle::default(),
+        &mut calls,
+    )
+}
+
+/// [`enumerate_patch_sop`] with event emission: enumeration and
+/// disjointness queries report as [`SatCallKind::CubeEnumeration`], the
+/// prime-expansion shrink calls as [`SatCallKind::Minimize`], all
+/// attributed to `target_index`. `calls` is incremented eagerly so the
+/// caller's tally stays exact across budget aborts.
+pub(crate) fn enumerate_patch_sop_observed(
+    qm: &QuantifiedMiter,
+    support: &[NodeId],
+    target_index: usize,
+    per_call_conflicts: Option<u64>,
+    max_cubes: usize,
+    obs: &ObserverHandle,
+    calls: &mut u64,
+) -> Result<PatchSop, EcoError> {
+    let start_calls = *calls;
     let mut solver = Solver::new();
     let mut enc = CnfEncoder::new(&qm.aig);
     let out = enc.lit(&qm.aig, &mut solver, qm.output);
@@ -59,45 +87,62 @@ pub fn enumerate_patch_sop(
 
     let mut sop = Sop::zero(support.len());
     let mut minterms = 0u64;
-    let mut sat_calls = 0u64;
     let onset_base = [out, !n];
     let offset_base = vec![out, n];
 
     loop {
         if sop.len() > max_cubes {
-            return Err(EcoError::SolverBudgetExhausted { phase: "cube enumeration" });
+            return Err(EcoError::budget_exhausted("cube enumeration"));
         }
         if let Some(c) = per_call_conflicts {
             solver.set_budget(Some(c), None);
         }
-        sat_calls += 1;
-        match solver.solve(&onset_base) {
+        *calls += 1;
+        let before = obs.snapshot(&solver);
+        let onset = solver.solve(&onset_base);
+        obs.sat_call(
+            before,
+            &solver,
+            SatCallKind::CubeEnumeration,
+            Some(target_index),
+            onset,
+        );
+        match onset {
             SolveResult::Unsat => break,
-            SolveResult::Unknown => {
-                return Err(EcoError::SolverBudgetExhausted { phase: "cube enumeration" })
-            }
+            SolveResult::Unknown => return Err(EcoError::budget_exhausted("cube enumeration")),
             SolveResult::Sat => {
                 minterms += 1;
                 // Divisor literals at their satisfying values.
                 let mut lits: Vec<Lit> = d_lits
                     .iter()
-                    .map(|&l| if solver.model_value(l).is_true() { l } else { !l })
+                    .map(|&l| {
+                        if solver.model_value(l).is_true() {
+                            l
+                        } else {
+                            !l
+                        }
+                    })
                     .collect();
                 // The full minterm must be disjoint from the offset.
                 if let Some(c) = per_call_conflicts {
                     solver.set_budget(Some(c), None);
                 }
-                sat_calls += 1;
+                *calls += 1;
                 let mut check = offset_base.clone();
                 check.extend_from_slice(&lits);
-                match solver.solve(&check) {
-                    SolveResult::Sat => {
-                        return Err(EcoError::NoFeasibleSupport { target_index })
-                    }
+                let before = obs.snapshot(&solver);
+                let disjoint = solver.solve(&check);
+                obs.sat_call(
+                    before,
+                    &solver,
+                    SatCallKind::CubeEnumeration,
+                    Some(target_index),
+                    disjoint,
+                );
+                match disjoint {
+                    SolveResult::Sat => return Err(EcoError::NoFeasibleSupport { target_index }),
                     SolveResult::Unknown => {
-                        return Err(EcoError::SolverBudgetExhausted {
-                            phase: "cube expansion",
-                        })
+                        return Err(EcoError::budget_exhausted("cube expansion"))
                     }
                     SolveResult::Unsat => {}
                 }
@@ -106,9 +151,15 @@ pub fn enumerate_patch_sop(
                 if let Some(c) = per_call_conflicts {
                     solver.set_budget(Some(c.saturating_mul(32)), None);
                 }
-                let (kept, calls) =
-                    minimize_assumptions(&mut solver, &offset_base, &mut lits)?;
-                sat_calls += calls;
+                let kept = minimize_assumptions_observed(
+                    &mut solver,
+                    &offset_base,
+                    &mut lits,
+                    obs,
+                    SatCallKind::Minimize,
+                    Some(target_index),
+                    calls,
+                )?;
                 let cube_lits: Vec<CubeLit> = lits[..kept]
                     .iter()
                     .map(|&l| {
@@ -129,7 +180,11 @@ pub fn enumerate_patch_sop(
             }
         }
     }
-    Ok(PatchSop { sop, minterms, sat_calls })
+    Ok(PatchSop {
+        sop,
+        minterms,
+        sat_calls: *calls - start_calls,
+    })
 }
 
 #[cfg(test)]
@@ -187,10 +242,7 @@ mod tests {
     #[test]
     fn and_to_or_patch_over_inputs() {
         let p = simple_problem(|g, a, b, _| g.and(a, b), |g, a, b, _| g.or(a, b));
-        let support = vec![
-            p.implementation.inputs()[0],
-            p.implementation.inputs()[1],
-        ];
+        let support = vec![p.implementation.inputs()[0], p.implementation.inputs()[1]];
         let sop = check_patch(&p, &support);
         // The patch is exactly OR: two single-literal cubes.
         assert_eq!(sop.len(), 2);
@@ -200,10 +252,7 @@ mod tests {
     #[test]
     fn xor_patch_needs_two_literal_cubes() {
         let p = simple_problem(|g, a, b, _| g.and(a, b), |g, a, b, _| g.xor(a, b));
-        let support = vec![
-            p.implementation.inputs()[0],
-            p.implementation.inputs()[1],
-        ];
+        let support = vec![p.implementation.inputs()[0], p.implementation.inputs()[1]];
         let sop = check_patch(&p, &support);
         assert_eq!(sop.len(), 2);
         assert!(sop.cubes().iter().all(|c| c.len() == 2));
@@ -257,7 +306,10 @@ mod tests {
         let support = vec![p.implementation.inputs()[0]];
         let qm = crate::miter::QuantifiedMiter::build(&p, 0, &[], None);
         let err = enumerate_patch_sop(&qm, &support, 0, None, 64).unwrap_err();
-        assert!(matches!(err, EcoError::NoFeasibleSupport { target_index: 0 }));
+        assert!(matches!(
+            err,
+            EcoError::NoFeasibleSupport { target_index: 0 }
+        ));
     }
 
     #[test]

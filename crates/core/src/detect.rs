@@ -99,11 +99,12 @@ pub fn detect_targets(
     // Phase 0: already equivalent?
     match check_equivalence(implementation, specification, options.per_call_conflicts) {
         CecResult::Equivalent => {
-            return Ok(DetectedTargets { targets: Vec::new(), sufficient: true })
+            return Ok(DetectedTargets {
+                targets: Vec::new(),
+                sufficient: true,
+            })
         }
-        CecResult::Unknown => {
-            return Err(EcoError::SolverBudgetExhausted { phase: "detection CEC" })
-        }
+        CecResult::Unknown => return Err(EcoError::budget_exhausted("detection CEC")),
         CecResult::Counterexample(_) => {}
     }
 
@@ -177,15 +178,19 @@ pub fn detect_targets(
             options.per_call_conflicts,
         ) {
             QbfOutcome::Solvable { .. } => {
-                return Ok(DetectedTargets { targets, sufficient: true })
+                return Ok(DetectedTargets {
+                    targets,
+                    sufficient: true,
+                })
             }
             QbfOutcome::Unsolvable { .. } => {} // keep growing
-            QbfOutcome::Unknown => {
-                return Err(EcoError::SolverBudgetExhausted { phase: "detection QBF" })
-            }
+            QbfOutcome::Unknown => return Err(EcoError::budget_exhausted("detection QBF")),
         }
     }
-    Ok(DetectedTargets { targets, sufficient: false })
+    Ok(DetectedTargets {
+        targets,
+        sufficient: false,
+    })
 }
 
 /// Number of the 64 patterns in `words` on which flipping node `flip`
@@ -203,10 +208,10 @@ fn flip_repairs(implementation: &Aig, flip: NodeId, words: &[u64], spec_out: &[u
                 AigNode::Const0 => 0,
                 AigNode::Input { index } => words[index as usize],
                 AigNode::And { f0, f1 } => {
-                    let a = patched[f0.node().index()]
-                        ^ if f0.is_complement() { u64::MAX } else { 0 };
-                    let b = patched[f1.node().index()]
-                        ^ if f1.is_complement() { u64::MAX } else { 0 };
+                    let a =
+                        patched[f0.node().index()] ^ if f0.is_complement() { u64::MAX } else { 0 };
+                    let b =
+                        patched[f1.node().index()] ^ if f1.is_complement() { u64::MAX } else { 0 };
                     a & b
                 }
             }
@@ -253,9 +258,10 @@ mod tests {
         assert!(found.sufficient, "detected set must be sufficient");
         // The detected set need not equal the injected one, but the full
         // flow must produce a verified patch.
-        let problem =
-            EcoProblem::with_unit_weights(im, sp, found.targets).expect("valid");
-        let outcome = EcoEngine::new(EcoOptions::default()).run(&problem).expect("run");
+        let problem = EcoProblem::with_unit_weights(im, sp, found.targets).expect("valid");
+        let outcome = EcoEngine::new(EcoOptions::default())
+            .run(&problem)
+            .expect("run");
         assert!(outcome.verified);
         let _ = injected;
     }
@@ -267,9 +273,10 @@ mod tests {
         let found = detect_targets(&im, &sp, &DetectOptions::default()).expect("detect");
         assert!(found.sufficient);
         assert!(!found.targets.is_empty());
-        let problem =
-            EcoProblem::with_unit_weights(im, sp, found.targets).expect("valid");
-        let outcome = EcoEngine::new(EcoOptions::default()).run(&problem).expect("run");
+        let problem = EcoProblem::with_unit_weights(im, sp, found.targets).expect("valid");
+        let outcome = EcoEngine::new(EcoOptions::default())
+            .run(&problem)
+            .expect("run");
         assert!(outcome.verified);
     }
 
@@ -299,20 +306,16 @@ mod tests {
             z ^ (z >> 31)
         }
 
-        pub fn injected_instance(
-            gates: usize,
-            bugs: usize,
-            seed: u64,
-        ) -> (Aig, Aig, Vec<NodeId>) {
+        pub fn injected_instance(gates: usize, bugs: usize, seed: u64) -> (Aig, Aig, Vec<NodeId>) {
             let mut s = seed;
             let mut im = Aig::new();
             let inputs: Vec<AigLit> = (0..8).map(|_| im.add_input()).collect();
             let mut pool = inputs.clone();
             while im.num_ands() < gates {
-                let a = pool[(mix(&mut s) as usize) % pool.len()]
-                    .xor_complement(mix(&mut s) & 1 == 1);
-                let b = pool[(mix(&mut s) as usize) % pool.len()]
-                    .xor_complement(mix(&mut s) & 1 == 1);
+                let a =
+                    pool[(mix(&mut s) as usize) % pool.len()].xor_complement(mix(&mut s) & 1 == 1);
+                let b =
+                    pool[(mix(&mut s) as usize) % pool.len()].xor_complement(mix(&mut s) & 1 == 1);
                 let g = im.and(a, b);
                 if !g.is_const() {
                     pool.push(g);
@@ -323,8 +326,7 @@ mod tests {
             }
             // Choose bug nodes among ANDs feeding outputs.
             let tfi = im.tfi_mask(im.outputs().iter().map(|o| o.node()).collect::<Vec<_>>());
-            let cands: Vec<NodeId> =
-                im.iter_ands().filter(|n| tfi[n.index()]).collect();
+            let cands: Vec<NodeId> = im.iter_ands().filter(|n| tfi[n.index()]).collect();
             let fanouts = im.fanouts();
             let mut targets = Vec::new();
             let mut guard = 0;
@@ -349,7 +351,13 @@ mod tests {
                 let y = p.add_input();
                 let o = p.xor(x, y);
                 p.add_output(o);
-                patches.insert(t, NodePatch { aig: p, support: vec![d1.lit(), d2.lit()] });
+                patches.insert(
+                    t,
+                    NodePatch {
+                        aig: p,
+                        support: vec![d1.lit(), d2.lit()],
+                    },
+                );
             }
             let sp = im.substitute(&patches).expect("acyclic");
             (im, sp, targets)

@@ -36,7 +36,9 @@ pub fn netlist_patches(
     for idx in 0..netlist.num_nets() {
         let id = eco_netlist::NetId::from_index(idx);
         let lit = conversion.net_lits[idx];
-        name_of.entry(lit).or_insert_with(|| netlist.net_name(id).to_string());
+        name_of
+            .entry(lit)
+            .or_insert_with(|| netlist.net_name(id).to_string());
     }
     let support_name = |node: NodeId, complemented: bool| -> Option<String> {
         let lit = node.lit().xor_complement(complemented);
@@ -66,7 +68,10 @@ pub fn netlist_patches(
                 let out = aig.outputs()[0];
                 aig.set_output(0, !out);
             }
-            Some(NamedPatch { target_net, patch: NetlistPatch { aig, support } })
+            Some(NamedPatch {
+                target_net,
+                patch: NetlistPatch { aig, support },
+            })
         })
         .collect()
 }
@@ -105,15 +110,12 @@ mod tests {
         let parsed = parse_verilog(impl_src).expect("impl");
         let spec = parse_verilog(spec_src).expect("spec").netlist;
         let names: Vec<&str> = parsed.targets.iter().map(String::as_str).collect();
-        let problem = EcoProblem::from_netlists(
-            &parsed.netlist,
-            &spec,
-            &names,
-            &WeightTable::new(),
-            5,
-        )
-        .expect("problem");
-        let outcome = EcoEngine::new(EcoOptions::default()).run(&problem).expect("run");
+        let problem =
+            EcoProblem::from_netlists(&parsed.netlist, &spec, &names, &WeightTable::new(), 5)
+                .expect("problem");
+        let outcome = EcoEngine::new(EcoOptions::default())
+            .run(&problem)
+            .expect("run");
         assert!(outcome.verified);
 
         let conversion = parsed.netlist.to_aig().expect("valid");
@@ -162,15 +164,12 @@ mod tests {
         let parsed = parse_verilog(impl_src).expect("impl");
         let spec = parse_verilog(spec_src).expect("spec").netlist;
         let names: Vec<&str> = parsed.targets.iter().map(String::as_str).collect();
-        let problem = EcoProblem::from_netlists(
-            &parsed.netlist,
-            &spec,
-            &names,
-            &WeightTable::new(),
-            5,
-        )
-        .expect("problem");
-        let outcome = EcoEngine::new(EcoOptions::default()).run(&problem).expect("run");
+        let problem =
+            EcoProblem::from_netlists(&parsed.netlist, &spec, &names, &WeightTable::new(), 5)
+                .expect("problem");
+        let outcome = EcoEngine::new(EcoOptions::default())
+            .run(&problem)
+            .expect("run");
         assert!(outcome.verified);
         let conversion = parsed.netlist.to_aig().expect("valid");
         let named = netlist_patches(&outcome, &names, &parsed.netlist, &conversion);
@@ -178,7 +177,9 @@ mod tests {
         // Splice every nameable patch in order; the result must match.
         let mut current = parsed.netlist.clone();
         for (i, entry) in named.iter().enumerate() {
-            let entry = entry.as_ref().unwrap_or_else(|| panic!("patch {i} nameable"));
+            let entry = entry
+                .as_ref()
+                .unwrap_or_else(|| panic!("patch {i} nameable"));
             current = current
                 .insert_patch(&entry.target_net, &entry.patch, &format!("eco{i}"))
                 .expect("insert");

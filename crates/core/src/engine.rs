@@ -2,21 +2,26 @@
 //! windowing, per-target quantification, support computation, cube
 //! enumeration, structural fallback, substitution, and verification.
 
-use crate::cec::{check_equivalence, CecResult};
-use crate::cegar_min::cegar_min_filtered;
+use crate::cec::{check_equivalence_observed, CecResult};
+use crate::cegar_min::cegar_min_observed;
 use crate::cnf::CnfEncoder;
-use crate::cubes::enumerate_patch_sop;
+use crate::cubes::enumerate_patch_sop_observed;
 use crate::error::EcoError;
 use crate::exact::{sat_prune_support, SatPruneOptions};
 use crate::miter::{EcoMiter, QuantifiedMiter};
+use crate::observe::{
+    EcoEvent, EcoObserver, MetricsObserver, ObserverHandle, Phase, RunMetrics, SatCallKind,
+};
 use crate::problem::EcoProblem;
-use crate::qbf::{check_targets_sufficient, QbfOutcome};
+use crate::qbf::{check_targets_sufficient_observed, QbfOutcome};
 use crate::structural::structural_patch;
 use crate::support::{support_solver_for, SupportResult};
 use crate::window::{compute_divisors, compute_window, Window};
 use eco_aig::{factor_sop, Aig, AigLit, NodeId, NodePatch};
 use eco_sat::{SolveResult, Solver};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How patch supports are computed (the three columns of Table 1).
@@ -35,7 +40,13 @@ pub enum SupportMethod {
 }
 
 /// Engine configuration.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`EcoOptions::default`]
+/// and mutate fields, or use [`EcoOptions::builder`] for a chainable
+/// API. Struct-literal construction outside this crate does not
+/// compile, which lets new knobs land without a semver break.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct EcoOptions {
     /// Support computation method.
     pub method: SupportMethod,
@@ -88,6 +99,123 @@ impl Default for EcoOptions {
             sat_prune: SatPruneOptions::default(),
             verify: true,
         }
+    }
+}
+
+impl EcoOptions {
+    /// Starts a builder seeded with [`EcoOptions::default`].
+    pub fn builder() -> EcoOptionsBuilder {
+        EcoOptionsBuilder::default()
+    }
+}
+
+/// Chainable constructor for [`EcoOptions`].
+///
+/// Every method overrides one field; unset fields keep their
+/// [`EcoOptions::default`] value.
+///
+/// # Examples
+///
+/// ```
+/// use eco_core::{EcoOptions, SupportMethod};
+///
+/// let opts = EcoOptions::builder()
+///     .method(SupportMethod::SatPrune)
+///     .per_call_conflicts(Some(500_000))
+///     .verify(false)
+///     .build();
+/// assert_eq!(opts.method, SupportMethod::SatPrune);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EcoOptionsBuilder {
+    options: EcoOptions,
+}
+
+impl EcoOptionsBuilder {
+    /// Sets the support computation method.
+    pub fn method(mut self, method: SupportMethod) -> Self {
+        self.options.method = method;
+        self
+    }
+
+    /// Enables or disables `CEGAR_min` resubstitution of structural
+    /// patches.
+    pub fn cegar_min(mut self, enabled: bool) -> Self {
+        self.options.cegar_min = enabled;
+        self
+    }
+
+    /// Sets the per-SAT-call conflict budget (`None` = unlimited).
+    pub fn per_call_conflicts(mut self, budget: Option<u64>) -> Self {
+        self.options.per_call_conflicts = budget;
+        self
+    }
+
+    /// Sets the iteration cap for the 2QBF sufficiency check.
+    pub fn qbf_max_iterations(mut self, cap: usize) -> Self {
+        self.options.qbf_max_iterations = cap;
+        self
+    }
+
+    /// Sets the remaining-target count up to which quantification
+    /// expands all `2^r` assignments.
+    pub fn exact_quantification_threshold(mut self, threshold: usize) -> Self {
+        self.options.exact_quantification_threshold = threshold;
+        self
+    }
+
+    /// Sets the cap on candidate divisors per target.
+    pub fn max_divisors(mut self, cap: usize) -> Self {
+        self.options.max_divisors = cap;
+        self
+    }
+
+    /// Sets the cap on last-gasp replacement attempts.
+    pub fn last_gasp_tries(mut self, tries: usize) -> Self {
+        self.options.last_gasp_tries = tries;
+        self
+    }
+
+    /// Sets the cap on enumerated SOP cubes per patch.
+    pub fn max_cubes(mut self, cap: usize) -> Self {
+        self.options.max_cubes = cap;
+        self
+    }
+
+    /// Sets the cap on quantification-refinement assignments.
+    pub fn max_refinements(mut self, cap: usize) -> Self {
+        self.options.max_refinements = cap;
+        self
+    }
+
+    /// Sets the conflict budget for `CEGAR_min` equivalence queries.
+    pub fn cegar_min_conflicts(mut self, budget: Option<u64>) -> Self {
+        self.options.cegar_min_conflicts = budget;
+        self
+    }
+
+    /// Enables or disables the structural fallback on budget
+    /// exhaustion.
+    pub fn structural_fallback(mut self, enabled: bool) -> Self {
+        self.options.structural_fallback = enabled;
+        self
+    }
+
+    /// Sets the `SAT_prune` sub-options.
+    pub fn sat_prune(mut self, options: SatPruneOptions) -> Self {
+        self.options.sat_prune = options;
+        self
+    }
+
+    /// Enables or disables the final equivalence check.
+    pub fn verify(mut self, enabled: bool) -> Self {
+        self.options.verify = enabled;
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> EcoOptions {
+        self.options
     }
 }
 
@@ -166,6 +294,9 @@ pub struct EcoOutcome {
     /// The applied patches, in processing order (excludes
     /// trivially-dead targets).
     pub patches: Vec<AppliedPatch>,
+    /// Aggregated run telemetry, present when the engine was built
+    /// with [`EcoEngine::with_metrics`].
+    pub metrics: Option<RunMetrics>,
 }
 
 /// The resource-aware ECO patch engine.
@@ -190,20 +321,66 @@ pub struct EcoOutcome {
 /// sp.add_output(o);
 ///
 /// let problem = EcoProblem::with_unit_weights(im, sp, vec![target])?;
-/// let outcome = EcoEngine::new(EcoOptions::default()).run(&problem)?;
+/// let options = EcoOptions::builder().build();
+/// let outcome = EcoEngine::new(options).run(&problem)?;
 /// assert!(outcome.verified);
 /// # Ok::<(), eco_core::EcoError>(())
 /// ```
-#[derive(Clone, Debug, Default)]
+///
+/// Attach observers with [`EcoEngine::with_observer`] to stream
+/// [`EcoEvent`]s, or call [`EcoEngine::with_metrics`] to aggregate a
+/// [`RunMetrics`] into [`EcoOutcome::metrics`].
+#[derive(Clone, Default)]
 pub struct EcoEngine {
     /// Configuration used by [`EcoEngine::run`].
     pub options: EcoOptions,
+    observers: Vec<Arc<Mutex<dyn EcoObserver + Send>>>,
+    collect_metrics: bool,
+}
+
+impl fmt::Debug for EcoEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EcoEngine")
+            .field("options", &self.options)
+            .field("observers", &self.observers.len())
+            .field("collect_metrics", &self.collect_metrics)
+            .finish()
+    }
 }
 
 impl EcoEngine {
     /// Creates an engine with the given options.
     pub fn new(options: EcoOptions) -> EcoEngine {
-        EcoEngine { options }
+        EcoEngine {
+            options,
+            observers: Vec::new(),
+            collect_metrics: false,
+        }
+    }
+
+    /// Attaches an observer; every [`EcoEvent`] of subsequent
+    /// [`EcoEngine::run`] calls is delivered to it. Repeated calls
+    /// compose (all observers see every event).
+    pub fn with_observer<O: EcoObserver + Send + 'static>(mut self, observer: O) -> EcoEngine {
+        self.observers.push(Arc::new(Mutex::new(observer)));
+        self
+    }
+
+    /// Attaches a shared observer, for callers that need to keep a
+    /// handle to it (e.g. to inspect accumulated state after `run`).
+    pub fn with_shared_observer(
+        mut self,
+        observer: Arc<Mutex<dyn EcoObserver + Send>>,
+    ) -> EcoEngine {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Aggregates a [`MetricsObserver`] internally and attaches the
+    /// resulting [`RunMetrics`] to [`EcoOutcome::metrics`].
+    pub fn with_metrics(mut self) -> EcoEngine {
+        self.collect_metrics = true;
+        self
     }
 
     /// Runs the full flow on `problem`.
@@ -220,39 +397,75 @@ impl EcoEngine {
         let t0 = Instant::now();
         let opts = &self.options;
 
+        let mut sinks = self.observers.clone();
+        let metrics_sink = if self.collect_metrics {
+            let sink = Arc::new(Mutex::new(MetricsObserver::new()));
+            sinks.push(sink.clone() as Arc<Mutex<dyn EcoObserver + Send>>);
+            Some(sink)
+        } else {
+            None
+        };
+        let obs = ObserverHandle::new(sinks);
+        obs.emit(|| EcoEvent::RunStarted {
+            num_targets: problem.targets.len(),
+            per_call_conflicts: opts.per_call_conflicts,
+        });
+
         // Phase 1: verify the target set is sufficient (Sec. 3.2).
-        let certificates: Option<Vec<Vec<bool>>> =
-            match check_targets_sufficient(problem, opts.qbf_max_iterations, opts.per_call_conflicts)
-            {
-                QbfOutcome::Solvable { certificates, .. } => Some(certificates),
-                QbfOutcome::Unsolvable { witness } => {
-                    return Err(EcoError::TargetsInsufficient { witness })
+        obs.emit(|| EcoEvent::PhaseStarted {
+            phase: Phase::SufficiencyCheck,
+        });
+        let phase_t = Instant::now();
+        let certificates: Option<Vec<Vec<bool>>> = match check_targets_sufficient_observed(
+            problem,
+            opts.qbf_max_iterations,
+            opts.per_call_conflicts,
+            &obs,
+        ) {
+            QbfOutcome::Solvable { certificates, .. } => Some(certificates),
+            QbfOutcome::Unsolvable { witness } => {
+                return Err(EcoError::TargetsInsufficient { witness })
+            }
+            QbfOutcome::Unknown => {
+                if opts.structural_fallback {
+                    None // assume solvable; final verification guards
+                } else {
+                    return Err(EcoError::budget_exhausted("sufficiency check"));
                 }
-                QbfOutcome::Unknown => {
-                    if opts.structural_fallback {
-                        None // assume solvable; final verification guards
-                    } else {
-                        return Err(EcoError::SolverBudgetExhausted {
-                            phase: "sufficiency check",
-                        });
-                    }
-                }
-            };
+            }
+        };
         let qbf_certificates = certificates.as_ref().map_or(0, Vec::len);
+        obs.emit(|| EcoEvent::PhaseFinished {
+            phase: Phase::SufficiencyCheck,
+            elapsed: phase_t.elapsed(),
+        });
 
         // Phase 2: structural pruning over the original target set
         // (Sec. 3.3). The window is fixed for the whole run so the
         // per-step Herbrand argument applies to one output set.
+        obs.emit(|| EcoEvent::PhaseStarted {
+            phase: Phase::Windowing,
+        });
+        let phase_t = Instant::now();
         let window = compute_window(problem);
+        obs.emit(|| EcoEvent::PhaseFinished {
+            phase: Phase::Windowing,
+            elapsed: phase_t.elapsed(),
+        });
 
         // Phase 3: one target at a time (Sec. 3.1).
+        obs.emit(|| EcoEvent::PhaseStarted {
+            phase: Phase::PatchGeneration,
+        });
+        let phase_t = Instant::now();
         let mut work = problem.clone();
         let mut remaining_original: Vec<usize> = (0..work.targets.len()).collect();
         let mut reports: Vec<TargetPatchReport> = Vec::new();
         let mut applied: Vec<AppliedPatch> = Vec::new();
         // Identity of each work node in the original implementation.
-        let mut orig_of: Vec<Option<NodeId>> =
-            (0..work.implementation.num_nodes()).map(|i| Some(NodeId::from_index(i))).collect();
+        let mut orig_of: Vec<Option<NodeId>> = (0..work.implementation.num_nodes())
+            .map(|i| Some(NodeId::from_index(i)))
+            .collect();
 
         while !work.targets.is_empty() {
             let original_index = remaining_original[0];
@@ -274,25 +487,45 @@ impl EcoEngine {
                 }
             };
 
+            let target_t = Instant::now();
+            obs.emit(|| EcoEvent::TargetStarted {
+                target_index: original_index,
+            });
+            // SAT calls spent on this target so far, across failed
+            // attempts: carried into the fallback report so events and
+            // counters stay reconciled.
+            let mut spent = 0u64;
             let sat_attempt = self.sat_patch_for_first_target(
                 &work,
                 &window,
                 &mut assignments,
                 exact,
                 original_index,
+                &mut spent,
+                &obs,
             );
             let (patch, report) = match sat_attempt {
                 Ok(ok) => ok,
                 Err(EcoError::SolverBudgetExhausted { .. }) if opts.structural_fallback => {
+                    obs.emit(|| EcoEvent::StructuralFallback {
+                        target_index: original_index,
+                    });
                     self.structural_patch_for_first_target(
                         &work,
                         &window,
                         &assignments,
                         original_index,
+                        spent,
+                        &obs,
                     )?
                 }
                 Err(e) => return Err(e),
             };
+            obs.emit(|| EcoEvent::TargetFinished {
+                target_index: original_index,
+                sat_calls: report.sat_calls,
+                elapsed: target_t.elapsed(),
+            });
 
             // Record the applied patch before metadata remapping.
             applied.push(AppliedPatch {
@@ -314,7 +547,9 @@ impl EcoEngine {
             let sub = work
                 .implementation
                 .substitute_protected(&patches, &protected)
-                .map_err(|e| EcoError::CyclicPatch { message: e.to_string() })?;
+                .map_err(|e| EcoError::CyclicPatch {
+                    message: e.to_string(),
+                })?;
             let mut new_weights = vec![work.default_weight; sub.aig.num_nodes()];
             for (old, mapped) in sub.node_map.iter().enumerate() {
                 if let Some(lit) = mapped {
@@ -368,22 +603,44 @@ impl EcoEngine {
             remaining_original = new_original;
         }
 
+        obs.emit(|| EcoEvent::PhaseFinished {
+            phase: Phase::PatchGeneration,
+            elapsed: phase_t.elapsed(),
+        });
+
         // Phase 4: verification.
+        obs.emit(|| EcoEvent::PhaseStarted {
+            phase: Phase::Verification,
+        });
+        let phase_t = Instant::now();
         let verified = if opts.verify {
-            match check_equivalence(
+            match check_equivalence_observed(
                 &work.implementation,
                 &problem.specification,
                 opts.per_call_conflicts.map(|c| c.saturating_mul(8)),
+                &obs,
             ) {
                 CecResult::Equivalent => true,
                 CecResult::Counterexample(cex) => {
-                    return Err(EcoError::VerificationFailed { counterexample: cex })
+                    return Err(EcoError::VerificationFailed {
+                        counterexample: cex,
+                    })
                 }
                 CecResult::Unknown => false,
             }
         } else {
             false
         };
+        obs.emit(|| EcoEvent::PhaseFinished {
+            phase: Phase::Verification,
+            elapsed: phase_t.elapsed(),
+        });
+
+        obs.emit(|| EcoEvent::RunFinished {
+            elapsed: t0.elapsed(),
+        });
+        let metrics =
+            metrics_sink.and_then(|sink| sink.lock().ok().map(|guard| guard.metrics().clone()));
 
         let total_cost = reports.iter().map(|r| r.cost).sum();
         let total_gates = reports.iter().map(|r| r.gates).sum();
@@ -396,12 +653,21 @@ impl EcoEngine {
             elapsed: t0.elapsed(),
             qbf_certificates,
             patches: applied,
+            metrics,
         })
     }
 
     /// SAT path for `work.targets[0]`: feasibility (with CEGAR
     /// quantification refinement when approximate), support
     /// computation, cube enumeration, factoring.
+    ///
+    /// `spent` accumulates every SAT call made on behalf of this
+    /// target — including calls from refinement iterations whose
+    /// support solver is discarded, and calls made before an error —
+    /// so the final report (or the structural-fallback report built
+    /// from `spent` after an `Err`) matches the emitted
+    /// [`EcoEvent::SatCall`] stream exactly.
+    #[allow(clippy::too_many_arguments)]
     fn sat_patch_for_first_target(
         &self,
         work: &EcoProblem,
@@ -409,6 +675,8 @@ impl EcoEngine {
         assignments: &mut Vec<Vec<bool>>,
         exact: bool,
         original_index: usize,
+        spent: &mut u64,
+        obs: &ObserverHandle,
     ) -> Result<(NodePatch, TargetPatchReport), EcoError> {
         let opts = &self.options;
         loop {
@@ -417,46 +685,84 @@ impl EcoEngine {
                 compute_divisors(&work.implementation, &work.targets, &window.inputs);
             divisors.sort_by_key(|d| (work.weight(*d), d.index()));
             divisors.truncate(opts.max_divisors);
-            let mut ss =
-                support_solver_for(work, &qm, &divisors, opts.per_call_conflicts);
-            if !ss.all_feasible()? {
-                if exact {
-                    return Err(EcoError::NoFeasibleSupport { target_index: original_index });
-                }
-                if assignments.len() >= opts.max_refinements {
-                    return Err(EcoError::SolverBudgetExhausted {
-                        phase: "quantification refinement",
-                    });
-                }
-                let (x1, x2) = ss.infeasibility_witness();
-                if !self.refine_assignments(work, window, assignments, &x1, &x2)? {
-                    // Neither witness is spurious: genuinely infeasible.
-                    return Err(EcoError::NoFeasibleSupport { target_index: original_index });
-                }
-                continue;
-            }
-            let support: SupportResult = match opts.method {
-                SupportMethod::AnalyzeFinal => ss.analyze_final_support()?,
-                SupportMethod::MinimizeAssumptions => {
-                    ss.minimized_support(opts.last_gasp_tries)?
-                }
-                SupportMethod::SatPrune => {
-                    let seed = ss.minimized_support(opts.last_gasp_tries)?;
-                    sat_prune_support(&mut ss, Some(seed), opts.sat_prune)?.support
+            let mut ss = support_solver_for(work, &qm, &divisors, opts.per_call_conflicts);
+            ss.set_observer(obs.clone(), Some(original_index));
+            let feasible = match ss.all_feasible() {
+                Ok(f) => f,
+                Err(e) => {
+                    *spent += ss.sat_calls;
+                    return Err(e);
                 }
             };
-            let support_nodes: Vec<NodeId> =
-                support.divisor_indices.iter().map(|&i| divisors[i]).collect();
-            let sop = enumerate_patch_sop(
+            if !feasible {
+                if exact {
+                    *spent += ss.sat_calls;
+                    return Err(EcoError::NoFeasibleSupport {
+                        target_index: original_index,
+                    });
+                }
+                if assignments.len() >= opts.max_refinements {
+                    *spent += ss.sat_calls;
+                    return Err(EcoError::budget_exhausted("quantification refinement"));
+                }
+                let (x1, x2) = ss.infeasibility_witness();
+                *spent += ss.sat_calls;
+                if !self.refine_assignments(
+                    work,
+                    window,
+                    assignments,
+                    &x1,
+                    &x2,
+                    original_index,
+                    spent,
+                    obs,
+                )? {
+                    // Neither witness is spurious: genuinely infeasible.
+                    return Err(EcoError::NoFeasibleSupport {
+                        target_index: original_index,
+                    });
+                }
+                obs.emit(|| EcoEvent::QuantificationRefinement {
+                    target_index: original_index,
+                    assignments: assignments.len(),
+                });
+                continue;
+            }
+            let computed = match opts.method {
+                SupportMethod::AnalyzeFinal => ss.analyze_final_support(),
+                SupportMethod::MinimizeAssumptions => ss.minimized_support(opts.last_gasp_tries),
+                SupportMethod::SatPrune => ss
+                    .minimized_support(opts.last_gasp_tries)
+                    .and_then(|seed| sat_prune_support(&mut ss, Some(seed), opts.sat_prune))
+                    .map(|r| r.support),
+            };
+            let support: SupportResult = match computed {
+                Ok(s) => s,
+                Err(e) => {
+                    *spent += ss.sat_calls;
+                    return Err(e);
+                }
+            };
+            let support_nodes: Vec<NodeId> = support
+                .divisor_indices
+                .iter()
+                .map(|&i| divisors[i])
+                .collect();
+            *spent += ss.sat_calls;
+            let sop = enumerate_patch_sop_observed(
                 &qm,
                 &support_nodes,
                 original_index,
                 opts.per_call_conflicts,
                 opts.max_cubes,
+                obs,
+                spent,
             )?;
             let mut patch_aig = Aig::new();
-            let sup_lits: Vec<AigLit> =
-                support_nodes.iter().map(|_| patch_aig.add_input()).collect();
+            let sup_lits: Vec<AigLit> = support_nodes
+                .iter()
+                .map(|_| patch_aig.add_input())
+                .collect();
             let root = factor_sop(&mut patch_aig, &sop.sop, &sup_lits);
             patch_aig.add_output(root);
             let gates = patch_aig.num_ands();
@@ -471,7 +777,7 @@ impl EcoEngine {
                 cost: support.cost,
                 gates,
                 cubes: Some(sop.sop.len()),
-                sat_calls: ss.sat_calls + sop.sat_calls,
+                sat_calls: *spent,
             };
             return Ok((patch, report));
         }
@@ -479,6 +785,7 @@ impl EcoEngine {
 
     /// Adds quantification assignments refuting spurious infeasibility
     /// witnesses. Returns `false` when neither witness is spurious.
+    #[allow(clippy::too_many_arguments)]
     fn refine_assignments(
         &self,
         work: &EcoProblem,
@@ -486,6 +793,9 @@ impl EcoEngine {
         assignments: &mut Vec<Vec<bool>>,
         x1: &[bool],
         x2: &[bool],
+        target_index: usize,
+        spent: &mut u64,
+        obs: &ObserverHandle,
     ) -> Result<bool, EcoError> {
         let miter = EcoMiter::build(work, Some(&window.outputs));
         let mut solver = Solver::new();
@@ -513,10 +823,18 @@ impl EcoEngine {
             if let Some(c) = self.options.per_call_conflicts {
                 solver.set_budget(Some(c), None);
             }
-            match solver.solve(&assumptions) {
-                SolveResult::Unknown => {
-                    return Err(EcoError::SolverBudgetExhausted { phase: "refinement" })
-                }
+            *spent += 1;
+            let before = obs.snapshot(&solver);
+            let result = solver.solve(&assumptions);
+            obs.sat_call(
+                before,
+                &solver,
+                SatCallKind::Refinement,
+                Some(target_index),
+                result,
+            );
+            match result {
+                SolveResult::Unknown => return Err(EcoError::budget_exhausted("refinement")),
                 SolveResult::Unsat => {} // genuine: no fixing assignment
                 SolveResult::Sat => {
                     let assignment: Vec<bool> = n_lits[1..]
@@ -535,12 +853,19 @@ impl EcoEngine {
 
     /// Structural fallback for `work.targets[0]` (Sec. 3.6), optionally
     /// improved by `CEGAR_min`.
+    ///
+    /// `spent` carries the SAT calls already charged to this target by
+    /// the failed SAT attempt; they stay in the report so counters and
+    /// emitted events reconcile.
+    #[allow(clippy::too_many_arguments)]
     fn structural_patch_for_first_target(
         &self,
         work: &EcoProblem,
         window: &Window,
         assignments: &[Vec<bool>],
         original_index: usize,
+        spent: u64,
+        obs: &ObserverHandle,
     ) -> Result<(NodePatch, TargetPatchReport), EcoError> {
         let opts = &self.options;
         let qm = QuantifiedMiter::build(work, 0, assignments, Some(&window.outputs));
@@ -552,17 +877,20 @@ impl EcoEngine {
             .collect();
         if opts.cegar_min {
             let fanouts = work.implementation.fanouts();
-            let tfo =
-                work.implementation.tfo_mask(work.targets.iter().copied(), &fanouts);
+            let tfo = work
+                .implementation
+                .tfo_mask(work.targets.iter().copied(), &fanouts);
             let weight = |n: NodeId| work.weight(n);
             let eligible = |n: NodeId| !tfo[n.index()];
-            let cm = cegar_min_filtered(
+            let cm = cegar_min_observed(
                 &work.implementation,
                 &weight,
                 &eligible,
                 &sp.aig,
                 &bindings,
                 opts.cegar_min_conflicts,
+                obs,
+                Some(original_index),
             )?;
             let gates = cm.aig.num_ands();
             let support_size = cm.support.len();
@@ -573,9 +901,15 @@ impl EcoEngine {
                 cost: cm.cost,
                 gates,
                 cubes: None,
-                sat_calls: cm.sat_calls,
+                sat_calls: spent + cm.sat_calls,
             };
-            Ok((NodePatch { aig: cm.aig, support: cm.support }, report))
+            Ok((
+                NodePatch {
+                    aig: cm.aig,
+                    support: cm.support,
+                },
+                report,
+            ))
         } else {
             let distinct: HashSet<NodeId> = bindings.iter().map(|l| l.node()).collect();
             let cost = distinct.iter().map(|&n| work.weight(n)).sum();
@@ -587,9 +921,15 @@ impl EcoEngine {
                 cost,
                 gates,
                 cubes: None,
-                sat_calls: 0,
+                sat_calls: spent,
             };
-            Ok((NodePatch { aig: sp.aig, support: bindings }, report))
+            Ok((
+                NodePatch {
+                    aig: sp.aig,
+                    support: bindings,
+                },
+                report,
+            ))
         }
     }
 }
@@ -618,6 +958,7 @@ fn project_certificates(certificates: &[Vec<bool>], remaining: &[usize]) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cec::check_equivalence;
 
     fn and_vs_or_problem() -> EcoProblem {
         let mut im = Aig::new();
@@ -633,7 +974,7 @@ mod tests {
     }
 
     fn run_with(method: SupportMethod, p: &EcoProblem) -> EcoOutcome {
-        let options = EcoOptions { method, ..EcoOptions::default() };
+        let options = EcoOptions::builder().method(method).build();
         EcoEngine::new(options).run(p).expect("engine run")
     }
 
@@ -665,8 +1006,7 @@ mod tests {
         let (a, _b, c) = (sp.add_input(), sp.add_input(), sp.add_input());
         let y = sp.xor(a, c);
         sp.add_output(y);
-        let p = EcoProblem::with_unit_weights(im, sp, vec![t1.node(), t2.node()])
-            .expect("valid");
+        let p = EcoProblem::with_unit_weights(im, sp, vec![t1.node(), t2.node()]).expect("valid");
         for m in [
             SupportMethod::AnalyzeFinal,
             SupportMethod::MinimizeAssumptions,
@@ -698,12 +1038,11 @@ mod tests {
     #[test]
     fn structural_fallback_on_zero_budget() {
         let p = and_vs_or_problem();
-        let options = EcoOptions {
-            per_call_conflicts: Some(0),
-            cegar_min: false,
-            verify: false,
-            ..EcoOptions::default()
-        };
+        let options = EcoOptions::builder()
+            .per_call_conflicts(Some(0))
+            .cegar_min(false)
+            .verify(false)
+            .build();
         let out = EcoEngine::new(options).run(&p).expect("fallback run");
         assert_eq!(out.reports[0].kind, PatchKind::Structural);
         // Check equivalence out-of-band (the in-run verify had no budget).
@@ -716,12 +1055,11 @@ mod tests {
     #[test]
     fn structural_fallback_with_cegar_min() {
         let p = and_vs_or_problem();
-        let options = EcoOptions {
-            per_call_conflicts: Some(0),
-            cegar_min: true,
-            verify: false,
-            ..EcoOptions::default()
-        };
+        let options = EcoOptions::builder()
+            .per_call_conflicts(Some(0))
+            .cegar_min(true)
+            .verify(false)
+            .build();
         let out = EcoEngine::new(options).run(&p).expect("fallback run");
         assert_eq!(out.reports[0].kind, PatchKind::StructuralCegarMin);
         assert_eq!(
@@ -760,7 +1098,12 @@ mod tests {
         // projected certificate sets start incomplete, so the CEGAR
         // refinement loop must supply missing assignments.
         let mut im = Aig::new();
-        let (a, b, c, d) = (im.add_input(), im.add_input(), im.add_input(), im.add_input());
+        let (a, b, c, d) = (
+            im.add_input(),
+            im.add_input(),
+            im.add_input(),
+            im.add_input(),
+        );
         let t1 = im.and(a, b);
         let t2 = im.and(c, d);
         let t3 = im.and(a, !c);
@@ -769,7 +1112,12 @@ mod tests {
         im.add_output(y1);
         im.add_output(y2);
         let mut sp = Aig::new();
-        let (a, b, c, d) = (sp.add_input(), sp.add_input(), sp.add_input(), sp.add_input());
+        let (a, b, c, d) = (
+            sp.add_input(),
+            sp.add_input(),
+            sp.add_input(),
+            sp.add_input(),
+        );
         let u1 = sp.xor(a, b);
         let u2 = sp.or(c, d);
         let y1 = sp.and(u1, u2);
@@ -777,16 +1125,11 @@ mod tests {
         let y2 = sp.or(u1, c);
         sp.add_output(y1);
         sp.add_output(y2);
-        let p = EcoProblem::with_unit_weights(
-            im,
-            sp,
-            vec![t1.node(), t2.node(), t3.node()],
-        )
-        .expect("valid");
-        let options = EcoOptions {
-            exact_quantification_threshold: 0,
-            ..EcoOptions::default()
-        };
+        let p = EcoProblem::with_unit_weights(im, sp, vec![t1.node(), t2.node(), t3.node()])
+            .expect("valid");
+        let options = EcoOptions::builder()
+            .exact_quantification_threshold(0)
+            .build();
         match EcoEngine::new(options).run(&p) {
             Ok(out) => assert!(out.verified, "refined quantification must verify"),
             Err(EcoError::TargetsInsufficient { .. }) => {
@@ -807,7 +1150,10 @@ mod tests {
         assert_eq!(ap.support.len(), ap.original_support.len());
         // All supports of a single-target run are original nodes.
         assert!(ap.original_support.iter().all(Option::is_some));
-        let patch = eco_aig::NodePatch { aig: ap.aig.clone(), support: ap.support.clone() };
+        let patch = eco_aig::NodePatch {
+            aig: ap.aig.clone(),
+            support: ap.support.clone(),
+        };
         let mut patches = HashMap::new();
         patches.insert(p.targets[0], patch);
         let rebuilt = p.implementation.substitute(&patches).expect("acyclic");

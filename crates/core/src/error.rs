@@ -3,7 +3,30 @@
 use std::error::Error;
 use std::fmt;
 
+/// The underlying cause of a [`EcoError::SolverBudgetExhausted`]:
+/// a SAT conflict budget ran out inside the named phase. Exposed as the
+/// error's [`Error::source`] so callers can chain diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// The phase in which the budget ran out.
+    pub phase: &'static str,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conflict budget ran out in {}", self.phase)
+    }
+}
+
+impl Error for BudgetExhausted {}
+
 /// Errors surfaced by the ECO patch computation.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm, which lets new failure classes be added without a
+/// breaking release. Use [`EcoError::is_resource_exhausted`] to detect
+/// budget-class failures without matching variants.
+#[non_exhaustive]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EcoError {
     /// The given targets cannot rectify the implementation: expression
@@ -25,8 +48,8 @@ pub enum EcoError {
     },
     /// A SAT budget ran out and no structural fallback was allowed.
     SolverBudgetExhausted {
-        /// The phase in which the budget ran out.
-        phase: &'static str,
+        /// The underlying budget failure (also the [`Error::source`]).
+        source: BudgetExhausted,
     },
     /// No feasible patch support exists within the candidate divisors
     /// for the named target position (0-based).
@@ -47,6 +70,23 @@ pub enum EcoError {
     },
 }
 
+impl EcoError {
+    /// Shorthand for a budget-exhaustion error in `phase`.
+    pub fn budget_exhausted(phase: &'static str) -> EcoError {
+        EcoError::SolverBudgetExhausted {
+            source: BudgetExhausted { phase },
+        }
+    }
+
+    /// `true` for failures caused by a resource limit (SAT conflict
+    /// budgets, iteration caps) rather than by the problem itself.
+    /// Raising budgets can turn these into successes; the other
+    /// variants are verdicts that stand.
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self, EcoError::SolverBudgetExhausted { .. })
+    }
+}
+
 impl fmt::Display for EcoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -57,21 +97,31 @@ impl fmt::Display for EcoError {
                 write!(f, "interface mismatch: {message}")
             }
             EcoError::InvalidProblem { message } => write!(f, "invalid problem: {message}"),
-            EcoError::SolverBudgetExhausted { phase } => {
-                write!(f, "SAT budget exhausted during {phase}")
+            EcoError::SolverBudgetExhausted { source } => {
+                write!(f, "SAT budget exhausted during {}", source.phase)
             }
             EcoError::NoFeasibleSupport { target_index } => {
                 write!(f, "no feasible patch support for target {target_index}")
             }
             EcoError::CyclicPatch { message } => write!(f, "cyclic patch: {message}"),
             EcoError::VerificationFailed { .. } => {
-                write!(f, "patched implementation is not equivalent to the specification")
+                write!(
+                    f,
+                    "patched implementation is not equivalent to the specification"
+                )
             }
         }
     }
 }
 
-impl Error for EcoError {}
+impl Error for EcoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EcoError::SolverBudgetExhausted { source } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -81,13 +131,29 @@ mod tests {
     fn display_messages_are_informative() {
         let e = EcoError::NoFeasibleSupport { target_index: 3 };
         assert!(e.to_string().contains("target 3"));
-        let e = EcoError::SolverBudgetExhausted { phase: "support" };
+        let e = EcoError::budget_exhausted("support");
         assert!(e.to_string().contains("support"));
     }
 
     #[test]
     fn errors_are_std_errors() {
         fn takes_err(_: &dyn Error) {}
-        takes_err(&EcoError::InvalidProblem { message: "x".into() });
+        takes_err(&EcoError::InvalidProblem {
+            message: "x".into(),
+        });
+    }
+
+    #[test]
+    fn budget_errors_chain_a_source() {
+        let e = EcoError::budget_exhausted("cube enumeration");
+        let src = e.source().expect("budget errors carry a source");
+        assert!(src.to_string().contains("cube enumeration"));
+        assert!(e.is_resource_exhausted());
+        assert!(!EcoError::NoFeasibleSupport { target_index: 0 }.is_resource_exhausted());
+        assert!(EcoError::InvalidProblem {
+            message: String::new()
+        }
+        .source()
+        .is_none());
     }
 }

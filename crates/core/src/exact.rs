@@ -4,6 +4,7 @@
 //! proves optimality.
 
 use crate::error::EcoError;
+use crate::observe::SatCallKind;
 use crate::support::{SupportResult, SupportSolver};
 use eco_sat::{Lit, PbSum, SolveResult, Solver};
 
@@ -18,7 +19,10 @@ pub struct SatPruneOptions {
 
 impl Default for SatPruneOptions {
     fn default() -> SatPruneOptions {
-        SatPruneOptions { max_iterations: 2_000, per_call_conflicts: Some(200_000) }
+        SatPruneOptions {
+            max_iterations: 2_000,
+            per_call_conflicts: Some(200_000),
+        }
     }
 }
 
@@ -56,6 +60,7 @@ pub fn sat_prune_support(
     options: SatPruneOptions,
 ) -> Result<SatPruneResult, EcoError> {
     let costs = support_solver.costs().to_vec();
+    let obs = support_solver.observer().clone();
     let n = costs.len();
     let mut search = Solver::new();
     let selection: Vec<Lit> = (0..n).map(|_| search.new_var().positive()).collect();
@@ -63,8 +68,11 @@ pub fn sat_prune_support(
         // Prefer small subsets: branch "not selected" first.
         search.set_polarity(s.var(), false);
     }
-    let terms: Vec<(Lit, u64)> =
-        selection.iter().copied().zip(costs.iter().copied()).collect();
+    let terms: Vec<(Lit, u64)> = selection
+        .iter()
+        .copied()
+        .zip(costs.iter().copied())
+        .collect();
     let sum = PbSum::encode(&mut search, &terms);
 
     let mut best: Option<SupportResult> = seed;
@@ -82,7 +90,10 @@ pub fn sat_prune_support(
         }
         iterations += 1;
         let assumptions: Vec<Lit> = bound_act.into_iter().collect();
-        match search.solve(&assumptions) {
+        let before = obs.snapshot(&search);
+        let result = search.solve(&assumptions);
+        obs.sat_call(before, &search, SatCallKind::SatPruneSearch, None, result);
+        match result {
             SolveResult::Unknown => break false,
             SolveResult::Unsat => break true,
             SolveResult::Sat => {
@@ -113,7 +124,13 @@ pub fn sat_prune_support(
                     sum.assert_less_under(&mut search, cost, act);
                     bound_act = Some(act);
                     let block: Vec<Lit> = (0..n)
-                        .map(|i| if subset.contains(&i) { !selection[i] } else { selection[i] })
+                        .map(|i| {
+                            if subset.contains(&i) {
+                                !selection[i]
+                            } else {
+                                selection[i]
+                            }
+                        })
                         .collect();
                     search.add_clause(&block);
                 } else {
@@ -132,10 +149,14 @@ pub fn sat_prune_support(
             }
         }
     };
-    let support = best.ok_or(EcoError::SolverBudgetExhausted { phase: "SAT_prune" })?;
+    let support = best.ok_or(EcoError::budget_exhausted("SAT_prune"))?;
     let mut support = support;
     support.sat_calls = support_solver.sat_calls;
-    Ok(SatPruneResult { support, exact, iterations })
+    Ok(SatPruneResult {
+        support,
+        exact,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -170,7 +191,10 @@ mod tests {
         let (p, divisors, costs) = xor_problem(xor_cost);
         let qm = QuantifiedMiter::build(&p, 0, &[], None);
         let mut ss = SupportSolver::new(&qm, divisors, costs, None);
-        assert!(ss.all_feasible().expect("no budget"), "divisors must suffice");
+        assert!(
+            ss.all_feasible().expect("no budget"),
+            "divisors must suffice"
+        );
         sat_prune_support(&mut ss, None, SatPruneOptions::default()).expect("prune")
     }
 
@@ -198,9 +222,12 @@ mod tests {
         let qm = QuantifiedMiter::build(&p, 0, &[], None);
         let mut ss = SupportSolver::new(&qm, divisors, costs, None);
         assert!(ss.all_feasible().expect("no budget"));
-        let seed = SupportResult { divisor_indices: vec![0, 1], cost: 6, sat_calls: 0 };
-        let r = sat_prune_support(&mut ss, Some(seed), SatPruneOptions::default())
-            .expect("prune");
+        let seed = SupportResult {
+            divisor_indices: vec![0, 1],
+            cost: 6,
+            sat_calls: 0,
+        };
+        let r = sat_prune_support(&mut ss, Some(seed), SatPruneOptions::default()).expect("prune");
         assert!(r.exact);
         assert_eq!(r.support.cost, 1);
     }
@@ -210,8 +237,7 @@ mod tests {
         // Only divisor a: cannot express xor patch.
         let (p, divisors, costs) = xor_problem(1);
         let qm = QuantifiedMiter::build(&p, 0, &[], None);
-        let mut ss =
-            SupportSolver::new(&qm, vec![divisors[0]], vec![costs[0]], None);
+        let mut ss = SupportSolver::new(&qm, vec![divisors[0]], vec![costs[0]], None);
         let err = sat_prune_support(&mut ss, None, SatPruneOptions::default()).unwrap_err();
         assert!(matches!(err, EcoError::SolverBudgetExhausted { .. }));
     }
@@ -221,11 +247,18 @@ mod tests {
         let (p, divisors, costs) = xor_problem(1);
         let qm = QuantifiedMiter::build(&p, 0, &[], None);
         let mut ss = SupportSolver::new(&qm, divisors, costs, None);
-        let seed = SupportResult { divisor_indices: vec![0, 1], cost: 6, sat_calls: 0 };
+        let seed = SupportResult {
+            divisor_indices: vec![0, 1],
+            cost: 6,
+            sat_calls: 0,
+        };
         let r = sat_prune_support(
             &mut ss,
             Some(seed),
-            SatPruneOptions { max_iterations: 0, per_call_conflicts: None },
+            SatPruneOptions {
+                max_iterations: 0,
+                per_call_conflicts: None,
+            },
         )
         .expect("prune returns seed");
         assert!(!r.exact);

@@ -84,9 +84,7 @@ pub fn interpolation_patch(
     }
     match solver.solve(&[]) {
         SolveResult::Sat => return Err(EcoError::NoFeasibleSupport { target_index }),
-        SolveResult::Unknown => {
-            return Err(EcoError::SolverBudgetExhausted { phase: "interpolation" })
-        }
+        SolveResult::Unknown => return Err(EcoError::budget_exhausted("interpolation")),
         SolveResult::Unsat => {}
     }
     let conflicts = solver.stats().conflicts;
@@ -110,8 +108,7 @@ pub fn interpolation_patch(
 /// complete refutation (not proven UNSAT, or proof mode off).
 pub fn craig_interpolant(solver: &Solver, shared: &[Var]) -> Result<Aig, EcoError> {
     let mut aig = Aig::new();
-    let shared_input: HashMap<Var, AigLit> =
-        shared.iter().map(|&v| (v, aig.add_input())).collect();
+    let shared_input: HashMap<Var, AigLit> = shared.iter().map(|&v| (v, aig.add_input())).collect();
     let itp = build_interpolant(solver, &shared_input, &mut aig)?;
     aig.add_output(itp);
     Ok(aig)
@@ -125,7 +122,7 @@ fn build_interpolant(
 ) -> Result<AigLit, EcoError> {
     let confl = solver
         .final_conflict_clause()
-        .ok_or(EcoError::SolverBudgetExhausted { phase: "interpolation proof" })?;
+        .ok_or(EcoError::budget_exhausted("interpolation proof"))?;
 
     // Variable classification: A-local pivots use OR, everything else
     // (shared or B-local) uses AND. A variable is A-local when it occurs
@@ -172,11 +169,7 @@ fn build_interpolant(
                                 // variable: can only be a Tseitin variable
                                 // reused across partitions, which the
                                 // disjoint encoders prevent.
-                                debug_assert!(
-                                    false,
-                                    "unexpected global variable {:?}",
-                                    l.var()
-                                );
+                                debug_assert!(false, "unexpected global variable {:?}", l.var());
                             }
                         }
                     }
@@ -192,15 +185,14 @@ fn build_interpolant(
             // Learnt: fold the recorded resolution chain.
             let chain = solver
                 .proof_chain(cref)
-                .ok_or(EcoError::SolverBudgetExhausted { phase: "interpolation proof" })?;
-            let head = chain.head.ok_or(EcoError::SolverBudgetExhausted {
-                phase: "interpolation proof",
-            })?;
-            let mut cur =
-                clause_itp[head.index()].expect("antecedent precedes learnt clause");
+                .ok_or(EcoError::budget_exhausted("interpolation proof"))?;
+            let head = chain
+                .head
+                .ok_or(EcoError::budget_exhausted("interpolation proof"))?;
+            let mut cur = clause_itp[head.index()].expect("antecedent precedes learnt clause");
             for step in &chain.steps {
-                let other = clause_itp[step.clause.index()]
-                    .expect("antecedent precedes learnt clause");
+                let other =
+                    clause_itp[step.clause.index()].expect("antecedent precedes learnt clause");
                 cur = if is_a_local(step.pivot) {
                     aig.or(cur, other)
                 } else {
@@ -225,7 +217,11 @@ fn build_interpolant(
                 continue;
             }
             let other = *unit_itp.get(&l.var()).expect("earlier trail literal");
-            cur = if is_a_local(l.var()) { aig.or(cur, other) } else { aig.and(cur, other) };
+            cur = if is_a_local(l.var()) {
+                aig.or(cur, other)
+            } else {
+                aig.and(cur, other)
+            };
         }
         unit_itp.insert(v, cur);
     }
@@ -236,8 +232,12 @@ fn build_interpolant(
     for &l in solver.clause_lits(confl) {
         let other = *unit_itp
             .get(&l.var())
-            .ok_or(EcoError::SolverBudgetExhausted { phase: "interpolation proof" })?;
-        cur = if is_a_local(l.var()) { aig.or(cur, other) } else { aig.and(cur, other) };
+            .ok_or(EcoError::budget_exhausted("interpolation proof"))?;
+        cur = if is_a_local(l.var()) {
+            aig.or(cur, other)
+        } else {
+            aig.and(cur, other)
+        };
     }
     Ok(cur)
 }
@@ -270,7 +270,11 @@ mod tests {
     fn simple(wrong_and: bool) -> EcoProblem {
         let mut im = Aig::new();
         let (a, b) = (im.add_input(), im.add_input());
-        let t = if wrong_and { im.and(a, b) } else { im.and(a, !b) };
+        let t = if wrong_and {
+            im.and(a, b)
+        } else {
+            im.and(a, !b)
+        };
         im.add_output(t);
         let t_node = t.node();
         let mut sp = Aig::new();
@@ -300,7 +304,10 @@ mod tests {
         let support = vec![p.implementation.inputs()[0]];
         let qm = QuantifiedMiter::build(&p, 0, &[], None);
         let err = interpolation_patch(&qm, &support, 0, None).unwrap_err();
-        assert!(matches!(err, EcoError::NoFeasibleSupport { target_index: 0 }));
+        assert!(matches!(
+            err,
+            EcoError::NoFeasibleSupport { target_index: 0 }
+        ));
     }
 
     #[test]
@@ -342,8 +349,8 @@ mod tests {
         let support: Vec<NodeId> = p.implementation.inputs().to_vec();
         let qm = QuantifiedMiter::build(&p, 0, &[], None);
         let interp = interpolation_patch(&qm, &support, 0, None).expect("interpolate");
-        let sop = crate::cubes::enumerate_patch_sop(&qm, &support, 0, None, 1 << 12)
-            .expect("enumerate");
+        let sop =
+            crate::cubes::enumerate_patch_sop(&qm, &support, 0, None, 1 << 12).expect("enumerate");
         let mut sop_aig = Aig::new();
         let sup_lits: Vec<AigLit> = support.iter().map(|_| sop_aig.add_input()).collect();
         let root = eco_aig::factor_sop(&mut sop_aig, &sop.sop, &sup_lits);

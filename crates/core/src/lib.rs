@@ -45,14 +45,18 @@
 //! sp.add_output(y);
 //!
 //! let problem = EcoProblem::with_unit_weights(im, sp, vec![t.node()])?;
-//! let engine = EcoEngine::new(EcoOptions {
-//!     method: SupportMethod::MinimizeAssumptions,
-//!     ..EcoOptions::default()
-//! });
-//! let outcome = engine.run(&problem)?;
+//! let options = EcoOptions::builder()
+//!     .method(SupportMethod::MinimizeAssumptions)
+//!     .build();
+//! let outcome = EcoEngine::new(options).run(&problem)?;
 //! assert!(outcome.verified);
 //! # Ok::<(), eco_core::EcoError>(())
 //! ```
+//!
+//! Attach an [`EcoObserver`] with [`EcoEngine::with_observer`] to
+//! stream [`EcoEvent`]s (phase timings, per-SAT-call telemetry), or
+//! call [`EcoEngine::with_metrics`] to aggregate a [`RunMetrics`]
+//! summary into the outcome.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,6 +73,7 @@ mod error;
 mod exact;
 mod interp;
 mod miter;
+mod observe;
 mod problem;
 mod qbf;
 mod structural;
@@ -81,15 +86,20 @@ pub use cnf::CnfEncoder;
 pub use cost::{generate_weights, WeightDistribution};
 pub use cubes::{enumerate_patch_sop, PatchSop};
 pub use detect::{detect_targets, DetectOptions, DetectedTargets};
+pub use emit::{netlist_patches, NamedPatch};
 pub use engine::{
-    AppliedPatch, EcoEngine, EcoOptions, EcoOutcome, PatchKind, SupportMethod,
+    AppliedPatch, EcoEngine, EcoOptions, EcoOptionsBuilder, EcoOutcome, PatchKind, SupportMethod,
     TargetPatchReport,
 };
-pub use emit::{netlist_patches, NamedPatch};
-pub use error::EcoError;
+pub use error::{BudgetExhausted, EcoError};
 pub use exact::{sat_prune_support, SatPruneOptions, SatPruneResult};
 pub use interp::{craig_interpolant, interpolation_patch, InterpolantPatch};
 pub use miter::{EcoMiter, QuantifiedMiter};
+pub use observe::{
+    conflict_bucket, BudgetMetrics, EcoEvent, EcoObserver, MetricsObserver, NullObserver, Phase,
+    PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics, SupportStep, TargetMetrics, TeeObserver,
+    CONFLICT_BUCKET_BOUNDS, NUM_CONFLICT_BUCKETS,
+};
 pub use problem::EcoProblem;
 pub use qbf::{check_targets_sufficient, QbfOutcome};
 pub use structural::{structural_patch, StructuralPatch};

@@ -60,18 +60,15 @@ impl EcoMiter {
     /// all outputs).
     pub fn build(problem: &EcoProblem, output_indices: Option<&[usize]>) -> EcoMiter {
         let mut aig = Aig::new();
-        let x_inputs: Vec<AigLit> =
-            (0..problem.num_inputs()).map(|_| aig.add_input()).collect();
-        let target_inputs: Vec<AigLit> =
-            problem.targets.iter().map(|_| aig.add_input()).collect();
+        let x_inputs: Vec<AigLit> = (0..problem.num_inputs()).map(|_| aig.add_input()).collect();
+        let target_inputs: Vec<AigLit> = problem.targets.iter().map(|_| aig.add_input()).collect();
         let bindings: HashMap<NodeId, AigLit> = problem
             .targets
             .iter()
             .copied()
             .zip(target_inputs.iter().copied())
             .collect();
-        let impl_map =
-            map_implementation(&mut aig, &problem.implementation, &x_inputs, &bindings);
+        let impl_map = map_implementation(&mut aig, &problem.implementation, &x_inputs, &bindings);
         let spec_outs = aig.import(&problem.specification, &x_inputs);
         let indices: Vec<usize> = match output_indices {
             Some(idx) => idx.to_vec(),
@@ -86,7 +83,13 @@ impl EcoMiter {
             })
             .collect();
         let output = aig.or_many(&diffs);
-        EcoMiter { aig, output, x_inputs, target_inputs, impl_map }
+        EcoMiter {
+            aig,
+            output,
+            x_inputs,
+            target_inputs,
+            impl_map,
+        }
     }
 }
 
@@ -132,7 +135,10 @@ impl QuantifiedMiter {
         assignments: &[Vec<bool>],
         output_indices: Option<&[usize]>,
     ) -> QuantifiedMiter {
-        assert!(target_index < problem.targets.len(), "target index out of range");
+        assert!(
+            target_index < problem.targets.len(),
+            "target index out of range"
+        );
         let others: Vec<NodeId> = problem
             .targets
             .iter()
@@ -141,11 +147,13 @@ impl QuantifiedMiter {
             .map(|(_, &t)| t)
             .collect();
         let empty: Vec<Vec<bool>> = vec![vec![]];
-        let assignments: &[Vec<bool>] =
-            if assignments.is_empty() { &empty } else { assignments };
+        let assignments: &[Vec<bool>] = if assignments.is_empty() {
+            &empty
+        } else {
+            assignments
+        };
         let mut aig = Aig::new();
-        let x_inputs: Vec<AigLit> =
-            (0..problem.num_inputs()).map(|_| aig.add_input()).collect();
+        let x_inputs: Vec<AigLit> = (0..problem.num_inputs()).map(|_| aig.add_input()).collect();
         let n_input = aig.add_input();
         let spec_outs = aig.import(&problem.specification, &x_inputs);
         let indices: Vec<usize> = match output_indices {
@@ -161,14 +169,12 @@ impl QuantifiedMiter {
             for (&t, &v) in others.iter().zip(assignment) {
                 bindings.insert(t, if v { AigLit::TRUE } else { AigLit::FALSE });
             }
-            let map =
-                map_implementation(&mut aig, &problem.implementation, &x_inputs, &bindings);
+            let map = map_implementation(&mut aig, &problem.implementation, &x_inputs, &bindings);
             let diffs: Vec<AigLit> = indices
                 .iter()
                 .map(|&i| {
                     let o = problem.implementation.outputs()[i];
-                    let impl_lit =
-                        map[o.node().index()].xor_complement(o.is_complement());
+                    let impl_lit = map[o.node().index()].xor_complement(o.is_complement());
                     aig.xor(impl_lit, spec_outs[i])
                 })
                 .collect();
@@ -192,8 +198,7 @@ impl QuantifiedMiter {
     /// `value == false`.
     pub fn cofactor(&self, value: bool) -> Aig {
         let mut out = Aig::new();
-        let mut bindings: Vec<AigLit> =
-            (0..self.x_inputs.len()).map(|_| out.add_input()).collect();
+        let mut bindings: Vec<AigLit> = (0..self.x_inputs.len()).map(|_| out.add_input()).collect();
         bindings.push(if value { AigLit::TRUE } else { AigLit::FALSE });
         let lit = out.import_lit(&self.aig, &bindings, self.output);
         out.add_output(lit);

@@ -1,0 +1,790 @@
+//! Engine observability: typed events emitted by [`crate::EcoEngine`],
+//! the [`EcoObserver`] trait for receiving them, and the
+//! [`MetricsObserver`] aggregation behind `--stats-json`.
+//!
+//! Observers are attached with [`crate::EcoEngine::with_observer`]; the
+//! engine pays nothing beyond a branch per event site when none are
+//! attached (event payloads are built lazily).
+
+use eco_sat::{SolveResult, Solver, SolverStats};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The four phases of the engine flow (Fig. 2 of the paper).
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// CEGAR 2QBF check that the targets can rectify the design
+    /// (Sec. 3.2).
+    SufficiencyCheck,
+    /// Structural pruning to a logic window (Sec. 3.3).
+    Windowing,
+    /// Per-target support computation, cube enumeration, and
+    /// substitution (Secs. 3.4–3.6).
+    PatchGeneration,
+    /// Final combinational equivalence check.
+    Verification,
+}
+
+impl Phase {
+    /// All phases, in flow order.
+    pub const ALL: [Phase; 4] = [
+        Phase::SufficiencyCheck,
+        Phase::Windowing,
+        Phase::PatchGeneration,
+        Phase::Verification,
+    ];
+
+    /// Stable snake_case name used in the JSON schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::SufficiencyCheck => "sufficiency_check",
+            Phase::Windowing => "windowing",
+            Phase::PatchGeneration => "patch_generation",
+            Phase::Verification => "verification",
+        }
+    }
+}
+
+/// What a SAT call was issued for.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SatCallKind {
+    /// 2QBF sufficiency check (either CEGAR solver).
+    Qbf,
+    /// Support feasibility query on expression (2).
+    Support,
+    /// `minimize_assumptions` recursion (Algorithm 1).
+    Minimize,
+    /// Onset enumeration / offset disjointness during cube enumeration.
+    CubeEnumeration,
+    /// The subset-search solver inside `SAT_prune` (not the feasibility
+    /// oracle, which reports as [`SatCallKind::Support`]).
+    SatPruneSearch,
+    /// Equivalence queries during `CEGAR_min` resubstitution.
+    CegarMin,
+    /// Quantification-refinement queries against spurious witnesses.
+    Refinement,
+    /// Combinational equivalence checking.
+    Cec,
+}
+
+impl SatCallKind {
+    /// All kinds, in the order used by per-kind metric arrays.
+    pub const ALL: [SatCallKind; 8] = [
+        SatCallKind::Qbf,
+        SatCallKind::Support,
+        SatCallKind::Minimize,
+        SatCallKind::CubeEnumeration,
+        SatCallKind::SatPruneSearch,
+        SatCallKind::CegarMin,
+        SatCallKind::Refinement,
+        SatCallKind::Cec,
+    ];
+
+    /// Stable snake_case name used in the JSON schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            SatCallKind::Qbf => "qbf",
+            SatCallKind::Support => "support",
+            SatCallKind::Minimize => "minimize",
+            SatCallKind::CubeEnumeration => "cube_enumeration",
+            SatCallKind::SatPruneSearch => "sat_prune_search",
+            SatCallKind::CegarMin => "cegar_min",
+            SatCallKind::Refinement => "refinement",
+            SatCallKind::Cec => "cec",
+        }
+    }
+
+    /// Position in [`SatCallKind::ALL`].
+    pub fn index(self) -> usize {
+        SatCallKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind is listed")
+    }
+}
+
+/// A support-minimization step (Sec. 3.4.1).
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SupportStep {
+    /// The divide-and-conquer `minimize_assumptions` pass finished.
+    Algorithm1,
+    /// A last-gasp greedy replacement was accepted.
+    LastGasp,
+}
+
+/// One engine event.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm so new telemetry can be added without a breaking
+/// release.
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub enum EcoEvent {
+    /// A run began.
+    RunStarted {
+        /// Number of targets in the problem.
+        num_targets: usize,
+        /// The configured per-call conflict budget.
+        per_call_conflicts: Option<u64>,
+    },
+    /// A phase began.
+    PhaseStarted {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A phase completed.
+    PhaseFinished {
+        /// Which phase.
+        phase: Phase,
+        /// Wall-clock time spent in the phase.
+        elapsed: Duration,
+    },
+    /// Patch computation for one target began.
+    TargetStarted {
+        /// Index into the original problem's target list.
+        target_index: usize,
+    },
+    /// Patch computation for one target completed.
+    TargetFinished {
+        /// Index into the original problem's target list.
+        target_index: usize,
+        /// SAT calls attributed to the target (equals the
+        /// [`crate::TargetPatchReport::sat_calls`] of its report).
+        sat_calls: u64,
+        /// Wall-clock time spent on the target.
+        elapsed: Duration,
+    },
+    /// One SAT solver invocation, with per-call telemetry deltas.
+    SatCall {
+        /// What the call was for.
+        kind: SatCallKind,
+        /// `Some(i)` iff the call counts toward target `i`'s
+        /// [`crate::TargetPatchReport::sat_calls`]; shared calls (QBF
+        /// sufficiency, `SAT_prune` subset search, final CEC) carry
+        /// `None`.
+        target_index: Option<usize>,
+        /// The verdict.
+        result: SolveResult,
+        /// Conflicts in this call.
+        conflicts: u64,
+        /// Decisions in this call.
+        decisions: u64,
+        /// Propagations in this call.
+        propagations: u64,
+    },
+    /// The 2QBF CEGAR loop added a counterexample miter copy.
+    QbfRefinement {
+        /// Miter copies after the addition.
+        copies: usize,
+    },
+    /// The engine refuted a spurious infeasibility witness and grew the
+    /// quantification assignment set.
+    QuantificationRefinement {
+        /// Index into the original problem's target list.
+        target_index: usize,
+        /// Assignments after the refinement.
+        assignments: usize,
+    },
+    /// A support-minimization step finished.
+    SupportMinimizationStep {
+        /// Target the support is for (`None` for standalone use of the
+        /// support API).
+        target_index: Option<usize>,
+        /// Which step.
+        step: SupportStep,
+        /// Selected divisors after the step.
+        support_size: usize,
+    },
+    /// A SAT budget ran out and the engine switched to the structural
+    /// patch construction (Sec. 3.6).
+    StructuralFallback {
+        /// Index into the original problem's target list.
+        target_index: usize,
+    },
+    /// One `CEGAR_min` max-flow resubstitution round completed.
+    CegarMinRound {
+        /// Target the patch is for (`None` for standalone use).
+        target_index: Option<usize>,
+        /// SAT calls spent proving equivalences this round.
+        sat_calls: u64,
+        /// Cost of the rewritten support.
+        cost: u64,
+    },
+    /// The run completed (success paths only; errors abort the stream).
+    RunFinished {
+        /// Total wall-clock time.
+        elapsed: Duration,
+    },
+}
+
+/// Receives engine events. Implementations must be cheap: the engine
+/// calls [`EcoObserver::on_event`] synchronously on its own thread.
+pub trait EcoObserver {
+    /// Called once per event, in emission order.
+    fn on_event(&mut self, event: &EcoEvent);
+}
+
+/// An observer that discards every event. Useful as an explicit "no
+/// telemetry" choice and as the baseline for overhead measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl EcoObserver for NullObserver {
+    fn on_event(&mut self, _event: &EcoEvent) {}
+}
+
+/// Forwards each event to two observers, enabling composition:
+/// `TeeObserver::new(a, TeeObserver::new(b, c))`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TeeObserver<A, B> {
+    /// Receives each event first.
+    pub first: A,
+    /// Receives each event second.
+    pub second: B,
+}
+
+impl<A, B> TeeObserver<A, B> {
+    /// Combines two observers.
+    pub fn new(first: A, second: B) -> TeeObserver<A, B> {
+        TeeObserver { first, second }
+    }
+}
+
+impl<A: EcoObserver, B: EcoObserver> EcoObserver for TeeObserver<A, B> {
+    fn on_event(&mut self, event: &EcoEvent) {
+        self.first.on_event(event);
+        self.second.on_event(event);
+    }
+}
+
+/// The engine-internal fan-out point: a cheap-to-clone handle over the
+/// attached observer sinks. Event payloads are only constructed when at
+/// least one sink is attached.
+#[derive(Clone, Default)]
+pub(crate) struct ObserverHandle {
+    sinks: Vec<Arc<Mutex<dyn EcoObserver + Send>>>,
+}
+
+impl ObserverHandle {
+    pub(crate) fn new(sinks: Vec<Arc<Mutex<dyn EcoObserver + Send>>>) -> ObserverHandle {
+        ObserverHandle { sinks }
+    }
+
+    pub(crate) fn is_active(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Builds the event (lazily) and delivers it to every sink.
+    pub(crate) fn emit(&self, make: impl FnOnce() -> EcoEvent) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let event = make();
+        for sink in &self.sinks {
+            if let Ok(mut observer) = sink.lock() {
+                observer.on_event(&event);
+            }
+        }
+    }
+
+    /// Pre-call statistics snapshot; `None` when no sink is attached,
+    /// which lets call sites skip the post-call delta entirely.
+    pub(crate) fn snapshot(&self, solver: &Solver) -> Option<SolverStats> {
+        if self.is_active() {
+            Some(*solver.stats())
+        } else {
+            None
+        }
+    }
+
+    /// Emits a [`EcoEvent::SatCall`] with the delta since `before`
+    /// (no-op when `before` is `None`).
+    pub(crate) fn sat_call(
+        &self,
+        before: Option<SolverStats>,
+        solver: &Solver,
+        kind: SatCallKind,
+        target_index: Option<usize>,
+        result: SolveResult,
+    ) {
+        if let Some(earlier) = before {
+            let delta = solver.stats().since(earlier);
+            self.emit(|| EcoEvent::SatCall {
+                kind,
+                target_index,
+                result,
+                conflicts: delta.conflicts,
+                decisions: delta.decisions,
+                propagations: delta.propagations,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for ObserverHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverHandle")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+/// Upper bounds of the per-call conflict histogram buckets (powers of
+/// ten); the final bucket is unbounded.
+pub const CONFLICT_BUCKET_BOUNDS: [u64; 7] = [0, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Number of buckets in a conflict histogram (the bounds above plus the
+/// unbounded overflow bucket).
+pub const NUM_CONFLICT_BUCKETS: usize = CONFLICT_BUCKET_BOUNDS.len() + 1;
+
+/// Maps a conflict count to its histogram bucket index.
+pub fn conflict_bucket(conflicts: u64) -> usize {
+    CONFLICT_BUCKET_BOUNDS
+        .iter()
+        .position(|&bound| conflicts <= bound)
+        .unwrap_or(NUM_CONFLICT_BUCKETS - 1)
+}
+
+/// Wall-clock time of one phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseMetrics {
+    /// Which phase.
+    pub phase: Phase,
+    /// Time spent in it.
+    pub elapsed: Duration,
+}
+
+/// Aggregated telemetry for one target.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TargetMetrics {
+    /// Index into the original problem's target list.
+    pub target_index: usize,
+    /// SAT calls per the target's [`crate::TargetPatchReport`].
+    pub sat_calls: u64,
+    /// SAT calls observed as [`EcoEvent::SatCall`] events attributed to
+    /// this target. Equal to `sat_calls` by construction; kept separate
+    /// so the accounting is auditable from the JSON alone.
+    pub observed_sat_calls: u64,
+    /// Total conflicts across the attributed calls.
+    pub conflicts: u64,
+    /// Wall-clock time spent on the target.
+    pub elapsed: Duration,
+    /// Per-call conflict histogram ([`CONFLICT_BUCKET_BOUNDS`]).
+    pub conflict_histogram: [u64; NUM_CONFLICT_BUCKETS],
+}
+
+/// Aggregated SAT-call telemetry across a whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SatCallMetrics {
+    /// Total calls observed.
+    pub total: u64,
+    /// Total conflicts.
+    pub conflicts: u64,
+    /// Total decisions.
+    pub decisions: u64,
+    /// Total propagations.
+    pub propagations: u64,
+    /// Calls per kind, parallel to [`SatCallKind::ALL`].
+    pub by_kind: [u64; 8],
+    /// Per-call conflict histogram ([`CONFLICT_BUCKET_BOUNDS`]).
+    pub conflict_histogram: [u64; NUM_CONFLICT_BUCKETS],
+}
+
+/// How much of the per-call conflict budget the run actually used.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BudgetMetrics {
+    /// The configured budget.
+    pub per_call_conflicts: u64,
+    /// Largest single-call fraction `conflicts / budget`.
+    pub max_fraction: f64,
+    /// Mean fraction over all calls.
+    pub mean_fraction: f64,
+}
+
+/// Serializable aggregate of one engine run, built by
+/// [`MetricsObserver`] and attached to
+/// [`crate::EcoOutcome::metrics`] when the engine was configured with
+/// [`crate::EcoEngine::with_metrics`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Number of targets in the problem.
+    pub num_targets: usize,
+    /// The configured per-call conflict budget.
+    pub per_call_conflicts: Option<u64>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Per-phase durations, in completion order.
+    pub phases: Vec<PhaseMetrics>,
+    /// Per-target telemetry, in processing order (targets that became
+    /// trivially dead never start and are absent).
+    pub targets: Vec<TargetMetrics>,
+    /// Run-wide SAT-call telemetry.
+    pub sat_calls: SatCallMetrics,
+    /// Budget consumption, when a budget was configured.
+    pub budget: Option<BudgetMetrics>,
+    /// 2QBF CEGAR counterexample copies added.
+    pub qbf_refinements: u64,
+    /// Quantification-refinement iterations.
+    pub quantification_refinements: u64,
+    /// Support-minimization steps (Algorithm 1 passes plus accepted
+    /// last-gasp replacements).
+    pub support_minimization_steps: u64,
+    /// Targets that fell back to the structural construction.
+    pub structural_fallbacks: u64,
+    /// `CEGAR_min` resubstitution rounds.
+    pub cegar_min_rounds: u64,
+}
+
+fn push_json_array(out: &mut String, counts: &[u64]) {
+    out.push('[');
+    for (i, c) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&c.to_string());
+    }
+    out.push(']');
+}
+
+impl RunMetrics {
+    /// Serializes to the stable JSON schema documented in
+    /// `EXPERIMENTS.md` (schema_version 1). Key order is fixed;
+    /// durations are integer microseconds; fractions carry six decimal
+    /// places.
+    pub fn to_json(&self) -> String {
+        let us = |d: Duration| -> u64 { d.as_micros().min(u64::MAX as u128) as u64 };
+        let opt_u64 = |v: Option<u64>| match v {
+            Some(x) => x.to_string(),
+            None => "null".to_string(),
+        };
+        let mut s = String::new();
+        s.push_str("{\"schema_version\":1");
+        s.push_str(&format!(",\"num_targets\":{}", self.num_targets));
+        s.push_str(&format!(
+            ",\"per_call_conflicts\":{}",
+            opt_u64(self.per_call_conflicts)
+        ));
+        s.push_str(&format!(",\"elapsed_us\":{}", us(self.elapsed)));
+        s.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"phase\":\"{}\",\"elapsed_us\":{}}}",
+                p.phase.name(),
+                us(p.elapsed)
+            ));
+        }
+        s.push_str("],\"targets\":[");
+        for (i, t) in self.targets.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"target_index\":{},\"sat_calls\":{},\"observed_sat_calls\":{},\
+                 \"conflicts\":{},\"elapsed_us\":{},\"conflict_histogram\":",
+                t.target_index,
+                t.sat_calls,
+                t.observed_sat_calls,
+                t.conflicts,
+                us(t.elapsed)
+            ));
+            push_json_array(&mut s, &t.conflict_histogram);
+            s.push('}');
+        }
+        s.push_str("],\"sat_calls\":{");
+        s.push_str(&format!(
+            "\"total\":{},\"conflicts\":{},\"decisions\":{},\"propagations\":{}",
+            self.sat_calls.total,
+            self.sat_calls.conflicts,
+            self.sat_calls.decisions,
+            self.sat_calls.propagations
+        ));
+        s.push_str(",\"by_kind\":{");
+        for (i, kind) in SatCallKind::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{}",
+                kind.name(),
+                self.sat_calls.by_kind[i]
+            ));
+        }
+        s.push_str("},\"conflict_histogram\":");
+        push_json_array(&mut s, &self.sat_calls.conflict_histogram);
+        s.push('}');
+        match &self.budget {
+            Some(b) => s.push_str(&format!(
+                ",\"budget\":{{\"per_call_conflicts\":{},\"max_fraction\":{:.6},\
+                 \"mean_fraction\":{:.6}}}",
+                b.per_call_conflicts, b.max_fraction, b.mean_fraction
+            )),
+            None => s.push_str(",\"budget\":null"),
+        }
+        s.push_str(&format!(
+            ",\"counters\":{{\"qbf_refinements\":{},\"quantification_refinements\":{},\
+             \"support_minimization_steps\":{},\"structural_fallbacks\":{},\
+             \"cegar_min_rounds\":{}}}",
+            self.qbf_refinements,
+            self.quantification_refinements,
+            self.support_minimization_steps,
+            self.structural_fallbacks,
+            self.cegar_min_rounds
+        ));
+        s.push('}');
+        s
+    }
+}
+
+/// Aggregates the event stream into [`RunMetrics`]. Needs no clock of
+/// its own: all durations arrive inside the events.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsObserver {
+    metrics: RunMetrics,
+    fraction_sum: f64,
+    budgeted_calls: u64,
+}
+
+impl MetricsObserver {
+    /// Creates an empty aggregator.
+    pub fn new() -> MetricsObserver {
+        MetricsObserver::default()
+    }
+
+    /// The metrics accumulated so far (final after
+    /// [`EcoEvent::RunFinished`]).
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Consumes the observer, returning the metrics.
+    pub fn into_metrics(self) -> RunMetrics {
+        self.metrics
+    }
+
+    fn target_entry(&mut self, target_index: usize) -> &mut TargetMetrics {
+        if let Some(pos) = self
+            .metrics
+            .targets
+            .iter()
+            .position(|t| t.target_index == target_index)
+        {
+            return &mut self.metrics.targets[pos];
+        }
+        self.metrics.targets.push(TargetMetrics {
+            target_index,
+            ..TargetMetrics::default()
+        });
+        self.metrics.targets.last_mut().expect("just pushed")
+    }
+}
+
+impl EcoObserver for MetricsObserver {
+    fn on_event(&mut self, event: &EcoEvent) {
+        match *event {
+            EcoEvent::RunStarted {
+                num_targets,
+                per_call_conflicts,
+            } => {
+                self.metrics.num_targets = num_targets;
+                self.metrics.per_call_conflicts = per_call_conflicts;
+            }
+            EcoEvent::PhaseFinished { phase, elapsed } => {
+                self.metrics.phases.push(PhaseMetrics { phase, elapsed });
+            }
+            EcoEvent::TargetStarted { target_index } => {
+                self.target_entry(target_index);
+            }
+            EcoEvent::TargetFinished {
+                target_index,
+                sat_calls,
+                elapsed,
+            } => {
+                let entry = self.target_entry(target_index);
+                entry.sat_calls = sat_calls;
+                entry.elapsed = elapsed;
+            }
+            EcoEvent::SatCall {
+                kind,
+                target_index,
+                conflicts,
+                decisions,
+                propagations,
+                ..
+            } => {
+                let bucket = conflict_bucket(conflicts);
+                let sc = &mut self.metrics.sat_calls;
+                sc.total += 1;
+                sc.conflicts += conflicts;
+                sc.decisions += decisions;
+                sc.propagations += propagations;
+                sc.by_kind[kind.index()] += 1;
+                sc.conflict_histogram[bucket] += 1;
+                if let Some(budget) = self.metrics.per_call_conflicts {
+                    if budget > 0 {
+                        let fraction = conflicts as f64 / budget as f64;
+                        self.fraction_sum += fraction;
+                        self.budgeted_calls += 1;
+                        let b = self.metrics.budget.get_or_insert(BudgetMetrics {
+                            per_call_conflicts: budget,
+                            max_fraction: 0.0,
+                            mean_fraction: 0.0,
+                        });
+                        if fraction > b.max_fraction {
+                            b.max_fraction = fraction;
+                        }
+                    }
+                }
+                if let Some(ti) = target_index {
+                    let entry = self.target_entry(ti);
+                    entry.observed_sat_calls += 1;
+                    entry.conflicts += conflicts;
+                    entry.conflict_histogram[bucket] += 1;
+                }
+            }
+            EcoEvent::QbfRefinement { .. } => self.metrics.qbf_refinements += 1,
+            EcoEvent::QuantificationRefinement { .. } => {
+                self.metrics.quantification_refinements += 1;
+            }
+            EcoEvent::SupportMinimizationStep { .. } => {
+                self.metrics.support_minimization_steps += 1;
+            }
+            EcoEvent::StructuralFallback { .. } => self.metrics.structural_fallbacks += 1,
+            EcoEvent::CegarMinRound { .. } => self.metrics.cegar_min_rounds += 1,
+            EcoEvent::RunFinished { elapsed } => {
+                self.metrics.elapsed = elapsed;
+                if let Some(b) = &mut self.metrics.budget {
+                    if self.budgeted_calls > 0 {
+                        b.mean_fraction = self.fraction_sum / self.budgeted_calls as f64;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_consistent() {
+        for (i, kind) in SatCallKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        let names: std::collections::HashSet<&str> =
+            SatCallKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names.len(),
+            SatCallKind::ALL.len(),
+            "names must be distinct"
+        );
+    }
+
+    #[test]
+    fn conflict_buckets_partition() {
+        assert_eq!(conflict_bucket(0), 0);
+        assert_eq!(conflict_bucket(1), 1);
+        assert_eq!(conflict_bucket(10), 1);
+        assert_eq!(conflict_bucket(11), 2);
+        assert_eq!(conflict_bucket(1_000_000), 6);
+        assert_eq!(conflict_bucket(1_000_001), 7);
+        assert_eq!(conflict_bucket(u64::MAX), NUM_CONFLICT_BUCKETS - 1);
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        #[derive(Default)]
+        struct Counter(usize);
+        impl EcoObserver for Counter {
+            fn on_event(&mut self, _event: &EcoEvent) {
+                self.0 += 1;
+            }
+        }
+        let mut tee = TeeObserver::new(Counter::default(), Counter::default());
+        tee.on_event(&EcoEvent::RunStarted {
+            num_targets: 1,
+            per_call_conflicts: None,
+        });
+        tee.on_event(&EcoEvent::RunFinished {
+            elapsed: Duration::ZERO,
+        });
+        assert_eq!(tee.first.0, 2);
+        assert_eq!(tee.second.0, 2);
+    }
+
+    #[test]
+    fn inactive_handle_skips_payload_construction() {
+        let handle = ObserverHandle::default();
+        assert!(!handle.is_active());
+        handle.emit(|| panic!("payload must not be built without sinks"));
+    }
+
+    #[test]
+    fn metrics_aggregate_sat_calls_and_budget() {
+        let mut m = MetricsObserver::new();
+        m.on_event(&EcoEvent::RunStarted {
+            num_targets: 1,
+            per_call_conflicts: Some(100),
+        });
+        m.on_event(&EcoEvent::TargetStarted { target_index: 0 });
+        m.on_event(&EcoEvent::SatCall {
+            kind: SatCallKind::Support,
+            target_index: Some(0),
+            result: SolveResult::Unsat,
+            conflicts: 50,
+            decisions: 7,
+            propagations: 20,
+        });
+        m.on_event(&EcoEvent::SatCall {
+            kind: SatCallKind::Cec,
+            target_index: None,
+            result: SolveResult::Unsat,
+            conflicts: 100,
+            decisions: 3,
+            propagations: 10,
+        });
+        m.on_event(&EcoEvent::TargetFinished {
+            target_index: 0,
+            sat_calls: 1,
+            elapsed: Duration::from_micros(5),
+        });
+        m.on_event(&EcoEvent::RunFinished {
+            elapsed: Duration::from_micros(9),
+        });
+        let r = m.metrics();
+        assert_eq!(r.sat_calls.total, 2);
+        assert_eq!(r.sat_calls.conflicts, 150);
+        assert_eq!(r.sat_calls.by_kind[SatCallKind::Support.index()], 1);
+        assert_eq!(r.sat_calls.by_kind[SatCallKind::Cec.index()], 1);
+        assert_eq!(r.targets.len(), 1);
+        assert_eq!(r.targets[0].observed_sat_calls, 1);
+        assert_eq!(r.targets[0].sat_calls, 1);
+        assert_eq!(r.targets[0].conflicts, 50);
+        let b = r.budget.expect("budget configured");
+        assert!((b.max_fraction - 1.0).abs() < 1e-12);
+        assert!((b.mean_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let m = RunMetrics {
+            num_targets: 2,
+            per_call_conflicts: None,
+            elapsed: Duration::from_micros(42),
+            ..RunMetrics::default()
+        };
+        let json = m.to_json();
+        assert!(json.starts_with("{\"schema_version\":1"));
+        assert!(json.contains("\"per_call_conflicts\":null"));
+        assert!(json.contains("\"elapsed_us\":42"));
+        assert!(json.contains("\"budget\":null"));
+        assert!(json.ends_with("}"));
+    }
+}

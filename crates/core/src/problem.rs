@@ -61,7 +61,9 @@ impl EcoProblem {
             });
         }
         if targets.is_empty() {
-            return Err(EcoError::InvalidProblem { message: "no targets given".into() });
+            return Err(EcoError::InvalidProblem {
+                message: "no targets given".into(),
+            });
         }
         let mut seen = HashSet::new();
         for &t in &targets {
@@ -86,7 +88,13 @@ impl EcoProblem {
             });
         }
         let default_weight = weights.iter().copied().max().unwrap_or(1).max(1);
-        Ok(EcoProblem { implementation, specification, targets, weights, default_weight })
+        Ok(EcoProblem {
+            implementation,
+            specification,
+            targets,
+            weights,
+            default_weight,
+        })
     }
 
     /// Creates a problem with every signal weighing 1 (pure size-driven
@@ -119,17 +127,23 @@ impl EcoProblem {
         weights: &WeightTable,
         default_weight: u64,
     ) -> Result<EcoProblem, EcoError> {
-        let impl_conv = implementation.to_aig().map_err(|e| EcoError::InvalidProblem {
-            message: format!("implementation: {e}"),
-        })?;
-        let spec_conv = specification.to_aig().map_err(|e| EcoError::InvalidProblem {
-            message: format!("specification: {e}"),
-        })?;
+        let impl_conv = implementation
+            .to_aig()
+            .map_err(|e| EcoError::InvalidProblem {
+                message: format!("implementation: {e}"),
+            })?;
+        let spec_conv = specification
+            .to_aig()
+            .map_err(|e| EcoError::InvalidProblem {
+                message: format!("specification: {e}"),
+            })?;
         let mut targets = Vec::new();
         for name in target_nets {
-            let net = implementation.net(name).ok_or_else(|| EcoError::InvalidProblem {
-                message: format!("target net {name:?} not found in implementation"),
-            })?;
+            let net = implementation
+                .net(name)
+                .ok_or_else(|| EcoError::InvalidProblem {
+                    message: format!("target net {name:?} not found in implementation"),
+                })?;
             // A complemented literal is fine: the rectification freedom at
             // `!n` is identical to the freedom at `n` (the patch function
             // is simply complemented).
@@ -156,8 +170,7 @@ impl EcoProblem {
                 node_weights[n] = node_weights[n].min(net_weights[net_idx]);
             }
         }
-        let mut problem =
-            EcoProblem::new(impl_conv.aig, spec_conv.aig, targets, node_weights)?;
+        let mut problem = EcoProblem::new(impl_conv.aig, spec_conv.aig, targets, node_weights)?;
         problem.default_weight = default_weight.max(1);
         Ok(problem)
     }
@@ -175,7 +188,10 @@ impl EcoProblem {
     /// The weight of a node, falling back to the default for nodes
     /// beyond the table (created by substitution).
     pub fn weight(&self, node: NodeId) -> u64 {
-        self.weights.get(node.index()).copied().unwrap_or(self.default_weight)
+        self.weights
+            .get(node.index())
+            .copied()
+            .unwrap_or(self.default_weight)
     }
 }
 
@@ -263,8 +279,8 @@ mod tests {
         let src = "module m (a, y); input a; output y; buf g (y, a); endmodule";
         let im = parse_verilog(src).expect("parse").netlist;
         let sp = im.clone();
-        let err = EcoProblem::from_netlists(&im, &sp, &["nope"], &WeightTable::new(), 1)
-            .unwrap_err();
+        let err =
+            EcoProblem::from_netlists(&im, &sp, &["nope"], &WeightTable::new(), 1).unwrap_err();
         assert!(matches!(err, EcoError::InvalidProblem { .. }));
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::cnf::CnfEncoder;
 use crate::miter::EcoMiter;
+use crate::observe::{EcoEvent, ObserverHandle, SatCallKind};
 use crate::problem::EcoProblem;
 use eco_aig::{Aig, AigLit};
 use eco_sat::{Lit, SolveResult, Solver};
@@ -49,6 +50,24 @@ pub fn check_targets_sufficient(
     max_iterations: usize,
     per_call_conflicts: Option<u64>,
 ) -> QbfOutcome {
+    check_targets_sufficient_observed(
+        problem,
+        max_iterations,
+        per_call_conflicts,
+        &ObserverHandle::default(),
+    )
+}
+
+/// [`check_targets_sufficient`] with event emission: each SAT call is
+/// reported as [`EcoEvent::SatCall`] of kind [`SatCallKind::Qbf`]
+/// (unattributed — sufficiency is shared across targets), and each
+/// added counterexample copy as [`EcoEvent::QbfRefinement`].
+pub(crate) fn check_targets_sufficient_observed(
+    problem: &EcoProblem,
+    max_iterations: usize,
+    per_call_conflicts: Option<u64>,
+    obs: &ObserverHandle,
+) -> QbfOutcome {
     let miter = EcoMiter::build(problem, None);
     let num_targets = problem.targets.len();
 
@@ -84,12 +103,16 @@ pub fn check_targets_sufficient(
     let mut sat_calls = 0u64;
 
     let add_copy = |assignment: &[bool],
-                        acc: &mut Aig,
-                        solver_a: &mut Solver,
-                        enc_a: &mut CnfEncoder,
-                        copy_outs: &mut Vec<Lit>| {
+                    acc: &mut Aig,
+                    solver_a: &mut Solver,
+                    enc_a: &mut CnfEncoder,
+                    copy_outs: &mut Vec<Lit>| {
         let mut bindings = acc_inputs.clone();
-        bindings.extend(assignment.iter().map(|&v| if v { AigLit::TRUE } else { AigLit::FALSE }));
+        bindings.extend(
+            assignment
+                .iter()
+                .map(|&v| if v { AigLit::TRUE } else { AigLit::FALSE }),
+        );
         let out = acc.import_lit(&miter.aig, &bindings, miter.output);
         copy_outs.push(enc_a.lit(acc, solver_a, out));
     };
@@ -104,7 +127,10 @@ pub fn check_targets_sufficient(
             solver_a.set_budget(Some(c), None);
         }
         sat_calls += 1;
-        match solver_a.solve(&copy_outs) {
+        let before = obs.snapshot(&solver_a);
+        let result_a = solver_a.solve(&copy_outs);
+        obs.sat_call(before, &solver_a, SatCallKind::Qbf, None, result_a);
+        match result_a {
             SolveResult::Unknown => return QbfOutcome::Unknown,
             SolveResult::Unsat => {
                 let core: std::collections::HashSet<Lit> =
@@ -120,7 +146,10 @@ pub fn check_targets_sufficient(
                     // constant-false): keep the seed as certificate.
                     certificates.push(assignments[0].clone());
                 }
-                return QbfOutcome::Solvable { certificates, sat_calls };
+                return QbfOutcome::Solvable {
+                    certificates,
+                    sat_calls,
+                };
             }
             SolveResult::Sat => {
                 let x_star: Vec<bool> = x_a
@@ -138,7 +167,10 @@ pub fn check_targets_sufficient(
                     solver_b.set_budget(Some(c), None);
                 }
                 sat_calls += 1;
-                match solver_b.solve(&assumptions) {
+                let before = obs.snapshot(&solver_b);
+                let result_b = solver_b.solve(&assumptions);
+                obs.sat_call(before, &solver_b, SatCallKind::Qbf, None, result_b);
+                match result_b {
                     SolveResult::Unknown => return QbfOutcome::Unknown,
                     SolveResult::Unsat => {
                         return QbfOutcome::Unsolvable { witness: x_star };
@@ -150,6 +182,9 @@ pub fn check_targets_sufficient(
                             .collect();
                         add_copy(&n_star, &mut acc, &mut solver_a, &mut enc_a, &mut copy_outs);
                         assignments.push(n_star);
+                        obs.emit(|| EcoEvent::QbfRefinement {
+                            copies: copy_outs.len(),
+                        });
                     }
                 }
             }
@@ -252,8 +287,7 @@ mod tests {
         let (a, _b, c) = (sp.add_input(), sp.add_input(), sp.add_input());
         let y = sp.xor(a, c);
         sp.add_output(y);
-        let p = EcoProblem::with_unit_weights(im, sp, vec![t1.node(), t2.node()])
-            .expect("valid");
+        let p = EcoProblem::with_unit_weights(im, sp, vec![t1.node(), t2.node()]).expect("valid");
         match check_targets_sufficient(&p, 64, None) {
             QbfOutcome::Solvable { certificates, .. } => {
                 assert!(!certificates.is_empty() && certificates.len() <= 4);

@@ -34,12 +34,11 @@ pub fn structural_patch(qm: &QuantifiedMiter) -> StructuralPatch {
         .enumerate()
         .map(|(i, &n)| (n, i))
         .collect();
-    let support_inputs: Vec<usize> = cone
-        .input_nodes
-        .iter()
-        .map(|n| input_position[n])
-        .collect();
-    StructuralPatch { aig: cone.aig, support_inputs }
+    let support_inputs: Vec<usize> = cone.input_nodes.iter().map(|n| input_position[n]).collect();
+    StructuralPatch {
+        aig: cone.aig,
+        support_inputs,
+    }
 }
 
 #[cfg(test)]
@@ -62,7 +61,10 @@ mod tests {
         let mut patches = HashMap::new();
         patches.insert(
             p.targets[target_index],
-            NodePatch { aig: sp.aig.clone(), support },
+            NodePatch {
+                aig: sp.aig.clone(),
+                support,
+            },
         );
         p.implementation.substitute(&patches).expect("acyclic")
     }
@@ -111,7 +113,11 @@ mod tests {
         let s = structural_patch(&qm);
         // c is identical on both sides and outside the window cone, so it
         // must not appear in the patch support.
-        assert!(!s.support_inputs.contains(&2), "support {:?}", s.support_inputs);
+        assert!(
+            !s.support_inputs.contains(&2),
+            "support {:?}",
+            s.support_inputs
+        );
         let patched = apply_structural(&p, 0);
         assert_eq!(
             check_equivalence(&patched, &p.specification, None),
@@ -132,8 +138,8 @@ mod tests {
         let (a2, _b2, c2) = (spx.add_input(), spx.add_input(), spx.add_input());
         let y = spx.xor(a2, c2);
         spx.add_output(y);
-        let mut p = EcoProblem::with_unit_weights(im, spx, vec![t1.node(), t2.node()])
-            .expect("valid");
+        let mut p =
+            EcoProblem::with_unit_weights(im, spx, vec![t1.node(), t2.node()]).expect("valid");
         // Target 0 with target 1 quantified over both values.
         let qm0 = QuantifiedMiter::build(&p, 0, &[vec![false], vec![true]], None);
         let s0 = structural_patch(&qm0);
@@ -143,8 +149,17 @@ mod tests {
             .map(|&i| p.implementation.inputs()[i].lit())
             .collect();
         let mut patches = HashMap::new();
-        patches.insert(p.targets[0], NodePatch { aig: s0.aig.clone(), support: support0 });
-        let result = p.implementation.substitute_with_map(&patches).expect("acyclic");
+        patches.insert(
+            p.targets[0],
+            NodePatch {
+                aig: s0.aig.clone(),
+                support: support0,
+            },
+        );
+        let result = p
+            .implementation
+            .substitute_with_map(&patches)
+            .expect("acyclic");
         // Remap target 1 into the new implementation.
         let new_t1 = result.node_map[p.targets[1].index()]
             .expect("target alive")

@@ -5,6 +5,7 @@
 use crate::cnf::CnfEncoder;
 use crate::error::EcoError;
 use crate::miter::QuantifiedMiter;
+use crate::observe::{EcoEvent, ObserverHandle, SatCallKind, SupportStep};
 use crate::problem::EcoProblem;
 use eco_aig::NodeId;
 use eco_sat::{Lit, SolveResult, Solver};
@@ -31,10 +32,42 @@ pub fn minimize_assumptions(
     fixed: &[Lit],
     assumptions: &mut [Lit],
 ) -> Result<(usize, u64), EcoError> {
-    let mut ctx = MinCtx { solver, fixed: fixed.to_vec(), calls: 0 };
+    let mut calls = 0u64;
+    let kept = minimize_assumptions_observed(
+        solver,
+        fixed,
+        assumptions,
+        &ObserverHandle::default(),
+        SatCallKind::Minimize,
+        None,
+        &mut calls,
+    )?;
+    Ok((kept, calls))
+}
+
+/// [`minimize_assumptions`] with event emission: each SAT call is
+/// reported to `obs` as an [`EcoEvent::SatCall`] of `kind` attributed
+/// to `target_index`. `calls` is incremented eagerly, so the tally is
+/// accurate even when a budget error aborts the recursion.
+pub(crate) fn minimize_assumptions_observed(
+    solver: &mut Solver,
+    fixed: &[Lit],
+    assumptions: &mut [Lit],
+    obs: &ObserverHandle,
+    kind: SatCallKind,
+    target_index: Option<usize>,
+    calls: &mut u64,
+) -> Result<usize, EcoError> {
+    let mut ctx = MinCtx {
+        solver,
+        fixed: fixed.to_vec(),
+        calls,
+        obs,
+        kind,
+        target_index,
+    };
     let len = assumptions.len();
-    let kept = rec(&mut ctx, assumptions, 0, len)?;
-    Ok((kept, ctx.calls))
+    rec(&mut ctx, assumptions, 0, len)
 }
 
 /// The naive `O(N)` assumption minimization the paper compares
@@ -68,9 +101,7 @@ pub fn naive_minimize_assumptions(
                 kept += 1;
             }
             SolveResult::Unknown => {
-                return Err(EcoError::SolverBudgetExhausted {
-                    phase: "naive_minimize_assumptions",
-                })
+                return Err(EcoError::budget_exhausted("naive_minimize_assumptions"))
             }
         }
     }
@@ -80,20 +111,25 @@ pub fn naive_minimize_assumptions(
 struct MinCtx<'s> {
     solver: &'s mut Solver,
     fixed: Vec<Lit>,
-    calls: u64,
+    calls: &'s mut u64,
+    obs: &'s ObserverHandle,
+    kind: SatCallKind,
+    target_index: Option<usize>,
 }
 
 impl MinCtx<'_> {
     fn unsat(&mut self, extra: &[Lit]) -> Result<bool, EcoError> {
-        self.calls += 1;
+        *self.calls += 1;
         let mut assumptions = self.fixed.clone();
         assumptions.extend_from_slice(extra);
-        match self.solver.solve(&assumptions) {
+        let before = self.obs.snapshot(self.solver);
+        let result = self.solver.solve(&assumptions);
+        self.obs
+            .sat_call(before, self.solver, self.kind, self.target_index, result);
+        match result {
             SolveResult::Unsat => Ok(true),
             SolveResult::Sat => Ok(false),
-            SolveResult::Unknown => {
-                Err(EcoError::SolverBudgetExhausted { phase: "minimize_assumptions" })
-            }
+            SolveResult::Unknown => Err(EcoError::budget_exhausted("minimize_assumptions")),
         }
     }
 }
@@ -157,6 +193,9 @@ pub struct SupportSolver {
     x2: Vec<Lit>,
     /// Total SAT calls issued through this instance.
     pub sat_calls: u64,
+    /// Event sink plus the target index its calls are attributed to.
+    obs: ObserverHandle,
+    target_index: Option<usize>,
 }
 
 /// A computed patch support: divisor positions plus their summed cost.
@@ -223,7 +262,21 @@ impl SupportSolver {
             x1,
             x2,
             sat_calls: 0,
+            obs: ObserverHandle::default(),
+            target_index: None,
         }
+    }
+
+    /// Attaches an event sink; subsequent SAT calls emit
+    /// [`EcoEvent::SatCall`] events attributed to `target_index`.
+    pub(crate) fn set_observer(&mut self, obs: ObserverHandle, target_index: Option<usize>) {
+        self.obs = obs;
+        self.target_index = target_index;
+    }
+
+    /// The attached event sink (inactive by default).
+    pub(crate) fn observer(&self) -> &ObserverHandle {
+        &self.obs
     }
 
     /// After a satisfiable (infeasible) [`SupportSolver::all_feasible`]
@@ -250,12 +303,19 @@ impl SupportSolver {
         if let Some(c) = self.per_call_conflicts {
             self.solver.set_budget(Some(c), None);
         }
-        match self.solver.solve(assumptions) {
+        let before = self.obs.snapshot(&self.solver);
+        let result = self.solver.solve(assumptions);
+        self.obs.sat_call(
+            before,
+            &self.solver,
+            SatCallKind::Support,
+            self.target_index,
+            result,
+        );
+        match result {
             SolveResult::Unsat => Ok(true),
             SolveResult::Sat => Ok(false),
-            SolveResult::Unknown => {
-                Err(EcoError::SolverBudgetExhausted { phase: "support feasibility" })
-            }
+            SolveResult::Unknown => Err(EcoError::budget_exhausted("support feasibility")),
         }
     }
 
@@ -300,7 +360,11 @@ impl SupportSolver {
             .filter(|&i| conflict.contains(&self.aux[i]))
             .collect();
         let cost = divisor_indices.iter().map(|&i| self.costs[i]).sum();
-        Ok(SupportResult { divisor_indices, cost, sat_calls: self.sat_calls })
+        Ok(SupportResult {
+            divisor_indices,
+            cost,
+            sat_calls: self.sat_calls,
+        })
     }
 
     /// Cost-aware minimal support via `minimize_assumptions`
@@ -312,10 +376,7 @@ impl SupportSolver {
     /// # Errors
     ///
     /// [`EcoError::SolverBudgetExhausted`] on budget exhaustion.
-    pub fn minimized_support(
-        &mut self,
-        last_gasp_tries: usize,
-    ) -> Result<SupportResult, EcoError> {
+    pub fn minimized_support(&mut self, last_gasp_tries: usize) -> Result<SupportResult, EcoError> {
         // Order activation literals by increasing divisor cost (stable on
         // index so equal costs prefer earlier divisors).
         let mut order: Vec<usize> = (0..self.aux.len()).collect();
@@ -330,12 +391,26 @@ impl SupportSolver {
             // emulation of the paper's timeout behaviour simple.
             self.solver.set_budget(Some(c.saturating_mul(64)), None);
         }
-        let (kept, calls) = minimize_assumptions(&mut self.solver, &base, &mut lits)?;
+        let mut calls = 0u64;
+        let kept = minimize_assumptions_observed(
+            &mut self.solver,
+            &base,
+            &mut lits,
+            &self.obs,
+            SatCallKind::Minimize,
+            self.target_index,
+            &mut calls,
+        );
         self.sat_calls += calls;
+        let kept = kept?;
+        self.obs.emit(|| EcoEvent::SupportMinimizationStep {
+            target_index: self.target_index,
+            step: SupportStep::Algorithm1,
+            support_size: kept,
+        });
         let lit_index: std::collections::HashMap<Lit, usize> =
             self.aux.iter().enumerate().map(|(i, &l)| (l, i)).collect();
-        let mut selected: Vec<usize> =
-            lits[..kept].iter().map(|l| lit_index[l]).collect();
+        let mut selected: Vec<usize> = lits[..kept].iter().map(|l| lit_index[l]).collect();
 
         // Last-gasp improvement: replace a selected divisor by a cheaper
         // unselected one when feasibility is preserved.
@@ -362,6 +437,11 @@ impl SupportSolver {
                     if self.subset_feasible(&trial)? {
                         selected = trial;
                         improved = true;
+                        self.obs.emit(|| EcoEvent::SupportMinimizationStep {
+                            target_index: self.target_index,
+                            step: SupportStep::LastGasp,
+                            support_size: selected.len(),
+                        });
                         break;
                     }
                 }
@@ -369,7 +449,11 @@ impl SupportSolver {
         }
         selected.sort_unstable();
         let cost = selected.iter().map(|&i| self.costs[i]).sum();
-        Ok(SupportResult { divisor_indices: selected, cost, sat_calls: self.sat_calls })
+        Ok(SupportResult {
+            divisor_indices: selected,
+            cost,
+            sat_calls: self.sat_calls,
+        })
     }
 
     /// The cost vector (parallel to the divisor list).
@@ -511,10 +595,14 @@ mod tests {
             let (k2, c2) = naive_minimize_assumptions(&mut s2, &[], &mut v2).expect("naive");
             assert_eq!(k1, k2, "seed {seed}");
             // Map selected literals of s2's space to indices for comparison.
-            let sel1: std::collections::HashSet<usize> =
-                v1[..k1].iter().map(|l| ms1.iter().position(|m| m == l).unwrap()).collect();
-            let sel2: std::collections::HashSet<usize> =
-                v2[..k2].iter().map(|l| ms2.iter().position(|m| m == l).unwrap()).collect();
+            let sel1: std::collections::HashSet<usize> = v1[..k1]
+                .iter()
+                .map(|l| ms1.iter().position(|m| m == l).unwrap())
+                .collect();
+            let sel2: std::collections::HashSet<usize> = v2[..k2]
+                .iter()
+                .map(|l| ms2.iter().position(|m| m == l).unwrap())
+                .collect();
             assert_eq!(sel1, sel2, "seed {seed}");
             // The naive version always pays one call per assumption; the
             // divide-and-conquer advantage is asymptotic (see the
@@ -536,6 +624,9 @@ mod tests {
         let mut a = ms.clone();
         let (kept, _) = minimize_assumptions(&mut s, &[], &mut a).expect("no budget");
         assert_eq!(kept, 1);
-        assert_eq!(a[0], ms[0], "cheapest (earliest) sufficient assumption wins");
+        assert_eq!(
+            a[0], ms[0],
+            "cheapest (earliest) sufficient assumption wins"
+        );
     }
 }

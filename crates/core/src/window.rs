@@ -61,11 +61,19 @@ pub fn compute_window(problem: &EcoProblem) -> Window {
             input_mask[idx] = true;
         }
     }
-    let inputs: Vec<usize> =
-        input_mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+    let inputs: Vec<usize> = input_mask
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .map(|(i, _)| i)
+        .collect();
 
     let divisors = compute_divisors(implementation, &problem.targets, &inputs);
-    Window { outputs, inputs, divisors }
+    Window {
+        outputs,
+        inputs,
+        divisors,
+    }
 }
 
 /// Recomputes the candidate divisors for a (possibly already partially
@@ -96,8 +104,7 @@ pub fn compute_divisors(
     let mut divisors = Vec::new();
     for id in implementation.iter_nodes() {
         if let Some((f0, f1)) = implementation.fanins(id) {
-            supported[id.index()] =
-                supported[f0.node().index()] && supported[f1.node().index()];
+            supported[id.index()] = supported[f0.node().index()] && supported[f1.node().index()];
         }
         if id != NodeId::CONST0 && supported[id.index()] && !tfo[id.index()] {
             divisors.push(id);
@@ -156,7 +163,10 @@ mod tests {
         let w = compute_window(&p);
         assert!(!w.divisors.contains(&t), "target is in its own TFO");
         assert!(!w.divisors.contains(&o0), "TFO node excluded");
-        assert!(!w.divisors.contains(&d), "input outside window PIs excluded");
+        assert!(
+            !w.divisors.contains(&d),
+            "input outside window PIs excluded"
+        );
         // The window PIs themselves are divisors.
         for &idx in &[0usize, 1, 2] {
             assert!(w.divisors.contains(&p.implementation.inputs()[idx]));
@@ -184,7 +194,11 @@ mod tests {
         let p = EcoProblem::with_unit_weights(im, sp, vec![t_node]).expect("valid");
         let w = compute_window(&p);
         // The xor cone nodes are all outside the target TFO and supported.
-        assert!(w.divisors.len() >= 4, "xor internals plus PIs expected: {:?}", w.divisors);
+        assert!(
+            w.divisors.len() >= 4,
+            "xor internals plus PIs expected: {:?}",
+            w.divisors
+        );
     }
 
     #[test]
@@ -205,8 +219,7 @@ mod tests {
         let s2 = sp.or(b, c);
         sp.add_output(s1);
         sp.add_output(s2);
-        let p =
-            EcoProblem::with_unit_weights(im, sp, vec![t1.node(), t2.node()]).expect("valid");
+        let p = EcoProblem::with_unit_weights(im, sp, vec![t1.node(), t2.node()]).expect("valid");
         let w = compute_window(&p);
         assert_eq!(w.outputs, vec![0, 1]);
         assert_eq!(w.inputs, vec![0, 1, 2]);

@@ -7,7 +7,7 @@
 
 use eco_aig::{isop_between, Aig, TruthTable};
 use eco_core::{enumerate_patch_sop, EcoProblem, QuantifiedMiter};
-use proptest::prelude::*;
+use eco_testutil::{cases, Rng};
 
 /// Random 3-input target function pair (wrong, right) by truth table
 /// codes; skip degenerate pairs that need no patch or admit none.
@@ -40,49 +40,54 @@ fn build_problem(wrong_code: u8, right_code: u8) -> Option<EcoProblem> {
     EcoProblem::with_unit_weights(im, spec, vec![w.node()]).ok()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+fn check_case(case: u64, rng: &mut Rng) {
+    let wrong_code = rng.range(1, 255) as u8;
+    let right_code = rng.range(1, 255) as u8;
+    let Some(p) = build_problem(wrong_code, right_code) else {
+        return;
+    };
+    let qm = QuantifiedMiter::build(&p, 0, &[], None);
+    let support: Vec<_> = p.implementation.inputs().to_vec();
+    let sop = enumerate_patch_sop(&qm, &support, 0, None, 1 << 10)
+        .expect("input support is always sufficient");
 
-    #[test]
-    fn enumerated_sop_lies_in_the_patch_interval(
-        wrong_code in 1u8..255,
-        right_code in 1u8..255,
-    ) {
-        let Some(p) = build_problem(wrong_code, right_code) else {
-            return Ok(());
-        };
-        let qm = QuantifiedMiter::build(&p, 0, &[], None);
-        let support: Vec<_> = p.implementation.inputs().to_vec();
-        let sop = enumerate_patch_sop(&qm, &support, 0, None, 1 << 10)
-            .expect("input support is always sufficient");
+    // Oracle interval from the miter cofactors.
+    let m0 = qm.cofactor(false).simulate_all_inputs()[0][0] & 0xff;
+    let m1 = qm.cofactor(true).simulate_all_inputs()[0][0] & 0xff;
+    let onset = TruthTable::from_words(3, vec![m0]);
+    let offset_complement = !&TruthTable::from_words(3, vec![m1]);
+    assert!(
+        onset.implies(&offset_complement),
+        "case {case}: interval must be non-empty for a feasible ECO"
+    );
 
-        // Oracle interval from the miter cofactors.
-        let m0 = qm.cofactor(false).simulate_all_inputs()[0][0] & 0xff;
-        let m1 = qm.cofactor(true).simulate_all_inputs()[0][0] & 0xff;
-        let onset = TruthTable::from_words(3, vec![m0]);
-        let offset_complement = !&TruthTable::from_words(3, vec![m1]);
-        prop_assert!(
-            onset.implies(&offset_complement),
-            "interval must be non-empty for a feasible ECO"
-        );
+    // The enumerated patch must cover the onset and avoid the offset.
+    let patch_tt = sop.sop.truth_table();
+    assert!(
+        onset.implies(&patch_tt),
+        "case {case}: patch must cover M(0)"
+    );
+    assert!(
+        patch_tt.implies(&offset_complement),
+        "case {case}: patch must avoid M(1)"
+    );
 
-        // The enumerated patch must cover the onset and avoid the offset.
-        let patch_tt = sop.sop.truth_table();
-        prop_assert!(onset.implies(&patch_tt), "patch must cover M(0)");
-        prop_assert!(patch_tt.implies(&offset_complement), "patch must avoid M(1)");
+    // The ISOP of the interval is an independent valid patch; the
+    // SAT enumeration should not be wildly larger (both are prime
+    // irredundant covers of functions in the same interval).
+    let oracle = isop_between(&onset, &offset_complement);
+    let oracle_tt = oracle.truth_table();
+    assert!(onset.implies(&oracle_tt), "case {case}");
+    assert!(oracle_tt.implies(&offset_complement), "case {case}");
+    assert!(
+        sop.sop.len() <= 2 * oracle.len().max(1) + 2,
+        "case {case}: enumerated {} cubes vs oracle {} cubes",
+        sop.sop.len(),
+        oracle.len()
+    );
+}
 
-        // The ISOP of the interval is an independent valid patch; the
-        // SAT enumeration should not be wildly larger (both are prime
-        // irredundant covers of functions in the same interval).
-        let oracle = isop_between(&onset, &offset_complement);
-        let oracle_tt = oracle.truth_table();
-        prop_assert!(onset.implies(&oracle_tt));
-        prop_assert!(oracle_tt.implies(&offset_complement));
-        prop_assert!(
-            sop.sop.len() <= 2 * oracle.len().max(1) + 2,
-            "enumerated {} cubes vs oracle {} cubes",
-            sop.sop.len(),
-            oracle.len()
-        );
-    }
+#[test]
+fn enumerated_sop_lies_in_the_patch_interval() {
+    cases(200, check_case);
 }

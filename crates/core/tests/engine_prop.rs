@@ -1,11 +1,11 @@
-//! Property-based engine invariants beyond verification: cost
-//! dominance between methods, report consistency, and idempotence on
+//! Randomized engine invariants beyond verification: cost dominance
+//! between methods, report consistency, and idempotence on
 //! already-equivalent designs.
 
 use eco_core::{
     check_targets_sufficient, EcoEngine, EcoOptions, EcoProblem, QbfOutcome, SupportMethod,
 };
-use proptest::prelude::*;
+use eco_testutil::cases;
 
 mod common {
     use eco_aig::{Aig, AigLit, NodeId, NodePatch};
@@ -29,10 +29,8 @@ mod common {
         let mut guard = 0;
         while im.num_ands() < gates && guard < gates * 8 {
             guard += 1;
-            let a = pool[(mix(&mut s) as usize) % pool.len()]
-                .xor_complement(mix(&mut s) & 1 == 1);
-            let b = pool[(mix(&mut s) as usize) % pool.len()]
-                .xor_complement(mix(&mut s) & 1 == 1);
+            let a = pool[(mix(&mut s) as usize) % pool.len()].xor_complement(mix(&mut s) & 1 == 1);
+            let b = pool[(mix(&mut s) as usize) % pool.len()].xor_complement(mix(&mut s) & 1 == 1);
             let g = im.and(a, b);
             if !g.is_const() {
                 pool.push(g);
@@ -80,7 +78,13 @@ mod common {
                 _ => p.xor(x, y),
             };
             p.add_output(o);
-            patches.insert(t, NodePatch { aig: p, support: vec![d1.lit(), d2.lit()] });
+            patches.insert(
+                t,
+                NodePatch {
+                    aig: p,
+                    support: vec![d1.lit(), d2.lit()],
+                },
+            );
         }
         let sp = im.substitute(&patches).ok()?;
         Some((im, sp, targets))
@@ -98,16 +102,18 @@ fn minimized_cost_beats_baseline_on_geomean() {
     let mut wins = 0usize;
     let mut losses = 0usize;
     for seed in 0..40u64 {
-        let Some((im, sp, targets)) = common::instance(60 + (seed as usize % 60), 1, seed)
-        else {
+        let Some((im, sp, targets)) = common::instance(60 + (seed as usize % 60), 1, seed) else {
             continue;
         };
         let p = EcoProblem::with_unit_weights(im, sp, targets).expect("valid");
-        if !matches!(check_targets_sufficient(&p, 512, None), QbfOutcome::Solvable { .. }) {
+        if !matches!(
+            check_targets_sufficient(&p, 512, None),
+            QbfOutcome::Solvable { .. }
+        ) {
             continue;
         }
         let run = |method| {
-            EcoEngine::new(EcoOptions { method, ..EcoOptions::default() })
+            EcoEngine::new(EcoOptions::builder().method(method).build())
                 .run(&p)
                 .expect("engine run")
         };
@@ -132,17 +138,14 @@ fn minimized_cost_beats_baseline_on_geomean() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn reports_are_consistent(
-        gates in 40usize..120,
-        bugs in 1usize..3,
-        seed in 500u64..900,
-    ) {
+#[test]
+fn reports_are_consistent() {
+    cases(16, |case, rng| {
+        let gates = rng.range(40, 120) as usize;
+        let bugs = rng.range(1, 3) as usize;
+        let seed = rng.range(500, 900);
         let Some((im, sp, targets)) = common::instance(gates, bugs, seed) else {
-            return Ok(());
+            return;
         };
         let k = targets.len();
         let p = EcoProblem::with_unit_weights(im, sp, targets).expect("valid");
@@ -150,18 +153,24 @@ proptest! {
             check_targets_sufficient(&p, 512, None),
             QbfOutcome::Solvable { .. }
         ) {
-            return Ok(());
+            return;
         }
-        let out = EcoEngine::new(EcoOptions::default()).run(&p).expect("engine run");
-        prop_assert!(out.verified);
-        prop_assert_eq!(out.reports.len(), k);
+        let out = EcoEngine::new(EcoOptions::default())
+            .run(&p)
+            .expect("engine run");
+        assert!(out.verified, "case {case}");
+        assert_eq!(out.reports.len(), k, "case {case}");
         let mut seen: Vec<usize> = out.reports.iter().map(|r| r.target_index).collect();
         seen.sort_unstable();
         seen.dedup();
-        prop_assert_eq!(seen.len(), k, "every target reported exactly once");
+        assert_eq!(
+            seen.len(),
+            k,
+            "case {case}: every target reported exactly once"
+        );
         let cost: u64 = out.reports.iter().map(|r| r.cost).sum();
-        prop_assert_eq!(cost, out.total_cost);
+        assert_eq!(cost, out.total_cost, "case {case}");
         let gates_sum: usize = out.reports.iter().map(|r| r.gates).sum();
-        prop_assert_eq!(gates_sum, out.total_gates);
-    }
+        assert_eq!(gates_sum, out.total_gates, "case {case}");
+    });
 }

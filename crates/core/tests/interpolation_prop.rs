@@ -1,12 +1,11 @@
-//! Property-based validation of the whole proof-logging +
-//! interpolation pipeline: for random unsatisfiable two-partition CNFs,
-//! the computed circuit must be a genuine Craig interpolant
-//! (`A ⇒ I` over shared vars, `I ∧ B` unsatisfiable), checked by brute
-//! force.
+//! Randomized validation of the whole proof-logging + interpolation
+//! pipeline: for random unsatisfiable two-partition CNFs, the computed
+//! circuit must be a genuine Craig interpolant (`A ⇒ I` over shared
+//! vars, `I ∧ B` unsatisfiable), checked by brute force.
 
 use eco_core::craig_interpolant;
 use eco_sat::{Lit, SolveResult, Solver, Var};
-use proptest::prelude::*;
+use eco_testutil::{cases, Rng};
 
 /// A clause over a variable space laid out as
 /// `[shared..., a_local..., b_local...]` (signed 1-based indices).
@@ -27,42 +26,39 @@ impl Instance {
     }
 }
 
-fn clause_over(vars: Vec<usize>) -> impl Strategy<Value = RawClause> {
-    prop::collection::vec(
-        (0..vars.len(), any::<bool>()),
-        1..=3,
-    )
-    .prop_map(move |picks| {
-        picks
-            .into_iter()
-            .map(|(i, neg)| {
-                let v = vars[i] as i32 + 1;
-                if neg {
-                    -v
-                } else {
-                    v
-                }
-            })
-            .collect()
-    })
+fn random_clause(rng: &mut Rng, vars: &[usize]) -> RawClause {
+    let len = rng.range(1, 4) as usize;
+    (0..len)
+        .map(|_| {
+            let v = vars[rng.index(vars.len())] as i32 + 1;
+            if rng.bool() {
+                -v
+            } else {
+                v
+            }
+        })
+        .collect()
 }
 
-fn arb_instance() -> impl Strategy<Value = Instance> {
-    (1usize..=3, 1usize..=3, 1usize..=3).prop_flat_map(|(ns, na, nb)| {
-        let a_vars: Vec<usize> = (0..ns).chain(ns..ns + na).collect();
-        let b_vars: Vec<usize> = (0..ns).chain(ns + na..ns + na + nb).collect();
-        (
-            prop::collection::vec(clause_over(a_vars), 1..=8),
-            prop::collection::vec(clause_over(b_vars), 1..=8),
-        )
-            .prop_map(move |(a_clauses, b_clauses)| Instance {
-                num_shared: ns,
-                num_a_local: na,
-                num_b_local: nb,
-                a_clauses,
-                b_clauses,
-            })
-    })
+fn random_instance(rng: &mut Rng) -> Instance {
+    let ns = rng.range(1, 4) as usize;
+    let na = rng.range(1, 4) as usize;
+    let nb = rng.range(1, 4) as usize;
+    let a_vars: Vec<usize> = (0..ns + na).collect();
+    let b_vars: Vec<usize> = (0..ns).chain(ns + na..ns + na + nb).collect();
+    let a_clauses = (0..rng.range(1, 9))
+        .map(|_| random_clause(rng, &a_vars))
+        .collect();
+    let b_clauses = (0..rng.range(1, 9))
+        .map(|_| random_clause(rng, &b_vars))
+        .collect();
+    Instance {
+        num_shared: ns,
+        num_a_local: na,
+        num_b_local: nb,
+        a_clauses,
+        b_clauses,
+    }
 }
 
 fn eval_clauses(clauses: &[RawClause], assignment: u32) -> bool {
@@ -77,59 +73,55 @@ fn eval_clauses(clauses: &[RawClause], assignment: u32) -> bool {
 
 #[test]
 fn interpolants_are_valid_on_random_unsat_partitions() {
-    let mut runner = proptest::test_runner::TestRunner::new(
-        proptest::test_runner::Config::with_cases(400),
-    );
-    let checked = std::cell::Cell::new(0usize);
-    runner
-        .run(&arb_instance(), |inst| {
-            // Build the proof-mode solver.
-            let mut solver = Solver::new();
-            let vars: Vec<Var> = (0..inst.num_vars()).map(|_| solver.new_var()).collect();
-            let to_lit = |raw: i32| -> Lit {
-                let v = vars[raw.unsigned_abs() as usize - 1];
-                v.lit(raw < 0)
-            };
-            solver.enable_proof();
-            for c in &inst.a_clauses {
-                let lits: Vec<Lit> = c.iter().map(|&r| to_lit(r)).collect();
-                solver.add_clause_tagged(&lits, 1);
-            }
-            for c in &inst.b_clauses {
-                let lits: Vec<Lit> = c.iter().map(|&r| to_lit(r)).collect();
-                solver.add_clause_tagged(&lits, 2);
-            }
-            if solver.solve(&[]) != SolveResult::Unsat {
-                return Ok(()); // only refutations have interpolants
-            }
-            let shared: Vec<Var> = vars[..inst.num_shared].to_vec();
-            let itp = craig_interpolant(&solver, &shared).expect("refutation present");
-            checked.set(checked.get() + 1);
+    let mut checked = 0usize;
+    cases(400, |case, rng| {
+        let inst = random_instance(rng);
+        // Build the proof-mode solver.
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..inst.num_vars()).map(|_| solver.new_var()).collect();
+        let to_lit = |raw: i32| -> Lit {
+            let v = vars[raw.unsigned_abs() as usize - 1];
+            v.lit(raw < 0)
+        };
+        solver.enable_proof();
+        for c in &inst.a_clauses {
+            let lits: Vec<Lit> = c.iter().map(|&r| to_lit(r)).collect();
+            solver.add_clause_tagged(&lits, 1);
+        }
+        for c in &inst.b_clauses {
+            let lits: Vec<Lit> = c.iter().map(|&r| to_lit(r)).collect();
+            solver.add_clause_tagged(&lits, 2);
+        }
+        if solver.solve(&[]) != SolveResult::Unsat {
+            return; // only refutations have interpolants
+        }
+        let shared: Vec<Var> = vars[..inst.num_shared].to_vec();
+        let itp = craig_interpolant(&solver, &shared).expect("refutation present");
+        checked += 1;
 
-            // Brute-force validity over the full variable space.
-            let n = inst.num_vars();
-            for assignment in 0u32..(1 << n) {
-                let shared_vals: Vec<bool> =
-                    (0..inst.num_shared).map(|i| assignment >> i & 1 == 1).collect();
-                let i_val = itp.eval(&shared_vals)[0];
-                // A ⇒ I: any assignment satisfying A must satisfy I.
-                if eval_clauses(&inst.a_clauses, assignment) && !i_val {
-                    return Err(proptest::test_runner::TestCaseError::fail(format!(
-                        "A holds but I = 0 at {assignment:b} for {inst:?}"
-                    )));
-                }
-                // I ∧ B unsat: any assignment satisfying B must refute I.
-                if eval_clauses(&inst.b_clauses, assignment) && i_val {
-                    return Err(proptest::test_runner::TestCaseError::fail(format!(
-                        "B holds but I = 1 at {assignment:b} for {inst:?}"
-                    )));
-                }
-            }
-            Ok(())
-        })
-        .unwrap();
-    let checked = checked.get();
-    assert!(checked >= 10, "too few UNSAT instances were generated: {checked}");
+        // Brute-force validity over the full variable space.
+        let n = inst.num_vars();
+        for assignment in 0u32..(1 << n) {
+            let shared_vals: Vec<bool> = (0..inst.num_shared)
+                .map(|i| assignment >> i & 1 == 1)
+                .collect();
+            let i_val = itp.eval(&shared_vals)[0];
+            // A ⇒ I: any assignment satisfying A must satisfy I.
+            assert!(
+                !eval_clauses(&inst.a_clauses, assignment) || i_val,
+                "case {case}: A holds but I = 0 at {assignment:b} for {inst:?}"
+            );
+            // I ∧ B unsat: any assignment satisfying B must refute I.
+            assert!(
+                !eval_clauses(&inst.b_clauses, assignment) || !i_val,
+                "case {case}: B holds but I = 1 at {assignment:b} for {inst:?}"
+            );
+        }
+    });
+    assert!(
+        checked >= 10,
+        "too few UNSAT instances were generated: {checked}"
+    );
 }
 
 /// Interpolation composed with assumptions-free incremental use: the
@@ -150,7 +142,9 @@ fn interpolation_is_deterministic() {
         solver.add_clause_tagged(&[s.negative(), b.positive()], 2);
         solver.add_clause_tagged(&[b.negative()], 2);
         assert_eq!(solver.solve(&[]), SolveResult::Unsat);
-        craig_interpolant(&solver, &[s]).expect("refutation").to_aag()
+        craig_interpolant(&solver, &[s])
+            .expect("refutation")
+            .to_aag()
     };
     assert_eq!(build(), build());
 }

@@ -4,32 +4,21 @@
 //! support, and require `SAT_prune` to match it exactly.
 
 use eco_aig::{Aig, AigLit, NodeId};
-use eco_core::{
-    sat_prune_support, EcoProblem, QuantifiedMiter, SatPruneOptions, SupportSolver,
-};
-use proptest::prelude::*;
+use eco_core::{sat_prune_support, EcoProblem, QuantifiedMiter, SatPruneOptions, SupportSolver};
+use eco_testutil::{cases, Rng};
 
 /// Builds a single-target instance: target t = f_wrong(inputs), spec
 /// output = f_right(inputs), with extra derived divisor signals.
-fn instance(
-    seed: u64,
-) -> (EcoProblem, Vec<NodeId>, Vec<u64>) {
-    let mut s = seed;
-    let mut mix = move || {
-        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = s;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
+fn instance(seed: u64) -> (EcoProblem, Vec<NodeId>, Vec<u64>) {
+    let mut rng = Rng::new(seed);
     let mut im = Aig::new();
     let inputs: Vec<AigLit> = (0..4).map(|_| im.add_input()).collect();
     // Divisor pool: the inputs plus a few derived signals.
     let mut divisors: Vec<AigLit> = inputs.clone();
     for _ in 0..3 {
-        let a = divisors[(mix() as usize) % divisors.len()];
-        let b = divisors[(mix() as usize) % divisors.len()];
-        let g = match mix() % 3 {
+        let a = divisors[rng.index(divisors.len())];
+        let b = divisors[rng.index(divisors.len())];
+        let g = match rng.below(3) {
             0 => im.and(a, b),
             1 => im.or(a, b),
             _ => im.xor(a, b),
@@ -50,12 +39,12 @@ fn instance(
 
     // Specification: implementation with the target's function replaced
     // by a random 2-divisor function (solvable by construction).
-    let d1 = divisors[(mix() as usize) % divisors.len()];
-    let d2 = divisors[(mix() as usize) % divisors.len()];
+    let d1 = divisors[rng.index(divisors.len())];
+    let d2 = divisors[rng.index(divisors.len())];
     let mut paig = Aig::new();
     let x = paig.add_input();
     let y = paig.add_input();
-    let o = match mix() % 3 {
+    let o = match rng.below(3) {
         0 => paig.and(x, y),
         1 => paig.or(x, y),
         _ => paig.xor(x, y),
@@ -64,10 +53,13 @@ fn instance(
     let mut patches = std::collections::HashMap::new();
     patches.insert(
         t_node,
-        eco_aig::NodePatch { aig: paig, support: vec![d1, d2] },
+        eco_aig::NodePatch {
+            aig: paig,
+            support: vec![d1, d2],
+        },
     );
     let sp = im.substitute(&patches).expect("acyclic");
-    let costs: Vec<u64> = (0..divisors.len()).map(|_| 1 + mix() % 9).collect();
+    let costs: Vec<u64> = (0..divisors.len()).map(|_| 1 + rng.below(9)).collect();
     let mut p = EcoProblem::with_unit_weights(im, sp, vec![t_node]).expect("valid");
     let nodes: Vec<NodeId> = divisors.iter().map(|d| d.node()).collect();
     for (n, &c) in nodes.iter().zip(&costs) {
@@ -76,11 +68,10 @@ fn instance(
     (p, nodes, costs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn sat_prune_finds_the_true_minimum(seed in 0u64..5000) {
+#[test]
+fn sat_prune_finds_the_true_minimum() {
+    cases(32, |case, rng| {
+        let seed = rng.below(5000);
         let (p, divisors, costs) = instance(seed);
         let qm = QuantifiedMiter::build(&p, 0, &[], None);
         let mut ss = SupportSolver::new(&qm, divisors.clone(), costs.clone(), None);
@@ -88,7 +79,7 @@ proptest! {
             // The full pool cannot express the patch (possible when the
             // injected change folded into something the divisors cannot
             // see); nothing to compare.
-            return Ok(());
+            return;
         }
         // Brute force: try every subset in cost order.
         let n = divisors.len();
@@ -107,14 +98,20 @@ proptest! {
         let result = sat_prune_support(
             &mut ss,
             None,
-            SatPruneOptions { max_iterations: 10_000, per_call_conflicts: None },
+            SatPruneOptions {
+                max_iterations: 10_000,
+                per_call_conflicts: None,
+            },
         )
         .expect("prune");
-        prop_assert!(result.exact, "search must terminate with a proof of optimality");
-        prop_assert_eq!(
-            result.support.cost, best,
-            "seed {}: SAT_prune cost {} != brute force {}",
-            seed, result.support.cost, best
+        assert!(
+            result.exact,
+            "case {case}: search must terminate with a proof of optimality"
         );
-    }
+        assert_eq!(
+            result.support.cost, best,
+            "case {case} seed {seed}: SAT_prune cost {} != brute force {best}",
+            result.support.cost
+        );
+    });
 }

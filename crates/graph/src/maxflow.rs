@@ -59,10 +59,21 @@ impl FlowNetwork {
     ///
     /// Panics if an endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> usize {
-        assert!(from < self.adj.len() && to < self.adj.len(), "endpoint out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "endpoint out of range"
+        );
         let id = self.edges.len();
-        self.edges.push(Edge { to: to as u32, cap, rev: (id + 1) as u32 });
-        self.edges.push(Edge { to: from as u32, cap: 0, rev: id as u32 });
+        self.edges.push(Edge {
+            to: to as u32,
+            cap,
+            rev: (id + 1) as u32,
+        });
+        self.edges.push(Edge {
+            to: from as u32,
+            cap: 0,
+            rev: id as u32,
+        });
         self.adj[from].push(id as u32);
         self.adj[to].push((id + 1) as u32);
         id
@@ -113,7 +124,10 @@ impl FlowNetwork {
     ///
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
-        assert!(s < self.adj.len() && t < self.adj.len() && s != t, "bad terminals");
+        assert!(
+            s < self.adj.len() && t < self.adj.len() && s != t,
+            "bad terminals"
+        );
         let mut flow = 0;
         while self.bfs(s, t) {
             self.iter.iter_mut().for_each(|i| *i = 0);
@@ -159,7 +173,10 @@ pub struct NodeCutGraph {
 impl NodeCutGraph {
     /// Creates an instance with `n` nodes, all initially uncuttable.
     pub fn new(n: usize) -> NodeCutGraph {
-        NodeCutGraph { caps: vec![INF; n], arcs: Vec::new() }
+        NodeCutGraph {
+            caps: vec![INF; n],
+            arcs: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -174,7 +191,10 @@ impl NodeCutGraph {
 
     /// Adds a directed arc `from -> to` (infinite capacity).
     pub fn add_arc(&mut self, from: usize, to: usize) {
-        assert!(from < self.caps.len() && to < self.caps.len(), "endpoint out of range");
+        assert!(
+            from < self.caps.len() && to < self.caps.len(),
+            "endpoint out of range"
+        );
         self.arcs.push((from, to));
     }
 

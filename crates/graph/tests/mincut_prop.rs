@@ -1,8 +1,8 @@
-//! Property-based validation of the node-capacitated min cut against a
+//! Randomized validation of the node-capacitated min cut against a
 //! brute-force search over all node subsets on small random DAGs.
 
 use eco_graph::{NodeCutGraph, INF};
-use proptest::prelude::*;
+use eco_testutil::{cases, Rng};
 
 #[derive(Debug, Clone)]
 struct Dag {
@@ -11,19 +11,16 @@ struct Dag {
     arcs: Vec<(usize, usize)>,
 }
 
-fn arb_dag() -> impl Strategy<Value = Dag> {
-    (3usize..8).prop_flat_map(|n| {
-        let caps = prop::collection::vec(1u64..12, n);
-        let arcs = prop::collection::vec((0..n, 0..n), 1..(2 * n));
-        (caps, arcs).prop_map(move |(caps, arcs)| {
-            // Enforce acyclicity: only forward arcs (i < j).
-            let arcs = arcs
-                .into_iter()
-                .filter(|&(a, b)| a < b)
-                .collect::<Vec<_>>();
-            Dag { n, caps, arcs }
-        })
-    })
+fn random_dag(rng: &mut Rng) -> Dag {
+    let n = rng.range(3, 8) as usize;
+    let caps: Vec<u64> = (0..n).map(|_| rng.range(1, 12)).collect();
+    let num_arcs = rng.range(1, 2 * n as u64) as usize;
+    // Enforce acyclicity: only forward arcs (i < j).
+    let arcs = (0..num_arcs)
+        .map(|_| (rng.index(n), rng.index(n)))
+        .filter(|&(a, b)| a < b)
+        .collect();
+    Dag { n, caps, arcs }
 }
 
 /// Is `sink` reachable from `source` after deleting `removed` nodes?
@@ -59,17 +56,19 @@ fn brute_force(dag: &Dag, source: usize, sink: usize) -> Option<u64> {
         if reachable(dag, mask, source, sink) {
             continue;
         }
-        let w: u64 = (0..dag.n).filter(|&i| mask >> i & 1 == 1).map(|i| dag.caps[i]).sum();
+        let w: u64 = (0..dag.n)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| dag.caps[i])
+            .sum();
         best = Some(best.map_or(w, |b: u64| b.min(w)));
     }
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn min_node_cut_matches_brute_force(dag in arb_dag()) {
+#[test]
+fn min_node_cut_matches_brute_force() {
+    cases(256, |case, rng| {
+        let dag = random_dag(rng);
         let source = 0;
         let sink = dag.n - 1;
         let mut g = NodeCutGraph::new(dag.n);
@@ -83,25 +82,35 @@ proptest! {
         let expect = brute_force(&dag, source, sink);
         match (got, expect) {
             (Some((w, cut)), Some(bw)) => {
-                prop_assert_eq!(w, bw, "weights must match");
+                assert_eq!(w, bw, "case {case}: weights must match for {dag:?}");
                 // The returned cut must actually disconnect and cost w.
                 let mask: u32 = cut.iter().fold(0, |m, &i| m | 1 << i);
-                prop_assert!(!reachable(&dag, mask, source, sink), "cut must disconnect");
+                assert!(
+                    !reachable(&dag, mask, source, sink),
+                    "case {case}: cut must disconnect {dag:?}"
+                );
                 let cut_w: u64 = cut.iter().map(|&i| dag.caps[i]).sum();
-                prop_assert_eq!(cut_w, w);
+                assert_eq!(cut_w, w, "case {case}");
             }
             (None, None) => {}
-            (g, e) => prop_assert!(false, "mismatch: got {:?}, expected {:?}", g.map(|x| x.0), e),
+            (g, e) => panic!(
+                "case {case}: mismatch: got {:?}, expected {:?} for {dag:?}",
+                g.map(|x| x.0),
+                e
+            ),
         }
-    }
+    });
+}
 
-    #[test]
-    fn uncuttable_middle_nodes_are_respected(dag in arb_dag(), frozen in 1usize..6) {
+#[test]
+fn uncuttable_middle_nodes_are_respected() {
+    cases(256, |case, rng| {
+        let dag = random_dag(rng);
         let source = 0;
         let sink = dag.n - 1;
-        let frozen = frozen % dag.n;
+        let frozen = rng.range(1, 6) as usize % dag.n;
         if frozen == source || frozen == sink {
-            return Ok(());
+            return;
         }
         let mut g = NodeCutGraph::new(dag.n);
         for (i, &c) in dag.caps.iter().enumerate() {
@@ -111,7 +120,10 @@ proptest! {
             g.add_arc(a, b);
         }
         if let Some((_, cut)) = g.min_node_cut(source, sink) {
-            prop_assert!(!cut.contains(&frozen), "frozen node must not be cut");
+            assert!(
+                !cut.contains(&frozen),
+                "case {case}: frozen node must not be cut"
+            );
         }
-    }
+    });
 }

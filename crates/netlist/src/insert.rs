@@ -85,7 +85,12 @@ impl Netlist {
         // Emit the patch gates.
         let mut net_of_lit: Vec<Option<NetId>> = vec![None; 2 * patch.aig.num_nodes()];
         let const0 = out.add_net(format!("{prefix}_const0"));
-        out.add_gate(GateKind::Const0, format!("{prefix}_gconst0"), const0, vec![]);
+        out.add_gate(
+            GateKind::Const0,
+            format!("{prefix}_gconst0"),
+            const0,
+            vec![],
+        );
         net_of_lit[eco_aig::AigLit::FALSE.code() as usize] = Some(const0);
         for (i, &node) in patch.aig.inputs().iter().enumerate() {
             let (net, negated) = support[i];
@@ -113,7 +118,12 @@ impl Netlist {
             let base = net_of_lit[(!lit).code() as usize].expect("base literal emitted");
             let inv = out.add_net(format!("{prefix}_n{counter}"));
             *counter += 1;
-            out.add_gate(GateKind::Not, format!("{prefix}_g{counter}"), inv, vec![base]);
+            out.add_gate(
+                GateKind::Not,
+                format!("{prefix}_g{counter}"),
+                inv,
+                vec![base],
+            );
             net_of_lit[lit.code() as usize] = Some(inv);
             inv
         }
@@ -124,12 +134,7 @@ impl Netlist {
                 let b = resolve(&mut out, &mut net_of_lit, f1, prefix, &mut counter);
                 let o = out.add_net(format!("{prefix}_n{counter}"));
                 counter += 1;
-                out.add_gate(
-                    GateKind::And,
-                    format!("{prefix}_g{counter}"),
-                    o,
-                    vec![a, b],
-                );
+                out.add_gate(GateKind::And, format!("{prefix}_g{counter}"), o, vec![a, b]);
                 net_of_lit[id.lit().code() as usize] = Some(o);
             }
         }
@@ -137,7 +142,12 @@ impl Netlist {
         let root = patch.aig.outputs()[0];
         let src = resolve(&mut out, &mut net_of_lit, root, prefix, &mut counter);
         let target_new = out.add_net(target_net.to_string());
-        out.add_gate(GateKind::Buf, format!("{prefix}_gout"), target_new, vec![src]);
+        out.add_gate(
+            GateKind::Buf,
+            format!("{prefix}_gout"),
+            target_new,
+            vec![src],
+        );
 
         // Re-mark outputs in original order.
         for &o in self.outputs() {
@@ -171,7 +181,10 @@ mod tests {
         let y = aig.add_input();
         let o = aig.xor(x, y);
         aig.add_output(o);
-        NetlistPatch { aig, support: support.into_iter().map(String::from).collect() }
+        NetlistPatch {
+            aig,
+            support: support.into_iter().map(String::from).collect(),
+        }
     }
 
     #[test]
@@ -245,7 +258,10 @@ mod tests {
         let nl = host();
         let mut aig = Aig::new();
         aig.add_output(eco_aig::AigLit::TRUE);
-        let patch = NetlistPatch { aig, support: vec![] };
+        let patch = NetlistPatch {
+            aig,
+            support: vec![],
+        };
         let patched = nl.insert_patch("w", &patch, "eco").expect("insert");
         let conv = patched.to_aig().expect("valid");
         for mask in 0..8u32 {

@@ -30,5 +30,5 @@ mod weights;
 
 pub use insert::NetlistPatch;
 pub use netlist::{AigConversion, Gate, GateKind, NetId, Netlist, NetlistError};
-pub use parse::{parse_verilog, ParsedModule, ParseVerilogError};
+pub use parse::{parse_verilog, ParseVerilogError, ParsedModule};
 pub use weights::{ParseWeightsError, WeightTable};

@@ -177,7 +177,10 @@ pub struct AigConversion {
 impl Netlist {
     /// Creates an empty netlist with a module name.
     pub fn new(name: impl Into<String>) -> Netlist {
-        Netlist { name: name.into(), ..Netlist::default() }
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
     }
 
     /// The module name.
@@ -217,7 +220,12 @@ impl Netlist {
         output: NetId,
         inputs: Vec<NetId>,
     ) {
-        self.gates.push(Gate { kind, name: name.into(), output, inputs });
+        self.gates.push(Gate {
+            kind,
+            name: name.into(),
+            output,
+            inputs,
+        });
     }
 
     /// Looks up a net id by name.
@@ -265,11 +273,14 @@ impl Netlist {
             let arity_ok = match g.kind {
                 GateKind::Buf | GateKind::Not => g.inputs.len() == 1,
                 GateKind::Const0 | GateKind::Const1 => g.inputs.is_empty(),
-                GateKind::Xor | GateKind::Xnor => g.inputs.len() >= 1,
-                _ => g.inputs.len() >= 1,
+                GateKind::Xor | GateKind::Xnor => !g.inputs.is_empty(),
+                _ => !g.inputs.is_empty(),
             };
             if !arity_ok {
-                return Err(NetlistError::BadArity { gate: g.name.clone(), found: g.inputs.len() });
+                return Err(NetlistError::BadArity {
+                    gate: g.name.clone(),
+                    found: g.inputs.len(),
+                });
             }
             if driver[g.output.index()].is_some() {
                 return Err(NetlistError::MultipleDrivers(
@@ -282,7 +293,10 @@ impl Netlist {
             if d.is_none() {
                 // A dangling net used nowhere is tolerated; a net that is
                 // read must be driven.
-                let read = self.gates.iter().any(|g| g.inputs.contains(&NetId(idx as u32)))
+                let read = self
+                    .gates
+                    .iter()
+                    .any(|g| g.inputs.contains(&NetId(idx as u32)))
                     || self.outputs.contains(&NetId(idx as u32));
                 if read {
                     return Err(NetlistError::Undriven(self.net_names[idx].clone()));
@@ -365,9 +379,7 @@ impl Netlist {
                         GateKind::Nand => !aig.and_many(&ins),
                         GateKind::Or => aig.or_many(&ins),
                         GateKind::Nor => !aig.or_many(&ins),
-                        GateKind::Xor => {
-                            ins.iter().fold(AigLit::FALSE, |acc, &l| aig.xor(acc, l))
-                        }
+                        GateKind::Xor => ins.iter().fold(AigLit::FALSE, |acc, &l| aig.xor(acc, l)),
                         GateKind::Xnor => {
                             !ins.iter().fold(AigLit::FALSE, |acc, &l| aig.xor(acc, l))
                         }
@@ -385,8 +397,10 @@ impl Netlist {
             let lit = net_lits[o.index()].expect("outputs validated as driven");
             aig.add_output(lit);
         }
-        let net_lits: Vec<AigLit> =
-            net_lits.into_iter().map(|l| l.unwrap_or(AigLit::FALSE)).collect();
+        let net_lits: Vec<AigLit> = net_lits
+            .into_iter()
+            .map(|l| l.unwrap_or(AigLit::FALSE))
+            .collect();
         Ok(AigConversion { aig, net_lits })
     }
 
@@ -403,18 +417,24 @@ impl Netlist {
             lit_net.insert(n.lit().code(), id);
         }
         let mut inverter_count = 0usize;
-        let mut net_of = |nl: &mut Netlist, lit: AigLit, lit_net: &mut HashMap<u32, NetId>| -> NetId {
-            if let Some(&id) = lit_net.get(&lit.code()) {
-                return id;
-            }
-            // Must be a complemented known literal: create an inverter.
-            let base = *lit_net.get(&(!lit).code()).expect("base literal exists");
-            let id = nl.add_net(format!("inv{inverter_count}"));
-            inverter_count += 1;
-            nl.add_gate(GateKind::Not, format!("ginv{}", inverter_count), id, vec![base]);
-            lit_net.insert(lit.code(), id);
-            id
-        };
+        let mut net_of =
+            |nl: &mut Netlist, lit: AigLit, lit_net: &mut HashMap<u32, NetId>| -> NetId {
+                if let Some(&id) = lit_net.get(&lit.code()) {
+                    return id;
+                }
+                // Must be a complemented known literal: create an inverter.
+                let base = *lit_net.get(&(!lit).code()).expect("base literal exists");
+                let id = nl.add_net(format!("inv{inverter_count}"));
+                inverter_count += 1;
+                nl.add_gate(
+                    GateKind::Not,
+                    format!("ginv{}", inverter_count),
+                    id,
+                    vec![base],
+                );
+                lit_net.insert(lit.code(), id);
+                id
+            };
         for id in aig.iter_nodes() {
             if let AigNode::And { f0, f1 } = aig.node(id) {
                 let a = net_of(&mut nl, f0, &mut lit_net);
@@ -451,8 +471,12 @@ impl Netlist {
             let names: Vec<&str> = self.outputs.iter().map(|&o| self.net_name(o)).collect();
             out.push_str(&format!("  output {};\n", names.join(", ")));
         }
-        let port_set: std::collections::HashSet<NetId> =
-            self.inputs.iter().chain(self.outputs.iter()).copied().collect();
+        let port_set: std::collections::HashSet<NetId> = self
+            .inputs
+            .iter()
+            .chain(self.outputs.iter())
+            .copied()
+            .collect();
         let is_const_alias = |name: &str| name == "1'b0" || name == "1'b1";
         let wires: Vec<&str> = (0..self.net_names.len())
             .map(|i| NetId(i as u32))
@@ -546,7 +570,10 @@ mod tests {
         let w = nl.add_net("w");
         nl.add_gate(GateKind::Buf, "g0", w, vec![a]);
         nl.add_gate(GateKind::Not, "g1", w, vec![a]);
-        assert!(matches!(nl.validate(), Err(NetlistError::MultipleDrivers(_))));
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
     }
 
     #[test]
@@ -566,7 +593,10 @@ mod tests {
         nl.add_gate(GateKind::And, "g0", x, vec![a, y]);
         nl.add_gate(GateKind::Not, "g1", y, vec![x]);
         nl.mark_output(x);
-        assert!(matches!(nl.to_aig(), Err(NetlistError::CombinationalCycle(_))));
+        assert!(matches!(
+            nl.to_aig(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub struct ParseVerilogError {
 
 impl fmt::Display for ParseVerilogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "verilog parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -39,7 +43,10 @@ struct Token {
     line: usize,
 }
 
-fn tokenize(src: &str) -> Result<(Vec<Token>, Vec<(usize, String)>), ParseVerilogError> {
+/// Token stream plus `// eco_target` directives with their line numbers.
+type TokenStream = (Vec<Token>, Vec<(usize, String)>);
+
+fn tokenize(src: &str) -> Result<TokenStream, ParseVerilogError> {
     let mut tokens = Vec::new();
     let mut directives = Vec::new();
     let mut chars = src.char_indices().peekable();
@@ -85,9 +92,19 @@ fn tokenize(src: &str) -> Result<(Vec<Token>, Vec<(usize, String)>), ParseVerilo
                 }
             },
             '(' | ')' | ',' | ';' => {
-                tokens.push(Token { text: c.to_string(), line });
+                tokens.push(Token {
+                    text: c.to_string(),
+                    line,
+                });
             }
-            c if c.is_alphanumeric() || c == '_' || c == '\'' || c == '\\' || c == '[' || c == ']' || c == '.' => {
+            c if c.is_alphanumeric()
+                || c == '_'
+                || c == '\''
+                || c == '\\'
+                || c == '['
+                || c == ']'
+                || c == '.' =>
+            {
                 let mut word = String::new();
                 word.push(c);
                 while let Some(&(_, c2)) = chars.peek() {
@@ -128,10 +145,14 @@ impl Parser {
     }
 
     fn next(&mut self) -> Result<Token, ParseVerilogError> {
-        let t = self.tokens.get(self.pos).cloned().ok_or(ParseVerilogError {
-            line: self.tokens.last().map_or(0, |t| t.line),
-            message: "unexpected end of file".to_string(),
-        })?;
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or(ParseVerilogError {
+                line: self.tokens.last().map_or(0, |t| t.line),
+                message: "unexpected end of file".to_string(),
+            })?;
         self.pos += 1;
         Ok(t)
     }
@@ -316,7 +337,10 @@ pub fn parse_verilog(src: &str) -> Result<ParsedModule, ParseVerilogError> {
         nl.mark_output(id);
     }
     let targets = directives.into_iter().map(|(_, n)| n).collect();
-    Ok(ParsedModule { netlist: nl, targets })
+    Ok(ParsedModule {
+        netlist: nl,
+        targets,
+    })
 }
 
 #[cfg(test)]

@@ -17,7 +17,11 @@ pub struct ParseWeightsError {
 
 impl fmt::Display for ParseWeightsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "weights parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "weights parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -112,10 +116,7 @@ impl WeightTable {
     pub fn to_text(&self) -> String {
         let mut entries: Vec<(&String, &u64)> = self.weights.iter().collect();
         entries.sort();
-        entries
-            .iter()
-            .map(|(n, w)| format!("{n} {w}\n"))
-            .collect()
+        entries.iter().map(|(n, w)| format!("{n} {w}\n")).collect()
     }
 
     /// Resolves weights per net id of `netlist`, with `default` for nets
@@ -123,7 +124,8 @@ impl WeightTable {
     pub fn resolve(&self, netlist: &Netlist, default: u64) -> Vec<u64> {
         (0..netlist.num_nets())
             .map(|i| {
-                self.get(netlist.net_name(NetId(i as u32))).unwrap_or(default)
+                self.get(netlist.net_name(NetId(i as u32)))
+                    .unwrap_or(default)
             })
             .collect()
     }
@@ -131,7 +133,9 @@ impl WeightTable {
 
 impl FromIterator<(String, u64)> for WeightTable {
     fn from_iter<T: IntoIterator<Item = (String, u64)>>(iter: T) -> WeightTable {
-        WeightTable { weights: iter.into_iter().collect() }
+        WeightTable {
+            weights: iter.into_iter().collect(),
+        }
     }
 }
 

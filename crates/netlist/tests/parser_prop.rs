@@ -1,9 +1,9 @@
-//! Property-based tests of the netlist layer: random netlists round
-//! trip through Verilog text, AIG conversion is stable, and weights
-//! resolve consistently.
+//! Randomized tests of the netlist layer: random netlists round trip
+//! through Verilog text, AIG conversion is stable, and weights resolve
+//! consistently.
 
 use eco_netlist::{parse_verilog, GateKind, NetId, Netlist, WeightTable};
-use proptest::prelude::*;
+use eco_testutil::{cases, Rng};
 
 /// A random netlist recipe: gate kinds plus input arities, wired to
 /// randomly chosen earlier nets.
@@ -14,14 +14,22 @@ struct Recipe {
     num_outputs: usize,
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (2usize..6, 1usize..20, 1usize..4).prop_flat_map(|(num_inputs, num_gates, num_outputs)| {
-        let gates = prop::collection::vec(
-            (0u8..8, prop::collection::vec(0usize..64, 1..4)),
-            num_gates,
-        );
-        gates.prop_map(move |gates| Recipe { num_inputs, gates, num_outputs })
-    })
+fn random_recipe(rng: &mut Rng) -> Recipe {
+    let num_inputs = rng.range(2, 6) as usize;
+    let num_gates = rng.range(1, 20) as usize;
+    let num_outputs = rng.range(1, 4) as usize;
+    let gates = (0..num_gates)
+        .map(|_| {
+            let kind_sel = rng.below(8) as u8;
+            let picks = (0..rng.range(1, 4)).map(|_| rng.index(64)).collect();
+            (kind_sel, picks)
+        })
+        .collect();
+    Recipe {
+        num_inputs,
+        gates,
+        num_outputs,
+    }
 }
 
 fn build(recipe: &Recipe) -> Netlist {
@@ -44,8 +52,9 @@ fn build(recipe: &Recipe) -> Netlist {
             GateKind::Buf | GateKind::Not => 1,
             _ => picks.len().max(1),
         };
-        let ins: Vec<NetId> =
-            (0..arity).map(|k| nets[picks[k % picks.len()] % nets.len()]).collect();
+        let ins: Vec<NetId> = (0..arity)
+            .map(|k| nets[picks[k % picks.len()] % nets.len()])
+            .collect();
         let out = nl.add_net(format!("w{gi}"));
         nl.add_gate(kind, format!("g{gi}"), out, ins);
         nets.push(out);
@@ -59,46 +68,59 @@ fn build(recipe: &Recipe) -> Netlist {
     nl
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn verilog_roundtrip_preserves_function(recipe in arb_recipe()) {
+#[test]
+fn verilog_roundtrip_preserves_function() {
+    cases(64, |case, rng| {
+        let recipe = random_recipe(rng);
         let nl = build(&recipe);
         let conv = nl.to_aig().expect("generated netlists are valid");
         let text = nl.to_verilog();
         let again = parse_verilog(&text).expect("emitted text parses").netlist;
         let conv2 = again.to_aig().expect("reparsed netlist is valid");
-        prop_assert_eq!(conv.aig.num_inputs(), conv2.aig.num_inputs());
-        prop_assert_eq!(conv.aig.num_outputs(), conv2.aig.num_outputs());
+        assert_eq!(conv.aig.num_inputs(), conv2.aig.num_inputs(), "case {case}");
+        assert_eq!(
+            conv.aig.num_outputs(),
+            conv2.aig.num_outputs(),
+            "case {case}"
+        );
         let n = conv.aig.num_inputs();
         // 64 random-ish patterns via fixed words.
-        let words: Vec<u64> = (0..n).map(|i| 0x9E37_79B9u64.rotate_left(i as u32 * 7) ^ (i as u64)).collect();
-        prop_assert_eq!(conv.aig.simulate_outputs(&words), conv2.aig.simulate_outputs(&words));
-    }
+        let words: Vec<u64> = (0..n)
+            .map(|i| 0x9E37_79B9u64.rotate_left(i as u32 * 7) ^ (i as u64))
+            .collect();
+        assert_eq!(
+            conv.aig.simulate_outputs(&words),
+            conv2.aig.simulate_outputs(&words),
+            "case {case}: {recipe:?}"
+        );
+    });
+}
 
-    #[test]
-    fn aig_conversion_is_deterministic(recipe in arb_recipe()) {
+#[test]
+fn aig_conversion_is_deterministic() {
+    cases(64, |case, rng| {
+        let recipe = random_recipe(rng);
         let nl = build(&recipe);
         let a = nl.to_aig().expect("valid").aig.to_aag();
         let b = nl.to_aig().expect("valid").aig.to_aag();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b, "case {case}");
+    });
+}
 
-    #[test]
-    fn weight_resolution_defaults_consistently(
-        recipe in arb_recipe(),
-        default in 1u64..100,
-    ) {
+#[test]
+fn weight_resolution_defaults_consistently() {
+    cases(64, |case, rng| {
+        let recipe = random_recipe(rng);
+        let default = rng.range(1, 100);
         let nl = build(&recipe);
         let mut table = WeightTable::new();
         table.set("w0", 7);
         let resolved = table.resolve(&nl, default);
-        prop_assert_eq!(resolved.len(), nl.num_nets());
-        for idx in 0..nl.num_nets() {
+        assert_eq!(resolved.len(), nl.num_nets(), "case {case}");
+        for (idx, &got) in resolved.iter().enumerate() {
             let name = nl.net_name(NetId::from_index(idx));
             let expect = if name == "w0" { 7 } else { default };
-            prop_assert_eq!(resolved[idx], expect, "net {}", name);
+            assert_eq!(got, expect, "case {case}: net {name}");
         }
-    }
+    });
 }

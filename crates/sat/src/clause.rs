@@ -53,12 +53,21 @@ impl ClauseDb {
     }
 
     pub fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
-        debug_assert!(!lits.is_empty(), "empty clauses are represented by the ok flag");
+        debug_assert!(
+            !lits.is_empty(),
+            "empty clauses are represented by the ok flag"
+        );
         if learnt {
             self.num_learnt += 1;
             self.learnt_literals += lits.len() as u64;
         }
-        let clause = Clause { lits, learnt, deleted: false, activity: 0.0, lbd };
+        let clause = Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd,
+        };
         if let Some(slot) = self.free.pop() {
             self.arena[slot as usize] = clause;
             ClauseRef(slot)

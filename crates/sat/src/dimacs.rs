@@ -18,7 +18,11 @@ pub struct ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -197,8 +201,7 @@ mod tests {
 
     #[test]
     fn comments_and_percent_lines_skipped() {
-        let inst =
-            parse_dimacs("c a\n%\np cnf 1 1\nc mid\n1 0\n").expect("parse");
+        let inst = parse_dimacs("c a\n%\np cnf 1 1\nc mid\n1 0\n").expect("parse");
         assert_eq!(inst.clauses.len(), 1);
     }
 }

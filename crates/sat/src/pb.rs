@@ -249,7 +249,11 @@ mod tests {
                 .filter(|(i, _)| mask >> i & 1 == 1)
                 .map(|(_, &w)| w)
                 .sum();
-            assert_eq!(sum.model_value(&s), expect, "mask {mask:b} weights {weights:?}");
+            assert_eq!(
+                sum.model_value(&s),
+                expect,
+                "mask {mask:b} weights {weights:?}"
+            );
         }
     }
 
@@ -318,9 +322,15 @@ mod tests {
             s.solve(&[a3, xs[0].positive(), xs[1].positive(), xs[2].positive()]),
             SolveResult::Unsat
         );
-        assert_eq!(s.solve(&[a3, xs[0].positive(), xs[1].positive()]), SolveResult::Sat);
+        assert_eq!(
+            s.solve(&[a3, xs[0].positive(), xs[1].positive()]),
+            SolveResult::Sat
+        );
         // At most 1 under the tighter a2.
-        assert_eq!(s.solve(&[a2, xs[0].positive(), xs[1].positive()]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve(&[a2, xs[0].positive(), xs[1].positive()]),
+            SolveResult::Unsat
+        );
         assert_eq!(s.solve(&[a2, xs[0].positive()]), SolveResult::Sat);
     }
 

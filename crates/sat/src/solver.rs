@@ -31,19 +31,44 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Learnt clauses deleted by database reduction.
     pub deleted_learnts: u64,
+    /// Learnt clauses (including units) added by conflict analysis.
+    pub learned_clauses: u64,
+    /// Peak number of live learnt clauses in the database.
+    pub peak_learnts: u64,
+}
+
+impl SolverStats {
+    /// Counter deltas accumulated since an `earlier` snapshot of the
+    /// same solver. `peak_learnts` is a high-water mark, not a counter,
+    /// so the later snapshot's value is kept as-is.
+    pub fn since(&self, earlier: SolverStats) -> SolverStats {
+        SolverStats {
+            solves: self.solves.saturating_sub(earlier.solves),
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            deleted_learnts: self.deleted_learnts.saturating_sub(earlier.deleted_learnts),
+            learned_clauses: self.learned_clauses.saturating_sub(earlier.learned_clauses),
+            peak_learnts: self.peak_learnts,
+        }
+    }
 }
 
 impl std::fmt::Display for SolverStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "solves={} decisions={} propagations={} conflicts={} restarts={} deleted={}",
+            "solves={} decisions={} propagations={} conflicts={} restarts={} deleted={} \
+             learned={} peak_learnts={}",
             self.solves,
             self.decisions,
             self.propagations,
             self.conflicts,
             self.restarts,
-            self.deleted_learnts
+            self.deleted_learnts,
+            self.learned_clauses,
+            self.peak_learnts
         )
     }
 }
@@ -354,7 +379,10 @@ impl Solver {
     pub fn add_clause_tagged(&mut self, lits: &[Lit], tag: u8) -> (bool, Option<ClauseRef>) {
         assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
         for l in lits {
-            assert!(l.var().index() < self.num_vars(), "literal {l:?} out of range");
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l:?} out of range"
+            );
         }
         if !self.ok {
             return (false, None);
@@ -560,7 +588,10 @@ impl Solver {
                 }
                 let first = self.db.get(cref).lits[0];
                 if first != blocker && self.value_lit(first).is_true() {
-                    ws[i] = Watcher { cref, blocker: first };
+                    ws[i] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
                     i += 1;
                     continue;
                 }
@@ -570,13 +601,19 @@ impl Solver {
                     let lk = self.db.get(cref).lits[k];
                     if !self.value_lit(lk).is_false() {
                         self.db.get_mut(cref).lits.swap(1, k);
-                        self.watches[(!lk).index()].push(Watcher { cref, blocker: first });
+                        self.watches[(!lk).index()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
                         ws.swap_remove(i);
                         continue 'watchers;
                     }
                 }
                 // Clause is unit or conflicting.
-                ws[i] = Watcher { cref, blocker: first };
+                ws[i] = Watcher {
+                    cref,
+                    blocker: first,
+                };
                 i += 1;
                 if self.value_lit(first).is_false() {
                     confl = Some(cref);
@@ -702,7 +739,10 @@ impl Solver {
             }
             confl = self.reason[pl.var().index()].expect("non-decision must have a reason");
             if proof {
-                self.chain_scratch.steps.push(ChainStep { pivot: pl.var(), clause: confl });
+                self.chain_scratch.steps.push(ChainStep {
+                    pivot: pl.var(),
+                    clause: confl,
+                });
             }
         }
         learnt[0] = !p.expect("asserting literal exists");
@@ -865,9 +905,11 @@ impl Solver {
         refs.sort_by(|&a, &b| {
             let ca = self.db.get(a);
             let cb = self.db.get(b);
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let target = refs.len() / 2;
         let mut removed = 0;
@@ -894,8 +936,11 @@ impl Solver {
     }
 
     fn budget_exceeded(&self) -> bool {
-        self.conflict_budget.is_some_and(|b| self.budget_conflicts >= b)
-            || self.propagation_budget.is_some_and(|b| self.budget_propagations >= b)
+        self.conflict_budget
+            .is_some_and(|b| self.budget_conflicts >= b)
+            || self
+                .propagation_budget
+                .is_some_and(|b| self.budget_propagations >= b)
     }
 
     /// Search with at most `max_conflicts` conflicts (for restarts).
@@ -916,6 +961,7 @@ impl Solver {
                 // Never backtrack past the assumptions that are still
                 // consistent; re-asserting happens in the decision step.
                 self.cancel_until(bt_level);
+                self.stats.learned_clauses += 1;
                 if learnt.len() == 1 {
                     if self.proof.is_some() {
                         let chain = std::mem::take(&mut self.chain_scratch);
@@ -951,6 +997,7 @@ impl Solver {
                     self.cla_bump_activity(cref);
                     self.unchecked_enqueue(first, Some(cref));
                 }
+                self.stats.peak_learnts = self.stats.peak_learnts.max(self.db.num_learnt as u64);
                 self.var_decay_activity();
                 self.cla_decay_activity();
             } else {
@@ -1164,10 +1211,10 @@ mod tests {
         for row in &p {
             s.add_clause(&[row[0].positive(), row[1].positive()]);
         }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+        for i1 in 0..3 {
+            for i2 in (i1 + 1)..3 {
+                for (a, b) in p[i1].iter().zip(p[i2].iter()) {
+                    s.add_clause(&[a.negative(), b.negative()]);
                 }
             }
         }
@@ -1179,7 +1226,10 @@ mod tests {
         let mut s = Solver::new();
         let v = nvars(&mut s, 2);
         s.add_clause(&[v[0].positive(), v[1].positive()]);
-        assert_eq!(s.solve(&[v[0].negative(), v[1].negative()]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve(&[v[0].negative(), v[1].negative()]),
+            SolveResult::Unsat
+        );
         // Releasing the assumptions makes it satisfiable again.
         assert_eq!(s.solve(&[]), SolveResult::Sat);
         assert_eq!(s.solve(&[v[0].negative()]), SolveResult::Sat);
@@ -1192,15 +1242,25 @@ mod tests {
         let v = nvars(&mut s, 4);
         // v0 & v1 -> v2; assume v0, v1, !v2, v3 — v3 is irrelevant.
         s.add_clause(&[v[0].negative(), v[1].negative(), v[2].positive()]);
-        let assumptions =
-            [v[3].positive(), v[0].positive(), v[1].positive(), v[2].negative()];
+        let assumptions = [
+            v[3].positive(),
+            v[0].positive(),
+            v[1].positive(),
+            v[2].negative(),
+        ];
         assert_eq!(s.solve(&assumptions), SolveResult::Unsat);
         let mut confl = s.conflict().to_vec();
         confl.sort_unstable();
         for l in &confl {
-            assert!(assumptions.contains(l), "conflict literal {l:?} not an assumption");
+            assert!(
+                assumptions.contains(l),
+                "conflict literal {l:?} not an assumption"
+            );
         }
-        assert!(!confl.contains(&v[3].positive()), "irrelevant assumption must not appear");
+        assert!(
+            !confl.contains(&v[3].positive()),
+            "irrelevant assumption must not appear"
+        );
         assert!(confl.len() >= 2);
     }
 
@@ -1238,7 +1298,13 @@ mod tests {
             assert!(count <= 8, "more models than possible");
             let block: Vec<Lit> = v
                 .iter()
-                .map(|&x| if s.model_value(x.positive()).is_true() { x.negative() } else { x.positive() })
+                .map(|&x| {
+                    if s.model_value(x.positive()).is_true() {
+                        x.negative()
+                    } else {
+                        x.positive()
+                    }
+                })
                 .collect();
             s.add_clause(&block);
         }
@@ -1353,9 +1419,83 @@ mod more_tests {
     fn stats_display_is_complete() {
         let s = Solver::new();
         let text = s.stats().to_string();
-        for field in ["solves=", "decisions=", "propagations=", "conflicts=", "restarts="] {
+        for field in [
+            "solves=",
+            "decisions=",
+            "propagations=",
+            "conflicts=",
+            "restarts=",
+            "learned=",
+            "peak_learnts=",
+        ] {
             assert!(text.contains(field), "{text}");
         }
+    }
+
+    #[test]
+    fn learned_clause_counters_track_conflicts() {
+        // Odd parity chain: every conflict analysis learns a clause.
+        let mut s = Solver::new();
+        let n = 14;
+        let xs: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for i in 0..n - 2 {
+            let (a, b, c) = (xs[i], xs[i + 1], xs[i + 2]);
+            s.add_clause(&[a.positive(), b.positive(), c.positive()]);
+            s.add_clause(&[a.positive(), b.negative(), c.negative()]);
+            s.add_clause(&[a.negative(), b.positive(), c.negative()]);
+            s.add_clause(&[a.negative(), b.negative(), c.positive()]);
+        }
+        let mut mixed: Vec<Lit> = xs.iter().map(|v| v.positive()).collect();
+        mixed[0] = !mixed[0];
+        let before = *s.stats();
+        let _ = s.solve(&mixed);
+        let _ = s.solve(&[]);
+        let delta = s.stats().since(before);
+        assert_eq!(delta.solves, 2);
+        // Every analyzed conflict learns a clause; only a root-level
+        // conflict (impossible here: the formula itself is SAT) aborts
+        // before learning.
+        assert_eq!(
+            delta.learned_clauses, delta.conflicts,
+            "one learnt clause per analyzed conflict"
+        );
+        if delta.conflicts > 0 {
+            assert!(s.stats().peak_learnts > 0);
+            assert!(s.stats().peak_learnts <= s.stats().learned_clauses);
+        }
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters() {
+        let a = SolverStats {
+            solves: 5,
+            decisions: 100,
+            propagations: 1000,
+            conflicts: 40,
+            restarts: 3,
+            deleted_learnts: 7,
+            learned_clauses: 40,
+            peak_learnts: 12,
+        };
+        let b = SolverStats {
+            solves: 2,
+            decisions: 60,
+            propagations: 400,
+            conflicts: 10,
+            restarts: 1,
+            deleted_learnts: 2,
+            learned_clauses: 10,
+            peak_learnts: 9,
+        };
+        let d = a.since(b);
+        assert_eq!(d.solves, 3);
+        assert_eq!(d.decisions, 40);
+        assert_eq!(d.propagations, 600);
+        assert_eq!(d.conflicts, 30);
+        assert_eq!(d.restarts, 2);
+        assert_eq!(d.deleted_learnts, 5);
+        assert_eq!(d.learned_clauses, 30);
+        assert_eq!(d.peak_learnts, 12, "high-water mark is not subtracted");
     }
 
     #[test]

@@ -3,23 +3,33 @@
 //! properties.
 
 use eco_sat::{Lit, SolveResult, Solver, Var};
-use proptest::prelude::*;
+use eco_testutil::{cases, Rng};
 
 /// A clause as a list of signed variable indices (1-based, sign =
 /// polarity) over `n` variables.
 type RawClause = Vec<i32>;
 
-fn arb_clause(num_vars: i32) -> impl Strategy<Value = RawClause> {
-    prop::collection::vec(
-        (1..=num_vars).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
-        1..=3,
-    )
+fn random_clause(rng: &mut Rng, num_vars: i32) -> RawClause {
+    let len = rng.range(1, 4) as usize;
+    (0..len)
+        .map(|_| {
+            let v = rng.range(1, num_vars as u64 + 1) as i32;
+            if rng.bool() {
+                v
+            } else {
+                -v
+            }
+        })
+        .collect()
 }
 
-fn arb_cnf() -> impl Strategy<Value = (usize, Vec<RawClause>)> {
-    (2usize..=8).prop_flat_map(|n| {
-        prop::collection::vec(arb_clause(n as i32), 1..=24).prop_map(move |cls| (n, cls))
-    })
+fn random_cnf(rng: &mut Rng) -> (usize, Vec<RawClause>) {
+    let n = rng.range(2, 9) as usize;
+    let num_clauses = rng.range(1, 25) as usize;
+    let cls = (0..num_clauses)
+        .map(|_| random_clause(rng, n as i32))
+        .collect();
+    (n, cls)
 }
 
 fn to_lit(raw: i32) -> Lit {
@@ -60,51 +70,50 @@ fn build_solver(num_vars: usize, cnf: &[RawClause]) -> Solver {
     s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn solver_matches_brute_force((num_vars, cnf) in arb_cnf()) {
+#[test]
+fn solver_matches_brute_force() {
+    cases(256, |case, rng| {
+        let (num_vars, cnf) = random_cnf(rng);
         let mut s = build_solver(num_vars, &cnf);
         let expect = brute_force_sat(num_vars, &cnf, &[]);
         let got = s.solve(&[]);
-        prop_assert_eq!(got == SolveResult::Sat, expect);
+        assert_eq!(got == SolveResult::Sat, expect, "case {case}: {cnf:?}");
         if got == SolveResult::Sat {
             // The model must actually satisfy the formula.
             for clause in &cnf {
                 let sat = clause.iter().any(|&r| s.model_value(to_lit(r)).is_true());
-                prop_assert!(sat, "model violates clause {:?}", clause);
+                assert!(sat, "case {case}: model violates clause {clause:?}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn assumptions_match_brute_force(
-        (num_vars, cnf) in arb_cnf(),
-        pattern in prop::collection::vec(any::<bool>(), 8),
-    ) {
+#[test]
+fn assumptions_match_brute_force() {
+    cases(256, |case, rng| {
+        let (num_vars, cnf) = random_cnf(rng);
+        let pattern: Vec<bool> = (0..8).map(|_| rng.bool()).collect();
         let mut s = build_solver(num_vars, &cnf);
         // Assume the first min(2, n) variables with the given polarities.
-        let fixed: Vec<(usize, bool)> =
-            (0..num_vars.min(2)).map(|i| (i, pattern[i])).collect();
+        let fixed: Vec<(usize, bool)> = (0..num_vars.min(2)).map(|i| (i, pattern[i])).collect();
         let assumptions: Vec<Lit> = fixed
             .iter()
             .map(|&(v, val)| Var::from_index(v).lit(!val))
             .collect();
         let expect = brute_force_sat(num_vars, &cnf, &fixed);
         let got = s.solve(&assumptions);
-        prop_assert_eq!(got == SolveResult::Sat, expect);
+        assert_eq!(got == SolveResult::Sat, expect, "case {case}: {cnf:?}");
         if got == SolveResult::Unsat {
             // Failed assumptions must be a subset of the assumptions, and
             // assuming just them must still be UNSAT.
             let confl = s.conflict().to_vec();
             for l in &confl {
-                prop_assert!(assumptions.contains(l));
+                assert!(assumptions.contains(l), "case {case}");
             }
-            prop_assert_eq!(s.solve(&confl), SolveResult::Unsat);
+            assert_eq!(s.solve(&confl), SolveResult::Unsat, "case {case}");
         }
         // The solver must remain reusable after assumption solving.
         let expect_free = brute_force_sat(num_vars, &cnf, &[]);
-        prop_assert_eq!(s.solve(&[]) == SolveResult::Sat, expect_free);
-    }
+        assert_eq!(s.solve(&[]) == SolveResult::Sat, expect_free, "case {case}");
+    });
 }

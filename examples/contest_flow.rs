@@ -77,10 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &weights,
         100, // default weight for unlisted nets
     )?;
-    let engine = EcoEngine::new(EcoOptions {
-        method: SupportMethod::SatPrune, // best-effort minimum cost
-        ..EcoOptions::default()
-    });
+    let engine = EcoEngine::new(
+        EcoOptions::builder()
+            .method(SupportMethod::SatPrune)
+            .build(),
+    );
     let outcome = engine.run(&problem)?;
     println!("verified: {}", outcome.verified);
     println!("total patch cost: {}", outcome.total_cost);
@@ -94,12 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Emit net-level patches and splice them in place -----------------
     let conversion = parsed_impl.netlist.to_aig()?;
-    let named = eco_core::netlist_patches(
-        &outcome,
-        &target_names,
-        &parsed_impl.netlist,
-        &conversion,
-    );
+    let named =
+        eco_core::netlist_patches(&outcome, &target_names, &parsed_impl.netlist, &conversion);
     let mut patched = parsed_impl.netlist.clone();
     for (i, entry) in named.iter().enumerate() {
         match entry {

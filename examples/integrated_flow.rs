@@ -16,8 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         num_gates: 280,
         seed: 77,
     });
-    let injected = inject_eco(&implementation, &InjectSpec { num_targets: 2, seed: 13 })
-        .expect("injection succeeds");
+    let injected = inject_eco(
+        &implementation,
+        &InjectSpec {
+            num_targets: 2,
+            seed: 13,
+        },
+    )
+    .expect("injection succeeds");
     let specification = injected.specification;
     println!(
         "implementation: {} gates; specification changed somewhere (truth withheld: {:?})",
@@ -35,11 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Phase 2: compute and verify the patches.
-    let problem = EcoProblem::with_unit_weights(
-        implementation,
-        specification,
-        detected.targets,
-    )?;
+    let problem = EcoProblem::with_unit_weights(implementation, specification, detected.targets)?;
     let outcome = EcoEngine::new(EcoOptions::default()).run(&problem)?;
     println!("patched and verified: {}", outcome.verified);
     for r in &outcome.reports {

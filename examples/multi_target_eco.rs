@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The QBF sufficiency check also yields the certificate assignments
     // used to reduce the cofactor expansion (Sec. 3.6.2 of the paper).
     match check_targets_sufficient(&problem, 512, None) {
-        QbfOutcome::Solvable { certificates, sat_calls } => println!(
+        QbfOutcome::Solvable {
+            certificates,
+            sat_calls,
+        } => println!(
             "targets sufficient: {} certificate assignments (vs {} full cofactors), {} SAT calls",
             certificates.len(),
             (1usize << problem.targets.len()) - 1,
@@ -35,16 +38,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => println!("unexpected sufficiency outcome: {other:?}"),
     }
 
-    println!("{:<22} {:>8} {:>8} {:>10} {:>10}", "method", "cost", "gates", "SAT calls", "time");
+    println!(
+        "{:<22} {:>8} {:>8} {:>10} {:>10}",
+        "method", "cost", "gates", "SAT calls", "time"
+    );
     for (name, method) in [
         ("analyze_final", SupportMethod::AnalyzeFinal),
         ("minimize_assumptions", SupportMethod::MinimizeAssumptions),
         ("SAT_prune", SupportMethod::SatPrune),
     ] {
-        let engine = EcoEngine::new(EcoOptions { method, ..EcoOptions::default() });
+        let engine = EcoEngine::new(EcoOptions::builder().method(method).build());
         let t = std::time::Instant::now();
         let outcome = engine.run(&problem)?;
-        assert!(outcome.verified, "every method must produce a verified patch");
+        assert!(
+            outcome.verified,
+            "every method must produce a verified patch"
+        );
         let calls: u64 = outcome.reports.iter().map(|r| r.sat_calls).sum();
         println!(
             "{:<22} {:>8} {:>8} {:>10} {:>10.2?}",

@@ -27,10 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Solve the ECO ---------------------------------------------------
     let problem = EcoProblem::with_unit_weights(implementation, specification, vec![target])?;
-    let engine = EcoEngine::new(EcoOptions {
-        method: SupportMethod::MinimizeAssumptions,
-        ..EcoOptions::default()
-    });
+    let engine = EcoEngine::new(
+        EcoOptions::builder()
+            .method(SupportMethod::MinimizeAssumptions)
+            .build(),
+    );
     let outcome = engine.run(&problem)?;
 
     println!("ECO solved and verified: {}", outcome.verified);

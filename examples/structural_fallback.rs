@@ -10,9 +10,7 @@
 //! Run with: `cargo run --release --example structural_fallback`
 
 use eco_benchgen::{inject_eco, random_aig, CircuitSpec, InjectSpec};
-use eco_core::{
-    check_equivalence, CecResult, EcoEngine, EcoOptions, EcoProblem, PatchKind,
-};
+use eco_core::{check_equivalence, CecResult, EcoEngine, EcoOptions, EcoProblem, PatchKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let implementation = random_aig(&CircuitSpec {
@@ -21,28 +19,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         num_gates: 260,
         seed: 4242,
     });
-    let injected = inject_eco(&implementation, &InjectSpec { num_targets: 2, seed: 3 })
-        .expect("injection succeeds");
-    let problem = EcoProblem::with_unit_weights(
-        implementation,
-        injected.specification,
-        injected.targets,
-    )?;
+    let injected = inject_eco(
+        &implementation,
+        &InjectSpec {
+            num_targets: 2,
+            seed: 3,
+        },
+    )
+    .expect("injection succeeds");
+    let problem =
+        EcoProblem::with_unit_weights(implementation, injected.specification, injected.targets)?;
 
-    println!("{:<24} {:>8} {:>8} {:>10}", "variant", "cost", "gates", "kinds");
+    println!(
+        "{:<24} {:>8} {:>8} {:>10}",
+        "variant", "cost", "gates", "kinds"
+    );
     for (name, cegar_min) in [("structural", false), ("structural+CEGAR_min", true)] {
-        let engine = EcoEngine::new(EcoOptions {
-            // Zero budget: every SAT phase times out immediately, forcing
-            // the structural path (the paper's timeout behaviour).
-            per_call_conflicts: Some(0),
-            cegar_min,
-            verify: false, // no budget to verify in-run; we check below
-            ..EcoOptions::default()
-        });
+        // Zero budget: every SAT phase times out immediately, forcing
+        // the structural path (the paper's timeout behaviour).
+        let options = EcoOptions::builder()
+            .per_call_conflicts(Some(0))
+            .cegar_min(cegar_min)
+            .verify(false) // no budget to verify in-run; we check below
+            .build();
+        let engine = EcoEngine::new(options);
         let outcome = engine.run(&problem)?;
         // Out-of-band verification with a real budget.
-        let cec = check_equivalence(&outcome.patched_implementation, &problem.specification, None);
-        assert_eq!(cec, CecResult::Equivalent, "structural patch must be correct");
+        let cec = check_equivalence(
+            &outcome.patched_implementation,
+            &problem.specification,
+            None,
+        );
+        assert_eq!(
+            cec,
+            CecResult::Equivalent,
+            "structural patch must be correct"
+        );
         let kinds: Vec<PatchKind> = outcome.reports.iter().map(|r| r.kind).collect();
         println!(
             "{:<24} {:>8} {:>8} {:>10}",

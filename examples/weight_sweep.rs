@@ -16,15 +16,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         num_gates: 350,
         seed: 2024,
     });
-    let injected = inject_eco(&implementation, &InjectSpec { num_targets: 2, seed: 7 })
-        .expect("injection succeeds on this shape");
+    let injected = inject_eco(
+        &implementation,
+        &InjectSpec {
+            num_targets: 2,
+            seed: 7,
+        },
+    )
+    .expect("injection succeeds on this shape");
     println!(
         "instance: {} gates, {} targets; solving under all weight distributions\n",
         implementation.num_ands(),
         injected.targets.len()
     );
 
-    println!("{:<6} {:>10} {:>8} {:>8}", "dist", "cost", "support", "gates");
+    println!(
+        "{:<6} {:>10} {:>8} {:>8}",
+        "dist", "cost", "support", "gates"
+    );
     for dist in WeightDistribution::ALL {
         let weights = generate_weights(&implementation, dist, 99);
         let problem = EcoProblem::new(
@@ -33,10 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             injected.targets.clone(),
             weights,
         )?;
-        let engine = EcoEngine::new(EcoOptions {
-            method: SupportMethod::MinimizeAssumptions,
-            ..EcoOptions::default()
-        });
+        let engine = EcoEngine::new(
+            EcoOptions::builder()
+                .method(SupportMethod::MinimizeAssumptions)
+                .build(),
+        );
         let outcome = engine.run(&problem)?;
         assert!(outcome.verified);
         let support: usize = outcome.reports.iter().map(|r| r.support_size).sum();

@@ -5,19 +5,64 @@
 //! eco-patch --impl F.v --spec G.v [--weights W.txt] [--targets n1,n2]
 //!           [--detect] [--method baseline|minimize|prune]
 //!           [--out patched.v] [--budget N] [--default-weight N]
+//!           [--stats-json stats.json] [--progress] [--quiet]
+//!           [--no-fallback]
 //! ```
 //!
 //! Targets come from `--targets`, from `// eco_target <net>` directives
 //! in the implementation file, or from automatic detection (`--detect`).
 //! The patched netlist is written to `--out` (stdout by default), with
 //! per-target patch reports on stderr.
+//!
+//! Exit codes: 0 success, 1 generic failure, 2 bad usage, 3 target set
+//! insufficient, 4 SAT budget exhausted.
 
 use eco_patch::core::{
-    detect_targets, netlist_patches, DetectOptions, EcoEngine, EcoOptions, EcoProblem,
-    SupportMethod,
+    detect_targets, netlist_patches, DetectOptions, EcoEngine, EcoError, EcoEvent, EcoObserver,
+    EcoOptions, EcoProblem, SupportMethod,
 };
 use eco_patch::netlist::{parse_verilog, Netlist, WeightTable};
 use std::process::ExitCode;
+
+const EXIT_USAGE: u8 = 2;
+const EXIT_INSUFFICIENT: u8 = 3;
+const EXIT_BUDGET: u8 = 4;
+
+/// A CLI failure with its process exit code.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn general(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 1,
+            message: message.into(),
+        }
+    }
+
+    fn usage(message: impl std::fmt::Display) -> CliError {
+        CliError {
+            code: EXIT_USAGE,
+            message: format!("{message}\n{}", usage()),
+        }
+    }
+
+    fn engine(err: EcoError) -> CliError {
+        let code = if matches!(err, EcoError::TargetsInsufficient { .. }) {
+            EXIT_INSUFFICIENT
+        } else if err.is_resource_exhausted() {
+            EXIT_BUDGET
+        } else {
+            1
+        };
+        CliError {
+            code,
+            message: err.to_string(),
+        }
+    }
+}
 
 #[derive(Debug, Default)]
 struct Args {
@@ -30,16 +75,24 @@ struct Args {
     out: Option<String>,
     budget: Option<u64>,
     default_weight: u64,
+    stats_json: Option<String>,
+    progress: bool,
+    quiet: bool,
+    no_fallback: bool,
 }
 
 fn usage() -> &'static str {
     "usage: eco-patch --impl F.v --spec G.v [--weights W.txt] \
      [--targets n1,n2] [--detect] [--method baseline|minimize|prune] \
-     [--out patched.v] [--budget CONFLICTS] [--default-weight N]"
+     [--out patched.v] [--budget CONFLICTS] [--default-weight N] \
+     [--stats-json PATH] [--progress] [--quiet] [--no-fallback]"
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { default_weight: 100, ..Args::default() };
+    let mut args = Args {
+        default_weight: 100,
+        ..Args::default()
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -50,8 +103,10 @@ fn parse_args() -> Result<Args, String> {
             "--spec" => args.spec_path = Some(value("--spec")?),
             "--weights" => args.weights_path = Some(value("--weights")?),
             "--targets" => {
-                args.targets =
-                    value("--targets")?.split(',').map(|s| s.trim().to_string()).collect()
+                args.targets = value("--targets")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect()
             }
             "--detect" => args.detect = true,
             "--method" => args.method = Some(value("--method")?),
@@ -68,6 +123,10 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--default-weight expects an integer".to_string())?
             }
+            "--stats-json" => args.stats_json = Some(value("--stats-json")?),
+            "--progress" => args.progress = true,
+            "--quiet" => args.quiet = true,
+            "--no-fallback" => args.no_fallback = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -78,16 +137,50 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run(args: Args) -> Result<(), String> {
-    let read = |path: &str| -> Result<String, String> {
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+/// Streams phase/target progress lines to stderr as the engine runs.
+struct ProgressObserver;
+
+impl EcoObserver for ProgressObserver {
+    fn on_event(&mut self, event: &EcoEvent) {
+        match event {
+            EcoEvent::RunStarted { num_targets, .. } => {
+                eprintln!("[eco] run started: {num_targets} target(s)")
+            }
+            EcoEvent::PhaseStarted { phase } => eprintln!("[eco] {} ...", phase.name()),
+            EcoEvent::PhaseFinished { phase, elapsed } => {
+                eprintln!("[eco] {} done in {elapsed:.2?}", phase.name())
+            }
+            EcoEvent::TargetStarted { target_index } => {
+                eprintln!("[eco]   target {target_index} ...")
+            }
+            EcoEvent::TargetFinished {
+                target_index,
+                sat_calls,
+                elapsed,
+            } => {
+                eprintln!(
+                    "[eco]   target {target_index} done: {sat_calls} SAT call(s) in {elapsed:.2?}"
+                )
+            }
+            EcoEvent::StructuralFallback { target_index } => {
+                eprintln!("[eco]   target {target_index}: structural fallback")
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), CliError> {
+    let read = |path: &str| -> Result<String, CliError> {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::general(format!("cannot read {path}: {e}")))
     };
     let impl_text = read(args.impl_path.as_deref().expect("validated"))?;
     let spec_text = read(args.spec_path.as_deref().expect("validated"))?;
-    let parsed_impl = parse_verilog(&impl_text).map_err(|e| e.to_string())?;
-    let parsed_spec = parse_verilog(&spec_text).map_err(|e| e.to_string())?;
+    let parsed_impl = parse_verilog(&impl_text).map_err(|e| CliError::general(e.to_string()))?;
+    let parsed_spec = parse_verilog(&spec_text).map_err(|e| CliError::general(e.to_string()))?;
     let weights = match &args.weights_path {
-        Some(p) => WeightTable::parse(&read(p)?).map_err(|e| e.to_string())?,
+        Some(p) => WeightTable::parse(&read(p)?).map_err(|e| CliError::general(e.to_string()))?,
         None => WeightTable::new(),
     };
 
@@ -97,23 +190,34 @@ fn run(args: Args) -> Result<(), String> {
     } else {
         parsed_impl.targets.clone()
     };
-    let conversion = parsed_impl.netlist.to_aig().map_err(|e| e.to_string())?;
+    let conversion = parsed_impl
+        .netlist
+        .to_aig()
+        .map_err(|e| CliError::general(e.to_string()))?;
     if target_names.is_empty() {
         if !args.detect {
-            return Err(
-                "no targets: pass --targets, add // eco_target directives, or use --detect"
-                    .to_string(),
-            );
+            return Err(CliError::usage(
+                "no targets: pass --targets, add // eco_target directives, or use --detect",
+            ));
         }
-        let spec_conv = parsed_spec.netlist.to_aig().map_err(|e| e.to_string())?;
+        let spec_conv = parsed_spec
+            .netlist
+            .to_aig()
+            .map_err(|e| CliError::general(e.to_string()))?;
         let detected = detect_targets(
             &conversion.aig,
             &spec_conv.aig,
-            &DetectOptions { per_call_conflicts: args.budget.or(Some(2_000_000)), ..DetectOptions::default() },
+            &DetectOptions {
+                per_call_conflicts: args.budget.or(Some(2_000_000)),
+                ..DetectOptions::default()
+            },
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::engine)?;
         if !detected.sufficient {
-            return Err("detection could not find a sufficient target set".to_string());
+            return Err(CliError {
+                code: EXIT_INSUFFICIENT,
+                message: "detection could not find a sufficient target set".to_string(),
+            });
         }
         // Name the detected nodes through the net map.
         for node in &detected.targets {
@@ -131,17 +235,25 @@ fn run(args: Args) -> Result<(), String> {
                 }
             }
             target_names.push(found.ok_or_else(|| {
-                format!("detected node {node} has no named net; rerun with --targets")
+                CliError::general(format!(
+                    "detected node {node} has no named net; rerun with --targets"
+                ))
             })?);
         }
-        eprintln!("detected targets: {target_names:?}");
+        if !args.quiet {
+            eprintln!("detected targets: {target_names:?}");
+        }
     }
 
     let method = match args.method.as_deref() {
         None | Some("minimize") => SupportMethod::MinimizeAssumptions,
         Some("baseline") => SupportMethod::AnalyzeFinal,
         Some("prune") => SupportMethod::SatPrune,
-        Some(other) => return Err(format!("unknown method {other:?}")),
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown method {other:?} (expected baseline, minimize, or prune)"
+            )))
+        }
     };
     let names: Vec<&str> = target_names.iter().map(String::as_str).collect();
     let problem = EcoProblem::from_netlists(
@@ -151,26 +263,43 @@ fn run(args: Args) -> Result<(), String> {
         &weights,
         args.default_weight,
     )
-    .map_err(|e| e.to_string())?;
-    let engine = EcoEngine::new(EcoOptions {
-        method,
-        per_call_conflicts: args.budget.or(Some(2_000_000)),
-        ..EcoOptions::default()
-    });
-    let outcome = engine.run(&problem).map_err(|e| e.to_string())?;
-    eprintln!(
-        "solved: cost={} patch_gates={} verified={} in {:.2?}",
-        outcome.total_cost, outcome.total_gates, outcome.verified, outcome.elapsed
-    );
-    for r in &outcome.reports {
+    .map_err(CliError::engine)?;
+    let options = EcoOptions::builder()
+        .method(method)
+        .per_call_conflicts(args.budget.or(Some(2_000_000)))
+        .structural_fallback(!args.no_fallback)
+        .build();
+    let mut engine = EcoEngine::new(options);
+    if args.progress {
+        engine = engine.with_observer(ProgressObserver);
+    }
+    if args.stats_json.is_some() {
+        engine = engine.with_metrics();
+    }
+    let outcome = engine.run(&problem).map_err(CliError::engine)?;
+    if let Some(path) = &args.stats_json {
+        let metrics = outcome.metrics.as_ref().expect("with_metrics was set");
+        std::fs::write(path, metrics.to_json())
+            .map_err(|e| CliError::general(format!("cannot write {path}: {e}")))?;
+    }
+    if !args.quiet {
         eprintln!(
-            "  target {} ({:?}): support={} cost={} gates={}",
-            target_names.get(r.target_index).map(String::as_str).unwrap_or("?"),
-            r.kind,
-            r.support_size,
-            r.cost,
-            r.gates
+            "solved: cost={} patch_gates={} verified={} in {:.2?}",
+            outcome.total_cost, outcome.total_gates, outcome.verified, outcome.elapsed
         );
+        for r in &outcome.reports {
+            eprintln!(
+                "  target {} ({:?}): support={} cost={} gates={}",
+                target_names
+                    .get(r.target_index)
+                    .map(String::as_str)
+                    .unwrap_or("?"),
+                r.kind,
+                r.support_size,
+                r.cost,
+                r.gates
+            );
+        }
     }
 
     // Prefer name-preserving splices; fall back to the rebuilt netlist.
@@ -181,11 +310,13 @@ fn run(args: Args) -> Result<(), String> {
             let np = entry.as_ref().expect("checked");
             current = current
                 .insert_patch(&np.target_net, &np.patch, &format!("eco{i}"))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::general(e.to_string()))?;
         }
         current
     } else {
-        eprintln!("note: a patch uses patch-created logic; emitting rebuilt netlist");
+        if !args.quiet {
+            eprintln!("note: a patch uses patch-created logic; emitting rebuilt netlist");
+        }
         Netlist::from_aig(
             format!("{}_patched", parsed_impl.netlist.name()),
             &outcome.patched_implementation,
@@ -193,7 +324,8 @@ fn run(args: Args) -> Result<(), String> {
     };
     let text = patched.to_verilog();
     match &args.out {
-        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write: {e}"))?,
+        Some(path) => std::fs::write(path, text)
+            .map_err(|e| CliError::general(format!("cannot write: {e}")))?,
         None => print!("{text}"),
     }
     Ok(())
@@ -203,13 +335,13 @@ fn main() -> ExitCode {
     match parse_args() {
         Err(msg) => {
             eprintln!("{msg}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
         Ok(args) => match run(args) {
             Ok(()) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::FAILURE
+            Err(e) => {
+                eprintln!("error: {e}", e = e.message);
+                ExitCode::from(e.code)
             }
         },
     }

@@ -71,16 +71,35 @@ fn patches_with_directive_targets() {
     let w = tmp.write("W.txt", "a 10\nb 10\ns1 1\ncin 3\n");
     let out = tmp.path("patched.v");
     let status = bin()
-        .args(["--impl", &f, "--spec", &g, "--weights", &w, "--method", "prune", "--out", &out])
+        .args([
+            "--impl",
+            &f,
+            "--spec",
+            &g,
+            "--weights",
+            &w,
+            "--method",
+            "prune",
+            "--out",
+            &out,
+        ])
         .output()
         .expect("run");
-    assert!(status.status.success(), "stderr: {}", String::from_utf8_lossy(&status.stderr));
+    assert!(
+        status.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
     let stderr = String::from_utf8_lossy(&status.stderr);
     assert!(stderr.contains("verified=true"), "{stderr}");
     // The emitted netlist must parse and be equivalent to the spec.
     let text = std::fs::read_to_string(&out).expect("read output");
-    let patched = eco_patch::netlist::parse_verilog(&text).expect("parse").netlist;
-    let spec = eco_patch::netlist::parse_verilog(SPECIFICATION).expect("parse").netlist;
+    let patched = eco_patch::netlist::parse_verilog(&text)
+        .expect("parse")
+        .netlist;
+    let spec = eco_patch::netlist::parse_verilog(SPECIFICATION)
+        .expect("parse")
+        .netlist;
     let a = patched.to_aig().expect("valid").aig;
     let b = spec.to_aig().expect("valid").aig;
     assert_eq!(
@@ -98,7 +117,11 @@ fn detects_targets_without_directives() {
         .args(["--impl", &f, "--spec", &g, "--detect"])
         .output()
         .expect("run");
-    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("detected targets"), "{stderr}");
 }
@@ -108,7 +131,10 @@ fn missing_targets_is_a_clear_error() {
     let tmp = TempFiles::new("notargets");
     let f = tmp.write("F.v", &IMPLEMENTATION.replace("// eco_target c1\n", ""));
     let g = tmp.write("G.v", SPECIFICATION);
-    let output = bin().args(["--impl", &f, "--spec", &g]).output().expect("run");
+    let output = bin()
+        .args(["--impl", &f, "--spec", &g])
+        .output()
+        .expect("run");
     assert!(!output.status.success());
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("no targets"), "{stderr}");
@@ -120,6 +146,149 @@ fn bad_flags_print_usage() {
     assert!(!output.status.success());
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn stats_json_has_the_documented_schema() {
+    let tmp = TempFiles::new("statsjson");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let stats = tmp.path("stats.json");
+    let out = tmp.path("patched.v");
+    let output = bin()
+        .args([
+            "--impl",
+            &f,
+            "--spec",
+            &g,
+            "--stats-json",
+            &stats,
+            "--out",
+            &out,
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json = std::fs::read_to_string(&stats).expect("stats file written");
+    for key in [
+        "\"schema_version\":1",
+        "\"num_targets\":1",
+        "\"phases\":[",
+        "\"targets\":[",
+        "\"sat_calls\":{",
+        "\"by_kind\":{",
+        "\"counters\":{",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn progress_traces_phases_and_quiet_silences_reports() {
+    let tmp = TempFiles::new("progress");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let out = tmp.path("patched.v");
+    let output = bin()
+        .args([
+            "--impl",
+            &f,
+            "--spec",
+            &g,
+            "--progress",
+            "--quiet",
+            "--out",
+            &out,
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("[eco] sufficiency_check"), "{stderr}");
+    assert!(stderr.contains("[eco] verification done"), "{stderr}");
+    assert!(
+        !stderr.contains("solved:"),
+        "--quiet must drop the report: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_method_is_a_usage_error() {
+    let tmp = TempFiles::new("badmethod");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let output = bin()
+        .args(["--impl", &f, "--spec", &g, "--method", "magic"])
+        .output()
+        .expect("run");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown method"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn insufficient_targets_exit_code() {
+    // y0 = t and y1 = !t cannot both become `a` with one patch on t.
+    let implementation = "
+module m (a, b, y0, y1);
+  input a, b;
+  output y0, y1;
+  wire t;
+  // eco_target t
+  and g1 (t, a, b);
+  buf g2 (y0, t);
+  not g3 (y1, t);
+endmodule
+";
+    let specification = "
+module m (a, b, y0, y1);
+  input a, b;
+  output y0, y1;
+  buf g1 (y0, a);
+  buf g2 (y1, a);
+endmodule
+";
+    let tmp = TempFiles::new("insufficient");
+    let f = tmp.write("F.v", implementation);
+    let g = tmp.write("G.v", specification);
+    let output = bin()
+        .args(["--impl", &f, "--spec", &g])
+        .output()
+        .expect("run");
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn budget_exhaustion_exit_code_without_fallback() {
+    let tmp = TempFiles::new("budget");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let output = bin()
+        .args(["--impl", &f, "--spec", &g, "--budget", "0", "--no-fallback"])
+        .output()
+        .expect("run");
+    assert_eq!(
+        output.status.code(),
+        Some(4),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("budget"), "{stderr}");
 }
 
 #[test]

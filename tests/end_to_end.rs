@@ -70,7 +70,11 @@ fn contest_flow_fixes_the_alu_slice() {
     assert!(outcome.verified);
     // The cheap patch is xor(s1, cin): support cost 2 + 3 = 5, far below
     // rebuilding from the inputs (20 + 20 + 3).
-    assert!(outcome.total_cost <= 5, "cost {} too high", outcome.total_cost);
+    assert!(
+        outcome.total_cost <= 5,
+        "cost {} too high",
+        outcome.total_cost
+    );
 }
 
 #[test]
@@ -81,7 +85,7 @@ fn every_method_produces_an_equivalent_netlist() {
         SupportMethod::MinimizeAssumptions,
         SupportMethod::SatPrune,
     ] {
-        let engine = EcoEngine::new(EcoOptions { method, ..EcoOptions::default() });
+        let engine = EcoEngine::new(EcoOptions::builder().method(method).build());
         let outcome = engine.run(&problem).expect("engine runs");
         assert!(outcome.verified, "{method:?}");
         // And the result survives a netlist round trip.
@@ -105,7 +109,7 @@ fn method_cost_ordering_holds() {
     // minimize_assumptions (single target = exact).
     let (problem, _) = problem_from_sources();
     let run = |method| {
-        EcoEngine::new(EcoOptions { method, ..EcoOptions::default() })
+        EcoEngine::new(EcoOptions::builder().method(method).build())
             .run(&problem)
             .expect("engine runs")
             .total_cost
@@ -113,6 +117,12 @@ fn method_cost_ordering_holds() {
     let baseline = run(SupportMethod::AnalyzeFinal);
     let minimized = run(SupportMethod::MinimizeAssumptions);
     let pruned = run(SupportMethod::SatPrune);
-    assert!(minimized <= baseline, "minimized {minimized} > baseline {baseline}");
-    assert!(pruned <= minimized, "pruned {pruned} > minimized {minimized}");
+    assert!(
+        minimized <= baseline,
+        "minimized {minimized} > baseline {baseline}"
+    );
+    assert!(
+        pruned <= minimized,
+        "pruned {pruned} > minimized {minimized}"
+    );
 }

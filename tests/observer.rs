@@ -1,0 +1,275 @@
+//! Observer-layer integration tests: phase nesting, SAT-call
+//! attribution reconciling with the per-target reports, and the
+//! stability of the `RunMetrics` JSON schema.
+
+use eco_patch::aig::Aig;
+use eco_patch::core::{
+    BudgetMetrics, EcoEngine, EcoEvent, EcoObserver, EcoOptions, EcoProblem, PatchKind, Phase,
+    PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics, SupportMethod, TargetMetrics,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Records every event for post-run inspection.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<EcoEvent>,
+}
+
+impl EcoObserver for Recorder {
+    fn on_event(&mut self, event: &EcoEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+fn and_vs_or_problem() -> EcoProblem {
+    let mut im = Aig::new();
+    let (a, b) = (im.add_input(), im.add_input());
+    let t = im.and(a, b);
+    im.add_output(t);
+    let t_node = t.node();
+    let mut sp = Aig::new();
+    let (a, b) = (sp.add_input(), sp.add_input());
+    let o = sp.or(a, b);
+    sp.add_output(o);
+    EcoProblem::with_unit_weights(im, sp, vec![t_node]).expect("valid")
+}
+
+fn multi_target_problem() -> EcoProblem {
+    // impl y = (a&b) & (b&c); spec y = a ^ c; both ANDs are targets.
+    let mut im = Aig::new();
+    let (a, b, c) = (im.add_input(), im.add_input(), im.add_input());
+    let t1 = im.and(a, b);
+    let t2 = im.and(b, c);
+    let y = im.and(t1, t2);
+    im.add_output(y);
+    let mut sp = Aig::new();
+    let (a, _b, c) = (sp.add_input(), sp.add_input(), sp.add_input());
+    let y = sp.xor(a, c);
+    sp.add_output(y);
+    EcoProblem::with_unit_weights(im, sp, vec![t1.node(), t2.node()]).expect("valid")
+}
+
+fn record_run(
+    options: EcoOptions,
+    problem: &EcoProblem,
+) -> (eco_patch::core::EcoOutcome, Vec<EcoEvent>) {
+    let recorder = Arc::new(Mutex::new(Recorder::default()));
+    let engine = EcoEngine::new(options)
+        .with_shared_observer(recorder.clone() as Arc<Mutex<dyn EcoObserver + Send>>);
+    let outcome = engine.run(problem).expect("engine run");
+    let events = std::mem::take(&mut recorder.lock().expect("no poison").events);
+    (outcome, events)
+}
+
+#[test]
+fn phases_nest_and_cover_the_whole_run() {
+    let (_, events) = record_run(EcoOptions::builder().build(), &multi_target_problem());
+    assert!(
+        matches!(
+            events.first(),
+            Some(EcoEvent::RunStarted { num_targets: 2, .. })
+        ),
+        "first event must be RunStarted"
+    );
+    assert!(
+        matches!(events.last(), Some(EcoEvent::RunFinished { .. })),
+        "last event must be RunFinished"
+    );
+
+    // Exactly one Started/Finished pair per phase, in flow order, with
+    // no overlap, and every inner event inside some phase.
+    let mut open: Option<Phase> = None;
+    let mut finished: Vec<Phase> = Vec::new();
+    let mut open_target: Option<usize> = None;
+    for event in &events {
+        match event {
+            EcoEvent::RunStarted { .. } | EcoEvent::RunFinished { .. } => {
+                assert!(open.is_none(), "run boundary inside phase {open:?}");
+            }
+            EcoEvent::PhaseStarted { phase } => {
+                assert!(open.is_none(), "phase {phase:?} started inside {open:?}");
+                open = Some(*phase);
+            }
+            EcoEvent::PhaseFinished { phase, .. } => {
+                assert_eq!(open, Some(*phase), "finish must match the open phase");
+                assert!(
+                    open_target.is_none(),
+                    "phase closed with target {open_target:?} open"
+                );
+                finished.push(*phase);
+                open = None;
+            }
+            EcoEvent::TargetStarted { target_index } => {
+                assert_eq!(open, Some(Phase::PatchGeneration));
+                assert!(open_target.is_none());
+                open_target = Some(*target_index);
+            }
+            EcoEvent::TargetFinished { target_index, .. } => {
+                assert_eq!(open_target, Some(*target_index));
+                open_target = None;
+            }
+            _ => {
+                assert!(open.is_some(), "event {event:?} emitted outside any phase");
+            }
+        }
+    }
+    assert_eq!(
+        finished,
+        Phase::ALL.to_vec(),
+        "all phases complete, in flow order"
+    );
+}
+
+/// Sums the `SatCall` events attributed to each target.
+fn attributed_calls(events: &[EcoEvent]) -> HashMap<usize, u64> {
+    let mut by_target: HashMap<usize, u64> = HashMap::new();
+    for event in events {
+        if let EcoEvent::SatCall {
+            target_index: Some(ti),
+            ..
+        } = event
+        {
+            *by_target.entry(*ti).or_default() += 1;
+        }
+    }
+    by_target
+}
+
+#[test]
+fn attributed_sat_calls_match_reports_for_every_method() {
+    for method in [
+        SupportMethod::AnalyzeFinal,
+        SupportMethod::MinimizeAssumptions,
+        SupportMethod::SatPrune,
+    ] {
+        for problem in [and_vs_or_problem(), multi_target_problem()] {
+            let (outcome, events) =
+                record_run(EcoOptions::builder().method(method).build(), &problem);
+            let by_target = attributed_calls(&events);
+            for report in &outcome.reports {
+                if report.kind == PatchKind::TrivialDead {
+                    continue;
+                }
+                assert_eq!(
+                    by_target.get(&report.target_index).copied().unwrap_or(0),
+                    report.sat_calls,
+                    "{method:?}: events for target {} must match its report",
+                    report.target_index
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn attributed_sat_calls_match_reports_on_structural_fallback() {
+    let options = EcoOptions::builder()
+        .per_call_conflicts(Some(0)) // force the fallback
+        .cegar_min(true)
+        .verify(false)
+        .build();
+    let (outcome, events) = record_run(options, &and_vs_or_problem());
+    assert_eq!(outcome.reports[0].kind, PatchKind::StructuralCegarMin);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, EcoEvent::StructuralFallback { target_index: 0 })),
+        "fallback must be announced"
+    );
+    let by_target = attributed_calls(&events);
+    assert_eq!(
+        by_target.get(&0).copied().unwrap_or(0),
+        outcome.reports[0].sat_calls,
+        "carried calls from the failed SAT attempt stay attributed"
+    );
+}
+
+#[test]
+fn metrics_observer_reconciles_with_reports() {
+    let engine = EcoEngine::new(EcoOptions::builder().build()).with_metrics();
+    let outcome = engine.run(&multi_target_problem()).expect("engine run");
+    let metrics = outcome.metrics.as_ref().expect("with_metrics attached");
+    assert_eq!(metrics.num_targets, 2);
+    assert!(!metrics.targets.is_empty());
+    for target in &metrics.targets {
+        assert_eq!(
+            target.observed_sat_calls, target.sat_calls,
+            "target {}: event count must equal the reported count",
+            target.target_index
+        );
+        let report = outcome
+            .reports
+            .iter()
+            .find(|r| r.target_index == target.target_index)
+            .expect("report exists");
+        assert_eq!(target.sat_calls, report.sat_calls);
+    }
+    let total_by_kind: u64 = metrics.sat_calls.by_kind.iter().sum();
+    assert_eq!(total_by_kind, metrics.sat_calls.total);
+    let histogram_total: u64 = metrics.sat_calls.conflict_histogram.iter().sum();
+    assert_eq!(histogram_total, metrics.sat_calls.total);
+    assert_eq!(metrics.phases.len(), Phase::ALL.len());
+    // The final CEC may be discharged structurally (no SAT call), but the
+    // patch-generation calls themselves must be visible.
+    assert!(metrics.sat_calls.total > 0);
+    assert!(metrics.sat_calls.by_kind[SatCallKind::Support.index()] >= 1);
+}
+
+#[test]
+fn run_metrics_golden_json() {
+    let metrics = RunMetrics {
+        num_targets: 1,
+        per_call_conflicts: Some(1000),
+        elapsed: Duration::from_micros(1234),
+        phases: vec![PhaseMetrics {
+            phase: Phase::SufficiencyCheck,
+            elapsed: Duration::from_micros(10),
+        }],
+        targets: vec![TargetMetrics {
+            target_index: 0,
+            sat_calls: 3,
+            observed_sat_calls: 3,
+            conflicts: 7,
+            elapsed: Duration::from_micros(100),
+            conflict_histogram: [1, 2, 0, 0, 0, 0, 0, 0],
+        }],
+        sat_calls: SatCallMetrics {
+            total: 4,
+            conflicts: 9,
+            decisions: 5,
+            propagations: 6,
+            by_kind: [0, 2, 1, 0, 0, 0, 0, 1],
+            conflict_histogram: [1, 3, 0, 0, 0, 0, 0, 0],
+        },
+        budget: Some(BudgetMetrics {
+            per_call_conflicts: 1000,
+            max_fraction: 0.5,
+            mean_fraction: 0.25,
+        }),
+        qbf_refinements: 1,
+        quantification_refinements: 2,
+        support_minimization_steps: 3,
+        structural_fallbacks: 0,
+        cegar_min_rounds: 4,
+    };
+    let expected = concat!(
+        "{\"schema_version\":1,\"num_targets\":1,\"per_call_conflicts\":1000,",
+        "\"elapsed_us\":1234,",
+        "\"phases\":[{\"phase\":\"sufficiency_check\",\"elapsed_us\":10}],",
+        "\"targets\":[{\"target_index\":0,\"sat_calls\":3,\"observed_sat_calls\":3,",
+        "\"conflicts\":7,\"elapsed_us\":100,",
+        "\"conflict_histogram\":[1,2,0,0,0,0,0,0]}],",
+        "\"sat_calls\":{\"total\":4,\"conflicts\":9,\"decisions\":5,\"propagations\":6,",
+        "\"by_kind\":{\"qbf\":0,\"support\":2,\"minimize\":1,\"cube_enumeration\":0,",
+        "\"sat_prune_search\":0,\"cegar_min\":0,\"refinement\":0,\"cec\":1},",
+        "\"conflict_histogram\":[1,3,0,0,0,0,0,0]},",
+        "\"budget\":{\"per_call_conflicts\":1000,\"max_fraction\":0.500000,",
+        "\"mean_fraction\":0.250000},",
+        "\"counters\":{\"qbf_refinements\":1,\"quantification_refinements\":2,",
+        "\"support_minimization_steps\":3,\"structural_fallbacks\":0,",
+        "\"cegar_min_rounds\":4}}"
+    );
+    assert_eq!(metrics.to_json(), expected);
+}

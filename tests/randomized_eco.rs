@@ -1,43 +1,39 @@
-//! Property-based integration tests: random circuits with injected
-//! ECOs must always be solvable, verified, and round-trippable.
+//! Randomized integration tests: random circuits with injected ECOs
+//! must always be solvable, verified, and round-trippable.
 
 use eco_patch::benchgen::{inject_eco, random_aig, CircuitSpec, InjectSpec};
 use eco_patch::core::{
     check_targets_sufficient, generate_weights, EcoEngine, EcoOptions, EcoProblem, QbfOutcome,
     SupportMethod, WeightDistribution,
 };
-use proptest::prelude::*;
+use eco_testutil::{cases, Rng};
 
-fn arb_instance() -> impl Strategy<Value = (CircuitSpec, usize, u64)> {
+fn random_instance(rng: &mut Rng) -> (CircuitSpec, usize, u64) {
+    let pi = rng.range(4, 14) as usize;
+    let po = rng.range(2, 6) as usize;
+    let gates = rng.range(40, 160) as usize;
+    let targets = rng.range(1, 4) as usize;
+    let seed = rng.below(1000);
     (
-        4usize..14,  // inputs
-        2usize..6,   // outputs
-        40usize..160, // gates
-        1usize..4,   // targets
-        0u64..1000,  // seed
+        CircuitSpec {
+            num_inputs: pi,
+            num_outputs: po,
+            num_gates: gates,
+            seed,
+        },
+        targets,
+        seed,
     )
-        .prop_map(|(pi, po, gates, targets, seed)| {
-            (
-                CircuitSpec { num_inputs: pi, num_outputs: po, num_gates: gates, seed },
-                targets,
-                seed,
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn injected_instances_always_solve_and_verify(
-        (spec, num_targets, seed) in arb_instance(),
-        dist_idx in 0usize..8,
-    ) {
+#[test]
+fn injected_instances_always_solve_and_verify() {
+    cases(24, |case, rng| {
+        let (spec, num_targets, seed) = random_instance(rng);
+        let dist_idx = rng.index(8);
         let implementation = random_aig(&spec);
-        let Some(injected) =
-            inject_eco(&implementation, &InjectSpec { num_targets, seed })
-        else {
-            return Ok(()); // circuit too small for that many targets
+        let Some(injected) = inject_eco(&implementation, &InjectSpec { num_targets, seed }) else {
+            return; // circuit too small for that many targets
         };
         let weights = generate_weights(
             &implementation,
@@ -55,46 +51,45 @@ proptest! {
         // agree...
         match check_targets_sufficient(&problem, 1024, None) {
             QbfOutcome::Solvable { .. } => {}
-            other => prop_assert!(false, "sufficiency check said {other:?}"),
+            other => panic!("case {case}: sufficiency check said {other:?}"),
         }
         // ...and the engine must find verified patches.
-        let outcome = EcoEngine::new(EcoOptions {
-            method: SupportMethod::MinimizeAssumptions,
-            ..EcoOptions::default()
-        })
+        let outcome = EcoEngine::new(
+            EcoOptions::builder()
+                .method(SupportMethod::MinimizeAssumptions)
+                .build(),
+        )
         .run(&problem)
         .expect("engine solves injected instances");
-        prop_assert!(outcome.verified);
+        assert!(outcome.verified, "case {case}");
         // Cost accounting sanity: the support cost is the sum of reports.
         let sum: u64 = outcome.reports.iter().map(|r| r.cost).sum();
-        prop_assert_eq!(sum, outcome.total_cost);
-    }
+        assert_eq!(sum, outcome.total_cost, "case {case}");
+    });
+}
 
-    #[test]
-    fn patched_netlists_roundtrip_through_aag(
-        (spec, num_targets, seed) in arb_instance(),
-    ) {
+#[test]
+fn patched_netlists_roundtrip_through_aag() {
+    cases(24, |case, rng| {
+        let (spec, num_targets, _) = random_instance(rng);
+        let seed = spec.seed;
         let implementation = random_aig(&spec);
-        let Some(injected) =
-            inject_eco(&implementation, &InjectSpec { num_targets, seed })
-        else {
-            return Ok(());
+        let Some(injected) = inject_eco(&implementation, &InjectSpec { num_targets, seed }) else {
+            return;
         };
-        let problem = EcoProblem::with_unit_weights(
-            implementation,
-            injected.specification,
-            injected.targets,
-        )
-        .expect("valid problem");
+        let problem =
+            EcoProblem::with_unit_weights(implementation, injected.specification, injected.targets)
+                .expect("valid problem");
         let outcome = EcoEngine::new(EcoOptions::default())
             .run(&problem)
             .expect("engine solves");
         let text = outcome.patched_implementation.to_aag();
         let back = eco_patch::aig::Aig::from_aag(&text).expect("roundtrip");
         use eco_patch::core::{check_equivalence, CecResult};
-        prop_assert_eq!(
+        assert_eq!(
             check_equivalence(&back, &problem.specification, None),
-            CecResult::Equivalent
+            CecResult::Equivalent,
+            "case {case}"
         );
-    }
+    });
 }

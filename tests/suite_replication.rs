@@ -12,10 +12,11 @@ const TEST_SCALE: f64 = 0.02;
 fn all_units_solve_and_verify_with_minimize_assumptions() {
     for (i, unit) in table1_units(TEST_SCALE).iter().enumerate() {
         let problem = build_unit(unit);
-        let engine = EcoEngine::new(EcoOptions {
-            method: SupportMethod::MinimizeAssumptions,
-            ..EcoOptions::default()
-        });
+        let engine = EcoEngine::new(
+            EcoOptions::builder()
+                .method(SupportMethod::MinimizeAssumptions)
+                .build(),
+        );
         let outcome = engine
             .run(&problem)
             .unwrap_or_else(|e| panic!("{} failed: {e}", unit.name));
@@ -31,12 +32,16 @@ fn all_units_solve_and_verify_with_minimize_assumptions() {
 
 #[test]
 fn single_target_units_solve_with_analyze_final_baseline() {
-    for unit in table1_units(TEST_SCALE).iter().filter(|u| u.num_targets == 1) {
+    for unit in table1_units(TEST_SCALE)
+        .iter()
+        .filter(|u| u.num_targets == 1)
+    {
         let problem = build_unit(unit);
-        let engine = EcoEngine::new(EcoOptions {
-            method: SupportMethod::AnalyzeFinal,
-            ..EcoOptions::default()
-        });
+        let engine = EcoEngine::new(
+            EcoOptions::builder()
+                .method(SupportMethod::AnalyzeFinal)
+                .build(),
+        );
         let outcome = engine
             .run(&problem)
             .unwrap_or_else(|e| panic!("{} failed: {e}", unit.name));
@@ -51,7 +56,7 @@ fn minimize_assumptions_beats_baseline_on_geomean_cost() {
     for unit in table1_units(TEST_SCALE).iter().take(12) {
         let problem = build_unit(unit);
         let run = |method| {
-            EcoEngine::new(EcoOptions { method, ..EcoOptions::default() })
+            EcoEngine::new(EcoOptions::builder().method(method).build())
                 .run(&problem)
                 .map(|o| o.total_cost)
                 .unwrap_or(u64::MAX)
@@ -81,10 +86,11 @@ fn multi_target_units_solve_with_sat_prune() {
         .take(3)
     {
         let problem = build_unit(unit);
-        let engine = EcoEngine::new(EcoOptions {
-            method: SupportMethod::SatPrune,
-            ..EcoOptions::default()
-        });
+        let engine = EcoEngine::new(
+            EcoOptions::builder()
+                .method(SupportMethod::SatPrune)
+                .build(),
+        );
         let outcome = engine
             .run(&problem)
             .unwrap_or_else(|e| panic!("{} failed: {e}", unit.name));
@@ -97,17 +103,21 @@ fn structural_path_verifies_on_every_unit() {
     use eco_patch::core::{check_equivalence, CecResult};
     for unit in table1_units(0.015).iter().take(10) {
         let problem = build_unit(unit);
-        let engine = EcoEngine::new(EcoOptions {
-            per_call_conflicts: Some(0), // force structural
-            cegar_min: true,
-            verify: false,
-            ..EcoOptions::default()
-        });
+        let options = EcoOptions::builder()
+            .per_call_conflicts(Some(0)) // force structural
+            .cegar_min(true)
+            .verify(false)
+            .build();
+        let engine = EcoEngine::new(options);
         let outcome = engine
             .run(&problem)
             .unwrap_or_else(|e| panic!("{} failed: {e}", unit.name));
         assert_eq!(
-            check_equivalence(&outcome.patched_implementation, &problem.specification, None),
+            check_equivalence(
+                &outcome.patched_implementation,
+                &problem.specification,
+                None
+            ),
             CecResult::Equivalent,
             "{}: structural patches must be correct",
             unit.name
