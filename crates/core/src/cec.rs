@@ -5,7 +5,7 @@
 use crate::cnf::CnfEncoder;
 use crate::observe::{ObserverHandle, SatCallKind};
 use eco_aig::Aig;
-use eco_sat::{Lit, SolveResult, Solver};
+use eco_sat::{Lit, ResourceGovernor, SolveResult, Solver};
 
 /// Outcome of an equivalence check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,7 +55,7 @@ impl CecResult {
 /// assert_eq!(check_equivalence(&f, &g, None), CecResult::Equivalent);
 /// ```
 pub fn check_equivalence(a: &Aig, b: &Aig, conflict_budget: Option<u64>) -> CecResult {
-    check_equivalence_observed(a, b, conflict_budget, &ObserverHandle::default())
+    check_equivalence_observed(a, b, conflict_budget, &ObserverHandle::default(), None)
 }
 
 /// [`check_equivalence`] with event emission: the SAT call (if the
@@ -66,6 +66,7 @@ pub(crate) fn check_equivalence_observed(
     b: &Aig,
     conflict_budget: Option<u64>,
     obs: &ObserverHandle,
+    governor: Option<&ResourceGovernor>,
 ) -> CecResult {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input count mismatch");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output count mismatch");
@@ -85,6 +86,7 @@ pub(crate) fn check_equivalence_observed(
         return CecResult::Equivalent;
     }
     let mut solver = Solver::new();
+    solver.set_search_control(governor.map(ResourceGovernor::control));
     if let Some(budget) = conflict_budget {
         solver.set_budget(Some(budget), None);
     }

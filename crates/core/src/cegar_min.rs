@@ -9,7 +9,7 @@ use crate::error::EcoError;
 use crate::observe::{EcoEvent, ObserverHandle, SatCallKind};
 use eco_aig::{Aig, AigLit, NodeId};
 use eco_graph::{NodeCutGraph, INF};
-use eco_sat::{Lit, SolveResult, Solver};
+use eco_sat::{Lit, ResourceGovernor, SolveResult, Solver};
 
 /// Result of the max-flow resubstitution.
 #[derive(Clone, Debug)]
@@ -89,6 +89,7 @@ pub fn cegar_min_filtered(
         per_call_conflicts,
         &ObserverHandle::default(),
         None,
+        None,
     )
 }
 
@@ -105,6 +106,7 @@ pub(crate) fn cegar_min_observed(
     per_call_conflicts: Option<u64>,
     obs: &ObserverHandle,
     target_index: Option<usize>,
+    governor: Option<&ResourceGovernor>,
 ) -> Result<CegarMinResult, EcoError> {
     assert_eq!(patch.num_outputs(), 1, "patch must be single-output");
     assert_eq!(patch.num_inputs(), bindings.len(), "binding arity mismatch");
@@ -143,6 +145,7 @@ pub(crate) fn cegar_min_observed(
 
     // SAT context over the combined network for equivalence proofs.
     let mut solver = Solver::new();
+    solver.set_search_control(governor.map(ResourceGovernor::control));
     let mut enc = CnfEncoder::new(&combined);
     let mut sat_calls = 0u64;
     let mut prove_equal = |a: AigLit,

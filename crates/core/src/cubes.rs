@@ -8,7 +8,7 @@ use crate::miter::QuantifiedMiter;
 use crate::observe::{ObserverHandle, SatCallKind};
 use crate::support::minimize_assumptions_observed;
 use eco_aig::{Cube, CubeLit, NodeId, Sop};
-use eco_sat::{Lit, SolveResult, Solver};
+use eco_sat::{Lit, ResourceGovernor, SolveResult, Solver};
 
 /// Result of the cube-enumeration patch computation.
 #[derive(Clone, Debug)]
@@ -58,6 +58,7 @@ pub fn enumerate_patch_sop(
         max_cubes,
         &ObserverHandle::default(),
         &mut calls,
+        None,
     )
 }
 
@@ -66,6 +67,7 @@ pub fn enumerate_patch_sop(
 /// prime-expansion shrink calls as [`SatCallKind::Minimize`], all
 /// attributed to `target_index`. `calls` is incremented eagerly so the
 /// caller's tally stays exact across budget aborts.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn enumerate_patch_sop_observed(
     qm: &QuantifiedMiter,
     support: &[NodeId],
@@ -74,9 +76,11 @@ pub(crate) fn enumerate_patch_sop_observed(
     max_cubes: usize,
     obs: &ObserverHandle,
     calls: &mut u64,
+    governor: Option<&ResourceGovernor>,
 ) -> Result<PatchSop, EcoError> {
     let start_calls = *calls;
     let mut solver = Solver::new();
+    solver.set_search_control(governor.map(ResourceGovernor::control));
     let mut enc = CnfEncoder::new(&qm.aig);
     let out = enc.lit(&qm.aig, &mut solver, qm.output);
     let n = enc.lit(&qm.aig, &mut solver, qm.n_input);

@@ -10,7 +10,8 @@ use crate::error::EcoError;
 use crate::exact::{sat_prune_support, SatPruneOptions};
 use crate::miter::{EcoMiter, QuantifiedMiter};
 use crate::observe::{
-    EcoEvent, EcoObserver, MetricsObserver, ObserverHandle, Phase, RunMetrics, SatCallKind,
+    EcoEvent, EcoObserver, LadderRung, MetricsObserver, ObserverHandle, Phase, RunMetrics,
+    SatCallKind,
 };
 use crate::problem::EcoProblem;
 use crate::qbf::{check_targets_sufficient_observed, QbfOutcome};
@@ -18,7 +19,7 @@ use crate::structural::structural_patch;
 use crate::support::{support_solver_for, SupportResult};
 use crate::window::{compute_divisors, compute_window, Window};
 use eco_aig::{factor_sop, Aig, AigLit, NodeId, NodePatch};
-use eco_sat::{SolveResult, Solver};
+use eco_sat::{FaultPlan, GovernorLimits, ResourceGovernor, SolveResult, Solver, TripReason};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -74,12 +75,38 @@ pub struct EcoOptions {
     /// when the *main* ECO SAT times out, while the (much simpler)
     /// resubstitution queries still run.
     pub cegar_min_conflicts: Option<u64>,
-    /// Derive a structural patch when SAT budgets run out.
+    /// Derive a structural patch when SAT budgets run out. This also
+    /// enables the full per-target degradation ladder: failures are
+    /// isolated per target (`Degraded`/`Skipped` dispositions) instead
+    /// of aborting the run.
     pub structural_fallback: bool,
     /// `SAT_prune` sub-options.
     pub sat_prune: SatPruneOptions,
     /// Run the final equivalence check.
     pub verify: bool,
+    /// Wall-clock deadline for one [`EcoEngine::run`] call, enforced
+    /// cooperatively from inside every SAT call (`None` = no deadline).
+    pub timeout: Option<Duration>,
+    /// Global conflict pool drawn down by every SAT call of the run,
+    /// across all phases (`None` = unlimited). Complements the
+    /// *per-call* budget [`EcoOptions::per_call_conflicts`].
+    pub global_conflicts: Option<u64>,
+    /// Global propagation pool, analogous to
+    /// [`EcoOptions::global_conflicts`].
+    pub global_propagations: Option<u64>,
+    /// Deterministic fault-injection schedule for robustness testing:
+    /// forces chosen SAT calls to answer `Unknown` (or trips the
+    /// governor), seeded and reproducible.
+    pub fault_plan: Option<FaultPlan>,
+    /// Between the full SAT attempt and the structural patch, retry the
+    /// target once with cheaper settings (`analyze_final` support, no
+    /// last-gasp, tighter caps). Only relevant with
+    /// [`EcoOptions::structural_fallback`].
+    pub degraded_retry: bool,
+    /// The final verification SAT call may spend this many times
+    /// [`EcoOptions::per_call_conflicts`] (the historical behavior is
+    /// the default factor of 8).
+    pub verify_budget_factor: u64,
 }
 
 impl Default for EcoOptions {
@@ -98,6 +125,12 @@ impl Default for EcoOptions {
             structural_fallback: true,
             sat_prune: SatPruneOptions::default(),
             verify: true,
+            timeout: None,
+            global_conflicts: None,
+            global_propagations: None,
+            fault_plan: None,
+            degraded_retry: true,
+            verify_budget_factor: 8,
         }
     }
 }
@@ -213,6 +246,43 @@ impl EcoOptionsBuilder {
         self
     }
 
+    /// Sets a wall-clock deadline for each [`EcoEngine::run`] call.
+    pub fn timeout(mut self, deadline: Option<Duration>) -> Self {
+        self.options.timeout = deadline;
+        self
+    }
+
+    /// Sets the global conflict pool shared across all phases.
+    pub fn global_conflicts(mut self, pool: Option<u64>) -> Self {
+        self.options.global_conflicts = pool;
+        self
+    }
+
+    /// Sets the global propagation pool shared across all phases.
+    pub fn global_propagations(mut self, pool: Option<u64>) -> Self {
+        self.options.global_propagations = pool;
+        self
+    }
+
+    /// Installs a deterministic fault-injection schedule.
+    pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.options.fault_plan = plan;
+        self
+    }
+
+    /// Enables or disables the reduced-effort retry rung of the
+    /// degradation ladder.
+    pub fn degraded_retry(mut self, enabled: bool) -> Self {
+        self.options.degraded_retry = enabled;
+        self
+    }
+
+    /// Sets the verification budget escalation factor.
+    pub fn verify_budget_factor(mut self, factor: u64) -> Self {
+        self.options.verify_budget_factor = factor;
+        self
+    }
+
     /// Finalizes the options.
     pub fn build(self) -> EcoOptions {
         self.options
@@ -231,6 +301,35 @@ pub enum PatchKind {
     /// The target became unreachable after earlier patches; a constant
     /// patch suffices.
     TrivialDead,
+    /// No patch was produced (the target's disposition is
+    /// [`TargetDisposition::Skipped`]); the target keeps its original
+    /// function.
+    Skipped,
+}
+
+/// How the degradation ladder left an individual target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TargetDisposition {
+    /// The full-effort attempt succeeded.
+    Patched,
+    /// A lower ladder rung (reduced-effort retry or structural patch)
+    /// produced the patch after the full attempt ran out of resources.
+    Degraded,
+    /// No rung produced a patch; the target keeps its original
+    /// function and the outcome is unverified.
+    Skipped {
+        /// Why the target was given up on (a governor trip reason or
+        /// an error description).
+        reason: String,
+    },
+}
+
+impl TargetDisposition {
+    /// `true` unless the target was skipped.
+    pub fn is_patched(&self) -> bool {
+        !matches!(self, TargetDisposition::Skipped { .. })
+    }
 }
 
 /// Per-target patch statistics.
@@ -240,6 +339,8 @@ pub struct TargetPatchReport {
     pub target_index: usize,
     /// Path taken.
     pub kind: PatchKind,
+    /// How the degradation ladder left this target.
+    pub disposition: TargetDisposition,
     /// Number of support signals.
     pub support_size: usize,
     /// Summed weight of the distinct support signals.
@@ -297,6 +398,13 @@ pub struct EcoOutcome {
     /// Aggregated run telemetry, present when the engine was built
     /// with [`EcoEngine::with_metrics`].
     pub metrics: Option<RunMetrics>,
+    /// The sticky governor trip that cut the run short (`None` when no
+    /// governor was configured or it never tripped). A `Some` here
+    /// marks an *anytime* outcome: inspect the per-target
+    /// [`TargetPatchReport::disposition`]s for what completed.
+    pub governor_trip: Option<TripReason>,
+    /// Faults injected by the configured [`FaultPlan`] during the run.
+    pub fault_injections: u64,
 }
 
 /// The resource-aware ECO patch engine.
@@ -336,6 +444,7 @@ pub struct EcoEngine {
     pub options: EcoOptions,
     observers: Vec<Arc<Mutex<dyn EcoObserver + Send>>>,
     collect_metrics: bool,
+    governor: Option<ResourceGovernor>,
 }
 
 impl fmt::Debug for EcoEngine {
@@ -355,7 +464,19 @@ impl EcoEngine {
             options,
             observers: Vec::new(),
             collect_metrics: false,
+            governor: None,
         }
+    }
+
+    /// Installs an externally-owned [`ResourceGovernor`], overriding
+    /// the one [`EcoEngine::run`] would build from
+    /// [`EcoOptions::timeout`]/[`EcoOptions::global_conflicts`]. Keep a
+    /// clone of the handle to [`ResourceGovernor::cancel`] a running
+    /// engine from another thread or to share one pool across several
+    /// runs.
+    pub fn with_governor(mut self, governor: ResourceGovernor) -> EcoEngine {
+        self.governor = Some(governor);
+        self
     }
 
     /// Attaches an observer; every [`EcoEvent`] of subsequent
@@ -397,6 +518,25 @@ impl EcoEngine {
         let t0 = Instant::now();
         let opts = &self.options;
 
+        // An explicit governor wins; otherwise build one from the
+        // options, or run ungoverned when no limit is configured.
+        let governor: Option<ResourceGovernor> = self.governor.clone().or_else(|| {
+            (opts.timeout.is_some()
+                || opts.global_conflicts.is_some()
+                || opts.global_propagations.is_some()
+                || opts.fault_plan.is_some())
+            .then(|| {
+                ResourceGovernor::new(GovernorLimits {
+                    timeout: opts.timeout,
+                    global_conflicts: opts.global_conflicts,
+                    global_propagations: opts.global_propagations,
+                    fault_plan: opts.fault_plan.clone(),
+                })
+            })
+        });
+        let gov = governor.as_ref();
+        let mut trips = TripLog::default();
+
         let mut sinks = self.observers.clone();
         let metrics_sink = if self.collect_metrics {
             let sink = Arc::new(Mutex::new(MetricsObserver::new()));
@@ -421,16 +561,21 @@ impl EcoEngine {
             opts.qbf_max_iterations,
             opts.per_call_conflicts,
             &obs,
+            gov,
         ) {
             QbfOutcome::Solvable { certificates, .. } => Some(certificates),
             QbfOutcome::Unsolvable { witness } => {
                 return Err(EcoError::TargetsInsufficient { witness })
             }
             QbfOutcome::Unknown => {
+                trips.note(&obs, gov);
                 if opts.structural_fallback {
                     None // assume solvable; final verification guards
                 } else {
-                    return Err(EcoError::budget_exhausted("sufficiency check"));
+                    return Err(classify_error(
+                        EcoError::budget_exhausted("sufficiency check"),
+                        gov,
+                    ));
                 }
             }
         };
@@ -495,31 +640,43 @@ impl EcoEngine {
             // attempts: carried into the fallback report so events and
             // counters stay reconciled.
             let mut spent = 0u64;
-            let sat_attempt = self.sat_patch_for_first_target(
+            let ladder = self.patch_with_ladder(
                 &work,
                 &window,
                 &mut assignments,
                 exact,
                 original_index,
                 &mut spent,
+                opts,
+                gov,
+                &mut trips,
                 &obs,
-            );
-            let (patch, report) = match sat_attempt {
+            )?;
+            let (patch, report) = match ladder {
                 Ok(ok) => ok,
-                Err(EcoError::SolverBudgetExhausted { .. }) if opts.structural_fallback => {
-                    obs.emit(|| EcoEvent::StructuralFallback {
+                Err(reason) => {
+                    // Skipped: leave the target's original function in
+                    // place (no substitution) and move on, isolating
+                    // the failure to this one target.
+                    reports.push(TargetPatchReport {
                         target_index: original_index,
+                        kind: PatchKind::Skipped,
+                        disposition: TargetDisposition::Skipped { reason },
+                        support_size: 0,
+                        cost: 0,
+                        gates: 0,
+                        cubes: None,
+                        sat_calls: spent,
                     });
-                    self.structural_patch_for_first_target(
-                        &work,
-                        &window,
-                        &assignments,
-                        original_index,
-                        spent,
-                        &obs,
-                    )?
+                    obs.emit(|| EcoEvent::TargetFinished {
+                        target_index: original_index,
+                        sat_calls: spent,
+                        elapsed: target_t.elapsed(),
+                    });
+                    work.targets.remove(0);
+                    remaining_original.remove(0);
+                    continue;
                 }
-                Err(e) => return Err(e),
             };
             obs.emit(|| EcoEvent::TargetFinished {
                 target_index: original_index,
@@ -574,6 +731,7 @@ impl EcoEngine {
                         reports.push(TargetPatchReport {
                             target_index: remaining_original[j],
                             kind: PatchKind::TrivialDead,
+                            disposition: TargetDisposition::Patched,
                             support_size: 0,
                             cost: 0,
                             gates: 0,
@@ -613,12 +771,20 @@ impl EcoEngine {
             phase: Phase::Verification,
         });
         let phase_t = Instant::now();
-        let verified = if opts.verify {
+        // A skipped target leaves the implementation inequivalent by
+        // construction, and a hard-tripped governor has no time left:
+        // in both cases skip the check so the run still returns an
+        // anytime outcome (with `verified == false`).
+        let any_skipped = reports.iter().any(|r| !r.disposition.is_patched());
+        let hard_tripped = gov.is_some_and(|g| g.hard_trip().is_some());
+        let verified = if opts.verify && !any_skipped && !hard_tripped {
             match check_equivalence_observed(
                 &work.implementation,
                 &problem.specification,
-                opts.per_call_conflicts.map(|c| c.saturating_mul(8)),
+                opts.per_call_conflicts
+                    .map(|c| c.saturating_mul(opts.verify_budget_factor)),
                 &obs,
+                gov,
             ) {
                 CecResult::Equivalent => true,
                 CecResult::Counterexample(cex) => {
@@ -631,6 +797,7 @@ impl EcoEngine {
         } else {
             false
         };
+        trips.note(&obs, gov);
         obs.emit(|| EcoEvent::PhaseFinished {
             phase: Phase::Verification,
             elapsed: phase_t.elapsed(),
@@ -654,7 +821,148 @@ impl EcoEngine {
             qbf_certificates,
             patches: applied,
             metrics,
+            governor_trip: gov.and_then(ResourceGovernor::trip),
+            fault_injections: gov.map_or(0, ResourceGovernor::fault_injections),
         })
+    }
+
+    /// Runs the per-target degradation ladder for `work.targets[0]`:
+    /// full-effort SAT attempt, then (on resource exhaustion) a
+    /// reduced-effort retry, then the structural patch, then skipping
+    /// the target.
+    ///
+    /// The outer `Err` aborts the whole run: non-resource errors
+    /// always, resource errors only when
+    /// [`EcoOptions::structural_fallback`] is off. The inner
+    /// `Err(reason)` means every rung failed and the target is skipped.
+    #[allow(clippy::too_many_arguments)]
+    fn patch_with_ladder(
+        &self,
+        work: &EcoProblem,
+        window: &Window,
+        assignments: &mut Vec<Vec<bool>>,
+        exact: bool,
+        original_index: usize,
+        spent: &mut u64,
+        opts: &EcoOptions,
+        governor: Option<&ResourceGovernor>,
+        trips: &mut TripLog,
+        obs: &ObserverHandle,
+    ) -> Result<Result<(NodePatch, TargetPatchReport), String>, EcoError> {
+        // Rung 0: a deadline/cancellation trip means no further work of
+        // any kind can help; skip every rung.
+        if let Some(reason) = governor.and_then(ResourceGovernor::hard_trip) {
+            trips.note(obs, governor);
+            obs.emit(|| EcoEvent::LadderStep {
+                target_index: original_index,
+                rung: LadderRung::Skipped,
+            });
+            return Ok(Err(reason.name().to_string()));
+        }
+
+        // Rung 1: full-effort attempt.
+        let first_err = match self.sat_patch_for_first_target(
+            work,
+            window,
+            assignments,
+            exact,
+            original_index,
+            spent,
+            opts,
+            governor,
+            obs,
+        ) {
+            Ok(ok) => return Ok(Ok(ok)),
+            Err(e) if e.is_resource_exhausted() && opts.structural_fallback => {
+                trips.note(obs, governor);
+                e
+            }
+            Err(e) => return Err(classify_error(e, governor)),
+        };
+
+        // Rung 2: reduced-effort retry (analyze_final support, no
+        // last-gasp, tight caps) — cheap enough to often succeed where
+        // the minimization loop blew the budget.
+        if opts.degraded_retry && governor.and_then(ResourceGovernor::hard_trip).is_none() {
+            obs.emit(|| EcoEvent::LadderStep {
+                target_index: original_index,
+                rung: LadderRung::DegradedRetry,
+            });
+            let reduced = reduced_options(opts);
+            match self.sat_patch_for_first_target(
+                work,
+                window,
+                assignments,
+                exact,
+                original_index,
+                spent,
+                &reduced,
+                governor,
+                obs,
+            ) {
+                Ok((patch, mut report)) => {
+                    report.disposition = TargetDisposition::Degraded;
+                    return Ok(Ok((patch, report)));
+                }
+                Err(e) if e.is_resource_exhausted() => trips.note(obs, governor),
+                Err(e) => return Err(classify_error(e, governor)),
+            }
+        }
+
+        // Rung 3: structural patch. Needs no SAT unless CEGAR_min is
+        // on; when CEGAR_min itself runs out of resources, fall back to
+        // the plain (SAT-free) structural cofactor patch.
+        if governor.and_then(ResourceGovernor::hard_trip).is_none() {
+            obs.emit(|| EcoEvent::StructuralFallback {
+                target_index: original_index,
+            });
+            obs.emit(|| EcoEvent::LadderStep {
+                target_index: original_index,
+                rung: LadderRung::Structural,
+            });
+            match self.structural_patch_for_first_target(
+                work,
+                window,
+                assignments,
+                original_index,
+                *spent,
+                opts,
+                governor,
+                obs,
+            ) {
+                Ok(ok) => return Ok(Ok(ok)),
+                Err(e) if e.is_resource_exhausted() => {
+                    trips.note(obs, governor);
+                    if opts.cegar_min && governor.and_then(ResourceGovernor::hard_trip).is_none() {
+                        let mut plain = opts.clone();
+                        plain.cegar_min = false;
+                        match self.structural_patch_for_first_target(
+                            work,
+                            window,
+                            assignments,
+                            original_index,
+                            *spent,
+                            &plain,
+                            governor,
+                            obs,
+                        ) {
+                            Ok(ok) => return Ok(Ok(ok)),
+                            Err(e) if e.is_resource_exhausted() => trips.note(obs, governor),
+                            Err(e) => return Err(classify_error(e, governor)),
+                        }
+                    }
+                }
+                Err(e) => return Err(classify_error(e, governor)),
+            }
+        }
+
+        // Rung 4: give up on this target only.
+        trips.note(obs, governor);
+        obs.emit(|| EcoEvent::LadderStep {
+            target_index: original_index,
+            rung: LadderRung::Skipped,
+        });
+        Ok(Err(skip_reason_for(&first_err, governor)))
     }
 
     /// SAT path for `work.targets[0]`: feasibility (with CEGAR
@@ -667,6 +975,9 @@ impl EcoEngine {
     /// so the final report (or the structural-fallback report built
     /// from `spent` after an `Err`) matches the emitted
     /// [`EcoEvent::SatCall`] stream exactly.
+    /// `opts` is passed explicitly (not read from `self`) so the
+    /// degradation ladder can re-run the attempt with reduced-effort
+    /// settings.
     #[allow(clippy::too_many_arguments)]
     fn sat_patch_for_first_target(
         &self,
@@ -676,9 +987,10 @@ impl EcoEngine {
         exact: bool,
         original_index: usize,
         spent: &mut u64,
+        opts: &EcoOptions,
+        governor: Option<&ResourceGovernor>,
         obs: &ObserverHandle,
     ) -> Result<(NodePatch, TargetPatchReport), EcoError> {
-        let opts = &self.options;
         loop {
             let qm = QuantifiedMiter::build(work, 0, assignments, Some(&window.outputs));
             let mut divisors =
@@ -687,6 +999,7 @@ impl EcoEngine {
             divisors.truncate(opts.max_divisors);
             let mut ss = support_solver_for(work, &qm, &divisors, opts.per_call_conflicts);
             ss.set_observer(obs.clone(), Some(original_index));
+            ss.set_governor(governor.cloned());
             let feasible = match ss.all_feasible() {
                 Ok(f) => f,
                 Err(e) => {
@@ -715,6 +1028,8 @@ impl EcoEngine {
                     &x2,
                     original_index,
                     spent,
+                    opts,
+                    governor,
                     obs,
                 )? {
                     // Neither witness is spurious: genuinely infeasible.
@@ -757,6 +1072,7 @@ impl EcoEngine {
                 opts.max_cubes,
                 obs,
                 spent,
+                governor,
             )?;
             let mut patch_aig = Aig::new();
             let sup_lits: Vec<AigLit> = support_nodes
@@ -773,6 +1089,7 @@ impl EcoEngine {
             let report = TargetPatchReport {
                 target_index: original_index,
                 kind: PatchKind::Sat,
+                disposition: TargetDisposition::Patched,
                 support_size: support_nodes.len(),
                 cost: support.cost,
                 gates,
@@ -795,10 +1112,13 @@ impl EcoEngine {
         x2: &[bool],
         target_index: usize,
         spent: &mut u64,
+        opts: &EcoOptions,
+        governor: Option<&ResourceGovernor>,
         obs: &ObserverHandle,
     ) -> Result<bool, EcoError> {
         let miter = EcoMiter::build(work, Some(&window.outputs));
         let mut solver = Solver::new();
+        solver.set_search_control(governor.map(ResourceGovernor::control));
         let mut enc = CnfEncoder::new(&miter.aig);
         let out = enc.lit(&miter.aig, &mut solver, miter.output);
         let x_lits: Vec<_> = miter
@@ -820,7 +1140,7 @@ impl EcoEngine {
                 .collect();
             assumptions.push(if n0_value { n_lits[0] } else { !n_lits[0] });
             assumptions.push(!out);
-            if let Some(c) = self.options.per_call_conflicts {
+            if let Some(c) = opts.per_call_conflicts {
                 solver.set_budget(Some(c), None);
             }
             *spent += 1;
@@ -865,9 +1185,10 @@ impl EcoEngine {
         assignments: &[Vec<bool>],
         original_index: usize,
         spent: u64,
+        opts: &EcoOptions,
+        governor: Option<&ResourceGovernor>,
         obs: &ObserverHandle,
     ) -> Result<(NodePatch, TargetPatchReport), EcoError> {
-        let opts = &self.options;
         let qm = QuantifiedMiter::build(work, 0, assignments, Some(&window.outputs));
         let sp = structural_patch(&qm);
         let bindings: Vec<AigLit> = sp
@@ -891,12 +1212,14 @@ impl EcoEngine {
                 opts.cegar_min_conflicts,
                 obs,
                 Some(original_index),
+                governor,
             )?;
             let gates = cm.aig.num_ands();
             let support_size = cm.support.len();
             let report = TargetPatchReport {
                 target_index: original_index,
                 kind: PatchKind::StructuralCegarMin,
+                disposition: TargetDisposition::Degraded,
                 support_size,
                 cost: cm.cost,
                 gates,
@@ -917,6 +1240,7 @@ impl EcoEngine {
             let report = TargetPatchReport {
                 target_index: original_index,
                 kind: PatchKind::Structural,
+                disposition: TargetDisposition::Degraded,
                 support_size: bindings.len(),
                 cost,
                 gates,
@@ -932,6 +1256,74 @@ impl EcoEngine {
             ))
         }
     }
+}
+
+/// Tracks which governor trips have been reported, so each sticky trip
+/// reason — and each injected fault — emits exactly one
+/// [`EcoEvent::GovernorTripped`]. Calls are placed inside phases so the
+/// event stream keeps its phase nesting invariant.
+#[derive(Default)]
+struct TripLog {
+    seen: Vec<TripReason>,
+    faults: u64,
+}
+
+impl TripLog {
+    fn note(&mut self, obs: &ObserverHandle, governor: Option<&ResourceGovernor>) {
+        let Some(gov) = governor else { return };
+        if let Some(reason) = gov.trip() {
+            if !self.seen.contains(&reason) {
+                self.seen.push(reason);
+                obs.emit(|| EcoEvent::GovernorTripped { reason });
+            }
+        }
+        let faults = gov.fault_injections();
+        while self.faults < faults {
+            self.faults += 1;
+            obs.emit(|| EcoEvent::GovernorTripped {
+                reason: TripReason::FaultInjected,
+            });
+        }
+    }
+}
+
+/// Rewrites a budget-exhausted error to the governor's hard-trip
+/// reason, so a run cut short by a deadline or cancellation reports
+/// [`EcoError::DeadlineExceeded`]/[`EcoError::Cancelled`] instead of a
+/// generic per-call budget failure.
+fn classify_error(e: EcoError, governor: Option<&ResourceGovernor>) -> EcoError {
+    let EcoError::SolverBudgetExhausted { source } = &e else {
+        return e;
+    };
+    let phase = source.phase;
+    match governor.and_then(ResourceGovernor::hard_trip) {
+        Some(TripReason::Deadline) => EcoError::DeadlineExceeded { phase },
+        Some(TripReason::Cancelled) => EcoError::Cancelled { phase },
+        _ => e,
+    }
+}
+
+/// The reason string recorded on a [`TargetDisposition::Skipped`]:
+/// the governor's trip reason when it tripped, the ladder's first
+/// error otherwise.
+fn skip_reason_for(e: &EcoError, governor: Option<&ResourceGovernor>) -> String {
+    match governor.and_then(ResourceGovernor::trip) {
+        Some(reason) => reason.name().to_string(),
+        None => e.to_string(),
+    }
+}
+
+/// Rung-2 settings: one `analyze_final` UNSAT call instead of the
+/// minimization loop, no last-gasp, tight refinement and cube caps.
+/// The per-call budget is kept — the point is fewer and cheaper calls,
+/// not a bigger allowance.
+fn reduced_options(opts: &EcoOptions) -> EcoOptions {
+    let mut reduced = opts.clone();
+    reduced.method = SupportMethod::AnalyzeFinal;
+    reduced.last_gasp_tries = 0;
+    reduced.max_refinements = reduced.max_refinements.min(8);
+    reduced.max_cubes = reduced.max_cubes.min(1024);
+    reduced
 }
 
 /// All `2^r` boolean assignments of length `r`, lexicographic.

@@ -68,6 +68,19 @@ pub enum EcoError {
         /// Counterexample input assignment.
         counterexample: Vec<bool>,
     },
+    /// The run's wall-clock deadline expired before the named phase
+    /// could finish (and graceful degradation was not allowed to paper
+    /// over it).
+    DeadlineExceeded {
+        /// The phase that was cut short.
+        phase: &'static str,
+    },
+    /// The run was cancelled cooperatively through its
+    /// `ResourceGovernor` during the named phase.
+    Cancelled {
+        /// The phase that was cut short.
+        phase: &'static str,
+    },
 }
 
 impl EcoError {
@@ -79,11 +92,17 @@ impl EcoError {
     }
 
     /// `true` for failures caused by a resource limit (SAT conflict
-    /// budgets, iteration caps) rather than by the problem itself.
-    /// Raising budgets can turn these into successes; the other
-    /// variants are verdicts that stand.
+    /// budgets, wall-clock deadlines, cancellation, iteration caps)
+    /// rather than by the problem itself. Raising budgets can turn
+    /// these into successes; the other variants are verdicts that
+    /// stand.
     pub fn is_resource_exhausted(&self) -> bool {
-        matches!(self, EcoError::SolverBudgetExhausted { .. })
+        matches!(
+            self,
+            EcoError::SolverBudgetExhausted { .. }
+                | EcoError::DeadlineExceeded { .. }
+                | EcoError::Cancelled { .. }
+        )
     }
 }
 
@@ -110,6 +129,10 @@ impl fmt::Display for EcoError {
                     "patched implementation is not equivalent to the specification"
                 )
             }
+            EcoError::DeadlineExceeded { phase } => {
+                write!(f, "wall-clock deadline exceeded during {phase}")
+            }
+            EcoError::Cancelled { phase } => write!(f, "run cancelled during {phase}"),
         }
     }
 }
@@ -141,6 +164,20 @@ mod tests {
         takes_err(&EcoError::InvalidProblem {
             message: "x".into(),
         });
+    }
+
+    #[test]
+    fn governor_errors_are_resource_class() {
+        let d = EcoError::DeadlineExceeded {
+            phase: "patch generation",
+        };
+        assert!(d.is_resource_exhausted());
+        assert!(d.to_string().contains("deadline"));
+        let c = EcoError::Cancelled {
+            phase: "sufficiency check",
+        };
+        assert!(c.is_resource_exhausted());
+        assert!(c.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub fn sat_prune_support(
     let obs = support_solver.observer().clone();
     let n = costs.len();
     let mut search = Solver::new();
+    // The subset-search solver runs under the same governor (if any) as
+    // the feasibility oracle it drives.
+    search.set_search_control(
+        support_solver
+            .governor()
+            .map(eco_sat::ResourceGovernor::control),
+    );
     let selection: Vec<Lit> = (0..n).map(|_| search.new_var().positive()).collect();
     for &s in &selection {
         // Prefer small subsets: branch "not selected" first.

@@ -24,7 +24,11 @@
 //!   ([`enumerate_patch_sop`], Sec. 3.5) factored into multi-level
 //!   logic,
 //! - structural patches with max-flow resubstitution ([`cegar_min`],
-//!   Sec. 3.6).
+//!   Sec. 3.6),
+//! - resource governance: wall-clock deadlines, global budget pools,
+//!   cooperative cancellation ([`ResourceGovernor`]), and a per-target
+//!   degradation ladder yielding anytime outcomes with
+//!   [`TargetDisposition`]s instead of aborted runs.
 //!
 //! # Examples
 //!
@@ -89,16 +93,18 @@ pub use detect::{detect_targets, DetectOptions, DetectedTargets};
 pub use emit::{netlist_patches, NamedPatch};
 pub use engine::{
     AppliedPatch, EcoEngine, EcoOptions, EcoOptionsBuilder, EcoOutcome, PatchKind, SupportMethod,
-    TargetPatchReport,
+    TargetDisposition, TargetPatchReport,
 };
 pub use error::{BudgetExhausted, EcoError};
 pub use exact::{sat_prune_support, SatPruneOptions, SatPruneResult};
-pub use interp::{craig_interpolant, interpolation_patch, InterpolantPatch};
+pub use interp::{
+    craig_interpolant, interpolation_patch, interpolation_patch_governed, InterpolantPatch,
+};
 pub use miter::{EcoMiter, QuantifiedMiter};
 pub use observe::{
-    conflict_bucket, BudgetMetrics, EcoEvent, EcoObserver, MetricsObserver, NullObserver, Phase,
-    PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics, SupportStep, TargetMetrics, TeeObserver,
-    CONFLICT_BUCKET_BOUNDS, NUM_CONFLICT_BUCKETS,
+    conflict_bucket, BudgetMetrics, EcoEvent, EcoObserver, LadderRung, MetricsObserver,
+    NullObserver, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics, SupportStep,
+    TargetMetrics, TeeObserver, CONFLICT_BUCKET_BOUNDS, NUM_CONFLICT_BUCKETS,
 };
 pub use problem::EcoProblem;
 pub use qbf::{check_targets_sufficient, QbfOutcome};
@@ -108,3 +114,7 @@ pub use support::{
     SupportSolver,
 };
 pub use window::{compute_divisors, compute_window, Window};
+
+// Resource-governance types, re-exported so engine callers need not
+// depend on `eco_sat` directly.
+pub use eco_sat::{FaultPlan, GovernorLimits, ResourceGovernor, SearchControl, TripReason};

@@ -6,7 +6,7 @@
 //! engine pays nothing beyond a branch per event site when none are
 //! attached (event payloads are built lazily).
 
-use eco_sat::{SolveResult, Solver, SolverStats};
+use eco_sat::{SolveResult, Solver, SolverStats, TripReason};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -115,6 +115,33 @@ pub enum SupportStep {
     LastGasp,
 }
 
+/// A rung of the per-target degradation ladder, from most capable to
+/// cheapest: full SAT/CEGAR attempt → reduced-effort retry →
+/// structural patch → skipped. [`EcoEvent::LadderStep`] announces each
+/// descent; the starting (full) rung has no event.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LadderRung {
+    /// Retrying with cheaper settings (`analyze_final` support, no
+    /// last-gasp, tighter refinement/cube caps).
+    DegradedRetry,
+    /// Constructing a SAT-free structural patch.
+    Structural,
+    /// Giving up on the target; it keeps its current function.
+    Skipped,
+}
+
+impl LadderRung {
+    /// Stable snake_case name used in reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            LadderRung::DegradedRetry => "degraded_retry",
+            LadderRung::Structural => "structural",
+            LadderRung::Skipped => "skipped",
+        }
+    }
+}
+
 /// One engine event.
 ///
 /// The enum is `#[non_exhaustive]`: downstream matches must carry a
@@ -203,6 +230,20 @@ pub enum EcoEvent {
     StructuralFallback {
         /// Index into the original problem's target list.
         target_index: usize,
+    },
+    /// The run's `ResourceGovernor` tripped (deadline, global budget,
+    /// cancellation) or injected a fault. Emitted once per newly
+    /// observed sticky reason and once per injected fault.
+    GovernorTripped {
+        /// Why the governor stopped (or failed) solver calls.
+        reason: TripReason,
+    },
+    /// The per-target degradation ladder moved down a rung.
+    LadderStep {
+        /// Index into the original problem's target list.
+        target_index: usize,
+        /// The rung the engine is descending to.
+        rung: LadderRung,
     },
     /// One `CEGAR_min` max-flow resubstitution round completed.
     CegarMinRound {
@@ -436,6 +477,11 @@ pub struct RunMetrics {
     pub structural_fallbacks: u64,
     /// `CEGAR_min` resubstitution rounds.
     pub cegar_min_rounds: u64,
+    /// Governor trips and injected faults observed
+    /// ([`EcoEvent::GovernorTripped`]).
+    pub governor_trips: u64,
+    /// Degradation-ladder descents ([`EcoEvent::LadderStep`]).
+    pub ladder_steps: u64,
 }
 
 fn push_json_array(out: &mut String, counts: &[u64]) {
@@ -451,7 +497,8 @@ fn push_json_array(out: &mut String, counts: &[u64]) {
 
 impl RunMetrics {
     /// Serializes to the stable JSON schema documented in
-    /// `EXPERIMENTS.md` (schema_version 1). Key order is fixed;
+    /// `EXPERIMENTS.md` (schema_version 2, which added the
+    /// `governor_trips`/`ladder_steps` counters). Key order is fixed;
     /// durations are integer microseconds; fractions carry six decimal
     /// places.
     pub fn to_json(&self) -> String {
@@ -461,7 +508,7 @@ impl RunMetrics {
             None => "null".to_string(),
         };
         let mut s = String::new();
-        s.push_str("{\"schema_version\":1");
+        s.push_str("{\"schema_version\":2");
         s.push_str(&format!(",\"num_targets\":{}", self.num_targets));
         s.push_str(&format!(
             ",\"per_call_conflicts\":{}",
@@ -529,12 +576,14 @@ impl RunMetrics {
         s.push_str(&format!(
             ",\"counters\":{{\"qbf_refinements\":{},\"quantification_refinements\":{},\
              \"support_minimization_steps\":{},\"structural_fallbacks\":{},\
-             \"cegar_min_rounds\":{}}}",
+             \"cegar_min_rounds\":{},\"governor_trips\":{},\"ladder_steps\":{}}}",
             self.qbf_refinements,
             self.quantification_refinements,
             self.support_minimization_steps,
             self.structural_fallbacks,
-            self.cegar_min_rounds
+            self.cegar_min_rounds,
+            self.governor_trips,
+            self.ladder_steps
         ));
         s.push('}');
         s
@@ -656,6 +705,8 @@ impl EcoObserver for MetricsObserver {
             }
             EcoEvent::StructuralFallback { .. } => self.metrics.structural_fallbacks += 1,
             EcoEvent::CegarMinRound { .. } => self.metrics.cegar_min_rounds += 1,
+            EcoEvent::GovernorTripped { .. } => self.metrics.governor_trips += 1,
+            EcoEvent::LadderStep { .. } => self.metrics.ladder_steps += 1,
             EcoEvent::RunFinished { elapsed } => {
                 self.metrics.elapsed = elapsed;
                 if let Some(b) = &mut self.metrics.budget {
@@ -781,7 +832,7 @@ mod tests {
             ..RunMetrics::default()
         };
         let json = m.to_json();
-        assert!(json.starts_with("{\"schema_version\":1"));
+        assert!(json.starts_with("{\"schema_version\":2"));
         assert!(json.contains("\"per_call_conflicts\":null"));
         assert!(json.contains("\"elapsed_us\":42"));
         assert!(json.contains("\"budget\":null"));

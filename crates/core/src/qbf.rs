@@ -9,7 +9,7 @@ use crate::miter::EcoMiter;
 use crate::observe::{EcoEvent, ObserverHandle, SatCallKind};
 use crate::problem::EcoProblem;
 use eco_aig::{Aig, AigLit};
-use eco_sat::{Lit, SolveResult, Solver};
+use eco_sat::{Lit, ResourceGovernor, SolveResult, Solver};
 
 /// Outcome of the 2QBF sufficiency check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,6 +55,7 @@ pub fn check_targets_sufficient(
         max_iterations,
         per_call_conflicts,
         &ObserverHandle::default(),
+        None,
     )
 }
 
@@ -67,12 +68,14 @@ pub(crate) fn check_targets_sufficient_observed(
     max_iterations: usize,
     per_call_conflicts: Option<u64>,
     obs: &ObserverHandle,
+    governor: Option<&ResourceGovernor>,
 ) -> QbfOutcome {
     let miter = EcoMiter::build(problem, None);
     let num_targets = problem.targets.len();
 
     // Solver B: one persistent copy of the miter with x and n free.
     let mut solver_b = Solver::new();
+    solver_b.set_search_control(governor.map(ResourceGovernor::control));
     let mut enc_b = CnfEncoder::new(&miter.aig);
     let out_b = enc_b.lit(&miter.aig, &mut solver_b, miter.output);
     let x_b: Vec<Lit> = miter
@@ -92,6 +95,7 @@ pub(crate) fn check_targets_sufficient_observed(
     let mut acc = Aig::new();
     let acc_inputs: Vec<AigLit> = (0..problem.num_inputs()).map(|_| acc.add_input()).collect();
     let mut solver_a = Solver::new();
+    solver_a.set_search_control(governor.map(ResourceGovernor::control));
     let mut enc_a = CnfEncoder::new(&acc);
     let x_a: Vec<Lit> = acc_inputs
         .iter()

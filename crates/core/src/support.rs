@@ -8,7 +8,7 @@ use crate::miter::QuantifiedMiter;
 use crate::observe::{EcoEvent, ObserverHandle, SatCallKind, SupportStep};
 use crate::problem::EcoProblem;
 use eco_aig::NodeId;
-use eco_sat::{Lit, SolveResult, Solver};
+use eco_sat::{Lit, ResourceGovernor, SolveResult, Solver};
 
 /// Divide-and-conquer minimization of an assumption set (Algorithm 1 of
 /// the paper, closely related to LEXUNSAT).
@@ -196,6 +196,8 @@ pub struct SupportSolver {
     /// Event sink plus the target index its calls are attributed to.
     obs: ObserverHandle,
     target_index: Option<usize>,
+    /// Shared resource governor, when the engine runs under one.
+    governor: Option<ResourceGovernor>,
 }
 
 /// A computed patch support: divisor positions plus their summed cost.
@@ -264,6 +266,7 @@ impl SupportSolver {
             sat_calls: 0,
             obs: ObserverHandle::default(),
             target_index: None,
+            governor: None,
         }
     }
 
@@ -277,6 +280,20 @@ impl SupportSolver {
     /// The attached event sink (inactive by default).
     pub(crate) fn observer(&self) -> &ObserverHandle {
         &self.obs
+    }
+
+    /// Attaches a resource governor; every subsequent SAT call checks
+    /// it cooperatively and draws from its global pools.
+    pub(crate) fn set_governor(&mut self, governor: Option<ResourceGovernor>) {
+        self.solver
+            .set_search_control(governor.as_ref().map(ResourceGovernor::control));
+        self.governor = governor;
+    }
+
+    /// The attached governor, if any (for sibling solvers — e.g. the
+    /// `SAT_prune` search solver — that must share the same limits).
+    pub(crate) fn governor(&self) -> Option<&ResourceGovernor> {
+        self.governor.as_ref()
     }
 
     /// After a satisfiable (infeasible) [`SupportSolver::all_feasible`]

@@ -115,6 +115,11 @@ pub enum NetlistError {
     },
     /// A referenced net name does not exist.
     UnknownNet(String),
+    /// A net id is out of range for this netlist (a [`NetId`] from
+    /// another netlist, or a stale index).
+    InvalidNetId(usize),
+    /// A net is declared as a primary input more than once.
+    DuplicateInput(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -129,6 +134,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "gate {gate:?} has invalid connection count {found}")
             }
             NetlistError::UnknownNet(n) => write!(f, "unknown net {n:?}"),
+            NetlistError::InvalidNetId(i) => write!(f, "net id {i} is out of range"),
+            NetlistError::DuplicateInput(n) => {
+                write!(f, "net {n:?} declared as input more than once")
+            }
         }
     }
 }
@@ -258,15 +267,34 @@ impl Netlist {
         &self.gates
     }
 
-    /// Validates drivers and arities (cycles are detected during
-    /// [`Netlist::to_aig`]).
+    /// Validates net-id ranges, drivers, duplicate input declarations,
+    /// and arities (cycles are detected during [`Netlist::to_aig`]).
     ///
     /// # Errors
     ///
     /// Returns the first [`NetlistError`] found.
     pub fn validate(&self) -> Result<(), NetlistError> {
-        let mut driver: Vec<Option<usize>> = vec![None; self.net_names.len()];
+        let num_nets = self.net_names.len();
+        let in_range = |id: NetId| -> Result<(), NetlistError> {
+            if id.index() >= num_nets {
+                return Err(NetlistError::InvalidNetId(id.index()));
+            }
+            Ok(())
+        };
+        for id in self.inputs.iter().chain(self.outputs.iter()) {
+            in_range(*id)?;
+        }
+        for g in &self.gates {
+            in_range(g.output)?;
+            for &i in &g.inputs {
+                in_range(i)?;
+            }
+        }
+        let mut driver: Vec<Option<usize>> = vec![None; num_nets];
         for i in &self.inputs {
+            if driver[i.index()].is_some() {
+                return Err(NetlistError::DuplicateInput(self.net_name(*i).to_string()));
+            }
             driver[i.index()] = Some(usize::MAX);
         }
         for (gi, g) in self.gates.iter().enumerate() {

@@ -265,6 +265,7 @@ pub fn parse_verilog(src: &str) -> Result<ParsedModule, ParseVerilogError> {
     }
     p.expect(";")?;
     let mut outputs: Vec<String> = Vec::new();
+    let mut declared_inputs: std::collections::HashSet<String> = std::collections::HashSet::new();
     loop {
         let t = p.peek().cloned().ok_or(ParseVerilogError {
             line: 0,
@@ -278,12 +279,26 @@ pub fn parse_verilog(src: &str) -> Result<ParsedModule, ParseVerilogError> {
             "input" => {
                 p.next()?;
                 for n in p.name_list()? {
+                    if !declared_inputs.insert(n.clone()) {
+                        return Err(ParseVerilogError {
+                            line: t.line,
+                            message: format!("net {n:?} declared 'input' more than once"),
+                        });
+                    }
                     nl.add_input(n);
                 }
             }
             "output" => {
                 p.next()?;
-                outputs.extend(p.name_list()?);
+                for n in p.name_list()? {
+                    if outputs.contains(&n) {
+                        return Err(ParseVerilogError {
+                            line: t.line,
+                            message: format!("net {n:?} declared 'output' more than once"),
+                        });
+                    }
+                    outputs.push(n);
+                }
             }
             "wire" => {
                 p.next()?;
@@ -330,6 +345,12 @@ pub fn parse_verilog(src: &str) -> Result<ParsedModule, ParseVerilogError> {
         }
     }
     for o in outputs {
+        if declared_inputs.contains(&o) {
+            return Err(ParseVerilogError {
+                line: 0,
+                message: format!("net {o:?} declared both 'input' and 'output'"),
+            });
+        }
         let id = nl.net(&o).ok_or(ParseVerilogError {
             line: 0,
             message: format!("output {o:?} never declared"),

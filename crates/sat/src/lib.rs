@@ -16,6 +16,11 @@
 //! - **Resolution-proof logging** ([`Solver::enable_proof`]) so Craig
 //!   interpolants can be computed for the interpolation-vs-cube
 //!   enumeration ablation.
+//! - **Resource governance** ([`ResourceGovernor`]): a shared handle
+//!   carrying a wall-clock deadline, a global conflict/propagation
+//!   pool and a cancellation flag, polled cooperatively from the
+//!   search loop ([`Solver::set_search_control`]), plus deterministic
+//!   fault injection ([`FaultPlan`]) for robustness testing.
 //!
 //! # Examples
 //!
@@ -36,6 +41,7 @@
 
 mod clause;
 mod dimacs;
+mod govern;
 mod heap;
 mod pb;
 mod solver;
@@ -43,6 +49,7 @@ mod types;
 
 pub use clause::ClauseRef;
 pub use dimacs::{parse_dimacs, DimacsInstance, ParseDimacsError};
+pub use govern::{FaultPlan, GovernorLimits, ResourceGovernor, SearchControl, TripReason};
 pub use pb::PbSum;
 pub use solver::{ChainStep, ProofChain, Solver, SolverStats};
 pub use types::{LBool, Lit, SolveResult, Var};

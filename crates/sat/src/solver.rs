@@ -13,8 +13,17 @@
 //!   ([`Solver::enable_proof`]).
 
 use crate::clause::{ClauseDb, ClauseRef};
+use crate::govern::SearchControl;
 use crate::heap::VarHeap;
 use crate::types::{LBool, Lit, SolveResult, Var};
+use std::sync::Arc;
+
+/// How many conflicts may pass between [`SearchControl::consume`]
+/// reports from the search loop.
+const CONTROL_CHECK_CONFLICTS: u64 = 128;
+/// How many propagations may pass between [`SearchControl::consume`]
+/// reports (the conflict-free bound on check latency).
+const CONTROL_CHECK_PROPAGATIONS: u64 = 8_192;
 
 /// Statistics accumulated over the lifetime of a [`Solver`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -176,6 +185,10 @@ pub struct Solver {
     proof: Option<ProofLog>,
     final_conflict: Option<ClauseRef>,
     chain_scratch: ProofChain,
+    control: Option<Arc<dyn SearchControl>>,
+    control_last_conflicts: u64,
+    control_last_propagations: u64,
+    control_stop: bool,
 }
 
 impl Default for Solver {
@@ -224,6 +237,10 @@ impl Solver {
             proof: None,
             final_conflict: None,
             chain_scratch: ProofChain::default(),
+            control: None,
+            control_last_conflicts: 0,
+            control_last_propagations: 0,
+            control_stop: false,
         }
     }
 
@@ -323,6 +340,60 @@ impl Solver {
     pub fn clear_budget(&mut self) {
         self.conflict_budget = None;
         self.propagation_budget = None;
+    }
+
+    /// Attaches (or with `None` detaches) a cooperative stop hook.
+    ///
+    /// The hook is asked once at the start of every [`Solver::solve`]
+    /// and then periodically from the search loop with the conflicts
+    /// and propagations spent since its previous report; when it
+    /// returns `true` the current call answers
+    /// [`SolveResult::Unknown`]. A [`ResourceGovernor`](crate::ResourceGovernor)
+    /// shared across several solvers implements deadlines, global
+    /// budget pools, cancellation, and fault injection this way.
+    pub fn set_search_control(&mut self, control: Option<Arc<dyn SearchControl>>) {
+        self.control = control;
+        self.control_last_conflicts = self.budget_conflicts;
+        self.control_last_propagations = self.budget_propagations;
+        self.control_stop = false;
+    }
+
+    /// Whether the most recent [`Solver::solve`] was stopped by the
+    /// attached [`SearchControl`] (as opposed to finishing or running
+    /// out of a local [`Solver::set_budget`] budget).
+    pub fn control_stopped(&self) -> bool {
+        self.control_stop
+    }
+
+    /// Reports outstanding conflict/propagation deltas to the control
+    /// hook, recording a pending stop if it asks for one.
+    fn control_flush(&mut self) {
+        if let Some(control) = &self.control {
+            let dc = self.budget_conflicts - self.control_last_conflicts;
+            let dp = self.budget_propagations - self.control_last_propagations;
+            if dc > 0 || dp > 0 {
+                self.control_last_conflicts = self.budget_conflicts;
+                self.control_last_propagations = self.budget_propagations;
+                if control.consume(dc, dp) {
+                    self.control_stop = true;
+                }
+            }
+        }
+    }
+
+    /// Periodic in-search control check: flushes deltas to the hook
+    /// once enough work has accumulated. Returns `true` when the
+    /// current call must stop.
+    fn control_check(&mut self) -> bool {
+        if self.control.is_none() {
+            return false;
+        }
+        let dc = self.budget_conflicts - self.control_last_conflicts;
+        let dp = self.budget_propagations - self.control_last_propagations;
+        if dc >= CONTROL_CHECK_CONFLICTS || dp >= CONTROL_CHECK_PROPAGATIONS {
+            self.control_flush();
+        }
+        self.control_stop
     }
 
     #[inline]
@@ -1014,6 +1085,10 @@ impl Solver {
                     self.cancel_until(0);
                     return SolveResult::Unknown;
                 }
+                if self.control_check() {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
                 // Glucose-style periodic reduction keyed on total conflicts.
                 if self.proof.is_none() && self.stats.conflicts >= self.next_reduce {
                     self.num_reduces += 1;
@@ -1070,6 +1145,15 @@ impl Solver {
         self.stats.solves += 1;
         self.model.clear();
         self.conflict.clear();
+        self.control_stop = false;
+        if let Some(control) = &self.control {
+            self.control_last_conflicts = self.budget_conflicts;
+            self.control_last_propagations = self.budget_propagations;
+            if control.solve_started() {
+                self.control_stop = true;
+                return SolveResult::Unknown;
+            }
+        }
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -1081,15 +1165,18 @@ impl Solver {
             match status {
                 SolveResult::Sat => {
                     self.cancel_until(0);
+                    self.control_flush();
                     return SolveResult::Sat;
                 }
                 SolveResult::Unsat => {
                     self.cancel_until(0);
+                    self.control_flush();
                     return SolveResult::Unsat;
                 }
                 SolveResult::Unknown => {
-                    if self.budget_exceeded() {
+                    if self.budget_exceeded() || self.control_stop {
                         self.cancel_until(0);
+                        self.control_flush();
                         return SolveResult::Unknown;
                     }
                     curr_restarts += 1;

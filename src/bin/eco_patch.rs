@@ -6,7 +6,7 @@
 //!           [--detect] [--method baseline|minimize|prune]
 //!           [--out patched.v] [--budget N] [--default-weight N]
 //!           [--stats-json stats.json] [--progress] [--quiet]
-//!           [--no-fallback]
+//!           [--no-fallback] [--timeout-ms MS] [--global-budget N]
 //! ```
 //!
 //! Targets come from `--targets`, from `// eco_target <net>` directives
@@ -14,19 +14,27 @@
 //! The patched netlist is written to `--out` (stdout by default), with
 //! per-target patch reports on stderr.
 //!
+//! `--timeout-ms` sets a wall-clock deadline and `--global-budget` a
+//! run-wide conflict pool; when either trips, the run degrades
+//! gracefully (per-target `degraded`/`skipped` dispositions in the
+//! report) instead of aborting, and the process exits with code 5.
+//!
 //! Exit codes: 0 success, 1 generic failure, 2 bad usage, 3 target set
-//! insufficient, 4 SAT budget exhausted.
+//! insufficient, 4 SAT budget exhausted, 5 deadline exceeded or run
+//! cancelled.
 
 use eco_patch::core::{
     detect_targets, netlist_patches, DetectOptions, EcoEngine, EcoError, EcoEvent, EcoObserver,
-    EcoOptions, EcoProblem, SupportMethod,
+    EcoOptions, EcoProblem, SupportMethod, TargetDisposition, TripReason,
 };
 use eco_patch::netlist::{parse_verilog, Netlist, WeightTable};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const EXIT_USAGE: u8 = 2;
 const EXIT_INSUFFICIENT: u8 = 3;
 const EXIT_BUDGET: u8 = 4;
+const EXIT_DEADLINE: u8 = 5;
 
 /// A CLI failure with its process exit code.
 struct CliError {
@@ -50,7 +58,14 @@ impl CliError {
     }
 
     fn engine(err: EcoError) -> CliError {
-        let code = if matches!(err, EcoError::TargetsInsufficient { .. }) {
+        // Deadline/cancellation outranks the generic resource-exhausted
+        // class it belongs to.
+        let code = if matches!(
+            err,
+            EcoError::DeadlineExceeded { .. } | EcoError::Cancelled { .. }
+        ) {
+            EXIT_DEADLINE
+        } else if matches!(err, EcoError::TargetsInsufficient { .. }) {
             EXIT_INSUFFICIENT
         } else if err.is_resource_exhausted() {
             EXIT_BUDGET
@@ -79,13 +94,16 @@ struct Args {
     progress: bool,
     quiet: bool,
     no_fallback: bool,
+    timeout_ms: Option<u64>,
+    global_budget: Option<u64>,
 }
 
 fn usage() -> &'static str {
     "usage: eco-patch --impl F.v --spec G.v [--weights W.txt] \
      [--targets n1,n2] [--detect] [--method baseline|minimize|prune] \
      [--out patched.v] [--budget CONFLICTS] [--default-weight N] \
-     [--stats-json PATH] [--progress] [--quiet] [--no-fallback]"
+     [--stats-json PATH] [--progress] [--quiet] [--no-fallback] \
+     [--timeout-ms MS] [--global-budget CONFLICTS]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -127,6 +145,20 @@ fn parse_args() -> Result<Args, String> {
             "--progress" => args.progress = true,
             "--quiet" => args.quiet = true,
             "--no-fallback" => args.no_fallback = true,
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--timeout-ms expects an integer".to_string())?,
+                )
+            }
+            "--global-budget" => {
+                args.global_budget = Some(
+                    value("--global-budget")?
+                        .parse()
+                        .map_err(|_| "--global-budget expects an integer".to_string())?,
+                )
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -165,12 +197,18 @@ impl EcoObserver for ProgressObserver {
             EcoEvent::StructuralFallback { target_index } => {
                 eprintln!("[eco]   target {target_index}: structural fallback")
             }
+            EcoEvent::GovernorTripped { reason } => {
+                eprintln!("[eco] governor tripped: {reason}")
+            }
+            EcoEvent::LadderStep { target_index, rung } => {
+                eprintln!("[eco]   target {target_index}: ladder -> {}", rung.name())
+            }
             _ => {}
         }
     }
 }
 
-fn run(args: Args) -> Result<(), CliError> {
+fn run(args: Args) -> Result<u8, CliError> {
     let read = |path: &str| -> Result<String, CliError> {
         std::fs::read_to_string(path)
             .map_err(|e| CliError::general(format!("cannot read {path}: {e}")))
@@ -268,6 +306,8 @@ fn run(args: Args) -> Result<(), CliError> {
         .method(method)
         .per_call_conflicts(args.budget.or(Some(2_000_000)))
         .structural_fallback(!args.no_fallback)
+        .timeout(args.timeout_ms.map(Duration::from_millis))
+        .global_conflicts(args.global_budget)
         .build();
     let mut engine = EcoEngine::new(options);
     if args.progress {
@@ -287,9 +327,18 @@ fn run(args: Args) -> Result<(), CliError> {
             "solved: cost={} patch_gates={} verified={} in {:.2?}",
             outcome.total_cost, outcome.total_gates, outcome.verified, outcome.elapsed
         );
+        if let Some(trip) = outcome.governor_trip {
+            eprintln!("governor tripped ({trip}); partial (anytime) result");
+        }
         for r in &outcome.reports {
+            let disposition = match &r.disposition {
+                TargetDisposition::Patched => "patched".to_string(),
+                TargetDisposition::Degraded => "degraded".to_string(),
+                TargetDisposition::Skipped { reason } => format!("skipped: {reason}"),
+                _ => "?".to_string(),
+            };
             eprintln!(
-                "  target {} ({:?}): support={} cost={} gates={}",
+                "  target {} ({:?}, {disposition}): support={} cost={} gates={}",
                 target_names
                     .get(r.target_index)
                     .map(String::as_str)
@@ -328,7 +377,13 @@ fn run(args: Args) -> Result<(), CliError> {
             .map_err(|e| CliError::general(format!("cannot write: {e}")))?,
         None => print!("{text}"),
     }
-    Ok(())
+    // Outputs are written even for anytime results; the exit code
+    // still distinguishes a deadline/cancellation cut-off.
+    let code = match outcome.governor_trip {
+        Some(TripReason::Deadline | TripReason::Cancelled) => EXIT_DEADLINE,
+        _ => 0,
+    };
+    Ok(code)
 }
 
 fn main() -> ExitCode {
@@ -338,7 +393,7 @@ fn main() -> ExitCode {
             ExitCode::from(EXIT_USAGE)
         }
         Ok(args) => match run(args) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(code) => ExitCode::from(code),
             Err(e) => {
                 eprintln!("error: {e}", e = e.message);
                 ExitCode::from(e.code)

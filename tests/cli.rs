@@ -175,7 +175,7 @@ fn stats_json_has_the_documented_schema() {
     );
     let json = std::fs::read_to_string(&stats).expect("stats file written");
     for key in [
-        "\"schema_version\":1",
+        "\"schema_version\":2",
         "\"num_targets\":1",
         "\"phases\":[",
         "\"targets\":[",
@@ -289,6 +289,68 @@ fn budget_exhaustion_exit_code_without_fallback() {
     );
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("budget"), "{stderr}");
+}
+
+#[test]
+fn expired_deadline_exit_code_with_anytime_output() {
+    let tmp = TempFiles::new("deadline");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let out = tmp.path("patched.v");
+    let output = bin()
+        .args([
+            "--impl",
+            &f,
+            "--spec",
+            &g,
+            "--timeout-ms",
+            "0",
+            "--out",
+            &out,
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(
+        output.status.code(),
+        Some(5),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("governor tripped (deadline"), "{stderr}");
+    assert!(stderr.contains("skipped: deadline"), "{stderr}");
+    // The anytime netlist is still written before exiting.
+    assert!(
+        std::path::Path::new(&out).exists(),
+        "output must be written even on deadline"
+    );
+}
+
+#[test]
+fn deadline_error_exit_code_without_fallback() {
+    let tmp = TempFiles::new("deadline_nofb");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let output = bin()
+        .args([
+            "--impl",
+            &f,
+            "--spec",
+            &g,
+            "--timeout-ms",
+            "0",
+            "--no-fallback",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(
+        output.status.code(),
+        Some(5),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("deadline"), "{stderr}");
 }
 
 #[test]

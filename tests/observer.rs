@@ -253,9 +253,11 @@ fn run_metrics_golden_json() {
         support_minimization_steps: 3,
         structural_fallbacks: 0,
         cegar_min_rounds: 4,
+        governor_trips: 5,
+        ladder_steps: 6,
     };
     let expected = concat!(
-        "{\"schema_version\":1,\"num_targets\":1,\"per_call_conflicts\":1000,",
+        "{\"schema_version\":2,\"num_targets\":1,\"per_call_conflicts\":1000,",
         "\"elapsed_us\":1234,",
         "\"phases\":[{\"phase\":\"sufficiency_check\",\"elapsed_us\":10}],",
         "\"targets\":[{\"target_index\":0,\"sat_calls\":3,\"observed_sat_calls\":3,",
@@ -269,7 +271,7 @@ fn run_metrics_golden_json() {
         "\"mean_fraction\":0.250000},",
         "\"counters\":{\"qbf_refinements\":1,\"quantification_refinements\":2,",
         "\"support_minimization_steps\":3,\"structural_fallbacks\":0,",
-        "\"cegar_min_rounds\":4}}"
+        "\"cegar_min_rounds\":4,\"governor_trips\":5,\"ladder_steps\":6}}"
     );
     assert_eq!(metrics.to_json(), expected);
 }
