@@ -96,7 +96,7 @@ pub(crate) fn check_equivalence_observed(
         .iter()
         .map(|&i| enc.lit(&miter, &mut solver, i))
         .collect();
-    let before = obs.snapshot(&solver);
+    let before = obs.snapshot(&mut solver);
     let result = solver.solve(&[out_lit]);
     obs.sat_call(before, &solver, SatCallKind::Cec, None, result);
     match result {

@@ -102,7 +102,7 @@ pub(crate) fn enumerate_patch_sop_observed(
             solver.set_budget(Some(c), None);
         }
         *calls += 1;
-        let before = obs.snapshot(&solver);
+        let before = obs.snapshot(&mut solver);
         let onset = solver.solve(&onset_base);
         obs.sat_call(
             before,
@@ -134,7 +134,7 @@ pub(crate) fn enumerate_patch_sop_observed(
                 *calls += 1;
                 let mut check = offset_base.clone();
                 check.extend_from_slice(&lits);
-                let before = obs.snapshot(&solver);
+                let before = obs.snapshot(&mut solver);
                 let disjoint = solver.solve(&check);
                 obs.sat_call(
                     before,

@@ -1144,7 +1144,7 @@ impl EcoEngine {
                 solver.set_budget(Some(c), None);
             }
             *spent += 1;
-            let before = obs.snapshot(&solver);
+            let before = obs.snapshot(&mut solver);
             let result = solver.solve(&assumptions);
             obs.sat_call(
                 before,

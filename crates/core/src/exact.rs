@@ -97,7 +97,7 @@ pub fn sat_prune_support(
         }
         iterations += 1;
         let assumptions: Vec<Lit> = bound_act.into_iter().collect();
-        let before = obs.snapshot(&search);
+        let before = obs.snapshot(&mut search);
         let result = search.solve(&assumptions);
         obs.sat_call(before, &search, SatCallKind::SatPruneSearch, None, result);
         match result {

@@ -76,12 +76,14 @@ mod engine;
 mod error;
 mod exact;
 mod interp;
+pub mod json;
 mod miter;
 mod observe;
 mod problem;
 mod qbf;
 mod structural;
 mod support;
+pub mod trace;
 mod window;
 
 pub use cec::{check_equivalence, CecResult};
@@ -102,9 +104,10 @@ pub use interp::{
 };
 pub use miter::{EcoMiter, QuantifiedMiter};
 pub use observe::{
-    conflict_bucket, BudgetMetrics, EcoEvent, EcoObserver, LadderRung, MetricsObserver,
-    NullObserver, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics, SupportStep,
-    TargetMetrics, TeeObserver, CONFLICT_BUCKET_BOUNDS, NUM_CONFLICT_BUCKETS,
+    conflict_bucket, latency_bucket, BudgetMetrics, EcoEvent, EcoObserver, KindMetrics, LadderRung,
+    MetricsObserver, NullObserver, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics,
+    SupportStep, TargetMetrics, TeeObserver, CONFLICT_BUCKET_BOUNDS, LATENCY_BUCKET_BOUNDS_US,
+    NUM_CONFLICT_BUCKETS, NUM_LATENCY_BUCKETS,
 };
 pub use problem::EcoProblem;
 pub use qbf::{check_targets_sufficient, QbfOutcome};

@@ -115,6 +115,16 @@ pub enum SupportStep {
     LastGasp,
 }
 
+impl SupportStep {
+    /// Stable snake_case name used in traces and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SupportStep::Algorithm1 => "algorithm1",
+            SupportStep::LastGasp => "last_gasp",
+        }
+    }
+}
+
 /// A rung of the per-target degradation ladder, from most capable to
 /// cheapest: full SAT/CEGAR attempt → reduced-effort retry →
 /// structural patch → skipped. [`EcoEvent::LadderStep`] announces each
@@ -201,6 +211,9 @@ pub enum EcoEvent {
         decisions: u64,
         /// Propagations in this call.
         propagations: u64,
+        /// Wall-clock time of this call (solver timing is switched on
+        /// automatically while observers are attached).
+        elapsed: Duration,
     },
     /// The 2QBF CEGAR loop added a counterexample miter copy.
     QbfRefinement {
@@ -332,9 +345,12 @@ impl ObserverHandle {
     }
 
     /// Pre-call statistics snapshot; `None` when no sink is attached,
-    /// which lets call sites skip the post-call delta entirely.
-    pub(crate) fn snapshot(&self, solver: &Solver) -> Option<SolverStats> {
+    /// which lets call sites skip the post-call delta entirely. Being
+    /// observed also switches on the solver's wall-clock timing, so
+    /// unobserved runs never touch the clock.
+    pub(crate) fn snapshot(&self, solver: &mut Solver) -> Option<SolverStats> {
         if self.is_active() {
+            solver.set_timing(true);
             Some(*solver.stats())
         } else {
             None
@@ -360,6 +376,7 @@ impl ObserverHandle {
                 conflicts: delta.conflicts,
                 decisions: delta.decisions,
                 propagations: delta.propagations,
+                elapsed: delta.solve_time,
             });
         }
     }
@@ -389,6 +406,25 @@ pub fn conflict_bucket(conflicts: u64) -> usize {
         .unwrap_or(NUM_CONFLICT_BUCKETS - 1)
 }
 
+/// Upper bounds (inclusive, in microseconds) of the per-call latency
+/// histogram buckets — powers of ten from 10 µs to 10 s; the final
+/// bucket is unbounded.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 7] =
+    [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Number of buckets in a latency histogram (the bounds above plus the
+/// unbounded overflow bucket).
+pub const NUM_LATENCY_BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
+
+/// Maps a call duration to its latency histogram bucket index.
+pub fn latency_bucket(elapsed: Duration) -> usize {
+    let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+    LATENCY_BUCKET_BOUNDS_US
+        .iter()
+        .position(|&bound| us <= bound)
+        .unwrap_or(NUM_LATENCY_BUCKETS - 1)
+}
+
 /// Wall-clock time of one phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PhaseMetrics {
@@ -413,8 +449,27 @@ pub struct TargetMetrics {
     pub conflicts: u64,
     /// Wall-clock time spent on the target.
     pub elapsed: Duration,
+    /// Solver wall-clock time across the attributed calls.
+    pub sat_time: Duration,
     /// Per-call conflict histogram ([`CONFLICT_BUCKET_BOUNDS`]).
     pub conflict_histogram: [u64; NUM_CONFLICT_BUCKETS],
+    /// Per-call latency histogram ([`LATENCY_BUCKET_BOUNDS_US`]).
+    pub latency_histogram: [u64; NUM_LATENCY_BUCKETS],
+}
+
+/// Aggregated telemetry for one [`SatCallKind`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindMetrics {
+    /// Calls observed with this kind.
+    pub calls: u64,
+    /// Total conflicts across those calls.
+    pub conflicts: u64,
+    /// Total solver wall-clock time across those calls.
+    pub time: Duration,
+    /// Per-call conflict histogram ([`CONFLICT_BUCKET_BOUNDS`]).
+    pub conflict_histogram: [u64; NUM_CONFLICT_BUCKETS],
+    /// Per-call latency histogram ([`LATENCY_BUCKET_BOUNDS_US`]).
+    pub latency_histogram: [u64; NUM_LATENCY_BUCKETS],
 }
 
 /// Aggregated SAT-call telemetry across a whole run.
@@ -428,10 +483,14 @@ pub struct SatCallMetrics {
     pub decisions: u64,
     /// Total propagations.
     pub propagations: u64,
-    /// Calls per kind, parallel to [`SatCallKind::ALL`].
-    pub by_kind: [u64; 8],
+    /// Total solver wall-clock time.
+    pub time: Duration,
+    /// Per-kind breakdown, parallel to [`SatCallKind::ALL`].
+    pub by_kind: [KindMetrics; 8],
     /// Per-call conflict histogram ([`CONFLICT_BUCKET_BOUNDS`]).
     pub conflict_histogram: [u64; NUM_CONFLICT_BUCKETS],
+    /// Per-call latency histogram ([`LATENCY_BUCKET_BOUNDS_US`]).
+    pub latency_histogram: [u64; NUM_LATENCY_BUCKETS],
 }
 
 /// How much of the per-call conflict budget the run actually used.
@@ -495,10 +554,16 @@ fn push_json_array(out: &mut String, counts: &[u64]) {
     out.push(']');
 }
 
+fn push_json_string(out: &mut String, text: &str) {
+    out.push('"');
+    out.push_str(&crate::json::escape_json(text));
+    out.push('"');
+}
+
 impl RunMetrics {
     /// Serializes to the stable JSON schema documented in
-    /// `EXPERIMENTS.md` (schema_version 2, which added the
-    /// `governor_trips`/`ladder_steps` counters). Key order is fixed;
+    /// `EXPERIMENTS.md` (schema_version 3, which added solver wall time
+    /// and the per-kind/latency histograms). Key order is fixed;
     /// durations are integer microseconds; fractions carry six decimal
     /// places.
     pub fn to_json(&self) -> String {
@@ -508,7 +573,7 @@ impl RunMetrics {
             None => "null".to_string(),
         };
         let mut s = String::new();
-        s.push_str("{\"schema_version\":2");
+        s.push_str("{\"schema_version\":3");
         s.push_str(&format!(",\"num_targets\":{}", self.num_targets));
         s.push_str(&format!(
             ",\"per_call_conflicts\":{}",
@@ -520,11 +585,9 @@ impl RunMetrics {
             if i > 0 {
                 s.push(',');
             }
-            s.push_str(&format!(
-                "{{\"phase\":\"{}\",\"elapsed_us\":{}}}",
-                p.phase.name(),
-                us(p.elapsed)
-            ));
+            s.push_str("{\"phase\":");
+            push_json_string(&mut s, p.phase.name());
+            s.push_str(&format!(",\"elapsed_us\":{}}}", us(p.elapsed)));
         }
         s.push_str("],\"targets\":[");
         for (i, t) in self.targets.iter().enumerate() {
@@ -533,37 +596,50 @@ impl RunMetrics {
             }
             s.push_str(&format!(
                 "{{\"target_index\":{},\"sat_calls\":{},\"observed_sat_calls\":{},\
-                 \"conflicts\":{},\"elapsed_us\":{},\"conflict_histogram\":",
+                 \"conflicts\":{},\"elapsed_us\":{},\"sat_time_us\":{},\"conflict_histogram\":",
                 t.target_index,
                 t.sat_calls,
                 t.observed_sat_calls,
                 t.conflicts,
-                us(t.elapsed)
+                us(t.elapsed),
+                us(t.sat_time)
             ));
             push_json_array(&mut s, &t.conflict_histogram);
+            s.push_str(",\"latency_histogram\":");
+            push_json_array(&mut s, &t.latency_histogram);
             s.push('}');
         }
         s.push_str("],\"sat_calls\":{");
         s.push_str(&format!(
-            "\"total\":{},\"conflicts\":{},\"decisions\":{},\"propagations\":{}",
+            "\"total\":{},\"conflicts\":{},\"decisions\":{},\"propagations\":{},\"time_us\":{}",
             self.sat_calls.total,
             self.sat_calls.conflicts,
             self.sat_calls.decisions,
-            self.sat_calls.propagations
+            self.sat_calls.propagations,
+            us(self.sat_calls.time)
         ));
         s.push_str(",\"by_kind\":{");
         for (i, kind) in SatCallKind::ALL.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
+            let k = &self.sat_calls.by_kind[i];
+            push_json_string(&mut s, kind.name());
             s.push_str(&format!(
-                "\"{}\":{}",
-                kind.name(),
-                self.sat_calls.by_kind[i]
+                ":{{\"calls\":{},\"conflicts\":{},\"time_us\":{},\"conflict_histogram\":",
+                k.calls,
+                k.conflicts,
+                us(k.time)
             ));
+            push_json_array(&mut s, &k.conflict_histogram);
+            s.push_str(",\"latency_histogram\":");
+            push_json_array(&mut s, &k.latency_histogram);
+            s.push('}');
         }
         s.push_str("},\"conflict_histogram\":");
         push_json_array(&mut s, &self.sat_calls.conflict_histogram);
+        s.push_str(",\"latency_histogram\":");
+        push_json_array(&mut s, &self.sat_calls.latency_histogram);
         s.push('}');
         match &self.budget {
             Some(b) => s.push_str(&format!(
@@ -664,16 +740,25 @@ impl EcoObserver for MetricsObserver {
                 conflicts,
                 decisions,
                 propagations,
+                elapsed,
                 ..
             } => {
                 let bucket = conflict_bucket(conflicts);
+                let lat_bucket = latency_bucket(elapsed);
                 let sc = &mut self.metrics.sat_calls;
                 sc.total += 1;
                 sc.conflicts += conflicts;
                 sc.decisions += decisions;
                 sc.propagations += propagations;
-                sc.by_kind[kind.index()] += 1;
+                sc.time += elapsed;
+                let k = &mut sc.by_kind[kind.index()];
+                k.calls += 1;
+                k.conflicts += conflicts;
+                k.time += elapsed;
+                k.conflict_histogram[bucket] += 1;
+                k.latency_histogram[lat_bucket] += 1;
                 sc.conflict_histogram[bucket] += 1;
+                sc.latency_histogram[lat_bucket] += 1;
                 if let Some(budget) = self.metrics.per_call_conflicts {
                     if budget > 0 {
                         let fraction = conflicts as f64 / budget as f64;
@@ -693,7 +778,9 @@ impl EcoObserver for MetricsObserver {
                     let entry = self.target_entry(ti);
                     entry.observed_sat_calls += 1;
                     entry.conflicts += conflicts;
+                    entry.sat_time += elapsed;
                     entry.conflict_histogram[bucket] += 1;
+                    entry.latency_histogram[lat_bucket] += 1;
                 }
             }
             EcoEvent::QbfRefinement { .. } => self.metrics.qbf_refinements += 1,
@@ -792,6 +879,7 @@ mod tests {
             conflicts: 50,
             decisions: 7,
             propagations: 20,
+            elapsed: Duration::from_micros(30),
         });
         m.on_event(&EcoEvent::SatCall {
             kind: SatCallKind::Cec,
@@ -800,6 +888,7 @@ mod tests {
             conflicts: 100,
             decisions: 3,
             propagations: 10,
+            elapsed: Duration::from_micros(400),
         });
         m.on_event(&EcoEvent::TargetFinished {
             target_index: 0,
@@ -812,12 +901,22 @@ mod tests {
         let r = m.metrics();
         assert_eq!(r.sat_calls.total, 2);
         assert_eq!(r.sat_calls.conflicts, 150);
-        assert_eq!(r.sat_calls.by_kind[SatCallKind::Support.index()], 1);
-        assert_eq!(r.sat_calls.by_kind[SatCallKind::Cec.index()], 1);
+        assert_eq!(r.sat_calls.time, Duration::from_micros(430));
+        let support = &r.sat_calls.by_kind[SatCallKind::Support.index()];
+        assert_eq!(support.calls, 1);
+        assert_eq!(support.conflicts, 50);
+        assert_eq!(support.time, Duration::from_micros(30));
+        assert_eq!(
+            support.latency_histogram[latency_bucket(Duration::from_micros(30))],
+            1
+        );
+        assert_eq!(r.sat_calls.by_kind[SatCallKind::Cec.index()].calls, 1);
+        assert_eq!(r.sat_calls.latency_histogram.iter().sum::<u64>(), 2);
         assert_eq!(r.targets.len(), 1);
         assert_eq!(r.targets[0].observed_sat_calls, 1);
         assert_eq!(r.targets[0].sat_calls, 1);
         assert_eq!(r.targets[0].conflicts, 50);
+        assert_eq!(r.targets[0].sat_time, Duration::from_micros(30));
         let b = r.budget.expect("budget configured");
         assert!((b.max_fraction - 1.0).abs() < 1e-12);
         assert!((b.mean_fraction - 0.75).abs() < 1e-12);
@@ -832,10 +931,26 @@ mod tests {
             ..RunMetrics::default()
         };
         let json = m.to_json();
-        assert!(json.starts_with("{\"schema_version\":2"));
+        assert!(json.starts_with("{\"schema_version\":3"));
         assert!(json.contains("\"per_call_conflicts\":null"));
         assert!(json.contains("\"elapsed_us\":42"));
+        assert!(json.contains("\"time_us\":0"));
+        assert!(json.contains("\"latency_histogram\":[0,0,0,0,0,0,0,0]"));
         assert!(json.contains("\"budget\":null"));
         assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn latency_buckets_partition() {
+        assert_eq!(latency_bucket(Duration::ZERO), 0);
+        assert_eq!(latency_bucket(Duration::from_micros(10)), 0);
+        assert_eq!(latency_bucket(Duration::from_micros(11)), 1);
+        assert_eq!(latency_bucket(Duration::from_millis(1)), 2);
+        assert_eq!(latency_bucket(Duration::from_secs(10)), 6);
+        assert_eq!(latency_bucket(Duration::from_secs(11)), 7);
+        assert_eq!(
+            latency_bucket(Duration::from_secs(1 << 40)),
+            NUM_LATENCY_BUCKETS - 1
+        );
     }
 }

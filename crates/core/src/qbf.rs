@@ -131,7 +131,7 @@ pub(crate) fn check_targets_sufficient_observed(
             solver_a.set_budget(Some(c), None);
         }
         sat_calls += 1;
-        let before = obs.snapshot(&solver_a);
+        let before = obs.snapshot(&mut solver_a);
         let result_a = solver_a.solve(&copy_outs);
         obs.sat_call(before, &solver_a, SatCallKind::Qbf, None, result_a);
         match result_a {
@@ -171,7 +171,7 @@ pub(crate) fn check_targets_sufficient_observed(
                     solver_b.set_budget(Some(c), None);
                 }
                 sat_calls += 1;
-                let before = obs.snapshot(&solver_b);
+                let before = obs.snapshot(&mut solver_b);
                 let result_b = solver_b.solve(&assumptions);
                 obs.sat_call(before, &solver_b, SatCallKind::Qbf, None, result_b);
                 match result_b {

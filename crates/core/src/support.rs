@@ -320,7 +320,7 @@ impl SupportSolver {
         if let Some(c) = self.per_call_conflicts {
             self.solver.set_budget(Some(c), None);
         }
-        let before = self.obs.snapshot(&self.solver);
+        let before = self.obs.snapshot(&mut self.solver);
         let result = self.solver.solve(assumptions);
         self.obs.sat_call(
             before,

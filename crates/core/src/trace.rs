@@ -1,0 +1,888 @@
+//! Trace export and offline analysis for engine runs.
+//!
+//! Two exporters turn the [`EcoEvent`] stream into files:
+//!
+//! - [`JsonlTraceObserver`] streams one JSON object per event (JSON
+//!   Lines) — the lossless format replayed by [`summarize_trace`] and
+//!   the `eco_patch report` command;
+//! - [`ChromeTraceObserver`] writes the Chrome `trace_event` format
+//!   (run/phase/target spans as `B`/`E` pairs, SAT calls as `X`
+//!   complete events), loadable in Perfetto or `chrome://tracing`.
+//!
+//! Replay utilities build a [`TraceSummary`] (time/conflict breakdown
+//! by phase, target, and call kind plus the most expensive calls) and
+//! [`check_span_integrity`] verifies that every `*_started` event is
+//! closed by its `*_finished` partner in LIFO order.
+
+use crate::json::{escape_json, parse_json, JsonValue};
+use crate::observe::{EcoEvent, EcoObserver};
+use eco_sat::SolveResult;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+fn result_name(result: SolveResult) -> &'static str {
+    match result {
+        SolveResult::Sat => "sat",
+        SolveResult::Unsat => "unsat",
+        SolveResult::Unknown => "unknown",
+    }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+fn opt_usize(v: Option<usize>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders one event as a single-line JSON object with the given
+/// relative timestamp. This is the line format of
+/// [`JsonlTraceObserver`].
+fn event_record(ts_us: u64, event: &EcoEvent) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"ts_us\":{ts_us},\"event\":");
+    match event {
+        EcoEvent::RunStarted {
+            num_targets,
+            per_call_conflicts,
+        } => {
+            let budget = match per_call_conflicts {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                s,
+                "\"run_started\",\"num_targets\":{num_targets},\"per_call_conflicts\":{budget}"
+            );
+        }
+        EcoEvent::PhaseStarted { phase } => {
+            let _ = write!(s, "\"phase_started\",\"phase\":\"{}\"", phase.name());
+        }
+        EcoEvent::PhaseFinished { phase, elapsed } => {
+            let _ = write!(
+                s,
+                "\"phase_finished\",\"phase\":\"{}\",\"elapsed_us\":{}",
+                phase.name(),
+                duration_us(*elapsed)
+            );
+        }
+        EcoEvent::TargetStarted { target_index } => {
+            let _ = write!(s, "\"target_started\",\"target_index\":{target_index}");
+        }
+        EcoEvent::TargetFinished {
+            target_index,
+            sat_calls,
+            elapsed,
+        } => {
+            let _ = write!(
+                s,
+                "\"target_finished\",\"target_index\":{target_index},\"sat_calls\":{sat_calls},\
+                 \"elapsed_us\":{}",
+                duration_us(*elapsed)
+            );
+        }
+        EcoEvent::SatCall {
+            kind,
+            target_index,
+            result,
+            conflicts,
+            decisions,
+            propagations,
+            elapsed,
+        } => {
+            let _ = write!(
+                s,
+                "\"sat_call\",\"kind\":\"{}\",\"target_index\":{},\"result\":\"{}\",\
+                 \"conflicts\":{conflicts},\"decisions\":{decisions},\
+                 \"propagations\":{propagations},\"elapsed_us\":{}",
+                kind.name(),
+                opt_usize(*target_index),
+                result_name(*result),
+                duration_us(*elapsed)
+            );
+        }
+        EcoEvent::QbfRefinement { copies } => {
+            let _ = write!(s, "\"qbf_refinement\",\"copies\":{copies}");
+        }
+        EcoEvent::QuantificationRefinement {
+            target_index,
+            assignments,
+        } => {
+            let _ = write!(
+                s,
+                "\"quantification_refinement\",\"target_index\":{target_index},\
+                 \"assignments\":{assignments}"
+            );
+        }
+        EcoEvent::SupportMinimizationStep {
+            target_index,
+            step,
+            support_size,
+        } => {
+            let _ = write!(
+                s,
+                "\"support_minimization_step\",\"target_index\":{},\"step\":\"{}\",\
+                 \"support_size\":{support_size}",
+                opt_usize(*target_index),
+                step.name()
+            );
+        }
+        EcoEvent::StructuralFallback { target_index } => {
+            let _ = write!(s, "\"structural_fallback\",\"target_index\":{target_index}");
+        }
+        EcoEvent::GovernorTripped { reason } => {
+            let _ = write!(
+                s,
+                "\"governor_tripped\",\"reason\":\"{}\"",
+                escape_json(reason.name())
+            );
+        }
+        EcoEvent::LadderStep { target_index, rung } => {
+            let _ = write!(
+                s,
+                "\"ladder_step\",\"target_index\":{target_index},\"rung\":\"{}\"",
+                rung.name()
+            );
+        }
+        EcoEvent::CegarMinRound {
+            target_index,
+            sat_calls,
+            cost,
+        } => {
+            let _ = write!(
+                s,
+                "\"cegar_min_round\",\"target_index\":{},\"sat_calls\":{sat_calls},\
+                 \"cost\":{cost}",
+                opt_usize(*target_index)
+            );
+        }
+        EcoEvent::RunFinished { elapsed } => {
+            let _ = write!(
+                s,
+                "\"run_finished\",\"elapsed_us\":{}",
+                duration_us(*elapsed)
+            );
+        }
+        // `EcoEvent` is non_exhaustive for downstream crates; new
+        // variants must be given a record shape here before release.
+        #[allow(unreachable_patterns)]
+        _ => {
+            let _ = write!(s, "\"unknown\"");
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Streams every event as one JSON object per line (JSON Lines).
+///
+/// Timestamps (`ts_us`) are microseconds relative to the first
+/// observed event. Write errors are sticky: the first one is kept and
+/// reported by [`JsonlTraceObserver::finish`], and no further lines
+/// are written.
+#[derive(Debug)]
+pub struct JsonlTraceObserver<W: Write> {
+    writer: W,
+    start: Option<Instant>,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlTraceObserver<W> {
+    /// Wraps a writer (typically a buffered file).
+    pub fn new(writer: W) -> JsonlTraceObserver<W> {
+        JsonlTraceObserver {
+            writer,
+            start: None,
+            error: None,
+        }
+    }
+
+    /// Flushes and returns the writer; fails with the first write
+    /// error encountered while streaming, if any.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    fn ts_us(&mut self) -> u64 {
+        let start = *self.start.get_or_insert_with(Instant::now);
+        duration_us(start.elapsed())
+    }
+}
+
+impl<W: Write> EcoObserver for JsonlTraceObserver<W> {
+    fn on_event(&mut self, event: &EcoEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let ts = self.ts_us();
+        let line = event_record(ts, event);
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Exports the run as a Chrome `trace_event` JSON document.
+///
+/// Run, phase, and target spans become `B`/`E` duration events; each
+/// SAT call becomes an `X` complete event placed at `receipt − elapsed`
+/// so call durations are visible on the timeline. The document is
+/// closed when [`EcoEvent::RunFinished`] arrives (or on
+/// [`ChromeTraceObserver::finish`] for aborted runs).
+#[derive(Debug)]
+pub struct ChromeTraceObserver<W: Write> {
+    writer: W,
+    start: Option<Instant>,
+    wrote_any: bool,
+    closed: bool,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> ChromeTraceObserver<W> {
+    /// Wraps a writer (typically a buffered file).
+    pub fn new(writer: W) -> ChromeTraceObserver<W> {
+        ChromeTraceObserver {
+            writer,
+            start: None,
+            wrote_any: false,
+            closed: false,
+            error: None,
+        }
+    }
+
+    /// Closes the JSON document (a no-op if [`EcoEvent::RunFinished`]
+    /// already closed it), flushes, and returns the writer; fails with
+    /// the first write error encountered while streaming, if any.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.close()?;
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    fn close(&mut self) -> std::io::Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        if !self.wrote_any {
+            self.writer.write_all(b"{\"traceEvents\":[")?;
+        }
+        self.closed = true;
+        self.writer.write_all(b"]}\n")
+    }
+
+    fn ts_us(&mut self) -> u64 {
+        let start = *self.start.get_or_insert_with(Instant::now);
+        duration_us(start.elapsed())
+    }
+
+    fn push(&mut self, record: String) {
+        if self.error.is_some() || self.closed {
+            return;
+        }
+        let lead = if self.wrote_any {
+            ",\n"
+        } else {
+            "{\"traceEvents\":[\n"
+        };
+        if let Err(e) = self
+            .writer
+            .write_all(lead.as_bytes())
+            .and_then(|()| self.writer.write_all(record.as_bytes()))
+        {
+            self.error = Some(e);
+            return;
+        }
+        self.wrote_any = true;
+    }
+
+    fn span(&mut self, ph: char, ts: u64, name: &str) {
+        self.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"eco\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":1,\"tid\":1}}",
+            escape_json(name)
+        ));
+    }
+}
+
+impl<W: Write> EcoObserver for ChromeTraceObserver<W> {
+    fn on_event(&mut self, event: &EcoEvent) {
+        let ts = self.ts_us();
+        match event {
+            EcoEvent::RunStarted { .. } => self.span('B', ts, "run"),
+            EcoEvent::PhaseStarted { phase } => self.span('B', ts, phase.name()),
+            EcoEvent::PhaseFinished { phase, .. } => self.span('E', ts, phase.name()),
+            EcoEvent::TargetStarted { target_index } => {
+                self.span('B', ts, &format!("target {target_index}"));
+            }
+            EcoEvent::TargetFinished { target_index, .. } => {
+                self.span('E', ts, &format!("target {target_index}"));
+            }
+            EcoEvent::SatCall {
+                kind,
+                target_index,
+                result,
+                conflicts,
+                elapsed,
+                ..
+            } => {
+                let dur = duration_us(*elapsed);
+                let call_ts = ts.saturating_sub(dur);
+                self.push(format!(
+                    "{{\"name\":\"sat:{}\",\"cat\":\"sat\",\"ph\":\"X\",\"ts\":{call_ts},\
+                     \"dur\":{dur},\"pid\":1,\"tid\":1,\"args\":{{\"result\":\"{}\",\
+                     \"conflicts\":{conflicts},\"target_index\":{}}}}}",
+                    kind.name(),
+                    result_name(*result),
+                    opt_usize(*target_index)
+                ));
+            }
+            EcoEvent::RunFinished { .. } => {
+                self.span('E', ts, "run");
+                if self.error.is_none() {
+                    if let Err(e) = self.close() {
+                        self.error = Some(e);
+                    }
+                }
+            }
+            // Instant (non-span) telemetry becomes `i` events.
+            other => {
+                let name = match other {
+                    EcoEvent::QbfRefinement { .. } => "qbf_refinement",
+                    EcoEvent::QuantificationRefinement { .. } => "quantification_refinement",
+                    EcoEvent::SupportMinimizationStep { .. } => "support_minimization_step",
+                    EcoEvent::StructuralFallback { .. } => "structural_fallback",
+                    EcoEvent::GovernorTripped { .. } => "governor_tripped",
+                    EcoEvent::LadderStep { .. } => "ladder_step",
+                    EcoEvent::CegarMinRound { .. } => "cegar_min_round",
+                    _ => "event",
+                };
+                self.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"eco\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":1,\"tid\":1,\"s\":\"t\"}}"
+                ));
+            }
+        }
+    }
+}
+
+/// Per-phase totals replayed from a trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// Phase name as recorded in the trace.
+    pub name: String,
+    /// `elapsed_us` of the `phase_finished` record.
+    pub elapsed_us: u64,
+}
+
+/// Per-target totals replayed from a trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TargetSummary {
+    /// Index into the original problem's target list.
+    pub target_index: u64,
+    /// Attributed SAT calls observed in the trace.
+    pub sat_calls: u64,
+    /// Conflicts across those calls.
+    pub conflicts: u64,
+    /// Solver time across those calls, µs.
+    pub sat_time_us: u64,
+    /// `elapsed_us` of the `target_finished` record (0 if the target
+    /// never finished).
+    pub elapsed_us: u64,
+}
+
+/// Per-kind totals replayed from a trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KindSummary {
+    /// SAT-call kind name as recorded in the trace.
+    pub name: String,
+    /// Calls of this kind.
+    pub calls: u64,
+    /// Conflicts across those calls.
+    pub conflicts: u64,
+    /// Solver time across those calls, µs.
+    pub time_us: u64,
+}
+
+/// One expensive SAT call flagged by the report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExpensiveCall {
+    /// SAT-call kind name.
+    pub kind: String,
+    /// Attributed target, if any.
+    pub target_index: Option<u64>,
+    /// The call's verdict.
+    pub result: String,
+    /// Conflicts in the call.
+    pub conflicts: u64,
+    /// Call wall-time, µs.
+    pub elapsed_us: u64,
+}
+
+/// Aggregated view of one trace, built by [`summarize_trace`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Records replayed.
+    pub events: u64,
+    /// `num_targets` of the `run_started` record, if present.
+    pub num_targets: Option<u64>,
+    /// `elapsed_us` of the `run_finished` record, if present.
+    pub run_elapsed_us: Option<u64>,
+    /// Phase totals, in completion order.
+    pub phases: Vec<PhaseSummary>,
+    /// Target totals, in first-seen order.
+    pub targets: Vec<TargetSummary>,
+    /// Kind totals, in first-seen order.
+    pub kinds: Vec<KindSummary>,
+    /// Total SAT calls.
+    pub sat_calls: u64,
+    /// Total conflicts.
+    pub sat_conflicts: u64,
+    /// Total solver time, µs.
+    pub sat_time_us: u64,
+    /// The `top_k` most expensive calls, by wall-time then conflicts.
+    pub top_calls: Vec<ExpensiveCall>,
+    /// Governor trips / injected faults recorded.
+    pub governor_trips: u64,
+}
+
+/// Replays a JSONL trace into a [`TraceSummary`], keeping the `top_k`
+/// most expensive calls.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line when a line is not a
+/// JSON object or lacks the `event` tag.
+pub fn summarize_trace(jsonl: &str, top_k: usize) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    let mut calls: Vec<ExpensiveCall> = Vec::new();
+    for (lineno, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let event = record
+            .get("event")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {}: missing \"event\" tag", lineno + 1))?;
+        summary.events += 1;
+        let u = |key: &str| record.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        match event {
+            "run_started" => {
+                summary.num_targets = record.get("num_targets").and_then(JsonValue::as_u64);
+            }
+            "run_finished" => {
+                summary.run_elapsed_us = record.get("elapsed_us").and_then(JsonValue::as_u64);
+            }
+            "phase_finished" => {
+                let name = record
+                    .get("phase")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                summary.phases.push(PhaseSummary {
+                    name,
+                    elapsed_us: u("elapsed_us"),
+                });
+            }
+            "target_finished" => {
+                let idx = u("target_index");
+                let entry = target_entry(&mut summary.targets, idx);
+                entry.elapsed_us = u("elapsed_us");
+            }
+            "governor_tripped" => summary.governor_trips += 1,
+            "sat_call" => {
+                let kind = record
+                    .get("kind")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let conflicts = u("conflicts");
+                let elapsed_us = u("elapsed_us");
+                summary.sat_calls += 1;
+                summary.sat_conflicts += conflicts;
+                summary.sat_time_us += elapsed_us;
+                let entry = match summary.kinds.iter_mut().find(|k| k.name == kind) {
+                    Some(entry) => entry,
+                    None => {
+                        summary.kinds.push(KindSummary {
+                            name: kind.clone(),
+                            ..KindSummary::default()
+                        });
+                        summary.kinds.last_mut().expect("just pushed")
+                    }
+                };
+                entry.calls += 1;
+                entry.conflicts += conflicts;
+                entry.time_us += elapsed_us;
+                let target_index = record.get("target_index").and_then(JsonValue::as_u64);
+                if let Some(idx) = target_index {
+                    let t = target_entry(&mut summary.targets, idx);
+                    t.sat_calls += 1;
+                    t.conflicts += conflicts;
+                    t.sat_time_us += elapsed_us;
+                }
+                calls.push(ExpensiveCall {
+                    kind,
+                    target_index,
+                    result: record
+                        .get("result")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    conflicts,
+                    elapsed_us,
+                });
+            }
+            _ => {}
+        }
+    }
+    calls.sort_by_key(|c| std::cmp::Reverse((c.elapsed_us, c.conflicts)));
+    calls.truncate(top_k);
+    summary.top_calls = calls;
+    Ok(summary)
+}
+
+fn target_entry(targets: &mut Vec<TargetSummary>, target_index: u64) -> &mut TargetSummary {
+    if let Some(pos) = targets.iter().position(|t| t.target_index == target_index) {
+        return &mut targets[pos];
+    }
+    targets.push(TargetSummary {
+        target_index,
+        ..TargetSummary::default()
+    });
+    targets.last_mut().expect("just pushed")
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Renders a [`TraceSummary`] as the human-readable report printed by
+/// `eco_patch report`.
+pub fn render_report(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace: {} events", summary.events);
+    let _ = writeln!(
+        out,
+        "run: targets={} elapsed_us={} governor_trips={}",
+        summary
+            .num_targets
+            .map_or_else(|| "?".to_string(), |n| n.to_string()),
+        summary
+            .run_elapsed_us
+            .map_or_else(|| "?".to_string(), |n| n.to_string()),
+        summary.governor_trips
+    );
+    let run_us = summary.run_elapsed_us.unwrap_or(0);
+    let _ = writeln!(out, "\nphases:");
+    let _ = writeln!(out, "  {:<20} {:>12} {:>7}", "phase", "elapsed_us", "share");
+    for p in &summary.phases {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>12} {:>6.1}%",
+            p.name,
+            p.elapsed_us,
+            percent(p.elapsed_us, run_us)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nsat calls: total={} conflicts={} time_us={}",
+        summary.sat_calls, summary.sat_conflicts, summary.sat_time_us
+    );
+    let _ = writeln!(
+        out,
+        "  {:<20} {:>8} {:>10} {:>12} {:>7}",
+        "kind", "calls", "conflicts", "time_us", "share"
+    );
+    for k in &summary.kinds {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>8} {:>10} {:>12} {:>6.1}%",
+            k.name,
+            k.calls,
+            k.conflicts,
+            k.time_us,
+            percent(k.time_us, summary.sat_time_us)
+        );
+    }
+    if !summary.targets.is_empty() {
+        let _ = writeln!(out, "\ntargets:");
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>8} {:>10} {:>12} {:>12}",
+            "target", "calls", "conflicts", "sat_time_us", "elapsed_us"
+        );
+        for t in &summary.targets {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>8} {:>10} {:>12} {:>12}",
+                t.target_index, t.sat_calls, t.conflicts, t.sat_time_us, t.elapsed_us
+            );
+        }
+    }
+    if !summary.top_calls.is_empty() {
+        let _ = writeln!(
+            out,
+            "\ntop {} most expensive calls:",
+            summary.top_calls.len()
+        );
+        for (i, c) in summary.top_calls.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  #{:<3} kind={} target={} result={} conflicts={} elapsed_us={}",
+                i + 1,
+                c.kind,
+                c.target_index
+                    .map_or_else(|| "-".to_string(), |t| t.to_string()),
+                c.result,
+                c.conflicts,
+                c.elapsed_us
+            );
+        }
+    }
+    out
+}
+
+/// Verifies the span discipline of a JSONL trace: every
+/// `run/phase/target started` record must be closed by the matching
+/// `finished` record in LIFO order, and nothing may remain open at the
+/// end of a trace that saw `run_finished`.
+///
+/// Traces of aborted runs (no `run_finished`) pass as long as the
+/// records seen so far nest correctly.
+///
+/// # Errors
+///
+/// Returns a message naming the line of the first violation.
+pub fn check_span_integrity(jsonl: &str) -> Result<(), String> {
+    let mut stack: Vec<String> = Vec::new();
+    let mut finished = false;
+    for (lineno, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let record = parse_json(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let event = record
+            .get("event")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing \"event\" tag"))?;
+        if finished {
+            return Err(format!("line {lineno}: record after run_finished"));
+        }
+        let span = |kind: &str| -> Result<String, String> {
+            match kind {
+                "run" => Ok("run".to_string()),
+                "phase" => record
+                    .get("phase")
+                    .and_then(JsonValue::as_str)
+                    .map(|p| format!("phase {p}"))
+                    .ok_or_else(|| format!("line {lineno}: missing \"phase\"")),
+                _ => record
+                    .get("target_index")
+                    .and_then(JsonValue::as_u64)
+                    .map(|t| format!("target {t}"))
+                    .ok_or_else(|| format!("line {lineno}: missing \"target_index\"")),
+            }
+        };
+        let (open, kind) = match event {
+            "run_started" => (true, "run"),
+            "run_finished" => (false, "run"),
+            "phase_started" => (true, "phase"),
+            "phase_finished" => (false, "phase"),
+            "target_started" => (true, "target"),
+            "target_finished" => (false, "target"),
+            _ => continue,
+        };
+        let name = span(kind)?;
+        if open {
+            if kind == "run" && !stack.is_empty() {
+                return Err(format!("line {lineno}: run_started inside open spans"));
+            }
+            stack.push(name);
+        } else {
+            match stack.pop() {
+                Some(top) if top == name => {}
+                Some(top) => {
+                    return Err(format!(
+                        "line {lineno}: closed '{name}' while '{top}' was innermost"
+                    ));
+                }
+                None => {
+                    return Err(format!("line {lineno}: closed '{name}' with no open span"));
+                }
+            }
+            if kind == "run" {
+                finished = true;
+            }
+        }
+    }
+    if finished && !stack.is_empty() {
+        return Err(format!("spans left open at end of trace: {stack:?}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::{Phase, SatCallKind};
+
+    fn sample_events() -> Vec<EcoEvent> {
+        vec![
+            EcoEvent::RunStarted {
+                num_targets: 1,
+                per_call_conflicts: None,
+            },
+            EcoEvent::PhaseStarted {
+                phase: Phase::PatchGeneration,
+            },
+            EcoEvent::TargetStarted { target_index: 0 },
+            EcoEvent::SatCall {
+                kind: SatCallKind::Support,
+                target_index: Some(0),
+                result: SolveResult::Unsat,
+                conflicts: 12,
+                decisions: 4,
+                propagations: 40,
+                elapsed: Duration::from_micros(250),
+            },
+            EcoEvent::SatCall {
+                kind: SatCallKind::Cec,
+                target_index: None,
+                result: SolveResult::Sat,
+                conflicts: 3,
+                decisions: 1,
+                propagations: 9,
+                elapsed: Duration::from_micros(90),
+            },
+            EcoEvent::TargetFinished {
+                target_index: 0,
+                sat_calls: 1,
+                elapsed: Duration::from_micros(400),
+            },
+            EcoEvent::PhaseFinished {
+                phase: Phase::PatchGeneration,
+                elapsed: Duration::from_micros(500),
+            },
+            EcoEvent::RunFinished {
+                elapsed: Duration::from_micros(600),
+            },
+        ]
+    }
+
+    fn sample_jsonl() -> String {
+        let mut obs = JsonlTraceObserver::new(Vec::new());
+        for event in sample_events() {
+            obs.on_event(&event);
+        }
+        String::from_utf8(obs.finish().expect("no io errors")).expect("utf8")
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let text = sample_jsonl();
+        assert_eq!(text.lines().count(), 8);
+        for line in text.lines() {
+            let v = parse_json(line).expect("line parses");
+            assert!(v.get("event").is_some(), "{line}");
+            assert!(v.get("ts_us").and_then(JsonValue::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn summary_replays_totals() {
+        let summary = summarize_trace(&sample_jsonl(), 1).expect("replay");
+        assert_eq!(summary.events, 8);
+        assert_eq!(summary.num_targets, Some(1));
+        assert_eq!(summary.run_elapsed_us, Some(600));
+        assert_eq!(summary.sat_calls, 2);
+        assert_eq!(summary.sat_conflicts, 15);
+        assert_eq!(summary.sat_time_us, 340);
+        assert_eq!(summary.phases.len(), 1);
+        assert_eq!(summary.phases[0].name, "patch_generation");
+        assert_eq!(summary.phases[0].elapsed_us, 500);
+        assert_eq!(summary.targets.len(), 1);
+        assert_eq!(summary.targets[0].sat_calls, 1);
+        assert_eq!(summary.targets[0].sat_time_us, 250);
+        assert_eq!(summary.top_calls.len(), 1);
+        assert_eq!(summary.top_calls[0].kind, "support");
+        let report = render_report(&summary);
+        assert!(report.contains("patch_generation"));
+        assert!(report.contains("top 1 most expensive calls"));
+    }
+
+    #[test]
+    fn span_integrity_accepts_wellformed_and_rejects_crossed_spans() {
+        check_span_integrity(&sample_jsonl()).expect("well-formed");
+        let crossed = "\
+{\"ts_us\":0,\"event\":\"run_started\",\"num_targets\":1,\"per_call_conflicts\":null}
+{\"ts_us\":1,\"event\":\"phase_started\",\"phase\":\"windowing\"}
+{\"ts_us\":2,\"event\":\"target_started\",\"target_index\":0}
+{\"ts_us\":3,\"event\":\"phase_finished\",\"phase\":\"windowing\",\"elapsed_us\":2}
+";
+        let err = check_span_integrity(crossed).unwrap_err();
+        assert!(err.contains("target 0"), "{err}");
+        let unopened = "{\"ts_us\":0,\"event\":\"target_finished\",\"target_index\":3,\
+                        \"sat_calls\":0,\"elapsed_us\":1}";
+        assert!(check_span_integrity(unopened).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_balanced_spans() {
+        let mut obs = ChromeTraceObserver::new(Vec::new());
+        for event in sample_events() {
+            obs.on_event(&event);
+        }
+        let bytes = obs.finish().expect("no io errors");
+        let text = String::from_utf8(bytes).expect("utf8");
+        let doc = parse_json(&text).expect("valid JSON document");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        let count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(count("B"), count("E"), "every span closes");
+        assert_eq!(count("X"), 2, "one complete event per SAT call");
+        for e in events {
+            assert!(e.get("ts").and_then(JsonValue::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_closes_even_without_run_finished() {
+        let mut obs = ChromeTraceObserver::new(Vec::new());
+        obs.on_event(&EcoEvent::RunStarted {
+            num_targets: 1,
+            per_call_conflicts: None,
+        });
+        let text = String::from_utf8(obs.finish().expect("io")).expect("utf8");
+        parse_json(&text).expect("document is closed");
+        let empty = ChromeTraceObserver::new(Vec::new());
+        let text = String::from_utf8(empty.finish().expect("io")).expect("utf8");
+        parse_json(&text).expect("empty document is closed");
+    }
+}

@@ -17,6 +17,7 @@ use crate::govern::SearchControl;
 use crate::heap::VarHeap;
 use crate::types::{LBool, Lit, SolveResult, Var};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How many conflicts may pass between [`SearchControl::consume`]
 /// reports from the search loop.
@@ -44,6 +45,9 @@ pub struct SolverStats {
     pub learned_clauses: u64,
     /// Peak number of live learnt clauses in the database.
     pub peak_learnts: u64,
+    /// Wall-clock time spent inside `solve`, accumulated only while
+    /// timing is enabled via [`Solver::set_timing`] (zero otherwise).
+    pub solve_time: Duration,
 }
 
 impl SolverStats {
@@ -60,6 +64,7 @@ impl SolverStats {
             deleted_learnts: self.deleted_learnts.saturating_sub(earlier.deleted_learnts),
             learned_clauses: self.learned_clauses.saturating_sub(earlier.learned_clauses),
             peak_learnts: self.peak_learnts,
+            solve_time: self.solve_time.saturating_sub(earlier.solve_time),
         }
     }
 }
@@ -69,7 +74,7 @@ impl std::fmt::Display for SolverStats {
         write!(
             f,
             "solves={} decisions={} propagations={} conflicts={} restarts={} deleted={} \
-             learned={} peak_learnts={}",
+             learned={} peak_learnts={} solve_time={:.3}s",
             self.solves,
             self.decisions,
             self.propagations,
@@ -77,7 +82,8 @@ impl std::fmt::Display for SolverStats {
             self.restarts,
             self.deleted_learnts,
             self.learned_clauses,
-            self.peak_learnts
+            self.peak_learnts,
+            self.solve_time.as_secs_f64()
         )
     }
 }
@@ -189,6 +195,7 @@ pub struct Solver {
     control_last_conflicts: u64,
     control_last_propagations: u64,
     control_stop: bool,
+    timing: bool,
 }
 
 impl Default for Solver {
@@ -241,6 +248,7 @@ impl Solver {
             control_last_conflicts: 0,
             control_last_propagations: 0,
             control_stop: false,
+            timing: false,
         }
     }
 
@@ -286,6 +294,15 @@ impl Solver {
     /// Accumulated statistics.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// Enables (or disables) wall-clock timing of [`Solver::solve`]
+    /// calls, accumulated into [`SolverStats::solve_time`].
+    ///
+    /// Timing is off by default so unobserved runs never touch the
+    /// clock; observers that want per-call latency switch it on.
+    pub fn set_timing(&mut self, enabled: bool) {
+        self.timing = enabled;
     }
 
     /// `false` once the clause set has been proven unsatisfiable outright
@@ -1142,6 +1159,18 @@ impl Solver {
     /// [`SolveResult::Unknown`] when a budget set via
     /// [`Solver::set_budget`] ran out.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.timing {
+            let start = Instant::now();
+            let result = self.solve_inner(assumptions);
+            self.stats.solve_time += start.elapsed();
+            result
+        } else {
+            self.solve_inner(assumptions)
+        }
+    }
+
+    /// The untimed body of [`Solver::solve`].
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
         self.model.clear();
         self.conflict.clear();
@@ -1514,6 +1543,7 @@ mod more_tests {
             "restarts=",
             "learned=",
             "peak_learnts=",
+            "solve_time=",
         ] {
             assert!(text.contains(field), "{text}");
         }
@@ -1563,6 +1593,7 @@ mod more_tests {
             deleted_learnts: 7,
             learned_clauses: 40,
             peak_learnts: 12,
+            solve_time: Duration::from_micros(900),
         };
         let b = SolverStats {
             solves: 2,
@@ -1573,6 +1604,7 @@ mod more_tests {
             deleted_learnts: 2,
             learned_clauses: 10,
             peak_learnts: 9,
+            solve_time: Duration::from_micros(400),
         };
         let d = a.since(b);
         assert_eq!(d.solves, 3);
@@ -1583,6 +1615,27 @@ mod more_tests {
         assert_eq!(d.deleted_learnts, 5);
         assert_eq!(d.learned_clauses, 30);
         assert_eq!(d.peak_learnts, 12, "high-water mark is not subtracted");
+        assert_eq!(d.solve_time, Duration::from_micros(500));
+    }
+
+    #[test]
+    fn solve_time_accumulates_only_when_timing_is_enabled() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause(&[v.positive()]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(
+            s.stats().solve_time,
+            Duration::ZERO,
+            "timing off by default"
+        );
+        s.set_timing(true);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.stats().solve_time > Duration::ZERO);
+        let after = s.stats().solve_time;
+        s.set_timing(false);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.stats().solve_time, after);
     }
 
     #[test]

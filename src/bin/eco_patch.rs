@@ -5,14 +5,26 @@
 //! eco-patch --impl F.v --spec G.v [--weights W.txt] [--targets n1,n2]
 //!           [--detect] [--method baseline|minimize|prune]
 //!           [--out patched.v] [--budget N] [--default-weight N]
-//!           [--stats-json stats.json] [--progress] [--quiet]
+//!           [--stats-json stats.json|-] [--progress] [--quiet]
 //!           [--no-fallback] [--timeout-ms MS] [--global-budget N]
+//!           [--trace-out trace.json] [--trace-format jsonl|chrome]
+//! eco-patch report <trace.jsonl> [--top N]
 //! ```
 //!
 //! Targets come from `--targets`, from `// eco_target <net>` directives
 //! in the implementation file, or from automatic detection (`--detect`).
 //! The patched netlist is written to `--out` (stdout by default), with
 //! per-target patch reports on stderr.
+//!
+//! Stream discipline: stdout carries machine-readable output only (the
+//! patched netlist, or the stats JSON with `--stats-json -`); progress,
+//! reports, and diagnostics go to stderr.
+//!
+//! `--trace-out` streams every engine event to a file — JSON Lines by
+//! default, or the Chrome `trace_event` format with
+//! `--trace-format chrome` (loadable in Perfetto). `eco-patch report`
+//! replays a JSONL trace and prints the time/conflict breakdown by
+//! phase, target, and call kind plus the most expensive calls.
 //!
 //! `--timeout-ms` sets a wall-clock deadline and `--global-budget` a
 //! run-wide conflict pool; when either trips, the run degrades
@@ -23,12 +35,18 @@
 //! insufficient, 4 SAT budget exhausted, 5 deadline exceeded or run
 //! cancelled.
 
+use eco_patch::core::trace::{
+    check_span_integrity, render_report, summarize_trace, ChromeTraceObserver, JsonlTraceObserver,
+};
 use eco_patch::core::{
     detect_targets, netlist_patches, DetectOptions, EcoEngine, EcoError, EcoEvent, EcoObserver,
     EcoOptions, EcoProblem, SupportMethod, TargetDisposition, TripReason,
 };
 use eco_patch::netlist::{parse_verilog, Netlist, WeightTable};
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const EXIT_USAGE: u8 = 2;
@@ -96,14 +114,25 @@ struct Args {
     no_fallback: bool,
     timeout_ms: Option<u64>,
     global_budget: Option<u64>,
+    trace_out: Option<String>,
+    trace_format: TraceFormat,
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum TraceFormat {
+    #[default]
+    Jsonl,
+    Chrome,
 }
 
 fn usage() -> &'static str {
     "usage: eco-patch --impl F.v --spec G.v [--weights W.txt] \
      [--targets n1,n2] [--detect] [--method baseline|minimize|prune] \
      [--out patched.v] [--budget CONFLICTS] [--default-weight N] \
-     [--stats-json PATH] [--progress] [--quiet] [--no-fallback] \
-     [--timeout-ms MS] [--global-budget CONFLICTS]"
+     [--stats-json PATH|-] [--progress] [--quiet] [--no-fallback] \
+     [--timeout-ms MS] [--global-budget CONFLICTS] \
+     [--trace-out PATH] [--trace-format jsonl|chrome]\n\
+     \x20      eco-patch report TRACE.jsonl [--top N]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -159,12 +188,31 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--global-budget expects an integer".to_string())?,
                 )
             }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--trace-format" => {
+                args.trace_format = match value("--trace-format")?.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        return Err(format!(
+                            "unknown trace format {other:?} (expected jsonl or chrome)"
+                        ))
+                    }
+                }
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
     if args.impl_path.is_none() || args.spec_path.is_none() {
         return Err(format!("--impl and --spec are required\n{}", usage()));
+    }
+    if args.stats_json.as_deref() == Some("-") && args.out.is_none() {
+        return Err(format!(
+            "--stats-json - writes the metrics to stdout and requires --out \
+             for the netlist\n{}",
+            usage()
+        ));
     }
     Ok(args)
 }
@@ -206,6 +254,66 @@ impl EcoObserver for ProgressObserver {
             _ => {}
         }
     }
+}
+
+/// The trace observer attached to the engine for `--trace-out`, kept
+/// as a typed handle so the file can be finished after the run.
+enum TraceSink {
+    Jsonl(Arc<Mutex<JsonlTraceObserver<BufWriter<File>>>>),
+    Chrome(Arc<Mutex<ChromeTraceObserver<BufWriter<File>>>>),
+}
+
+impl TraceSink {
+    /// Recovers the observer from the engine-shared `Arc`, finishes the
+    /// trace document, and flushes the file.
+    fn finish(self) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut writer = match self {
+            TraceSink::Jsonl(obs) => Arc::try_unwrap(obs)
+                .unwrap_or_else(|_| panic!("engine dropped; trace observer no longer shared"))
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .finish()?,
+            TraceSink::Chrome(obs) => Arc::try_unwrap(obs)
+                .unwrap_or_else(|_| panic!("engine dropped; trace observer no longer shared"))
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .finish()?,
+        };
+        writer.flush()
+    }
+}
+
+/// `eco-patch report TRACE.jsonl [--top N]`: replay a JSONL trace and
+/// print its profile to stdout.
+fn run_report(rest: &[String]) -> Result<u8, CliError> {
+    let mut path: Option<String> = None;
+    let mut top = 5usize;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--top" => {
+                i += 1;
+                top = rest
+                    .get(i)
+                    .ok_or_else(|| CliError::usage("--top requires a value"))?
+                    .parse()
+                    .map_err(|_| CliError::usage("--top expects an integer"))?;
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
+        }
+        i += 1;
+    }
+    let path = path.ok_or_else(|| CliError::usage("report requires a trace file"))?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::general(format!("cannot read {path}: {e}")))?;
+    if let Err(e) = check_span_integrity(&text) {
+        eprintln!("warning: {e}");
+    }
+    let summary = summarize_trace(&text, top).map_err(CliError::general)?;
+    print!("{}", render_report(&summary));
+    Ok(0)
 }
 
 fn run(args: Args) -> Result<u8, CliError> {
@@ -316,11 +424,47 @@ fn run(args: Args) -> Result<u8, CliError> {
     if args.stats_json.is_some() {
         engine = engine.with_metrics();
     }
-    let outcome = engine.run(&problem).map_err(CliError::engine)?;
+    let mut trace_sink = None;
+    if let Some(path) = &args.trace_out {
+        let file = File::create(path)
+            .map_err(|e| CliError::general(format!("cannot write {path}: {e}")))?;
+        let writer = BufWriter::new(file);
+        let sink = match args.trace_format {
+            TraceFormat::Jsonl => {
+                TraceSink::Jsonl(Arc::new(Mutex::new(JsonlTraceObserver::new(writer))))
+            }
+            TraceFormat::Chrome => {
+                TraceSink::Chrome(Arc::new(Mutex::new(ChromeTraceObserver::new(writer))))
+            }
+        };
+        engine = match &sink {
+            TraceSink::Jsonl(obs) => {
+                engine.with_shared_observer(obs.clone() as Arc<Mutex<dyn EcoObserver + Send>>)
+            }
+            TraceSink::Chrome(obs) => {
+                engine.with_shared_observer(obs.clone() as Arc<Mutex<dyn EcoObserver + Send>>)
+            }
+        };
+        trace_sink = Some(sink);
+    }
+    let run_result = engine.run(&problem);
+    // The trace file is finished even when the run errors, so aborted
+    // runs still leave a loadable (if truncated) trace behind.
+    drop(engine);
+    if let Some(sink) = trace_sink {
+        let path = args.trace_out.as_deref().unwrap_or("trace");
+        sink.finish()
+            .map_err(|e| CliError::general(format!("cannot write {path}: {e}")))?;
+    }
+    let outcome = run_result.map_err(CliError::engine)?;
     if let Some(path) = &args.stats_json {
         let metrics = outcome.metrics.as_ref().expect("with_metrics was set");
-        std::fs::write(path, metrics.to_json())
-            .map_err(|e| CliError::general(format!("cannot write {path}: {e}")))?;
+        if path == "-" {
+            println!("{}", metrics.to_json());
+        } else {
+            std::fs::write(path, metrics.to_json())
+                .map_err(|e| CliError::general(format!("cannot write {path}: {e}")))?;
+        }
     }
     if !args.quiet {
         eprintln!(
@@ -387,6 +531,16 @@ fn run(args: Args) -> Result<u8, CliError> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("report") {
+        return match run_report(&argv[1..]) {
+            Ok(code) => ExitCode::from(code),
+            Err(e) => {
+                eprintln!("error: {e}", e = e.message);
+                ExitCode::from(e.code)
+            }
+        };
+    }
     match parse_args() {
         Err(msg) => {
             eprintln!("{msg}");

@@ -175,16 +175,182 @@ fn stats_json_has_the_documented_schema() {
     );
     let json = std::fs::read_to_string(&stats).expect("stats file written");
     for key in [
-        "\"schema_version\":2",
+        "\"schema_version\":3",
         "\"num_targets\":1",
         "\"phases\":[",
         "\"targets\":[",
         "\"sat_calls\":{",
         "\"by_kind\":{",
+        "\"latency_histogram\":[",
         "\"counters\":{",
     ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
+}
+
+#[test]
+fn stdout_is_pure_json_with_stats_dash() {
+    let tmp = TempFiles::new("statsdash");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let out = tmp.path("patched.v");
+    let output = bin()
+        .args([
+            "--impl",
+            &f,
+            "--spec",
+            &g,
+            "--stats-json",
+            "-",
+            "--out",
+            &out,
+            "--progress",
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // Stream discipline: with --out and --stats-json -, stdout must be
+    // exactly one parseable JSON document, nothing else.
+    let stdout = String::from_utf8(output.stdout).expect("utf8 stdout");
+    let value = eco_patch::core::json::parse_json(&stdout).expect("stdout parses as JSON");
+    assert_eq!(
+        value.get("schema_version").and_then(|v| v.as_u64()),
+        Some(3),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn stats_dash_without_out_is_a_usage_error() {
+    let tmp = TempFiles::new("statsdashnoout");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let output = bin()
+        .args(["--impl", &f, "--spec", &g, "--stats-json", "-"])
+        .output()
+        .expect("run");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("requires --out"), "{stderr}");
+}
+
+#[test]
+fn trace_out_writes_jsonl_and_report_reads_it() {
+    let tmp = TempFiles::new("tracejsonl");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let out = tmp.path("patched.v");
+    let trace = tmp.path("trace.jsonl");
+    let output = bin()
+        .args([
+            "--impl",
+            &f,
+            "--spec",
+            &g,
+            "--out",
+            &out,
+            "--trace-out",
+            &trace,
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(text.lines().count() > 4, "trace too short: {text}");
+    for line in text.lines() {
+        eco_patch::core::json::parse_json(line).expect("each trace line parses as JSON");
+    }
+    assert!(text.contains("\"event\":\"run_started\""), "{text}");
+    assert!(text.contains("\"event\":\"run_finished\""), "{text}");
+
+    let report = bin().args(["report", &trace]).output().expect("run report");
+    assert!(
+        report.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    assert!(stdout.contains("phases:"), "{stdout}");
+    assert!(stdout.contains("sat calls:"), "{stdout}");
+    assert!(stdout.contains("most expensive calls"), "{stdout}");
+}
+
+#[test]
+fn chrome_trace_is_valid_json() {
+    let tmp = TempFiles::new("tracechrome");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let out = tmp.path("patched.v");
+    let trace = tmp.path("trace.json");
+    let output = bin()
+        .args([
+            "--impl",
+            &f,
+            "--spec",
+            &g,
+            "--out",
+            &out,
+            "--trace-out",
+            &trace,
+            "--trace-format",
+            "chrome",
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let value = eco_patch::core::json::parse_json(&text).expect("chrome trace parses as JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+}
+
+#[test]
+fn report_on_missing_file_errors_cleanly() {
+    let output = bin()
+        .args(["report", "/nonexistent/trace.jsonl"])
+        .output()
+        .expect("run");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn unknown_trace_format_is_a_usage_error() {
+    let tmp = TempFiles::new("badtraceformat");
+    let f = tmp.write("F.v", IMPLEMENTATION);
+    let g = tmp.write("G.v", SPECIFICATION);
+    let output = bin()
+        .args([
+            "--impl",
+            &f,
+            "--spec",
+            &g,
+            "--trace-out",
+            "t.json",
+            "--trace-format",
+            "xml",
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown trace format"), "{stderr}");
 }
 
 #[test]

@@ -87,7 +87,8 @@ fn fault_on_full_attempt_degrades_to_retry() {
         .with_metrics()
         .run(&p)
         .expect("baseline");
-    let qbf_calls = baseline.metrics.expect("metrics").sat_calls.by_kind[SatCallKind::Qbf.index()];
+    let qbf_calls =
+        baseline.metrics.expect("metrics").sat_calls.by_kind[SatCallKind::Qbf.index()].calls;
     let options = EcoOptions::builder()
         .fault_plan(Some(FaultPlan::AtCalls(vec![qbf_calls + 1])))
         .build();

@@ -3,9 +3,11 @@
 //! stability of the `RunMetrics` JSON schema.
 
 use eco_patch::aig::Aig;
+use eco_patch::core::json::{parse_json, JsonValue};
 use eco_patch::core::{
-    BudgetMetrics, EcoEngine, EcoEvent, EcoObserver, EcoOptions, EcoProblem, PatchKind, Phase,
-    PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics, SupportMethod, TargetMetrics,
+    BudgetMetrics, EcoEngine, EcoEvent, EcoObserver, EcoOptions, EcoProblem, KindMetrics,
+    PatchKind, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics, SupportMethod,
+    TargetMetrics,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -206,20 +208,49 @@ fn metrics_observer_reconciles_with_reports() {
             .expect("report exists");
         assert_eq!(target.sat_calls, report.sat_calls);
     }
-    let total_by_kind: u64 = metrics.sat_calls.by_kind.iter().sum();
+    let total_by_kind: u64 = metrics.sat_calls.by_kind.iter().map(|k| k.calls).sum();
     assert_eq!(total_by_kind, metrics.sat_calls.total);
     let histogram_total: u64 = metrics.sat_calls.conflict_histogram.iter().sum();
     assert_eq!(histogram_total, metrics.sat_calls.total);
+    let latency_total: u64 = metrics.sat_calls.latency_histogram.iter().sum();
+    assert_eq!(latency_total, metrics.sat_calls.total);
+    let time_by_kind: Duration = metrics.sat_calls.by_kind.iter().map(|k| k.time).sum();
+    assert_eq!(time_by_kind, metrics.sat_calls.time);
     assert_eq!(metrics.phases.len(), Phase::ALL.len());
     // The final CEC may be discharged structurally (no SAT call), but the
     // patch-generation calls themselves must be visible.
     assert!(metrics.sat_calls.total > 0);
-    assert!(metrics.sat_calls.by_kind[SatCallKind::Support.index()] >= 1);
+    assert!(metrics.sat_calls.by_kind[SatCallKind::Support.index()].calls >= 1);
+    assert!(
+        metrics.sat_calls.time > Duration::ZERO,
+        "observed runs must capture solver wall time"
+    );
 }
 
-#[test]
-fn run_metrics_golden_json() {
-    let metrics = RunMetrics {
+fn golden_metrics() -> RunMetrics {
+    let mut by_kind = [KindMetrics::default(); 8];
+    by_kind[SatCallKind::Support.index()] = KindMetrics {
+        calls: 2,
+        conflicts: 4,
+        time: Duration::from_micros(50),
+        conflict_histogram: [1, 1, 0, 0, 0, 0, 0, 0],
+        latency_histogram: [0, 2, 0, 0, 0, 0, 0, 0],
+    };
+    by_kind[SatCallKind::Minimize.index()] = KindMetrics {
+        calls: 1,
+        conflicts: 3,
+        time: Duration::from_micros(30),
+        conflict_histogram: [0, 1, 0, 0, 0, 0, 0, 0],
+        latency_histogram: [0, 1, 0, 0, 0, 0, 0, 0],
+    };
+    by_kind[SatCallKind::Cec.index()] = KindMetrics {
+        calls: 1,
+        conflicts: 2,
+        time: Duration::from_micros(10),
+        conflict_histogram: [0, 1, 0, 0, 0, 0, 0, 0],
+        latency_histogram: [1, 0, 0, 0, 0, 0, 0, 0],
+    };
+    RunMetrics {
         num_targets: 1,
         per_call_conflicts: Some(1000),
         elapsed: Duration::from_micros(1234),
@@ -233,15 +264,19 @@ fn run_metrics_golden_json() {
             observed_sat_calls: 3,
             conflicts: 7,
             elapsed: Duration::from_micros(100),
+            sat_time: Duration::from_micros(80),
             conflict_histogram: [1, 2, 0, 0, 0, 0, 0, 0],
+            latency_histogram: [0, 3, 0, 0, 0, 0, 0, 0],
         }],
         sat_calls: SatCallMetrics {
             total: 4,
             conflicts: 9,
             decisions: 5,
             propagations: 6,
-            by_kind: [0, 2, 1, 0, 0, 0, 0, 1],
+            time: Duration::from_micros(90),
+            by_kind,
             conflict_histogram: [1, 3, 0, 0, 0, 0, 0, 0],
+            latency_histogram: [1, 3, 0, 0, 0, 0, 0, 0],
         },
         budget: Some(BudgetMetrics {
             per_call_conflicts: 1000,
@@ -255,23 +290,93 @@ fn run_metrics_golden_json() {
         cegar_min_rounds: 4,
         governor_trips: 5,
         ladder_steps: 6,
-    };
-    let expected = concat!(
-        "{\"schema_version\":2,\"num_targets\":1,\"per_call_conflicts\":1000,",
-        "\"elapsed_us\":1234,",
-        "\"phases\":[{\"phase\":\"sufficiency_check\",\"elapsed_us\":10}],",
-        "\"targets\":[{\"target_index\":0,\"sat_calls\":3,\"observed_sat_calls\":3,",
-        "\"conflicts\":7,\"elapsed_us\":100,",
-        "\"conflict_histogram\":[1,2,0,0,0,0,0,0]}],",
-        "\"sat_calls\":{\"total\":4,\"conflicts\":9,\"decisions\":5,\"propagations\":6,",
-        "\"by_kind\":{\"qbf\":0,\"support\":2,\"minimize\":1,\"cube_enumeration\":0,",
-        "\"sat_prune_search\":0,\"cegar_min\":0,\"refinement\":0,\"cec\":1},",
-        "\"conflict_histogram\":[1,3,0,0,0,0,0,0]},",
-        "\"budget\":{\"per_call_conflicts\":1000,\"max_fraction\":0.500000,",
-        "\"mean_fraction\":0.250000},",
-        "\"counters\":{\"qbf_refinements\":1,\"quantification_refinements\":2,",
-        "\"support_minimization_steps\":3,\"structural_fallbacks\":0,",
-        "\"cegar_min_rounds\":4,\"governor_trips\":5,\"ladder_steps\":6}}"
+    }
+}
+
+#[test]
+fn run_metrics_golden_json() {
+    const ZERO_KIND: &str = "{\"calls\":0,\"conflicts\":0,\"time_us\":0,\
+                             \"conflict_histogram\":[0,0,0,0,0,0,0,0],\
+                             \"latency_histogram\":[0,0,0,0,0,0,0,0]}";
+    let expected = format!(
+        concat!(
+            "{{\"schema_version\":3,\"num_targets\":1,\"per_call_conflicts\":1000,",
+            "\"elapsed_us\":1234,",
+            "\"phases\":[{{\"phase\":\"sufficiency_check\",\"elapsed_us\":10}}],",
+            "\"targets\":[{{\"target_index\":0,\"sat_calls\":3,\"observed_sat_calls\":3,",
+            "\"conflicts\":7,\"elapsed_us\":100,\"sat_time_us\":80,",
+            "\"conflict_histogram\":[1,2,0,0,0,0,0,0],",
+            "\"latency_histogram\":[0,3,0,0,0,0,0,0]}}],",
+            "\"sat_calls\":{{\"total\":4,\"conflicts\":9,\"decisions\":5,\"propagations\":6,",
+            "\"time_us\":90,\"by_kind\":{{",
+            "\"qbf\":{z},",
+            "\"support\":{{\"calls\":2,\"conflicts\":4,\"time_us\":50,",
+            "\"conflict_histogram\":[1,1,0,0,0,0,0,0],",
+            "\"latency_histogram\":[0,2,0,0,0,0,0,0]}},",
+            "\"minimize\":{{\"calls\":1,\"conflicts\":3,\"time_us\":30,",
+            "\"conflict_histogram\":[0,1,0,0,0,0,0,0],",
+            "\"latency_histogram\":[0,1,0,0,0,0,0,0]}},",
+            "\"cube_enumeration\":{z},\"sat_prune_search\":{z},\"cegar_min\":{z},",
+            "\"refinement\":{z},",
+            "\"cec\":{{\"calls\":1,\"conflicts\":2,\"time_us\":10,",
+            "\"conflict_histogram\":[0,1,0,0,0,0,0,0],",
+            "\"latency_histogram\":[1,0,0,0,0,0,0,0]}}}},",
+            "\"conflict_histogram\":[1,3,0,0,0,0,0,0],",
+            "\"latency_histogram\":[1,3,0,0,0,0,0,0]}},",
+            "\"budget\":{{\"per_call_conflicts\":1000,\"max_fraction\":0.500000,",
+            "\"mean_fraction\":0.250000}},",
+            "\"counters\":{{\"qbf_refinements\":1,\"quantification_refinements\":2,",
+            "\"support_minimization_steps\":3,\"structural_fallbacks\":0,",
+            "\"cegar_min_rounds\":4,\"governor_trips\":5,\"ladder_steps\":6}}}}"
+        ),
+        z = ZERO_KIND
     );
-    assert_eq!(metrics.to_json(), expected);
+    assert_eq!(golden_metrics().to_json(), expected);
+}
+
+#[test]
+fn run_metrics_v3_round_trips_through_parser() {
+    let metrics = golden_metrics();
+    let doc = parse_json(&metrics.to_json()).expect("schema v3 output is valid JSON");
+    let u = |v: &JsonValue, key: &str| v.get(key).and_then(JsonValue::as_u64);
+    assert_eq!(u(&doc, "schema_version"), Some(3));
+    assert_eq!(u(&doc, "num_targets"), Some(1));
+    assert_eq!(u(&doc, "elapsed_us"), Some(1234));
+    let sat = doc.get("sat_calls").expect("sat_calls object");
+    assert_eq!(u(sat, "total"), Some(4));
+    assert_eq!(u(sat, "time_us"), Some(90));
+    let by_kind = sat.get("by_kind").expect("by_kind object");
+    for kind in SatCallKind::ALL {
+        let entry = by_kind.get(kind.name()).expect("every kind present");
+        let calls = u(entry, "calls").expect("calls");
+        assert_eq!(
+            calls,
+            metrics.sat_calls.by_kind[kind.index()].calls,
+            "{}",
+            kind.name()
+        );
+        let lat: u64 = entry
+            .get("latency_histogram")
+            .and_then(JsonValue::as_array)
+            .expect("latency histogram")
+            .iter()
+            .filter_map(JsonValue::as_u64)
+            .sum();
+        assert_eq!(
+            lat,
+            calls,
+            "histogram mass equals calls for {}",
+            kind.name()
+        );
+    }
+    let target = &doc
+        .get("targets")
+        .and_then(JsonValue::as_array)
+        .expect("targets")[0];
+    assert_eq!(u(target, "sat_time_us"), Some(80));
+    let budget = doc.get("budget").expect("budget object");
+    assert_eq!(
+        budget.get("max_fraction").and_then(JsonValue::as_f64),
+        Some(0.5)
+    );
 }
