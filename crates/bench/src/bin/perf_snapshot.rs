@@ -3,14 +3,15 @@
 //! upload as an artifact and diff across commits.
 //!
 //! ```text
-//! perf_snapshot [--scale F] [--iters N] [--units N] [--out DIR]
+//! perf_snapshot [--scale F] [--iters N] [--units N] [--unit NAME]
+//!               [--jobs N] [--out DIR]
 //! ```
 //!
 //! One record per (unit, method): mean/min wall time plus the key
 //! `RunMetrics` v3 counters (SAT calls, conflicts, solver µs), so perf
 //! regressions are attributable to solver work vs. engine overhead.
 
-use eco_bench::run_method;
+use eco_bench::run_method_jobs;
 use eco_benchgen::{build_unit, table1_units};
 use eco_core::json::escape_json;
 use eco_core::SupportMethod;
@@ -21,6 +22,8 @@ struct Config {
     scale: f64,
     iters: usize,
     units: usize,
+    unit: Option<String>,
+    jobs: usize,
     out_dir: String,
 }
 
@@ -29,6 +32,8 @@ fn parse_config() -> Result<Config, String> {
         scale: 0.02,
         iters: 2,
         units: usize::MAX,
+        unit: None,
+        jobs: 1,
         out_dir: ".".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -52,17 +57,26 @@ fn parse_config() -> Result<Config, String> {
                     .parse()
                     .map_err(|_| "--units expects an integer".to_string())?
             }
+            "--unit" => config.unit = Some(value("--unit")?),
+            "--jobs" => {
+                config.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects an integer".to_string())?
+            }
             "--out" => config.out_dir = value("--out")?,
             other => {
                 return Err(format!(
                     "unknown flag {other:?}\nusage: perf_snapshot [--scale F] \
-                     [--iters N] [--units N] [--out DIR]"
+                     [--iters N] [--units N] [--unit NAME] [--jobs N] [--out DIR]"
                 ))
             }
         }
     }
     if config.iters == 0 {
         return Err("--iters must be at least 1".to_string());
+    }
+    if config.jobs == 0 {
+        return Err("--jobs must be at least 1".to_string());
     }
     Ok(config)
 }
@@ -85,14 +99,18 @@ fn main() {
         ("prune", SupportMethod::SatPrune),
     ];
     let mut cases = Vec::new();
-    for unit in table1_units(config.scale).iter().take(config.units) {
+    for unit in table1_units(config.scale)
+        .iter()
+        .filter(|u| config.unit.as_deref().is_none_or(|n| n == u.name))
+        .take(config.units)
+    {
         let problem = build_unit(unit);
         for (method_name, method) in methods {
             let mut total = Duration::ZERO;
             let mut min = Duration::MAX;
             let mut last = None;
             for _ in 0..config.iters {
-                let r = run_method(&problem, method, Some(500_000));
+                let r = run_method_jobs(&problem, method, Some(500_000), config.jobs);
                 total += r.time;
                 min = min.min(r.time);
                 last = Some(r);
@@ -138,8 +156,8 @@ fn main() {
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\"schema_version\":1,\"suite\":\"table1\",\"scale\":{},\"iters\":{},\"cases\":[",
-        config.scale, config.iters
+        "{{\"schema_version\":1,\"suite\":\"table1\",\"scale\":{},\"iters\":{},\"jobs\":{},\"cases\":[",
+        config.scale, config.iters, config.jobs
     );
     json.push_str(&cases.join(","));
     json.push_str("]}\n");

@@ -68,6 +68,22 @@ pub(crate) fn check_equivalence_observed(
     obs: &ObserverHandle,
     governor: Option<&ResourceGovernor>,
 ) -> CecResult {
+    check_outputs_equivalence_observed(a, b, None, conflict_budget, obs, governor)
+}
+
+/// Equivalence of `a` and `b` restricted to `outputs` (`None` = all
+/// outputs) — the sweep primitive behind the engine's incremental
+/// verification. The CNF encoding is lazy, so only the cones of the
+/// selected outputs reach the solver even though both AIGs are imported
+/// in full.
+pub(crate) fn check_outputs_equivalence_observed(
+    a: &Aig,
+    b: &Aig,
+    outputs: Option<&[usize]>,
+    conflict_budget: Option<u64>,
+    obs: &ObserverHandle,
+    governor: Option<&ResourceGovernor>,
+) -> CecResult {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input count mismatch");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output count mismatch");
     // Build the miter in a fresh AIG so structural hashing can prove
@@ -76,10 +92,13 @@ pub(crate) fn check_equivalence_observed(
     let inputs: Vec<_> = (0..a.num_inputs()).map(|_| miter.add_input()).collect();
     let outs_a = miter.import(a, &inputs);
     let outs_b = miter.import(b, &inputs);
-    let diffs: Vec<_> = outs_a
+    let indices: Vec<usize> = match outputs {
+        Some(idx) => idx.to_vec(),
+        None => (0..a.num_outputs()).collect(),
+    };
+    let diffs: Vec<_> = indices
         .iter()
-        .zip(&outs_b)
-        .map(|(&x, &y)| miter.xor(x, y))
+        .map(|&i| miter.xor(outs_a[i], outs_b[i]))
         .collect();
     let any_diff = miter.or_many(&diffs);
     if any_diff == eco_aig::AigLit::FALSE {
@@ -182,6 +201,32 @@ mod tests {
             }
             other => panic!("expected counterexample, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn output_restricted_sweep_ignores_other_outputs() {
+        let mut f = Aig::new();
+        let a = f.add_input();
+        f.add_output(a);
+        f.add_output(!a);
+        let mut g = Aig::new();
+        let a = g.add_input();
+        g.add_output(a);
+        g.add_output(a); // differs on output 1 only
+        let obs = ObserverHandle::default();
+        assert_eq!(
+            check_outputs_equivalence_observed(&f, &g, Some(&[0]), None, &obs, None),
+            CecResult::Equivalent
+        );
+        assert!(matches!(
+            check_outputs_equivalence_observed(&f, &g, Some(&[1]), None, &obs, None),
+            CecResult::Counterexample(_)
+        ));
+        assert_eq!(
+            check_outputs_equivalence_observed(&f, &g, Some(&[]), None, &obs, None),
+            CecResult::Equivalent,
+            "an empty sweep is vacuously equivalent"
+        );
     }
 
     #[test]

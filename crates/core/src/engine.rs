@@ -2,7 +2,7 @@
 //! windowing, per-target quantification, support computation, cube
 //! enumeration, structural fallback, substitution, and verification.
 
-use crate::cec::{check_equivalence_observed, CecResult};
+use crate::cec::{check_outputs_equivalence_observed, CecResult};
 use crate::cegar_min::cegar_min_observed;
 use crate::cnf::CnfEncoder;
 use crate::cubes::enumerate_patch_sop_observed;
@@ -17,7 +17,9 @@ use crate::problem::EcoProblem;
 use crate::qbf::{check_targets_sufficient_observed, QbfOutcome};
 use crate::structural::structural_patch;
 use crate::support::{support_solver_for, SupportResult};
-use crate::window::{compute_divisors, compute_window, Window};
+use crate::window::{
+    compute_divisors, compute_window, independent_targets, per_target_outputs, Window,
+};
 use eco_aig::{factor_sop, Aig, AigLit, NodeId, NodePatch};
 use eco_sat::{FaultPlan, GovernorLimits, ResourceGovernor, SolveResult, Solver, TripReason};
 use std::collections::{HashMap, HashSet};
@@ -107,6 +109,14 @@ pub struct EcoOptions {
     /// [`EcoOptions::per_call_conflicts`] (the historical behavior is
     /// the default factor of 8).
     pub verify_budget_factor: u64,
+    /// Worker threads for the parallel backend (`1` = fully
+    /// sequential; `0` is treated as `1`). The *algorithm* — which
+    /// targets are batched, which assignments each subproblem sees,
+    /// per-call budgets, verification sweep partitioning — is identical
+    /// at every value; only thread placement changes, so patches,
+    /// dispositions, and run-level metric totals are invariant across
+    /// `jobs` (worker attribution and wall-clock times are not).
+    pub jobs: usize,
 }
 
 impl Default for EcoOptions {
@@ -131,6 +141,7 @@ impl Default for EcoOptions {
             fault_plan: None,
             degraded_retry: true,
             verify_budget_factor: 8,
+            jobs: 1,
         }
     }
 }
@@ -280,6 +291,12 @@ impl EcoOptionsBuilder {
     /// Sets the verification budget escalation factor.
     pub fn verify_budget_factor(mut self, factor: u64) -> Self {
         self.options.verify_budget_factor = factor;
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel backend.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.options.jobs = jobs;
         self
     }
 
@@ -546,9 +563,11 @@ impl EcoEngine {
             None
         };
         let obs = ObserverHandle::new(sinks);
+        let jobs = opts.jobs.max(1);
         obs.emit(|| EcoEvent::RunStarted {
             num_targets: problem.targets.len(),
             per_call_conflicts: opts.per_call_conflicts,
+            jobs,
         });
 
         // Phase 1: verify the target set is sufficient (Sec. 3.2).
@@ -598,7 +617,39 @@ impl EcoEngine {
             elapsed: phase_t.elapsed(),
         });
 
-        // Phase 3: one target at a time (Sec. 3.1).
+        // Incremental verification sweeps (wave 0): outputs outside the
+        // window are target-free from the start, so they can be checked
+        // against the original implementation — and, at `jobs > 1`,
+        // concurrently with the patch solves below.
+        let spec = Arc::new(problem.specification.clone());
+        let num_outputs = problem.implementation.num_outputs();
+        let mut sweeps = SweepQueue::default();
+        // Outputs not yet handed to a sweep wave.
+        let mut pending_outputs = vec![true; num_outputs];
+        // Enqueueing stops as soon as a target is skipped: the netlist
+        // is then inequivalent by construction and the run reports
+        // `verified == false` without spending sweep budget.
+        let mut sweeping = opts.verify;
+        if sweeping {
+            let wave0: Vec<usize> = (0..num_outputs)
+                .filter(|i| window.outputs.binary_search(i).is_err())
+                .collect();
+            for &o in &wave0 {
+                pending_outputs[o] = false;
+            }
+            self.enqueue_sweep_wave(
+                &mut sweeps.execs,
+                problem.implementation.clone(),
+                wave0,
+                &spec,
+                opts,
+                gov,
+                &obs,
+            );
+        }
+
+        // Phase 3: independent targets as a batch when their output
+        // cones are disjoint, otherwise one target at a time (Sec. 3.1).
         obs.emit(|| EcoEvent::PhaseStarted {
             phase: Phase::PatchGeneration,
         });
@@ -613,152 +664,285 @@ impl EcoEngine {
             .collect();
 
         while !work.targets.is_empty() {
-            let original_index = remaining_original[0];
-            let r = work.targets.len() - 1;
-            let exact = r <= opts.exact_quantification_threshold;
-            let mut assignments: Vec<Vec<bool>> = if r == 0 {
-                Vec::new()
-            } else if exact {
-                all_assignments(r)
-            } else {
-                let projected = project_certificates(
-                    certificates.as_deref().unwrap_or(&[]),
-                    &remaining_original[1..],
-                );
-                if projected.is_empty() {
-                    vec![vec![false; r]]
-                } else {
-                    projected
-                }
-            };
-
-            let target_t = Instant::now();
-            obs.emit(|| EcoEvent::TargetStarted {
-                target_index: original_index,
-            });
-            // SAT calls spent on this target so far, across failed
-            // attempts: carried into the fallback report so events and
-            // counters stay reconciled.
-            let mut spent = 0u64;
-            let ladder = self.patch_with_ladder(
-                &work,
-                &window,
-                &mut assignments,
-                exact,
-                original_index,
-                &mut spent,
-                opts,
-                gov,
-                &mut trips,
-                &obs,
-            )?;
-            let (patch, report) = match ladder {
-                Ok(ok) => ok,
-                Err(reason) => {
-                    // Skipped: leave the target's original function in
-                    // place (no substitution) and move on, isolating
-                    // the failure to this one target.
-                    reports.push(TargetPatchReport {
-                        target_index: original_index,
-                        kind: PatchKind::Skipped,
-                        disposition: TargetDisposition::Skipped { reason },
-                        support_size: 0,
-                        cost: 0,
-                        gates: 0,
-                        cubes: None,
-                        sat_calls: spent,
-                    });
-                    obs.emit(|| EcoEvent::TargetFinished {
-                        target_index: original_index,
-                        sat_calls: spent,
-                        elapsed: target_t.elapsed(),
-                    });
-                    work.targets.remove(0);
-                    remaining_original.remove(0);
-                    continue;
-                }
-            };
-            obs.emit(|| EcoEvent::TargetFinished {
-                target_index: original_index,
-                sat_calls: report.sat_calls,
-                elapsed: target_t.elapsed(),
-            });
-
-            // Record the applied patch before metadata remapping.
-            applied.push(AppliedPatch {
-                target_index: original_index,
-                aig: patch.aig.clone(),
-                support: patch.support.clone(),
-                original_support: patch
-                    .support
+            // Disjoint-output targets form an independent batch: each is
+            // a standalone single-target subproblem against the shared
+            // snapshot, solved concurrently at `jobs > 1` and committed
+            // in one substitution. The partition is purely structural,
+            // so it is identical at every job count.
+            let batch = independent_targets(&work.implementation, &work.targets);
+            if batch.len() >= 2 {
+                let per_outputs = per_target_outputs(&work.implementation, &work.targets);
+                let member_windows: Vec<Window> = batch
                     .iter()
-                    .map(|l| orig_of[l.node().index()])
-                    .collect(),
-            });
-            // Substitute and remap metadata.
-            let mut patches = HashMap::new();
-            patches.insert(work.targets[0], patch);
-            // Remaining targets are protected from strash folding/merging
-            // so their rectification freedom survives the rebuild.
-            let protected: HashSet<NodeId> = work.targets[1..].iter().copied().collect();
-            let sub = work
-                .implementation
-                .substitute_protected(&patches, &protected)
-                .map_err(|e| EcoError::CyclicPatch {
-                    message: e.to_string(),
-                })?;
-            let mut new_weights = vec![work.default_weight; sub.aig.num_nodes()];
-            for (old, mapped) in sub.node_map.iter().enumerate() {
-                if let Some(lit) = mapped {
-                    let ni = lit.node().index();
-                    new_weights[ni] = new_weights[ni].min(work.weights[old]);
-                }
-            }
-            let mut new_targets: Vec<NodeId> = Vec::new();
-            let mut new_original = Vec::new();
-            for (j, &t) in work.targets.iter().enumerate().skip(1) {
-                match sub.node_map[t.index()] {
-                    // Structural hashing may merge two remaining targets
-                    // into one node; the freedom is then a single function,
-                    // so keep the first occurrence only.
-                    Some(lit) if !lit.is_const() && !new_targets.contains(&lit.node()) => {
-                        new_targets.push(lit.node());
-                        new_original.push(remaining_original[j]);
+                    .map(|&pos| Window {
+                        outputs: per_outputs[pos].clone(),
+                        inputs: window.inputs.clone(),
+                        divisors: Vec::new(),
+                    })
+                    .collect();
+                // One arbitrary constant assignment for the other
+                // targets: none of them reaches a member's outputs, so
+                // the quantification is exact (see
+                // [`EcoEngine::solve_batch_member`]).
+                let initial = vec![vec![false; work.targets.len() - 1]];
+                let mut member_results: Vec<MemberSolve> = Vec::with_capacity(batch.len());
+                if jobs > 1 {
+                    let mut sinks: Vec<Option<BufferSink>> = Vec::with_capacity(batch.len());
+                    let work_ref = &work;
+                    std::thread::scope(|s| {
+                        let mut handles = Vec::with_capacity(batch.len());
+                        for (slot, &pos) in batch.iter().enumerate() {
+                            let (member_obs, sink) = buffered_handle(obs.is_active());
+                            sinks.push(sink);
+                            let member_window = &member_windows[slot];
+                            let original_index = remaining_original[pos];
+                            let worker = slot % jobs;
+                            let member_gov = governor.clone();
+                            let initial = initial.clone();
+                            handles.push(s.spawn(move || {
+                                self.solve_batch_member(
+                                    work_ref,
+                                    member_window,
+                                    &initial,
+                                    pos,
+                                    original_index,
+                                    worker,
+                                    opts,
+                                    member_gov.as_ref(),
+                                    &member_obs,
+                                )
+                            }));
+                        }
+                        for handle in handles {
+                            member_results.push(join_worker(handle.join()));
+                        }
+                    });
+                    // Replay each member's events in slot order: one
+                    // total order, identical (up to worker ids and
+                    // timestamps) to a serial run of the same batch.
+                    for sink in sinks {
+                        replay_buffer(&obs, sink);
                     }
-                    _ => {
-                        // Target is dead or constant: a constant-0 patch is
-                        // vacuously fine.
+                } else {
+                    for (slot, &pos) in batch.iter().enumerate() {
+                        member_results.push(self.solve_batch_member(
+                            &work,
+                            &member_windows[slot],
+                            &initial,
+                            pos,
+                            remaining_original[pos],
+                            slot % jobs,
+                            opts,
+                            gov,
+                            &obs,
+                        ));
+                    }
+                }
+                let mut patches_by_pos: HashMap<usize, NodePatch> = HashMap::new();
+                let mut drop_positions: HashSet<usize> = HashSet::new();
+                let mut member_reports: Vec<TargetPatchReport> = Vec::new();
+                for (&pos, (ladder, spent)) in batch.iter().zip(member_results) {
+                    match ladder? {
+                        Ok((patch, report)) => {
+                            // Record the applied patch before metadata
+                            // remapping.
+                            applied.push(AppliedPatch {
+                                target_index: remaining_original[pos],
+                                aig: patch.aig.clone(),
+                                support: patch.support.clone(),
+                                original_support: patch
+                                    .support
+                                    .iter()
+                                    .map(|l| orig_of[l.node().index()])
+                                    .collect(),
+                            });
+                            patches_by_pos.insert(pos, patch);
+                            member_reports.push(report);
+                        }
+                        Err(reason) => {
+                            // Skipped: the member keeps its original
+                            // function; the failure stays isolated.
+                            reports.push(TargetPatchReport {
+                                target_index: remaining_original[pos],
+                                kind: PatchKind::Skipped,
+                                disposition: TargetDisposition::Skipped { reason },
+                                support_size: 0,
+                                cost: 0,
+                                gates: 0,
+                                cubes: None,
+                                sat_calls: spent,
+                            });
+                            drop_positions.insert(pos);
+                        }
+                    }
+                }
+                commit_patches(
+                    &mut work,
+                    &mut remaining_original,
+                    &mut orig_of,
+                    patches_by_pos,
+                    &drop_positions,
+                    &mut reports,
+                )?;
+                reports.extend(member_reports);
+                if !drop_positions.is_empty() {
+                    sweeping = false;
+                }
+            } else {
+                // Sequential step on the head target — the paper's
+                // substitution order, used whenever output cones
+                // overlap.
+                let original_index = remaining_original[0];
+                let r = work.targets.len() - 1;
+                let exact = r <= opts.exact_quantification_threshold;
+                let assignments: Vec<Vec<bool>> = if r == 0 {
+                    Vec::new()
+                } else if exact {
+                    all_assignments(r)
+                } else {
+                    let projected = project_certificates(
+                        certificates.as_deref().unwrap_or(&[]),
+                        &remaining_original[1..],
+                    );
+                    if projected.is_empty() {
+                        vec![vec![false; r]]
+                    } else {
+                        projected
+                    }
+                };
+
+                let target_t = Instant::now();
+                obs.emit(|| EcoEvent::TargetStarted {
+                    target_index: original_index,
+                    worker: 0,
+                });
+                // SAT calls spent on this target so far, across failed
+                // attempts: carried into the fallback report so events
+                // and counters stay reconciled.
+                let mut spent = 0u64;
+                let ladder = if jobs > 1 && opts.structural_fallback {
+                    self.patch_with_ladder_racing(
+                        &work,
+                        &window,
+                        &assignments,
+                        exact,
+                        original_index,
+                        &mut spent,
+                        opts,
+                        gov,
+                        &mut trips,
+                        &obs,
+                    )?
+                } else {
+                    self.patch_with_ladder(
+                        &work,
+                        &window,
+                        &assignments,
+                        exact,
+                        0,
+                        original_index,
+                        &mut spent,
+                        opts,
+                        gov,
+                        &mut trips,
+                        &obs,
+                    )?
+                };
+                match ladder {
+                    Ok((patch, report)) => {
+                        obs.emit(|| EcoEvent::TargetFinished {
+                            target_index: original_index,
+                            worker: 0,
+                            sat_calls: report.sat_calls,
+                            elapsed: target_t.elapsed(),
+                        });
+                        // Record the applied patch before metadata
+                        // remapping.
+                        applied.push(AppliedPatch {
+                            target_index: original_index,
+                            aig: patch.aig.clone(),
+                            support: patch.support.clone(),
+                            original_support: patch
+                                .support
+                                .iter()
+                                .map(|l| orig_of[l.node().index()])
+                                .collect(),
+                        });
+                        let mut patches_by_pos = HashMap::new();
+                        patches_by_pos.insert(0usize, patch);
+                        commit_patches(
+                            &mut work,
+                            &mut remaining_original,
+                            &mut orig_of,
+                            patches_by_pos,
+                            &HashSet::new(),
+                            &mut reports,
+                        )?;
+                        reports.push(report);
+                    }
+                    Err(reason) => {
+                        // Skipped: leave the target's original function
+                        // in place (no substitution) and move on,
+                        // isolating the failure to this one target.
                         reports.push(TargetPatchReport {
-                            target_index: remaining_original[j],
-                            kind: PatchKind::TrivialDead,
-                            disposition: TargetDisposition::Patched,
+                            target_index: original_index,
+                            kind: PatchKind::Skipped,
+                            disposition: TargetDisposition::Skipped { reason },
                             support_size: 0,
                             cost: 0,
                             gates: 0,
                             cubes: None,
-                            sat_calls: 0,
+                            sat_calls: spent,
                         });
+                        obs.emit(|| EcoEvent::TargetFinished {
+                            target_index: original_index,
+                            worker: 0,
+                            sat_calls: spent,
+                            elapsed: target_t.elapsed(),
+                        });
+                        let mut drop_head = HashSet::new();
+                        drop_head.insert(0usize);
+                        commit_patches(
+                            &mut work,
+                            &mut remaining_original,
+                            &mut orig_of,
+                            HashMap::new(),
+                            &drop_head,
+                            &mut reports,
+                        )?;
+                        sweeping = false;
                     }
                 }
             }
-            // Carry original-node identity forward (strash merges keep
-            // any original identity; fresh patch logic gets None).
-            let mut new_orig: Vec<Option<NodeId>> = vec![None; sub.aig.num_nodes()];
-            for (old, mapped) in sub.node_map.iter().enumerate() {
-                if let Some(lit) = mapped {
-                    if !lit.is_complement() {
-                        if let Some(orig) = orig_of[old] {
-                            new_orig[lit.node().index()].get_or_insert(orig);
-                        }
-                    }
+
+            // Outputs no remaining target reaches are final: hand them
+            // to the verification sweeps against the current snapshot.
+            if sweeping && pending_outputs.iter().any(|&p| p) {
+                let fanouts = work.implementation.fanouts();
+                let reached = work
+                    .implementation
+                    .tfo_mask(work.targets.iter().copied(), &fanouts);
+                let freed: Vec<usize> = work
+                    .implementation
+                    .outputs()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(o, out)| pending_outputs[o] && !reached[out.node().index()])
+                    .map(|(o, _)| o)
+                    .collect();
+                for &o in &freed {
+                    pending_outputs[o] = false;
                 }
+                self.enqueue_sweep_wave(
+                    &mut sweeps.execs,
+                    work.implementation.clone(),
+                    freed,
+                    &spec,
+                    opts,
+                    gov,
+                    &obs,
+                );
             }
-            orig_of = new_orig;
-            reports.push(report);
-            work.implementation = sub.aig;
-            work.weights = new_weights;
-            work.targets = new_targets;
-            remaining_original = new_original;
         }
 
         obs.emit(|| EcoEvent::PhaseFinished {
@@ -778,23 +962,13 @@ impl EcoEngine {
         let any_skipped = reports.iter().any(|r| !r.disposition.is_patched());
         let hard_tripped = gov.is_some_and(|g| g.hard_trip().is_some());
         let verified = if opts.verify && !any_skipped && !hard_tripped {
-            match check_equivalence_observed(
-                &work.implementation,
-                &problem.specification,
-                opts.per_call_conflicts
-                    .map(|c| c.saturating_mul(opts.verify_budget_factor)),
-                &obs,
-                gov,
-            ) {
-                CecResult::Equivalent => true,
-                CecResult::Counterexample(cex) => {
-                    return Err(EcoError::VerificationFailed {
-                        counterexample: cex,
-                    })
-                }
-                CecResult::Unknown => false,
-            }
+            self.drain_sweeps(sweeps.take(), &spec, opts, gov, &obs)?
         } else {
+            // The sweeps' verdicts can no longer matter; cancel any
+            // still running and drop their buffered events, so a run
+            // that skips verification has the same event stream at
+            // every job count.
+            discard_sweeps(sweeps.take());
             false
         };
         trips.note(&obs, gov);
@@ -826,10 +1000,15 @@ impl EcoEngine {
         })
     }
 
-    /// Runs the per-target degradation ladder for `work.targets[0]`:
+    /// Runs the per-target degradation ladder for `work.targets[pos]`:
     /// full-effort SAT attempt, then (on resource exhaustion) a
     /// reduced-effort retry, then the structural patch, then skipping
     /// the target.
+    ///
+    /// Each rung starts from a private clone of the *initial*
+    /// `assignments` (rung 1's quantification refinements never leak
+    /// into rung 2), which keeps this ladder's results identical to the
+    /// racing variant's.
     ///
     /// The outer `Err` aborts the whole run: non-resource errors
     /// always, resource errors only when
@@ -840,8 +1019,9 @@ impl EcoEngine {
         &self,
         work: &EcoProblem,
         window: &Window,
-        assignments: &mut Vec<Vec<bool>>,
+        assignments: &[Vec<bool>],
         exact: bool,
+        pos: usize,
         original_index: usize,
         spent: &mut u64,
         opts: &EcoOptions,
@@ -861,11 +1041,13 @@ impl EcoEngine {
         }
 
         // Rung 1: full-effort attempt.
-        let first_err = match self.sat_patch_for_first_target(
+        let mut rung_assignments = assignments.to_vec();
+        let first_err = match self.sat_patch_for_target(
             work,
             window,
-            assignments,
+            &mut rung_assignments,
             exact,
+            pos,
             original_index,
             spent,
             opts,
@@ -889,11 +1071,13 @@ impl EcoEngine {
                 rung: LadderRung::DegradedRetry,
             });
             let reduced = reduced_options(opts);
-            match self.sat_patch_for_first_target(
+            let mut rung_assignments = assignments.to_vec();
+            match self.sat_patch_for_target(
                 work,
                 window,
-                assignments,
+                &mut rung_assignments,
                 exact,
+                pos,
                 original_index,
                 spent,
                 &reduced,
@@ -920,10 +1104,11 @@ impl EcoEngine {
                 target_index: original_index,
                 rung: LadderRung::Structural,
             });
-            match self.structural_patch_for_first_target(
+            match self.structural_patch_for_target(
                 work,
                 window,
                 assignments,
+                pos,
                 original_index,
                 *spent,
                 opts,
@@ -936,10 +1121,11 @@ impl EcoEngine {
                     if opts.cegar_min && governor.and_then(ResourceGovernor::hard_trip).is_none() {
                         let mut plain = opts.clone();
                         plain.cegar_min = false;
-                        match self.structural_patch_for_first_target(
+                        match self.structural_patch_for_target(
                             work,
                             window,
                             assignments,
+                            pos,
                             original_index,
                             *spent,
                             &plain,
@@ -965,7 +1151,7 @@ impl EcoEngine {
         Ok(Err(skip_reason_for(&first_err, governor)))
     }
 
-    /// SAT path for `work.targets[0]`: feasibility (with CEGAR
+    /// SAT path for `work.targets[pos]`: feasibility (with CEGAR
     /// quantification refinement when approximate), support
     /// computation, cube enumeration, factoring.
     ///
@@ -979,12 +1165,13 @@ impl EcoEngine {
     /// degradation ladder can re-run the attempt with reduced-effort
     /// settings.
     #[allow(clippy::too_many_arguments)]
-    fn sat_patch_for_first_target(
+    fn sat_patch_for_target(
         &self,
         work: &EcoProblem,
         window: &Window,
         assignments: &mut Vec<Vec<bool>>,
         exact: bool,
+        pos: usize,
         original_index: usize,
         spent: &mut u64,
         opts: &EcoOptions,
@@ -992,7 +1179,7 @@ impl EcoEngine {
         obs: &ObserverHandle,
     ) -> Result<(NodePatch, TargetPatchReport), EcoError> {
         loop {
-            let qm = QuantifiedMiter::build(work, 0, assignments, Some(&window.outputs));
+            let qm = QuantifiedMiter::build(work, pos, assignments, Some(&window.outputs));
             let mut divisors =
                 compute_divisors(&work.implementation, &work.targets, &window.inputs);
             divisors.sort_by_key(|d| (work.weight(*d), d.index()));
@@ -1026,6 +1213,7 @@ impl EcoEngine {
                     assignments,
                     &x1,
                     &x2,
+                    pos,
                     original_index,
                     spent,
                     opts,
@@ -1110,6 +1298,7 @@ impl EcoEngine {
         assignments: &mut Vec<Vec<bool>>,
         x1: &[bool],
         x2: &[bool],
+        pos: usize,
         target_index: usize,
         spent: &mut u64,
         opts: &EcoOptions,
@@ -1138,7 +1327,7 @@ impl EcoEngine {
                 .zip(x)
                 .map(|(&l, &v)| if v { l } else { !l })
                 .collect();
-            assumptions.push(if n0_value { n_lits[0] } else { !n_lits[0] });
+            assumptions.push(if n0_value { n_lits[pos] } else { !n_lits[pos] });
             assumptions.push(!out);
             if let Some(c) = opts.per_call_conflicts {
                 solver.set_budget(Some(c), None);
@@ -1157,9 +1346,11 @@ impl EcoEngine {
                 SolveResult::Unknown => return Err(EcoError::budget_exhausted("refinement")),
                 SolveResult::Unsat => {} // genuine: no fixing assignment
                 SolveResult::Sat => {
-                    let assignment: Vec<bool> = n_lits[1..]
+                    let assignment: Vec<bool> = n_lits
                         .iter()
-                        .map(|&l| solver.model_value(l).to_option().unwrap_or(false))
+                        .enumerate()
+                        .filter(|&(i, _)| i != pos)
+                        .map(|(_, &l)| solver.model_value(l).to_option().unwrap_or(false))
                         .collect();
                     if !assignments.contains(&assignment) {
                         assignments.push(assignment);
@@ -1171,25 +1362,26 @@ impl EcoEngine {
         Ok(added)
     }
 
-    /// Structural fallback for `work.targets[0]` (Sec. 3.6), optionally
-    /// improved by `CEGAR_min`.
+    /// Structural fallback for `work.targets[pos]` (Sec. 3.6),
+    /// optionally improved by `CEGAR_min`.
     ///
     /// `spent` carries the SAT calls already charged to this target by
     /// the failed SAT attempt; they stay in the report so counters and
     /// emitted events reconcile.
     #[allow(clippy::too_many_arguments)]
-    fn structural_patch_for_first_target(
+    fn structural_patch_for_target(
         &self,
         work: &EcoProblem,
         window: &Window,
         assignments: &[Vec<bool>],
+        pos: usize,
         original_index: usize,
         spent: u64,
         opts: &EcoOptions,
         governor: Option<&ResourceGovernor>,
         obs: &ObserverHandle,
     ) -> Result<(NodePatch, TargetPatchReport), EcoError> {
-        let qm = QuantifiedMiter::build(work, 0, assignments, Some(&window.outputs));
+        let qm = QuantifiedMiter::build(work, pos, assignments, Some(&window.outputs));
         let sp = structural_patch(&qm);
         let bindings: Vec<AigLit> = sp
             .support_inputs
@@ -1256,6 +1448,636 @@ impl EcoEngine {
             ))
         }
     }
+
+    /// Racing variant of [`EcoEngine::patch_with_ladder`] for the head
+    /// target (`jobs > 1` with the structural fallback on): the three
+    /// rungs start concurrently, each on a private clone of the initial
+    /// `assignments`, and the coordinator joins them *in ladder order*,
+    /// keeping the first rung that the sequential ladder would have
+    /// kept. Losing rungs are cancelled through child governors and
+    /// their buffered events dropped, so the winning patch, the
+    /// disposition, the event stream, and the metric totals all match
+    /// the sequential ladder's (worker placement and wall-clock aside).
+    ///
+    /// Under a [`ResourceGovernor`] with shared pools or a
+    /// [`FaultPlan`], speculative rungs draw calls the sequential
+    /// ladder would not make; runs remain total and anytime, but the
+    /// chosen rung may differ — the documented determinism guarantee
+    /// covers per-call budgets.
+    #[allow(clippy::too_many_arguments)]
+    fn patch_with_ladder_racing(
+        &self,
+        work: &EcoProblem,
+        window: &Window,
+        assignments: &[Vec<bool>],
+        exact: bool,
+        original_index: usize,
+        spent: &mut u64,
+        opts: &EcoOptions,
+        governor: Option<&ResourceGovernor>,
+        trips: &mut TripLog,
+        obs: &ObserverHandle,
+    ) -> Result<Result<(NodePatch, TargetPatchReport), String>, EcoError> {
+        // Rung 0, exactly as in the sequential ladder: nothing can help
+        // after a deadline/cancellation trip.
+        if let Some(reason) = governor.and_then(ResourceGovernor::hard_trip) {
+            trips.note(obs, governor);
+            obs.emit(|| EcoEvent::LadderStep {
+                target_index: original_index,
+                rung: LadderRung::Skipped,
+            });
+            return Ok(Err(reason.name().to_string()));
+        }
+
+        // Rung 1 always runs to completion (it is joined first), so it
+        // keeps the run governor; the speculative rungs get child
+        // governors the coordinator can cancel.
+        let run_gov = governor.cloned();
+        let r2_cancel = speculative_governor(governor);
+        let r3_cancel = speculative_governor(governor);
+        std::thread::scope(|s| {
+            let (r1_obs, r1_sink) = buffered_handle(obs.is_active());
+            let r1 = s.spawn(move || {
+                let mut rung_spent = 0u64;
+                let mut rung_assignments = assignments.to_vec();
+                let result = self.sat_patch_for_target(
+                    work,
+                    window,
+                    &mut rung_assignments,
+                    exact,
+                    0,
+                    original_index,
+                    &mut rung_spent,
+                    opts,
+                    run_gov.as_ref(),
+                    &r1_obs,
+                );
+                (result, rung_spent)
+            });
+            let r2 = opts.degraded_retry.then(|| {
+                let (r2_obs, r2_sink) = buffered_handle(obs.is_active());
+                let rung_gov = r2_cancel.clone();
+                let reduced = reduced_options(opts);
+                let handle = s.spawn(move || {
+                    let mut rung_spent = 0u64;
+                    let mut rung_assignments = assignments.to_vec();
+                    let result = self.sat_patch_for_target(
+                        work,
+                        window,
+                        &mut rung_assignments,
+                        exact,
+                        0,
+                        original_index,
+                        &mut rung_spent,
+                        &reduced,
+                        Some(&rung_gov),
+                        &r2_obs,
+                    );
+                    (result, rung_spent)
+                });
+                (handle, r2_sink)
+            });
+            let (r3_obs, r3_sink) = buffered_handle(obs.is_active());
+            let rung_gov = r3_cancel.clone();
+            let r3 = s.spawn(move || {
+                self.structural_patch_for_target(
+                    work,
+                    window,
+                    assignments,
+                    0,
+                    original_index,
+                    0,
+                    opts,
+                    Some(&rung_gov),
+                    &r3_obs,
+                )
+                .or_else(|e| {
+                    // Mirror the sequential ladder's internal retry:
+                    // when CEGAR_min runs out of resources, fall back
+                    // to the plain (SAT-free) cofactor patch.
+                    if e.is_resource_exhausted() && opts.cegar_min && rung_gov.hard_trip().is_none()
+                    {
+                        let mut plain = opts.clone();
+                        plain.cegar_min = false;
+                        self.structural_patch_for_target(
+                            work,
+                            window,
+                            assignments,
+                            0,
+                            original_index,
+                            0,
+                            &plain,
+                            Some(&rung_gov),
+                            &r3_obs,
+                        )
+                    } else {
+                        Err(e)
+                    }
+                })
+            });
+
+            let discard =
+                |r2: Option<(std::thread::ScopedJoinHandle<'_, _>, _)>,
+                 r3: Option<std::thread::ScopedJoinHandle<'_, _>>| {
+                    r2_cancel.cancel();
+                    r3_cancel.cancel();
+                    if let Some((handle, _sink)) = r2 {
+                        let _ = join_worker(handle.join());
+                    }
+                    if let Some(handle) = r3 {
+                        let _ = join_worker(handle.join());
+                    }
+                };
+
+            // Rung 1 decision.
+            let (result1, spent1) = join_worker(r1.join());
+            *spent += spent1;
+            replay_buffer(obs, r1_sink);
+            let first_err = match result1 {
+                Ok(ok) => {
+                    discard(r2, Some(r3));
+                    return Ok(Ok(ok));
+                }
+                Err(e) if e.is_resource_exhausted() => {
+                    trips.note(obs, governor);
+                    e
+                }
+                Err(e) => {
+                    discard(r2, Some(r3));
+                    return Err(classify_error(e, governor));
+                }
+            };
+
+            // Rung 2 decision.
+            if let Some((handle, sink)) = r2 {
+                if governor.and_then(ResourceGovernor::hard_trip).is_none() {
+                    obs.emit(|| EcoEvent::LadderStep {
+                        target_index: original_index,
+                        rung: LadderRung::DegradedRetry,
+                    });
+                    let (result2, spent2) = join_worker(handle.join());
+                    *spent += spent2;
+                    replay_buffer(obs, sink);
+                    match result2 {
+                        Ok((patch, mut report)) => {
+                            discard(None, Some(r3));
+                            report.disposition = TargetDisposition::Degraded;
+                            report.sat_calls = *spent;
+                            return Ok(Ok((patch, report)));
+                        }
+                        Err(e) if e.is_resource_exhausted() => trips.note(obs, governor),
+                        Err(e) => {
+                            discard(None, Some(r3));
+                            return Err(classify_error(e, governor));
+                        }
+                    }
+                } else {
+                    discard(Some((handle, sink)), None);
+                }
+            }
+
+            // Rung 3 decision.
+            if governor.and_then(ResourceGovernor::hard_trip).is_none() {
+                obs.emit(|| EcoEvent::StructuralFallback {
+                    target_index: original_index,
+                });
+                obs.emit(|| EcoEvent::LadderStep {
+                    target_index: original_index,
+                    rung: LadderRung::Structural,
+                });
+                let result3 = join_worker(r3.join());
+                replay_buffer(obs, r3_sink);
+                match result3 {
+                    Ok((patch, mut report)) => {
+                        report.sat_calls += *spent;
+                        return Ok(Ok((patch, report)));
+                    }
+                    Err(e) if e.is_resource_exhausted() => trips.note(obs, governor),
+                    Err(e) => return Err(classify_error(e, governor)),
+                }
+            } else {
+                discard(None, Some(r3));
+            }
+
+            // Rung 4: give up on this target only.
+            trips.note(obs, governor);
+            obs.emit(|| EcoEvent::LadderStep {
+                target_index: original_index,
+                rung: LadderRung::Skipped,
+            });
+            Ok(Err(skip_reason_for(&first_err, governor)))
+        })
+    }
+
+    /// Solves one member of an independent batch as a standalone
+    /// single-target subproblem against the shared implementation
+    /// snapshot, running the sequential degradation ladder with a
+    /// thread-local trip log.
+    ///
+    /// The other targets are bound to one arbitrary constant
+    /// assignment. This is *exact*, not an approximation: none of them
+    /// reaches this member's window outputs, so the quantified miter
+    /// does not depend on their values — a patch valid under one
+    /// assignment is valid under all, and an infeasibility is genuine
+    /// at every job count. Candidate divisors exclude the union TFO of
+    /// all remaining targets, so the members' patches are mutually
+    /// independent and can be committed together.
+    ///
+    /// Returns the ladder verdict plus the SAT calls spent, emitting
+    /// the member's `TargetStarted`/`TargetFinished` span (the latter
+    /// only when the ladder reached a verdict rather than aborting the
+    /// run).
+    #[allow(clippy::too_many_arguments)]
+    fn solve_batch_member(
+        &self,
+        work: &EcoProblem,
+        member_window: &Window,
+        initial: &[Vec<bool>],
+        pos: usize,
+        original_index: usize,
+        worker: usize,
+        opts: &EcoOptions,
+        governor: Option<&ResourceGovernor>,
+        obs: &ObserverHandle,
+    ) -> MemberSolve {
+        let target_t = Instant::now();
+        obs.emit(|| EcoEvent::TargetStarted {
+            target_index: original_index,
+            worker,
+        });
+        let mut spent = 0u64;
+        let mut trips = TripLog::default();
+        let ladder = self.patch_with_ladder(
+            work,
+            member_window,
+            initial,
+            true,
+            pos,
+            original_index,
+            &mut spent,
+            opts,
+            governor,
+            &mut trips,
+            obs,
+        );
+        if let Ok(verdict) = &ladder {
+            let sat_calls = match verdict {
+                Ok((_, report)) => report.sat_calls,
+                Err(_) => spent,
+            };
+            obs.emit(|| EcoEvent::TargetFinished {
+                target_index: original_index,
+                worker,
+                sat_calls,
+                elapsed: target_t.elapsed(),
+            });
+        }
+        (ladder, spent)
+    }
+
+    /// Queues one wave of incremental verification sweeps for
+    /// `outputs`, chunked so large output spaces become many bounded
+    /// SAT queries. At `jobs == 1` the chunks are deferred and run
+    /// during the verification phase; at `jobs > 1` each chunk starts
+    /// immediately on its own thread, racing the remaining patch
+    /// solves. The chunking — and therefore the set of CEC queries —
+    /// depends only on the wave, never on the job count.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_sweep_wave(
+        &self,
+        sweeps: &mut Vec<SweepExec>,
+        snapshot: Aig,
+        outputs: Vec<usize>,
+        spec: &Arc<Aig>,
+        opts: &EcoOptions,
+        governor: Option<&ResourceGovernor>,
+        obs: &ObserverHandle,
+    ) {
+        if outputs.is_empty() {
+            return;
+        }
+        let jobs = opts.jobs.max(1);
+        let snapshot = Arc::new(snapshot);
+        let budget = opts
+            .per_call_conflicts
+            .map(|c| c.saturating_mul(opts.verify_budget_factor));
+        for chunk in outputs.chunks(SWEEP_CHUNK) {
+            let task = SweepTask {
+                snapshot: snapshot.clone(),
+                outputs: chunk.to_vec(),
+            };
+            if jobs > 1 {
+                let cancel = speculative_governor(governor);
+                let worker_gov = cancel.clone();
+                let (sweep_obs, sink) = buffered_handle(obs.is_active());
+                let spec = spec.clone();
+                let handle = std::thread::spawn(move || {
+                    check_outputs_equivalence_observed(
+                        &task.snapshot,
+                        &spec,
+                        Some(&task.outputs),
+                        budget,
+                        &sweep_obs,
+                        Some(&worker_gov),
+                    )
+                });
+                sweeps.push(SweepExec::Running {
+                    handle,
+                    sink,
+                    cancel,
+                });
+            } else {
+                sweeps.push(SweepExec::Deferred(task));
+            }
+        }
+    }
+
+    /// Runs (or joins) the queued verification sweeps in task order and
+    /// folds their verdicts: the first counterexample aborts the run,
+    /// any `Unknown` demotes it to unverified, all-equivalent verifies
+    /// it. Task order makes the fold independent of thread completion
+    /// order.
+    fn drain_sweeps(
+        &self,
+        sweeps: Vec<SweepExec>,
+        spec: &Arc<Aig>,
+        opts: &EcoOptions,
+        governor: Option<&ResourceGovernor>,
+        obs: &ObserverHandle,
+    ) -> Result<bool, EcoError> {
+        let budget = opts
+            .per_call_conflicts
+            .map(|c| c.saturating_mul(opts.verify_budget_factor));
+        let mut verified = true;
+        let mut iter = sweeps.into_iter();
+        while let Some(exec) = iter.next() {
+            let verdict = match exec {
+                SweepExec::Deferred(task) => check_outputs_equivalence_observed(
+                    &task.snapshot,
+                    spec,
+                    Some(&task.outputs),
+                    budget,
+                    obs,
+                    governor,
+                ),
+                SweepExec::Running { handle, sink, .. } => {
+                    let verdict = join_worker(handle.join());
+                    replay_buffer(obs, sink);
+                    verdict
+                }
+            };
+            match verdict {
+                CecResult::Equivalent => {}
+                CecResult::Unknown => verified = false,
+                CecResult::Counterexample(cex) => {
+                    // Later sweeps cannot change the verdict; cancel
+                    // and drop them so the abort is prompt at any job
+                    // count.
+                    discard_sweeps(iter.collect());
+                    return Err(EcoError::VerificationFailed {
+                        counterexample: cex,
+                    });
+                }
+            }
+        }
+        Ok(verified)
+    }
+}
+
+/// Collects the events a worker thread emits so the coordinating
+/// thread can replay them in a deterministic order after the join.
+/// Replay preserves each worker's internal event order, so nesting
+/// invariants (target spans containing their SAT calls) survive the
+/// round trip.
+#[derive(Default)]
+struct BufferObserver {
+    events: Vec<EcoEvent>,
+}
+
+impl EcoObserver for BufferObserver {
+    fn on_event(&mut self, event: &EcoEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+type BufferSink = Arc<Mutex<BufferObserver>>;
+
+/// What one batch-member solve hands back to the coordinator: the
+/// ladder verdict (`Err` in the outer layer aborts the whole run, the
+/// inner `Err` is a skip reason) plus the SAT calls spent.
+type MemberSolve = (
+    Result<Result<(NodePatch, TargetPatchReport), String>, EcoError>,
+    u64,
+);
+
+/// A worker-local observer handle plus the buffer it feeds. When the
+/// run has no observers the handle is inert and no buffer is allocated.
+fn buffered_handle(active: bool) -> (ObserverHandle, Option<BufferSink>) {
+    if active {
+        let sink: BufferSink = Arc::new(Mutex::new(BufferObserver::default()));
+        let handle = ObserverHandle::new(vec![sink.clone() as Arc<Mutex<dyn EcoObserver + Send>>]);
+        (handle, Some(sink))
+    } else {
+        (ObserverHandle::default(), None)
+    }
+}
+
+/// Re-emits a worker's buffered events through the run's observers.
+fn replay_buffer(obs: &ObserverHandle, sink: Option<BufferSink>) {
+    let Some(sink) = sink else { return };
+    let events = match sink.lock() {
+        Ok(mut guard) => std::mem::take(&mut guard.events),
+        Err(_) => Vec::new(),
+    };
+    for event in events {
+        obs.emit(|| event);
+    }
+}
+
+/// Propagates a worker panic onto the coordinating thread.
+fn join_worker<T>(joined: std::thread::Result<T>) -> T {
+    joined.unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
+
+/// A cancellation handle for one unit of speculative work: a child of
+/// the run governor when one exists (so deadline/pool trips still
+/// reach the worker), otherwise a standalone unlimited governor that
+/// only ever trips via [`ResourceGovernor::cancel`].
+fn speculative_governor(governor: Option<&ResourceGovernor>) -> ResourceGovernor {
+    match governor {
+        Some(g) => g.child(),
+        None => ResourceGovernor::unlimited(),
+    }
+}
+
+/// Outputs per verification sweep chunk. The partition depends only on
+/// the wave's output list, never on the job count, so the SAT queries —
+/// and therefore the metric totals — are identical at every `jobs`.
+const SWEEP_CHUNK: usize = 1024;
+
+/// One incremental verification sweep: a chunk of primary outputs that
+/// no remaining target can reach, checked against the implementation
+/// snapshot taken when they became target-free (later patches cannot
+/// change them, so the verdict equals a check against the final
+/// netlist).
+struct SweepTask {
+    snapshot: Arc<Aig>,
+    outputs: Vec<usize>,
+}
+
+/// A sweep either deferred to the verification phase (`jobs == 1`) or
+/// already running on its own thread (`jobs > 1`, concurrent with the
+/// remaining patch solves).
+enum SweepExec {
+    Deferred(SweepTask),
+    Running {
+        handle: std::thread::JoinHandle<CecResult>,
+        sink: Option<BufferSink>,
+        cancel: ResourceGovernor,
+    },
+}
+
+/// The pending sweeps, with abort safety: dropping the queue (e.g. on
+/// an early `return Err`) cancels and joins any still-running sweep
+/// threads instead of leaking them.
+#[derive(Default)]
+struct SweepQueue {
+    execs: Vec<SweepExec>,
+}
+
+impl SweepQueue {
+    fn take(&mut self) -> Vec<SweepExec> {
+        std::mem::take(&mut self.execs)
+    }
+}
+
+impl Drop for SweepQueue {
+    fn drop(&mut self) {
+        discard_sweeps(self.take());
+    }
+}
+
+/// Cancels and joins still-running sweeps, dropping their buffered
+/// events.
+fn discard_sweeps(sweeps: Vec<SweepExec>) {
+    for exec in sweeps {
+        if let SweepExec::Running { handle, cancel, .. } = exec {
+            cancel.cancel();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Applies `patches` (keyed by position into `work.targets`) in one
+/// substitution and rebuilds the per-step bookkeeping: node weights,
+/// remaining targets (with their original indices), and the
+/// original-identity map. Positions in `drop_positions` leave the
+/// target list without a patch (skipped targets keep their original
+/// function). Remaining targets that die or merge under the
+/// substitution get a `TrivialDead` report, exactly as in the
+/// single-patch flow.
+fn commit_patches(
+    work: &mut EcoProblem,
+    remaining_original: &mut Vec<usize>,
+    orig_of: &mut Vec<Option<NodeId>>,
+    patches_by_pos: HashMap<usize, NodePatch>,
+    drop_positions: &HashSet<usize>,
+    reports: &mut Vec<TargetPatchReport>,
+) -> Result<(), EcoError> {
+    if patches_by_pos.is_empty() {
+        // Nothing to substitute: drop the skipped positions only.
+        let mut targets = Vec::with_capacity(work.targets.len());
+        let mut original = Vec::with_capacity(work.targets.len());
+        for (j, &t) in work.targets.iter().enumerate() {
+            if !drop_positions.contains(&j) {
+                targets.push(t);
+                original.push(remaining_original[j]);
+            }
+        }
+        work.targets = targets;
+        *remaining_original = original;
+        return Ok(());
+    }
+    let handled: HashSet<usize> = patches_by_pos
+        .keys()
+        .copied()
+        .chain(drop_positions.iter().copied())
+        .collect();
+    // Targets not patched in this step are protected from strash
+    // folding/merging so their rectification freedom survives the
+    // rebuild.
+    let protected: HashSet<NodeId> = work
+        .targets
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| !patches_by_pos.contains_key(j))
+        .map(|(_, &t)| t)
+        .collect();
+    let mut patches: HashMap<NodeId, NodePatch> = HashMap::new();
+    for (pos, patch) in patches_by_pos {
+        patches.insert(work.targets[pos], patch);
+    }
+    let sub = work
+        .implementation
+        .substitute_protected(&patches, &protected)
+        .map_err(|e| EcoError::CyclicPatch {
+            message: e.to_string(),
+        })?;
+    let mut new_weights = vec![work.default_weight; sub.aig.num_nodes()];
+    for (old, mapped) in sub.node_map.iter().enumerate() {
+        if let Some(lit) = mapped {
+            let ni = lit.node().index();
+            new_weights[ni] = new_weights[ni].min(work.weights[old]);
+        }
+    }
+    let mut new_targets: Vec<NodeId> = Vec::new();
+    let mut new_original = Vec::new();
+    for (j, &t) in work.targets.iter().enumerate() {
+        if handled.contains(&j) {
+            continue;
+        }
+        match sub.node_map[t.index()] {
+            // Structural hashing may merge two remaining targets
+            // into one node; the freedom is then a single function,
+            // so keep the first occurrence only.
+            Some(lit) if !lit.is_const() && !new_targets.contains(&lit.node()) => {
+                new_targets.push(lit.node());
+                new_original.push(remaining_original[j]);
+            }
+            _ => {
+                // Target is dead or constant: a constant-0 patch is
+                // vacuously fine.
+                reports.push(TargetPatchReport {
+                    target_index: remaining_original[j],
+                    kind: PatchKind::TrivialDead,
+                    disposition: TargetDisposition::Patched,
+                    support_size: 0,
+                    cost: 0,
+                    gates: 0,
+                    cubes: None,
+                    sat_calls: 0,
+                });
+            }
+        }
+    }
+    // Carry original-node identity forward (strash merges keep any
+    // original identity; fresh patch logic gets None).
+    let mut new_orig: Vec<Option<NodeId>> = vec![None; sub.aig.num_nodes()];
+    for (old, mapped) in sub.node_map.iter().enumerate() {
+        if let Some(lit) = mapped {
+            if !lit.is_complement() {
+                if let Some(orig) = orig_of[old] {
+                    new_orig[lit.node().index()].get_or_insert(orig);
+                }
+            }
+        }
+    }
+    *orig_of = new_orig;
+    work.implementation = sub.aig;
+    work.weights = new_weights;
+    work.targets = new_targets;
+    *remaining_original = new_original;
+    Ok(())
 }
 
 /// Tracks which governor trips have been reported, so each sticky trip

@@ -50,6 +50,7 @@ fn event_record(ts_us: u64, event: &EcoEvent) -> String {
         EcoEvent::RunStarted {
             num_targets,
             per_call_conflicts,
+            jobs,
         } => {
             let budget = match per_call_conflicts {
                 Some(b) => b.to_string(),
@@ -57,7 +58,8 @@ fn event_record(ts_us: u64, event: &EcoEvent) -> String {
             };
             let _ = write!(
                 s,
-                "\"run_started\",\"num_targets\":{num_targets},\"per_call_conflicts\":{budget}"
+                "\"run_started\",\"num_targets\":{num_targets},\"per_call_conflicts\":{budget},\
+                 \"jobs\":{jobs}"
             );
         }
         EcoEvent::PhaseStarted { phase } => {
@@ -71,18 +73,25 @@ fn event_record(ts_us: u64, event: &EcoEvent) -> String {
                 duration_us(*elapsed)
             );
         }
-        EcoEvent::TargetStarted { target_index } => {
-            let _ = write!(s, "\"target_started\",\"target_index\":{target_index}");
+        EcoEvent::TargetStarted {
+            target_index,
+            worker,
+        } => {
+            let _ = write!(
+                s,
+                "\"target_started\",\"target_index\":{target_index},\"worker\":{worker}"
+            );
         }
         EcoEvent::TargetFinished {
             target_index,
+            worker,
             sat_calls,
             elapsed,
         } => {
             let _ = write!(
                 s,
-                "\"target_finished\",\"target_index\":{target_index},\"sat_calls\":{sat_calls},\
-                 \"elapsed_us\":{}",
+                "\"target_finished\",\"target_index\":{target_index},\"worker\":{worker},\
+                 \"sat_calls\":{sat_calls},\"elapsed_us\":{}",
                 duration_us(*elapsed)
             );
         }
@@ -308,8 +317,16 @@ impl<W: Write> ChromeTraceObserver<W> {
     }
 
     fn span(&mut self, ph: char, ts: u64, name: &str) {
+        self.span_on(ph, ts, name, 1);
+    }
+
+    /// A `B`/`E` record on an explicit Chrome track: target spans use
+    /// `tid = worker + 2` so concurrent workers render as separate
+    /// lanes (track 1 stays the coordinating thread's run/phase lane).
+    fn span_on(&mut self, ph: char, ts: u64, name: &str, tid: usize) {
         self.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"eco\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":1,\"tid\":1}}",
+            "{{\"name\":\"{}\",\"cat\":\"eco\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":1,\
+             \"tid\":{tid}}}",
             escape_json(name)
         ));
     }
@@ -322,11 +339,18 @@ impl<W: Write> EcoObserver for ChromeTraceObserver<W> {
             EcoEvent::RunStarted { .. } => self.span('B', ts, "run"),
             EcoEvent::PhaseStarted { phase } => self.span('B', ts, phase.name()),
             EcoEvent::PhaseFinished { phase, .. } => self.span('E', ts, phase.name()),
-            EcoEvent::TargetStarted { target_index } => {
-                self.span('B', ts, &format!("target {target_index}"));
+            EcoEvent::TargetStarted {
+                target_index,
+                worker,
+            } => {
+                self.span_on('B', ts, &format!("target {target_index}"), worker + 2);
             }
-            EcoEvent::TargetFinished { target_index, .. } => {
-                self.span('E', ts, &format!("target {target_index}"));
+            EcoEvent::TargetFinished {
+                target_index,
+                worker,
+                ..
+            } => {
+                self.span_on('E', ts, &format!("target {target_index}"), worker + 2);
             }
             EcoEvent::SatCall {
                 kind,
@@ -751,11 +775,15 @@ mod tests {
             EcoEvent::RunStarted {
                 num_targets: 1,
                 per_call_conflicts: None,
+                jobs: 2,
             },
             EcoEvent::PhaseStarted {
                 phase: Phase::PatchGeneration,
             },
-            EcoEvent::TargetStarted { target_index: 0 },
+            EcoEvent::TargetStarted {
+                target_index: 0,
+                worker: 1,
+            },
             EcoEvent::SatCall {
                 kind: SatCallKind::Support,
                 target_index: Some(0),
@@ -776,6 +804,7 @@ mod tests {
             },
             EcoEvent::TargetFinished {
                 target_index: 0,
+                worker: 1,
                 sat_calls: 1,
                 elapsed: Duration::from_micros(400),
             },
@@ -878,6 +907,7 @@ mod tests {
         obs.on_event(&EcoEvent::RunStarted {
             num_targets: 1,
             per_call_conflicts: None,
+            jobs: 1,
         });
         let text = String::from_utf8(obs.finish().expect("io")).expect("utf8");
         parse_json(&text).expect("document is closed");

@@ -113,6 +113,51 @@ pub fn compute_divisors(
     divisors
 }
 
+/// The primary-output indices reachable from each of `targets` alone,
+/// in target order.
+pub fn per_target_outputs(implementation: &eco_aig::Aig, targets: &[NodeId]) -> Vec<Vec<usize>> {
+    let fanouts = implementation.fanouts();
+    targets
+        .iter()
+        .map(|&t| {
+            let tfo = implementation.tfo_mask(std::iter::once(t), &fanouts);
+            implementation
+                .outputs()
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| tfo[o.node().index()])
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect()
+}
+
+/// Positions (into `targets`) of the *independent* targets: those that
+/// reach at least one output and whose reachable-output set is disjoint
+/// from every other target's.
+///
+/// An independent target's window outputs do not depend on any other
+/// remaining target, and no other target's outputs depend on it — so it
+/// can be patched as a standalone single-target subproblem (with the
+/// other targets fixed to an arbitrary constant assignment), and the
+/// resulting patches can all be committed in one substitution. This is
+/// a purely structural property of the current implementation, so the
+/// partition is identical at every `--jobs` setting.
+pub fn independent_targets(implementation: &eco_aig::Aig, targets: &[NodeId]) -> Vec<usize> {
+    let outputs = per_target_outputs(implementation, targets);
+    let num_outputs = implementation.num_outputs();
+    // Count, per output, how many targets reach it.
+    let mut reach_count = vec![0usize; num_outputs];
+    for outs in &outputs {
+        for &o in outs {
+            reach_count[o] += 1;
+        }
+    }
+    (0..targets.len())
+        .filter(|&i| !outputs[i].is_empty() && outputs[i].iter().all(|&o| reach_count[o] == 1))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +244,47 @@ mod tests {
             "xor internals plus PIs expected: {:?}",
             w.divisors
         );
+    }
+
+    #[test]
+    fn independent_targets_require_disjoint_output_cones() {
+        // o0 = t1 & c, o1 = t2 | d, o2 = t1 ^ t3, o3 = a: t2 is the only
+        // target whose reachable outputs are untouched by the others.
+        let mut im = Aig::new();
+        let a = im.add_input();
+        let b = im.add_input();
+        let c = im.add_input();
+        let d = im.add_input();
+        let t1 = im.and(a, b);
+        let t2 = im.and(c, d);
+        let t3 = im.and(a, d);
+        let o0 = im.and(t1, c);
+        let o1 = im.or(t2, d);
+        let o2 = im.xor(t1, t3);
+        im.add_output(o0);
+        im.add_output(o1);
+        im.add_output(o2);
+        im.add_output(a);
+        let targets = vec![t1.node(), t2.node(), t3.node()];
+        let per = per_target_outputs(&im, &targets);
+        assert_eq!(per, vec![vec![0, 2], vec![1], vec![2]]);
+        assert_eq!(independent_targets(&im, &targets), vec![1]);
+        // Dropping t3 frees t1: both survivors become independent.
+        let targets2 = vec![t1.node(), t2.node()];
+        assert_eq!(independent_targets(&im, &targets2), vec![0, 1]);
+    }
+
+    #[test]
+    fn dead_targets_are_never_independent() {
+        let mut im = Aig::new();
+        let a = im.add_input();
+        let b = im.add_input();
+        let dead = im.and(a, b);
+        let live = im.and(a, !b);
+        im.add_output(live);
+        let targets = vec![dead.node(), live.node()];
+        // `dead` reaches no output, so it cannot be batched.
+        assert_eq!(independent_targets(&im, &targets), vec![1]);
     }
 
     #[test]

@@ -175,6 +175,35 @@ struct GovernorState {
     calls: AtomicU64,
     fault_injections: AtomicU64,
     fault_plan: Option<FaultPlan>,
+    /// Child governors keep their own `cancelled` flag but share
+    /// everything else (deadline, pools, fault plan, call counter) with
+    /// the root of the chain.
+    parent: Option<Arc<GovernorState>>,
+}
+
+impl GovernorState {
+    /// The root of the parent chain (`self` when not a child).
+    fn root(&self) -> &GovernorState {
+        let mut state = self;
+        while let Some(parent) = state.parent.as_deref() {
+            state = parent;
+        }
+        state
+    }
+
+    /// Whether this handle or any ancestor was cancelled.
+    fn cancelled_chain(&self) -> bool {
+        let mut state = self;
+        loop {
+            if state.cancelled.load(Ordering::Relaxed) {
+                return true;
+            }
+            match state.parent.as_deref() {
+                Some(parent) => state = parent,
+                None => return false,
+            }
+        }
+    }
 }
 
 /// Shared governor for a chain of SAT calls: wall-clock deadline,
@@ -203,6 +232,7 @@ impl ResourceGovernor {
                 calls: AtomicU64::new(0),
                 fault_injections: AtomicU64::new(0),
                 fault_plan: limits.fault_plan,
+                parent: None,
             }),
         }
     }
@@ -210,6 +240,30 @@ impl ResourceGovernor {
     /// An unlimited governor (useful as a cancellation-only handle).
     pub fn unlimited() -> ResourceGovernor {
         ResourceGovernor::new(GovernorLimits::default())
+    }
+
+    /// A child handle for one unit of speculative work: it shares the
+    /// parent's deadline, global pools, fault plan and call counter, but
+    /// carries its own cancellation flag. [`ResourceGovernor::cancel`]
+    /// on the child stops only solvers attached to the child, while a
+    /// parent cancellation (or deadline/budget trip) is still observed
+    /// through the chain — exactly what a racing worker needs so losers
+    /// can be cancelled without touching the winner or the run.
+    pub fn child(&self) -> ResourceGovernor {
+        ResourceGovernor {
+            state: Arc::new(GovernorState {
+                deadline: None,
+                conflict_pool: None,
+                propagation_pool: None,
+                cancelled: AtomicBool::new(false),
+                deadline_tripped: AtomicBool::new(false),
+                budget_tripped: AtomicBool::new(false),
+                calls: AtomicU64::new(0),
+                fault_injections: AtomicU64::new(0),
+                fault_plan: None,
+                parent: Some(self.state.clone()),
+            }),
+        }
     }
 
     /// The handle as a solver hook for
@@ -226,10 +280,12 @@ impl ResourceGovernor {
 
     /// The sticky trip reason, if any — checked in severity order
     /// (cancellation, deadline, then global budget). Per-call injected
-    /// faults are *not* sticky and never appear here.
+    /// faults are *not* sticky and never appear here. Child handles
+    /// also observe the trips of every ancestor.
     pub fn trip(&self) -> Option<TripReason> {
         self.hard_trip().or_else(|| {
             self.state
+                .root()
                 .budget_tripped
                 .load(Ordering::Relaxed)
                 .then_some(TripReason::GlobalBudget)
@@ -241,7 +297,7 @@ impl ResourceGovernor {
     /// expired deadline), not a drained budget pool, which still leaves
     /// room for SAT-free work.
     pub fn hard_trip(&self) -> Option<TripReason> {
-        if self.state.cancelled.load(Ordering::Relaxed) {
+        if self.state.cancelled_chain() {
             return Some(TripReason::Cancelled);
         }
         if self.deadline_passed() {
@@ -250,19 +306,21 @@ impl ResourceGovernor {
         None
     }
 
-    /// Number of solver calls started under this governor.
+    /// Number of solver calls started under this governor (shared with
+    /// the whole parent chain for child handles).
     pub fn sat_calls(&self) -> u64 {
-        self.state.calls.load(Ordering::Relaxed)
+        self.state.root().calls.load(Ordering::Relaxed)
     }
 
     /// Number of faults injected so far by the [`FaultPlan`].
     pub fn fault_injections(&self) -> u64 {
-        self.state.fault_injections.load(Ordering::Relaxed)
+        self.state.root().fault_injections.load(Ordering::Relaxed)
     }
 
     /// Remaining global conflict pool (`None` = unlimited).
     pub fn remaining_conflicts(&self) -> Option<u64> {
         self.state
+            .root()
             .conflict_pool
             .as_ref()
             .map(|p| p.load(Ordering::Relaxed))
@@ -272,17 +330,19 @@ impl ResourceGovernor {
     /// the deadline has passed.
     pub fn remaining_time(&self) -> Option<Duration> {
         self.state
+            .root()
             .deadline
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     fn deadline_passed(&self) -> bool {
-        if self.state.deadline_tripped.load(Ordering::Relaxed) {
+        let root = self.state.root();
+        if root.deadline_tripped.load(Ordering::Relaxed) {
             return true;
         }
-        match self.state.deadline {
+        match root.deadline {
             Some(d) if Instant::now() >= d => {
-                self.state.deadline_tripped.store(true, Ordering::Relaxed);
+                root.deadline_tripped.store(true, Ordering::Relaxed);
                 true
             }
             _ => false,
@@ -305,13 +365,14 @@ impl ResourceGovernor {
 
 impl SearchControl for ResourceGovernor {
     fn solve_started(&self) -> bool {
-        let call = self.state.calls.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(plan) = &self.state.fault_plan {
+        let root = self.state.root();
+        let call = root.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(plan) = &root.fault_plan {
             if plan.cancels(call) {
-                self.state.cancelled.store(true, Ordering::Relaxed);
+                root.cancelled.store(true, Ordering::Relaxed);
             }
             if plan.injects(call) {
-                self.state.fault_injections.fetch_add(1, Ordering::Relaxed);
+                root.fault_injections.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
         }
@@ -319,14 +380,15 @@ impl SearchControl for ResourceGovernor {
     }
 
     fn consume(&self, conflicts: u64, propagations: u64) -> bool {
-        if let Some(pool) = &self.state.conflict_pool {
+        let root = self.state.root();
+        if let Some(pool) = &root.conflict_pool {
             if ResourceGovernor::draw(pool, conflicts) {
-                self.state.budget_tripped.store(true, Ordering::Relaxed);
+                root.budget_tripped.store(true, Ordering::Relaxed);
             }
         }
-        if let Some(pool) = &self.state.propagation_pool {
+        if let Some(pool) = &root.propagation_pool {
             if ResourceGovernor::draw(pool, propagations) {
-                self.state.budget_tripped.store(true, Ordering::Relaxed);
+                root.budget_tripped.store(true, Ordering::Relaxed);
             }
         }
         self.trip().is_some()
@@ -455,6 +517,35 @@ mod tests {
         assert_eq!(solver.solve(&[]), SolveResult::Unknown);
         assert_eq!(governor.trip(), Some(TripReason::Cancelled));
         assert_eq!(solver.solve(&[]), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn child_cancellation_is_scoped_and_shares_resources() {
+        let governor = ResourceGovernor::new(GovernorLimits {
+            global_conflicts: Some(50),
+            ..GovernorLimits::default()
+        });
+        let child = governor.child();
+        // Cancelling the child does not affect the parent...
+        child.cancel();
+        assert_eq!(child.trip(), Some(TripReason::Cancelled));
+        assert_eq!(governor.trip(), None);
+        // ...but the child draws from the parent's shared pool.
+        let sibling = governor.child();
+        let mut solver = Solver::new();
+        pigeonhole(&mut solver, 7);
+        solver.set_search_control(Some(sibling.control()));
+        assert_eq!(solver.solve(&[]), SolveResult::Unknown);
+        assert_eq!(governor.trip(), Some(TripReason::GlobalBudget));
+        assert_eq!(sibling.trip(), Some(TripReason::GlobalBudget));
+        assert_eq!(governor.remaining_conflicts(), Some(0));
+        assert_eq!(sibling.remaining_conflicts(), Some(0));
+        // A parent cancellation reaches every child.
+        governor.cancel();
+        assert_eq!(sibling.hard_trip(), Some(TripReason::Cancelled));
+        // Calls made under children count on the shared counter.
+        assert_eq!(governor.sat_calls(), sibling.sat_calls());
+        assert!(governor.sat_calls() >= 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!           [--out patched.v] [--budget N] [--default-weight N]
 //!           [--stats-json stats.json|-] [--progress] [--quiet]
 //!           [--no-fallback] [--timeout-ms MS] [--global-budget N]
-//!           [--trace-out trace.json] [--trace-format jsonl|chrome]
+//!           [--jobs N] [--trace-out trace.json] [--trace-format jsonl|chrome]
 //! eco-patch report <trace.jsonl> [--top N]
 //! ```
 //!
@@ -116,6 +116,7 @@ struct Args {
     global_budget: Option<u64>,
     trace_out: Option<String>,
     trace_format: TraceFormat,
+    jobs: usize,
 }
 
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -130,7 +131,7 @@ fn usage() -> &'static str {
      [--targets n1,n2] [--detect] [--method baseline|minimize|prune] \
      [--out patched.v] [--budget CONFLICTS] [--default-weight N] \
      [--stats-json PATH|-] [--progress] [--quiet] [--no-fallback] \
-     [--timeout-ms MS] [--global-budget CONFLICTS] \
+     [--timeout-ms MS] [--global-budget CONFLICTS] [--jobs N] \
      [--trace-out PATH] [--trace-format jsonl|chrome]\n\
      \x20      eco-patch report TRACE.jsonl [--top N]"
 }
@@ -138,6 +139,7 @@ fn usage() -> &'static str {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         default_weight: 100,
+        jobs: 1,
         ..Args::default()
     };
     let mut it = std::env::args().skip(1);
@@ -188,6 +190,14 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--global-budget expects an integer".to_string())?,
                 )
             }
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects an integer".to_string())?;
+                if args.jobs == 0 {
+                    return Err("--jobs expects a value >= 1".to_string());
+                }
+            }
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--trace-format" => {
                 args.trace_format = match value("--trace-format")?.as_str() {
@@ -230,13 +240,14 @@ impl EcoObserver for ProgressObserver {
             EcoEvent::PhaseFinished { phase, elapsed } => {
                 eprintln!("[eco] {} done in {elapsed:.2?}", phase.name())
             }
-            EcoEvent::TargetStarted { target_index } => {
+            EcoEvent::TargetStarted { target_index, .. } => {
                 eprintln!("[eco]   target {target_index} ...")
             }
             EcoEvent::TargetFinished {
                 target_index,
                 sat_calls,
                 elapsed,
+                ..
             } => {
                 eprintln!(
                     "[eco]   target {target_index} done: {sat_calls} SAT call(s) in {elapsed:.2?}"
@@ -416,6 +427,7 @@ fn run(args: Args) -> Result<u8, CliError> {
         .structural_fallback(!args.no_fallback)
         .timeout(args.timeout_ms.map(Duration::from_millis))
         .global_conflicts(args.global_budget)
+        .jobs(args.jobs)
         .build();
     let mut engine = EcoEngine::new(options);
     if args.progress {

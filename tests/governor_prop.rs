@@ -1,13 +1,16 @@
 //! Robustness property test: under random tiny budgets, random
-//! fault-injection schedules, and random small problems, the engine
-//! never panics — every run returns either an anytime outcome with a
-//! disposition per target or a typed `EcoError`.
+//! fault-injection schedules, random worker counts, and random small
+//! problems, the engine never panics — every run returns either an
+//! anytime outcome with a disposition per target or a typed
+//! `EcoError`, and the event stream keeps its LIFO span discipline.
 
 use eco_patch::benchgen::{inject_eco, random_aig, CircuitSpec, InjectSpec};
+use eco_patch::core::trace::{check_span_integrity, JsonlTraceObserver};
 use eco_patch::core::{
-    EcoEngine, EcoOptions, EcoProblem, FaultPlan, SupportMethod, TargetDisposition,
+    EcoEngine, EcoObserver, EcoOptions, EcoProblem, FaultPlan, SupportMethod, TargetDisposition,
 };
 use eco_testutil::{cases, Rng};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 fn random_fault_plan(rng: &mut Rng) -> Option<FaultPlan> {
@@ -59,33 +62,41 @@ fn random_options(rng: &mut Rng) -> EcoOptions {
         .structural_fallback(rng.bool())
         .degraded_retry(rng.bool())
         .verify(rng.bool())
+        .jobs(rng.range(1, 5) as usize)
         .build()
+}
+
+/// Builds a random small multi-target problem, or `None` when the
+/// random circuit is too small to carry the requested targets.
+fn random_problem(rng: &mut Rng) -> Option<(EcoProblem, usize)> {
+    let spec = CircuitSpec {
+        num_inputs: rng.range(3, 9) as usize,
+        num_outputs: rng.range(1, 4) as usize,
+        num_gates: rng.range(10, 60) as usize,
+        seed: rng.below(1000),
+    };
+    let num_targets = rng.range(1, 4) as usize;
+    let implementation = random_aig(&spec);
+    let injected = inject_eco(
+        &implementation,
+        &InjectSpec {
+            num_targets,
+            seed: spec.seed,
+        },
+    )?;
+    let expected_targets = injected.targets.len();
+    let problem =
+        EcoProblem::with_unit_weights(implementation, injected.specification, injected.targets)
+            .expect("valid problem");
+    Some((problem, expected_targets))
 }
 
 #[test]
 fn engine_is_total_under_chaos() {
     cases(48, |case, rng| {
-        let spec = CircuitSpec {
-            num_inputs: rng.range(3, 9) as usize,
-            num_outputs: rng.range(1, 4) as usize,
-            num_gates: rng.range(10, 60) as usize,
-            seed: rng.below(1000),
-        };
-        let num_targets = rng.range(1, 4) as usize;
-        let implementation = random_aig(&spec);
-        let Some(injected) = inject_eco(
-            &implementation,
-            &InjectSpec {
-                num_targets,
-                seed: spec.seed,
-            },
-        ) else {
+        let Some((problem, expected_targets)) = random_problem(rng) else {
             return; // circuit too small for that many targets
         };
-        let expected_targets = injected.targets.len();
-        let problem =
-            EcoProblem::with_unit_weights(implementation, injected.specification, injected.targets)
-                .expect("valid problem");
         let options = random_options(rng);
         // The property: `run` is total. No panic, and the result is
         // either an anytime outcome covering every target or a typed
@@ -119,6 +130,44 @@ fn engine_is_total_under_chaos() {
                 // Typed and displayable is all we ask of the error path.
                 assert!(!e.to_string().is_empty(), "case {case}");
             }
+        }
+    });
+}
+
+#[test]
+fn parallel_chaos_keeps_trace_span_discipline() {
+    // Same chaos as above, but with a JSONL trace attached and the
+    // worker count forced above one: whatever the governor and fault
+    // plan do to the parallel backend, the replayed event stream must
+    // stay a valid LIFO span tree (aborted runs may leave spans open,
+    // but never close them out of order).
+    cases(32, |case, rng| {
+        let Some((problem, expected_targets)) = random_problem(rng) else {
+            return;
+        };
+        let mut options = random_options(rng);
+        options.jobs = rng.range(2, 5) as usize;
+        let trace = Arc::new(Mutex::new(JsonlTraceObserver::new(Vec::new())));
+        let engine = EcoEngine::new(options)
+            .with_shared_observer(trace.clone() as Arc<Mutex<dyn EcoObserver + Send>>);
+        let result = engine.run(&problem);
+        drop(engine);
+        let writer = Arc::try_unwrap(trace)
+            .unwrap_or_else(|_| panic!("case {case}: engine still holds the trace observer"))
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .finish()
+            .expect("in-memory trace write");
+        let text = String::from_utf8(writer).expect("traces are UTF-8");
+        check_span_integrity(&text).unwrap_or_else(|e| {
+            panic!("case {case}: span integrity violated: {e}\ntrace:\n{text}")
+        });
+        if let Ok(outcome) = result {
+            assert_eq!(
+                outcome.reports.len(),
+                expected_targets,
+                "case {case}: anytime outcome must cover every target"
+            );
         }
     });
 }

@@ -7,7 +7,7 @@ use eco_patch::core::json::{parse_json, JsonValue};
 use eco_patch::core::{
     BudgetMetrics, EcoEngine, EcoEvent, EcoObserver, EcoOptions, EcoProblem, KindMetrics,
     PatchKind, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics, SupportMethod,
-    TargetMetrics,
+    TargetMetrics, WorkerMetrics,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -103,7 +103,7 @@ fn phases_nest_and_cover_the_whole_run() {
                 finished.push(*phase);
                 open = None;
             }
-            EcoEvent::TargetStarted { target_index } => {
+            EcoEvent::TargetStarted { target_index, .. } => {
                 assert_eq!(open, Some(Phase::PatchGeneration));
                 assert!(open_target.is_none());
                 open_target = Some(*target_index);
@@ -227,6 +227,98 @@ fn metrics_observer_reconciles_with_reports() {
     );
 }
 
+fn disjoint_targets_problem() -> EcoProblem {
+    // Two targets with disjoint output cones, so the engine can batch
+    // them as independent single-target subproblems.
+    let mut im = Aig::new();
+    let (a, b, c, d) = (
+        im.add_input(),
+        im.add_input(),
+        im.add_input(),
+        im.add_input(),
+    );
+    let t1 = im.and(a, b);
+    let t2 = im.and(c, d);
+    im.add_output(t1);
+    im.add_output(t2);
+    let mut sp = Aig::new();
+    let (a, b, c, d) = (
+        sp.add_input(),
+        sp.add_input(),
+        sp.add_input(),
+        sp.add_input(),
+    );
+    let o1 = sp.or(a, b);
+    let o2 = sp.or(c, d);
+    sp.add_output(o1);
+    sp.add_output(o2);
+    EcoProblem::with_unit_weights(im, sp, vec![t1.node(), t2.node()]).expect("valid")
+}
+
+#[test]
+fn run_metrics_totals_are_jobs_invariant() {
+    for problem in [multi_target_problem(), disjoint_targets_problem()] {
+        let run = |jobs: usize| {
+            let engine = EcoEngine::new(EcoOptions::builder().jobs(jobs).build()).with_metrics();
+            let outcome = engine.run(&problem).expect("engine run");
+            outcome.metrics.expect("with_metrics attached")
+        };
+        let base = run(1);
+        for jobs in [2usize, 4] {
+            let m = run(jobs);
+            // The structural totals must not move with the worker count;
+            // only wall-clock columns (elapsed, sat_time, latency
+            // histograms) and worker attribution may.
+            assert_eq!(m.jobs, jobs);
+            assert_eq!(m.num_targets, base.num_targets);
+            assert_eq!(m.sat_calls.total, base.sat_calls.total);
+            assert_eq!(m.sat_calls.conflicts, base.sat_calls.conflicts);
+            assert_eq!(m.sat_calls.decisions, base.sat_calls.decisions);
+            assert_eq!(m.sat_calls.propagations, base.sat_calls.propagations);
+            assert_eq!(
+                m.sat_calls.conflict_histogram,
+                base.sat_calls.conflict_histogram
+            );
+            for (a, b) in m
+                .sat_calls
+                .by_kind
+                .iter()
+                .zip(base.sat_calls.by_kind.iter())
+            {
+                assert_eq!(a.calls, b.calls);
+                assert_eq!(a.conflicts, b.conflicts);
+                assert_eq!(a.conflict_histogram, b.conflict_histogram);
+            }
+            assert_eq!(m.targets.len(), base.targets.len());
+            for (a, b) in m.targets.iter().zip(base.targets.iter()) {
+                assert_eq!(a.target_index, b.target_index);
+                assert_eq!(a.sat_calls, b.sat_calls);
+                assert_eq!(a.observed_sat_calls, b.observed_sat_calls);
+                assert_eq!(a.conflicts, b.conflicts);
+                assert_eq!(a.conflict_histogram, b.conflict_histogram);
+            }
+            assert_eq!(m.qbf_refinements, base.qbf_refinements);
+            assert_eq!(
+                m.quantification_refinements,
+                base.quantification_refinements
+            );
+            assert_eq!(
+                m.support_minimization_steps,
+                base.support_minimization_steps
+            );
+            assert_eq!(m.structural_fallbacks, base.structural_fallbacks);
+            assert_eq!(m.cegar_min_rounds, base.cegar_min_rounds);
+            assert_eq!(m.governor_trips, base.governor_trips);
+            assert_eq!(m.ladder_steps, base.ladder_steps);
+            // Worker attribution partitions the run totals exactly.
+            let worker_calls: u64 = m.workers.iter().map(|w| w.sat_calls).sum();
+            assert_eq!(worker_calls, m.sat_calls.total);
+            let worker_targets: u64 = m.workers.iter().map(|w| w.targets).sum();
+            assert_eq!(worker_targets as usize, m.targets.len());
+        }
+    }
+}
+
 fn golden_metrics() -> RunMetrics {
     let mut by_kind = [KindMetrics::default(); 8];
     by_kind[SatCallKind::Support.index()] = KindMetrics {
@@ -253,6 +345,23 @@ fn golden_metrics() -> RunMetrics {
     RunMetrics {
         num_targets: 1,
         per_call_conflicts: Some(1000),
+        jobs: 2,
+        workers: vec![
+            WorkerMetrics {
+                worker: 0,
+                targets: 0,
+                sat_calls: 1,
+                conflicts: 2,
+                sat_time: Duration::from_micros(10),
+            },
+            WorkerMetrics {
+                worker: 1,
+                targets: 1,
+                sat_calls: 3,
+                conflicts: 7,
+                sat_time: Duration::from_micros(80),
+            },
+        ],
         elapsed: Duration::from_micros(1234),
         phases: vec![PhaseMetrics {
             phase: Phase::SufficiencyCheck,
@@ -300,13 +409,17 @@ fn run_metrics_golden_json() {
                              \"latency_histogram\":[0,0,0,0,0,0,0,0]}";
     let expected = format!(
         concat!(
-            "{{\"schema_version\":3,\"num_targets\":1,\"per_call_conflicts\":1000,",
-            "\"elapsed_us\":1234,",
+            "{{\"schema_version\":4,\"num_targets\":1,\"per_call_conflicts\":1000,",
+            "\"jobs\":2,\"elapsed_us\":1234,",
             "\"phases\":[{{\"phase\":\"sufficiency_check\",\"elapsed_us\":10}}],",
             "\"targets\":[{{\"target_index\":0,\"sat_calls\":3,\"observed_sat_calls\":3,",
             "\"conflicts\":7,\"elapsed_us\":100,\"sat_time_us\":80,",
             "\"conflict_histogram\":[1,2,0,0,0,0,0,0],",
             "\"latency_histogram\":[0,3,0,0,0,0,0,0]}}],",
+            "\"workers\":[{{\"worker\":0,\"targets\":0,\"sat_calls\":1,\"conflicts\":2,",
+            "\"sat_time_us\":10}},",
+            "{{\"worker\":1,\"targets\":1,\"sat_calls\":3,\"conflicts\":7,",
+            "\"sat_time_us\":80}}],",
             "\"sat_calls\":{{\"total\":4,\"conflicts\":9,\"decisions\":5,\"propagations\":6,",
             "\"time_us\":90,\"by_kind\":{{",
             "\"qbf\":{z},",
@@ -335,13 +448,23 @@ fn run_metrics_golden_json() {
 }
 
 #[test]
-fn run_metrics_v3_round_trips_through_parser() {
+fn run_metrics_v4_round_trips_through_parser() {
     let metrics = golden_metrics();
-    let doc = parse_json(&metrics.to_json()).expect("schema v3 output is valid JSON");
+    let doc = parse_json(&metrics.to_json()).expect("schema v4 output is valid JSON");
     let u = |v: &JsonValue, key: &str| v.get(key).and_then(JsonValue::as_u64);
-    assert_eq!(u(&doc, "schema_version"), Some(3));
+    assert_eq!(u(&doc, "schema_version"), Some(4));
     assert_eq!(u(&doc, "num_targets"), Some(1));
+    assert_eq!(u(&doc, "jobs"), Some(2));
     assert_eq!(u(&doc, "elapsed_us"), Some(1234));
+    let workers = doc
+        .get("workers")
+        .and_then(JsonValue::as_array)
+        .expect("workers array");
+    assert_eq!(workers.len(), 2);
+    assert_eq!(u(&workers[1], "worker"), Some(1));
+    assert_eq!(u(&workers[1], "targets"), Some(1));
+    assert_eq!(u(&workers[1], "sat_calls"), Some(3));
+    assert_eq!(u(&workers[1], "sat_time_us"), Some(80));
     let sat = doc.get("sat_calls").expect("sat_calls object");
     assert_eq!(u(sat, "total"), Some(4));
     assert_eq!(u(sat, "time_us"), Some(90));

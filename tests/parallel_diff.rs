@@ -1,0 +1,129 @@
+//! Parallel determinism suite: the engine must produce byte-identical
+//! results at every `jobs` setting. Batching, strategy racing, and
+//! concurrent verification sweeps change *where* work runs, never
+//! *what* is computed, so the patched netlist text, the applied
+//! patches, and the per-target reports must not move between
+//! `--jobs 1` and `--jobs 4`.
+
+use eco_patch::benchgen::{build_unit, table1_units};
+use eco_patch::core::{
+    check_equivalence, AppliedPatch, CecResult, EcoEngine, EcoOptions, EcoOutcome, EcoProblem,
+    SupportMethod,
+};
+use eco_patch::netlist::Netlist;
+
+const TEST_SCALE: f64 = 0.02;
+
+fn run_at(problem: &EcoProblem, options: EcoOptions, name: &str) -> EcoOutcome {
+    EcoEngine::new(options)
+        .run(problem)
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"))
+}
+
+/// Serializes the patched implementation exactly as the CLI's rebuilt
+/// path would, so "byte-identical" means the emitted artifact.
+fn patched_text(outcome: &EcoOutcome) -> String {
+    Netlist::from_aig("patched".to_string(), &outcome.patched_implementation).to_verilog()
+}
+
+/// A deterministic rendering of one applied patch: target, support
+/// literals, and the patch network serialized as Verilog (the `Aig`
+/// `Debug` form is unsuitable — its strash map iterates in hash
+/// order).
+fn patch_fingerprint(p: &AppliedPatch) -> String {
+    format!(
+        "target={} support={:?} original={:?} aig={}",
+        p.target_index,
+        p.support,
+        p.original_support,
+        Netlist::from_aig("patch".to_string(), &p.aig).to_verilog()
+    )
+}
+
+fn assert_outcomes_identical(seq: &EcoOutcome, par: &EcoOutcome, name: &str) {
+    assert_eq!(
+        format!("{:?}", seq.reports),
+        format!("{:?}", par.reports),
+        "{name}: per-target reports (dispositions, kinds, costs) must be jobs-invariant"
+    );
+    let fingerprints = |o: &EcoOutcome| o.patches.iter().map(patch_fingerprint).collect::<Vec<_>>();
+    assert_eq!(
+        fingerprints(seq),
+        fingerprints(par),
+        "{name}: applied patches must be jobs-invariant"
+    );
+    assert_eq!(seq.total_cost, par.total_cost, "{name}: total cost");
+    assert_eq!(seq.total_gates, par.total_gates, "{name}: total gates");
+    assert_eq!(seq.verified, par.verified, "{name}: verification verdict");
+    assert_eq!(
+        patched_text(seq),
+        patched_text(par),
+        "{name}: patched netlist text must be byte-identical"
+    );
+}
+
+#[test]
+fn suite_outcomes_are_byte_identical_across_jobs() {
+    for unit in table1_units(TEST_SCALE).iter() {
+        let problem = build_unit(unit);
+        let opts = |jobs: usize| EcoOptions::builder().jobs(jobs).build();
+        let seq = run_at(&problem, opts(1), unit.name);
+        let par = run_at(&problem, opts(4), unit.name);
+        assert_outcomes_identical(&seq, &par, unit.name);
+        // Both patched netlists are real repairs, not merely identical.
+        for (label, outcome) in [("jobs=1", &seq), ("jobs=4", &par)] {
+            assert_eq!(
+                check_equivalence(
+                    &outcome.patched_implementation,
+                    &problem.specification,
+                    None
+                ),
+                CecResult::Equivalent,
+                "{} ({label}): patched netlist must match the spec",
+                unit.name
+            );
+        }
+    }
+}
+
+#[test]
+fn racing_ladder_is_byte_identical_under_per_call_budgets() {
+    // A tight per-call budget forces the degradation ladder, so jobs=4
+    // races the reduced-effort and structural rungs against the full
+    // attempt. Under per-call budgets alone the winner is decided in
+    // ladder order, so the result must still match jobs=1 byte for
+    // byte.
+    for unit in table1_units(TEST_SCALE).iter().take(6) {
+        let problem = build_unit(unit);
+        let opts = |jobs: usize| {
+            EcoOptions::builder()
+                .per_call_conflicts(Some(2))
+                .cegar_min(true)
+                .jobs(jobs)
+                .build()
+        };
+        let seq = run_at(&problem, opts(1), unit.name);
+        let par = run_at(&problem, opts(4), unit.name);
+        assert_outcomes_identical(&seq, &par, unit.name);
+    }
+}
+
+#[test]
+fn sat_prune_suite_is_byte_identical_across_jobs() {
+    for unit in table1_units(TEST_SCALE)
+        .iter()
+        .filter(|u| u.num_targets >= 2)
+        .take(4)
+    {
+        let problem = build_unit(unit);
+        let opts = |jobs: usize| {
+            EcoOptions::builder()
+                .method(SupportMethod::SatPrune)
+                .jobs(jobs)
+                .build()
+        };
+        let seq = run_at(&problem, opts(1), unit.name);
+        let par = run_at(&problem, opts(4), unit.name);
+        assert_outcomes_identical(&seq, &par, unit.name);
+    }
+}
