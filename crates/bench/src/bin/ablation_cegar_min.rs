@@ -36,9 +36,10 @@ fn main() {
                 .per_call_conflicts(Some(0)) // force the structural path
                 .cegar_min(cegar)
                 .verify(false)
-                .build();
+                .build()
+                .expect("valid options");
             let engine = EcoEngine::new(options);
-            let out = engine.run(&problem).expect("structural run");
+            let out = engine.solve(&problem.snapshot()).expect("structural run");
             let cec = check_equivalence(&out.patched_implementation, &problem.specification, None);
             assert_eq!(
                 cec,

@@ -70,6 +70,7 @@ pub fn options_for_jobs(
         })
         .jobs(jobs)
         .build()
+        .expect("bench options are valid")
 }
 
 /// Runs one method on one problem and reports the Table 1 columns,
@@ -92,7 +93,7 @@ pub fn run_method_jobs(
 ) -> MethodResult {
     let engine = EcoEngine::new(options_for_jobs(method, per_call_conflicts, jobs)).with_metrics();
     let t = std::time::Instant::now();
-    match engine.run(problem) {
+    match engine.solve(&problem.snapshot()) {
         Ok(out) => MethodResult {
             cost: out.total_cost,
             gates: out.total_gates,

@@ -180,7 +180,7 @@ mod tests {
         let p = EcoProblem::with_unit_weights(im, inj.specification, inj.targets)
             .expect("valid problem");
         let out = EcoEngine::new(EcoOptions::default())
-            .run(&p)
+            .solve(&p.snapshot())
             .expect("engine");
         assert!(out.verified);
     }

@@ -129,7 +129,7 @@ mod tests {
         )
         .expect("valid problem");
         let outcome = EcoEngine::new(EcoOptions::default())
-            .run(&file_problem)
+            .solve(&file_problem.snapshot())
             .expect("engine");
         assert!(outcome.verified);
     }

@@ -260,7 +260,7 @@ mod tests {
         // flow must produce a verified patch.
         let problem = EcoProblem::with_unit_weights(im, sp, found.targets).expect("valid");
         let outcome = EcoEngine::new(EcoOptions::default())
-            .run(&problem)
+            .solve(&problem.snapshot())
             .expect("run");
         assert!(outcome.verified);
         let _ = injected;
@@ -275,7 +275,7 @@ mod tests {
         assert!(!found.targets.is_empty());
         let problem = EcoProblem::with_unit_weights(im, sp, found.targets).expect("valid");
         let outcome = EcoEngine::new(EcoOptions::default())
-            .run(&problem)
+            .solve(&problem.snapshot())
             .expect("run");
         assert!(outcome.verified);
     }

@@ -114,7 +114,7 @@ mod tests {
             EcoProblem::from_netlists(&parsed.netlist, &spec, &names, &WeightTable::new(), 5)
                 .expect("problem");
         let outcome = EcoEngine::new(EcoOptions::default())
-            .run(&problem)
+            .solve(&problem.snapshot())
             .expect("run");
         assert!(outcome.verified);
 
@@ -168,7 +168,7 @@ mod tests {
             EcoProblem::from_netlists(&parsed.netlist, &spec, &names, &WeightTable::new(), 5)
                 .expect("problem");
         let outcome = EcoEngine::new(EcoOptions::default())
-            .run(&problem)
+            .solve(&problem.snapshot())
             .expect("run");
         assert!(outcome.verified);
         let conversion = parsed.netlist.to_aig().expect("valid");

@@ -2,6 +2,7 @@
 //! windowing, per-target quantification, support computation, cube
 //! enumeration, structural fallback, substitution, and verification.
 
+use crate::cache::{CacheLayer, CachedSolve, EcoCache};
 use crate::cec::{check_outputs_equivalence_observed, CecResult};
 use crate::cegar_min::cegar_min_observed;
 use crate::cnf::CnfEncoder;
@@ -15,6 +16,7 @@ use crate::observe::{
 };
 use crate::problem::EcoProblem;
 use crate::qbf::{check_targets_sufficient_observed, QbfOutcome};
+use crate::snapshot::{cone_hash, hash_aig, hash_bytes, ContentHasher, ProblemSnapshot};
 use crate::structural::structural_patch;
 use crate::support::{support_solver_for, SupportResult};
 use crate::window::{
@@ -167,8 +169,9 @@ impl EcoOptions {
 ///     .method(SupportMethod::SatPrune)
 ///     .per_call_conflicts(Some(500_000))
 ///     .verify(false)
-///     .build();
+///     .build()?;
 /// assert_eq!(opts.method, SupportMethod::SatPrune);
+/// # Ok::<(), eco_core::EcoError>(())
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct EcoOptionsBuilder {
@@ -300,9 +303,26 @@ impl EcoOptionsBuilder {
         self
     }
 
-    /// Finalizes the options.
-    pub fn build(self) -> EcoOptions {
-        self.options
+    /// Finalizes the options, validating cross-field invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcoError::InvalidProblem`] when `jobs == 0` (the work
+    /// pool needs at least one worker) or when the deadline is zero
+    /// (every run would trip it before doing any work).
+    pub fn build(self) -> Result<EcoOptions, EcoError> {
+        if self.options.jobs == 0 {
+            return Err(EcoError::InvalidProblem {
+                message: "jobs must be at least 1 (0 workers cannot make progress)".to_string(),
+            });
+        }
+        if self.options.timeout == Some(Duration::ZERO) {
+            return Err(EcoError::InvalidProblem {
+                message: "timeout must be positive (a zero deadline trips before any work)"
+                    .to_string(),
+            });
+        }
+        Ok(self.options)
     }
 }
 
@@ -446,22 +466,26 @@ pub struct EcoOutcome {
 /// sp.add_output(o);
 ///
 /// let problem = EcoProblem::with_unit_weights(im, sp, vec![target])?;
-/// let options = EcoOptions::builder().build();
-/// let outcome = EcoEngine::new(options).run(&problem)?;
+/// let options = EcoOptions::builder().build()?;
+/// let outcome = EcoEngine::new(options).solve(&problem.snapshot())?;
 /// assert!(outcome.verified);
 /// # Ok::<(), eco_core::EcoError>(())
 /// ```
 ///
 /// Attach observers with [`EcoEngine::with_observer`] to stream
 /// [`EcoEvent`]s, or call [`EcoEngine::with_metrics`] to aggregate a
-/// [`RunMetrics`] into [`EcoOutcome::metrics`].
+/// [`RunMetrics`] into [`EcoOutcome::metrics`]. Attach an [`EcoCache`]
+/// with [`EcoEngine::with_cache`] to reuse windows, CNF builds, and
+/// solved targets across runs sharing the cache.
 #[derive(Clone, Default)]
 pub struct EcoEngine {
-    /// Configuration used by [`EcoEngine::run`].
+    /// Configuration used by [`EcoEngine::solve`].
     pub options: EcoOptions,
     observers: Vec<Arc<Mutex<dyn EcoObserver + Send>>>,
     collect_metrics: bool,
     governor: Option<ResourceGovernor>,
+    cache: Option<EcoCache>,
+    request_id: Option<String>,
 }
 
 impl fmt::Debug for EcoEngine {
@@ -470,6 +494,8 @@ impl fmt::Debug for EcoEngine {
             .field("options", &self.options)
             .field("observers", &self.observers.len())
             .field("collect_metrics", &self.collect_metrics)
+            .field("cache", &self.cache)
+            .field("request_id", &self.request_id)
             .finish()
     }
 }
@@ -482,7 +508,35 @@ impl EcoEngine {
             observers: Vec::new(),
             collect_metrics: false,
             governor: None,
+            cache: None,
+            request_id: None,
         }
+    }
+
+    /// Attaches a shared content-hash cache: windows, quantified
+    /// miters, and solved targets are looked up before being rebuilt
+    /// and stored after a miss. Clone one [`EcoCache`] into many
+    /// engines to share it across runs (the daemon does exactly this
+    /// across requests). Cached artifacts are keyed by the full content
+    /// of what they depend on, so hits return byte-identical results.
+    ///
+    /// Cache reuse across runs is deterministic at `jobs == 1`; at
+    /// higher job counts the racing ladder may populate the CNF layer
+    /// in a thread-dependent order, so byte-stable *event streams*
+    /// across warm runs are only guaranteed single-threaded.
+    pub fn with_cache(mut self, cache: EcoCache) -> EcoEngine {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Tags every run of this engine with a request id: it is emitted
+    /// as [`EcoEvent::RequestTagged`] right after
+    /// [`EcoEvent::RunStarted`] and lands in
+    /// [`RunMetrics::request_id`], giving traces and metrics a
+    /// per-request dimension when many runs share one observer.
+    pub fn with_request_id(mut self, request_id: impl Into<String>) -> EcoEngine {
+        self.request_id = Some(request_id.into());
+        self
     }
 
     /// Installs an externally-owned [`ResourceGovernor`], overriding
@@ -523,6 +577,31 @@ impl EcoEngine {
 
     /// Runs the full flow on `problem`.
     ///
+    /// Deprecated shim over [`EcoEngine::solve`]: it clones `problem`
+    /// into a fresh [`ProblemSnapshot`] on every call, paying the
+    /// hashing cost each time. Call
+    /// `engine.solve(&problem.snapshot())` instead (and keep the
+    /// snapshot around to share it across runs and threads).
+    ///
+    /// # Errors
+    ///
+    /// See [`EcoEngine::solve`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `solve(&problem.snapshot())`; snapshots share the problem by `Arc` \
+                and precompute the content hashes the cache layer keys on"
+    )]
+    pub fn run(&self, problem: &EcoProblem) -> Result<EcoOutcome, EcoError> {
+        self.solve(&ProblemSnapshot::new(problem.clone()))
+    }
+
+    /// Runs the full flow on the snapshotted problem.
+    ///
+    /// The snapshot shares the underlying [`EcoProblem`] by `Arc` (no
+    /// clone per run) and carries precomputed content hashes, which the
+    /// optional [`EcoCache`] keys on. Build one with
+    /// [`EcoProblem::snapshot`] or [`ProblemSnapshot::new`].
+    ///
     /// # Errors
     ///
     /// - [`EcoError::TargetsInsufficient`] when expression (1) is SAT.
@@ -531,8 +610,9 @@ impl EcoEngine {
     /// - [`EcoError::VerificationFailed`] when the final check finds a
     ///   counterexample (possible only after a timed-out feasibility
     ///   check, mirroring the paper's invalid-patch caveat).
-    pub fn run(&self, problem: &EcoProblem) -> Result<EcoOutcome, EcoError> {
+    pub fn solve(&self, snapshot: &ProblemSnapshot) -> Result<EcoOutcome, EcoError> {
         let t0 = Instant::now();
+        let problem: &EcoProblem = snapshot.problem();
         let opts = &self.options;
 
         // An explicit governor wins; otherwise build one from the
@@ -569,6 +649,11 @@ impl EcoEngine {
             per_call_conflicts: opts.per_call_conflicts,
             jobs,
         });
+        if let Some(request_id) = &self.request_id {
+            obs.emit(|| EcoEvent::RequestTagged {
+                request_id: request_id.clone(),
+            });
+        }
 
         // Phase 1: verify the target set is sufficient (Sec. 3.2).
         obs.emit(|| EcoEvent::PhaseStarted {
@@ -611,7 +696,7 @@ impl EcoEngine {
             phase: Phase::Windowing,
         });
         let phase_t = Instant::now();
-        let window = compute_window(problem);
+        let window = self.windowed(snapshot, &obs);
         obs.emit(|| EcoEvent::PhaseFinished {
             phase: Phase::Windowing,
             elapsed: phase_t.elapsed(),
@@ -820,7 +905,30 @@ impl EcoEngine {
                 // attempts: carried into the fallback report so events
                 // and counters stay reconciled.
                 let mut spent = 0u64;
-                let ladder = if jobs > 1 && opts.structural_fallback {
+                let solve_key = self
+                    .cache
+                    .as_ref()
+                    .map(|_| target_solve_key(&work, &window, &assignments, exact, 0, opts));
+                let cached = match (&self.cache, solve_key) {
+                    (Some(cache), Some(key)) => {
+                        let hit = cache.get_solve(key);
+                        let is_hit = hit.is_some();
+                        obs.emit(|| EcoEvent::CacheQuery {
+                            layer: CacheLayer::Target,
+                            hit: is_hit,
+                        });
+                        hit
+                    }
+                    _ => None,
+                };
+                let from_cache = cached.is_some();
+                let ladder = if let Some(cached) = cached {
+                    let mut report = cached.report;
+                    report.target_index = original_index;
+                    // Served from cache: this run spent no solver work.
+                    report.sat_calls = 0;
+                    Ok((cached.patch, report))
+                } else if jobs > 1 && opts.structural_fallback {
                     self.patch_with_ladder_racing(
                         &work,
                         &window,
@@ -850,6 +958,19 @@ impl EcoEngine {
                 };
                 match ladder {
                     Ok((patch, report)) => {
+                        if !from_cache {
+                            if let (Some(cache), Some(key)) = (&self.cache, solve_key) {
+                                if solve_is_cacheable(&report, gov) {
+                                    cache.put_solve(
+                                        key,
+                                        CachedSolve {
+                                            patch: patch.clone(),
+                                            report: report.clone(),
+                                        },
+                                    );
+                                }
+                            }
+                        }
                         obs.emit(|| EcoEvent::TargetFinished {
                             target_index: original_index,
                             worker: 0,
@@ -1165,6 +1286,82 @@ impl EcoEngine {
     /// degradation ladder can re-run the attempt with reduced-effort
     /// settings.
     #[allow(clippy::too_many_arguments)]
+    /// Computes (or cache-loads) the run-wide window. The key covers
+    /// everything [`compute_window`] reads: the implementation
+    /// representation, the target list, and the canonical spec cones
+    /// over the impl-side window outputs — so a hit is exactly the
+    /// window a cold computation would produce, and a spec revision
+    /// outside those cones still hits.
+    fn windowed(&self, snapshot: &ProblemSnapshot, obs: &ObserverHandle) -> Window {
+        let problem = snapshot.problem();
+        let Some(cache) = &self.cache else {
+            return compute_window(problem);
+        };
+        let key = window_cache_key(snapshot);
+        if let Some(window) = cache.get_window(key) {
+            obs.emit(|| EcoEvent::CacheQuery {
+                layer: CacheLayer::Window,
+                hit: true,
+            });
+            return window;
+        }
+        obs.emit(|| EcoEvent::CacheQuery {
+            layer: CacheLayer::Window,
+            hit: false,
+        });
+        let window = compute_window(problem);
+        cache.put_window(key, window.clone());
+        window
+    }
+
+    /// Builds (or cache-loads) the quantified miter for
+    /// `work.targets[pos]`. Reuse is sound on the SAT path because the
+    /// CNF encoder assigns variables in structural traversal order from
+    /// literals (miter output, divisor `impl_map` entries, x/n inputs)
+    /// that are fixed before the spec import, so two miters with equal
+    /// keys encode to identical clause streams even when the cached
+    /// one was built against a differently-numbered spec. The
+    /// structural rung reads miter node ids directly, so it always
+    /// builds fresh and never touches this cache.
+    fn quantified_miter(
+        &self,
+        work: &EcoProblem,
+        pos: usize,
+        assignments: &[Vec<bool>],
+        window: &Window,
+        obs: &ObserverHandle,
+    ) -> Arc<QuantifiedMiter> {
+        let Some(cache) = &self.cache else {
+            return Arc::new(QuantifiedMiter::build(
+                work,
+                pos,
+                assignments,
+                Some(&window.outputs),
+            ));
+        };
+        let key = miter_cache_key(work, pos, assignments, &window.outputs);
+        if let Some(miter) = cache.get_miter(key) {
+            obs.emit(|| EcoEvent::CacheQuery {
+                layer: CacheLayer::Cnf,
+                hit: true,
+            });
+            return miter;
+        }
+        obs.emit(|| EcoEvent::CacheQuery {
+            layer: CacheLayer::Cnf,
+            hit: false,
+        });
+        let miter = Arc::new(QuantifiedMiter::build(
+            work,
+            pos,
+            assignments,
+            Some(&window.outputs),
+        ));
+        cache.put_miter(key, miter.clone());
+        miter
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn sat_patch_for_target(
         &self,
         work: &EcoProblem,
@@ -1179,12 +1376,13 @@ impl EcoEngine {
         obs: &ObserverHandle,
     ) -> Result<(NodePatch, TargetPatchReport), EcoError> {
         loop {
-            let qm = QuantifiedMiter::build(work, pos, assignments, Some(&window.outputs));
+            let qm = self.quantified_miter(work, pos, assignments, window, obs);
+            let qm: &QuantifiedMiter = &qm;
             let mut divisors =
                 compute_divisors(&work.implementation, &work.targets, &window.inputs);
             divisors.sort_by_key(|d| (work.weight(*d), d.index()));
             divisors.truncate(opts.max_divisors);
-            let mut ss = support_solver_for(work, &qm, &divisors, opts.per_call_conflicts);
+            let mut ss = support_solver_for(work, qm, &divisors, opts.per_call_conflicts);
             ss.set_observer(obs.clone(), Some(original_index));
             ss.set_governor(governor.cloned());
             let feasible = match ss.all_feasible() {
@@ -1253,7 +1451,7 @@ impl EcoEngine {
                 .collect();
             *spent += ss.sat_calls;
             let sop = enumerate_patch_sop_observed(
-                &qm,
+                qm,
                 &support_nodes,
                 original_index,
                 opts.per_call_conflicts,
@@ -1707,19 +1905,59 @@ impl EcoEngine {
         });
         let mut spent = 0u64;
         let mut trips = TripLog::default();
-        let ladder = self.patch_with_ladder(
-            work,
-            member_window,
-            initial,
-            true,
-            pos,
-            original_index,
-            &mut spent,
-            opts,
-            governor,
-            &mut trips,
-            obs,
-        );
+        let solve_key = self
+            .cache
+            .as_ref()
+            .map(|_| target_solve_key(work, member_window, initial, true, pos, opts));
+        let cached = match (&self.cache, solve_key) {
+            (Some(cache), Some(key)) => {
+                let hit = cache.get_solve(key);
+                let is_hit = hit.is_some();
+                obs.emit(|| EcoEvent::CacheQuery {
+                    layer: CacheLayer::Target,
+                    hit: is_hit,
+                });
+                hit
+            }
+            _ => None,
+        };
+        let from_cache = cached.is_some();
+        let ladder = if let Some(cached) = cached {
+            let mut report = cached.report;
+            report.target_index = original_index;
+            // Served from cache: this run spent no solver work.
+            report.sat_calls = 0;
+            Ok(Ok((cached.patch, report)))
+        } else {
+            self.patch_with_ladder(
+                work,
+                member_window,
+                initial,
+                true,
+                pos,
+                original_index,
+                &mut spent,
+                opts,
+                governor,
+                &mut trips,
+                obs,
+            )
+        };
+        if !from_cache {
+            if let (Some(cache), Some(key), Ok(Ok((patch, report)))) =
+                (&self.cache, solve_key, &ladder)
+            {
+                if solve_is_cacheable(report, governor) {
+                    cache.put_solve(
+                        key,
+                        CachedSolve {
+                            patch: patch.clone(),
+                            report: report.clone(),
+                        },
+                    );
+                }
+            }
+        }
         if let Ok(verdict) = &ladder {
             let sat_calls = match verdict {
                 Ok((_, report)) => report.sat_calls,
@@ -2169,6 +2407,135 @@ fn project_certificates(certificates: &[Vec<bool>], remaining: &[usize]) -> Vec<
     out
 }
 
+/// Domain-separation tags for the cache-key spaces.
+const TAG_WINDOW: u64 = 0x57_49_4e;
+const TAG_MITER: u64 = 0x4d_49_54;
+const TAG_SOLVE: u64 = 0x53_4f_4c;
+const TAG_OPTS: u64 = 0x4f_50_54;
+
+/// Cache key of the run-wide window: implementation representation,
+/// target list, and the canonical spec cones over the impl-side window
+/// outputs (the only part of the spec [`compute_window`] reads). The
+/// output set is recomputed here from the implementation alone, which
+/// is cheap relative to the spec-side TFI walk a miss would pay.
+fn window_cache_key(snapshot: &ProblemSnapshot) -> u128 {
+    let problem = snapshot.problem();
+    let fanouts = problem.implementation.fanouts();
+    let tfo = problem
+        .implementation
+        .tfo_mask(problem.targets.iter().copied(), &fanouts);
+    let outputs: Vec<usize> = problem
+        .implementation
+        .outputs()
+        .iter()
+        .enumerate()
+        .filter(|(_, out)| tfo[out.node().index()])
+        .map(|(i, _)| i)
+        .collect();
+    let mut h = ContentHasher::new(TAG_WINDOW);
+    h.write(snapshot.hashes().implementation);
+    h.write(snapshot.hashes().targets);
+    h.write(cone_hash(&problem.specification, &outputs));
+    h.finish128()
+}
+
+/// Writes the parts of a per-target subproblem shared by the miter and
+/// solve keys: the working implementation's representation, the
+/// remaining target list, the position being solved, the quantification
+/// assignments, the window outputs, and the canonical spec cones over
+/// those outputs.
+fn write_subproblem(
+    h: &mut ContentHasher,
+    work: &EcoProblem,
+    pos: usize,
+    assignments: &[Vec<bool>],
+    outputs: &[usize],
+) {
+    h.write(hash_aig(&work.implementation));
+    h.write(work.targets.len() as u64);
+    for &t in &work.targets {
+        h.write(t.index() as u64);
+    }
+    h.write(pos as u64);
+    h.write(assignments.len() as u64);
+    for a in assignments {
+        h.write(a.len() as u64);
+        for &bit in a {
+            h.write(bit as u64);
+        }
+    }
+    h.write(outputs.len() as u64);
+    for &o in outputs {
+        h.write(o as u64);
+    }
+    h.write(cone_hash(&work.specification, outputs));
+}
+
+/// Cache key of a quantified miter (the CNF layer).
+fn miter_cache_key(
+    work: &EcoProblem,
+    pos: usize,
+    assignments: &[Vec<bool>],
+    outputs: &[usize],
+) -> u128 {
+    let mut h = ContentHasher::new(TAG_MITER);
+    write_subproblem(&mut h, work, pos, assignments, outputs);
+    h.finish128()
+}
+
+/// Cache key of a solved target: the subproblem plus everything else
+/// the ladder reads — weights (divisor ordering and cost), the window
+/// inputs (divisor candidates), the exactness flag, and the
+/// solve-relevant option fingerprint.
+fn target_solve_key(
+    work: &EcoProblem,
+    window: &Window,
+    assignments: &[Vec<bool>],
+    exact: bool,
+    pos: usize,
+    opts: &EcoOptions,
+) -> u128 {
+    let mut h = ContentHasher::new(TAG_SOLVE);
+    write_subproblem(&mut h, work, pos, assignments, &window.outputs);
+    h.write(window.inputs.len() as u64);
+    for &i in &window.inputs {
+        h.write(i as u64);
+    }
+    h.write(work.default_weight);
+    h.write(work.weights.len() as u64);
+    for &w in &work.weights {
+        h.write(w);
+    }
+    h.write(exact as u64);
+    h.write(options_fingerprint(opts));
+    h.finish128()
+}
+
+/// Fingerprint of the options that shape a per-target solve. Run-scoped
+/// resource fields (deadline, global pools, fault plan, job count) are
+/// normalized away: they do not change what a *completed, untripped*
+/// solve produces, and [`solve_is_cacheable`] refuses to store anything
+/// the governor interfered with.
+fn options_fingerprint(opts: &EcoOptions) -> u64 {
+    let mut normalized = opts.clone();
+    normalized.timeout = None;
+    normalized.global_conflicts = None;
+    normalized.global_propagations = None;
+    normalized.fault_plan = None;
+    normalized.jobs = 1;
+    hash_bytes(TAG_OPTS, format!("{normalized:?}").as_bytes())
+}
+
+/// Only pure, full-effort results enter the solve cache: a degraded or
+/// skipped disposition — or any governor trip or injected fault during
+/// the run so far — means the result reflects resource pressure, not
+/// the subproblem, and caching it would leak that pressure into later
+/// unrelated runs.
+fn solve_is_cacheable(report: &TargetPatchReport, governor: Option<&ResourceGovernor>) -> bool {
+    matches!(report.disposition, TargetDisposition::Patched)
+        && !governor.is_some_and(|g| g.trip().is_some() || g.fault_injections() != 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2188,8 +2555,43 @@ mod tests {
     }
 
     fn run_with(method: SupportMethod, p: &EcoProblem) -> EcoOutcome {
-        let options = EcoOptions::builder().method(method).build();
-        EcoEngine::new(options).run(p).expect("engine run")
+        let options = EcoOptions::builder()
+            .method(method)
+            .build()
+            .expect("valid options");
+        EcoEngine::new(options)
+            .solve(&p.snapshot())
+            .expect("engine run")
+    }
+
+    #[test]
+    fn builder_rejects_zero_jobs() {
+        let err = EcoOptions::builder()
+            .jobs(0)
+            .build()
+            .expect_err("0 workers");
+        assert!(
+            matches!(err, EcoError::InvalidProblem { ref message } if message.contains("jobs")),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_a_zero_deadline() {
+        let err = EcoOptions::builder()
+            .timeout(Some(Duration::ZERO))
+            .build()
+            .expect_err("zero deadline");
+        assert!(
+            matches!(err, EcoError::InvalidProblem { ref message } if message.contains("timeout")),
+            "got {err}"
+        );
+        // The smallest representable deadline is fine (the CLI maps
+        // `--timeout-ms 0` to it to keep the anytime contract).
+        EcoOptions::builder()
+            .timeout(Some(Duration::from_nanos(1)))
+            .build()
+            .expect("1ns deadline is accepted");
     }
 
     #[test]
@@ -2245,7 +2647,9 @@ mod tests {
         sp.add_output(a);
         sp.add_output(a);
         let p = EcoProblem::with_unit_weights(im, sp, vec![t.node()]).expect("valid");
-        let err = EcoEngine::new(EcoOptions::default()).run(&p).unwrap_err();
+        let err = EcoEngine::new(EcoOptions::default())
+            .solve(&p.snapshot())
+            .unwrap_err();
         assert!(matches!(err, EcoError::TargetsInsufficient { .. }));
     }
 
@@ -2256,8 +2660,11 @@ mod tests {
             .per_call_conflicts(Some(0))
             .cegar_min(false)
             .verify(false)
-            .build();
-        let out = EcoEngine::new(options).run(&p).expect("fallback run");
+            .build()
+            .expect("valid options");
+        let out = EcoEngine::new(options)
+            .solve(&p.snapshot())
+            .expect("fallback run");
         assert_eq!(out.reports[0].kind, PatchKind::Structural);
         // Check equivalence out-of-band (the in-run verify had no budget).
         assert_eq!(
@@ -2273,8 +2680,11 @@ mod tests {
             .per_call_conflicts(Some(0))
             .cegar_min(true)
             .verify(false)
-            .build();
-        let out = EcoEngine::new(options).run(&p).expect("fallback run");
+            .build()
+            .expect("valid options");
+        let out = EcoEngine::new(options)
+            .solve(&p.snapshot())
+            .expect("fallback run");
         assert_eq!(out.reports[0].kind, PatchKind::StructuralCegarMin);
         assert_eq!(
             check_equivalence(&out.patched_implementation, &p.specification, None),
@@ -2343,8 +2753,9 @@ mod tests {
             .expect("valid");
         let options = EcoOptions::builder()
             .exact_quantification_threshold(0)
-            .build();
-        match EcoEngine::new(options).run(&p) {
+            .build()
+            .expect("valid options");
+        match EcoEngine::new(options).solve(&p.snapshot()) {
             Ok(out) => assert!(out.verified, "refined quantification must verify"),
             Err(EcoError::TargetsInsufficient { .. }) => {
                 panic!("instance is solvable by construction")

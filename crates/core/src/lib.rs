@@ -51,8 +51,8 @@
 //! let problem = EcoProblem::with_unit_weights(im, sp, vec![t.node()])?;
 //! let options = EcoOptions::builder()
 //!     .method(SupportMethod::MinimizeAssumptions)
-//!     .build();
-//! let outcome = EcoEngine::new(options).run(&problem)?;
+//!     .build()?;
+//! let outcome = EcoEngine::new(options).solve(&problem.snapshot())?;
 //! assert!(outcome.verified);
 //! # Ok::<(), eco_core::EcoError>(())
 //! ```
@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod cec;
 mod cegar_min;
 mod cnf;
@@ -81,11 +82,13 @@ mod miter;
 mod observe;
 mod problem;
 mod qbf;
+mod snapshot;
 mod structural;
 mod support;
 pub mod trace;
 mod window;
 
+pub use cache::{CacheLayer, CacheStats, EcoCache};
 pub use cec::{check_equivalence, CecResult};
 pub use cegar_min::{cegar_min, cegar_min_filtered, CegarMinResult};
 pub use cnf::CnfEncoder;
@@ -104,13 +107,16 @@ pub use interp::{
 };
 pub use miter::{EcoMiter, QuantifiedMiter};
 pub use observe::{
-    conflict_bucket, latency_bucket, BudgetMetrics, EcoEvent, EcoObserver, KindMetrics, LadderRung,
-    MetricsObserver, NullObserver, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics,
-    SupportStep, TargetMetrics, TeeObserver, WorkerMetrics, CONFLICT_BUCKET_BOUNDS,
-    LATENCY_BUCKET_BOUNDS_US, NUM_CONFLICT_BUCKETS, NUM_LATENCY_BUCKETS,
+    conflict_bucket, latency_bucket, BudgetMetrics, CacheCounters, EcoEvent, EcoObserver,
+    KindMetrics, LadderRung, MetricsObserver, NullObserver, Phase, PhaseMetrics, RunMetrics,
+    SatCallKind, SatCallMetrics, SupportStep, TargetMetrics, TeeObserver, WorkerMetrics,
+    CONFLICT_BUCKET_BOUNDS, LATENCY_BUCKET_BOUNDS_US, NUM_CONFLICT_BUCKETS, NUM_LATENCY_BUCKETS,
 };
 pub use problem::EcoProblem;
 pub use qbf::{check_targets_sufficient, QbfOutcome};
+pub use snapshot::{
+    cone_hash, hash_aig, hash_bytes, ContentHasher, ProblemSnapshot, SnapshotHashes,
+};
 pub use structural::{structural_patch, StructuralPatch};
 pub use support::{
     minimize_assumptions, naive_minimize_assumptions, support_solver_for, SupportResult,

@@ -275,6 +275,22 @@ pub enum EcoEvent {
         /// Cost of the rewritten support.
         cost: u64,
     },
+    /// The run belongs to a serving-layer request (emitted right after
+    /// [`EcoEvent::RunStarted`] when the engine was built with
+    /// [`crate::EcoEngine::with_request_id`]); gives every span of the
+    /// run a request-id dimension.
+    RequestTagged {
+        /// The caller-chosen request id.
+        request_id: String,
+    },
+    /// A content-hash cache layer was consulted (engine built with
+    /// [`crate::EcoEngine::with_cache`]).
+    CacheQuery {
+        /// Which layer.
+        layer: crate::cache::CacheLayer,
+        /// `true` on a hit (the derived artifact was reused).
+        hit: bool,
+    },
     /// The run completed (success paths only; errors abort the stream).
     RunFinished {
         /// Total wall-clock time.
@@ -534,12 +550,103 @@ pub struct WorkerMetrics {
     pub sat_time: Duration,
 }
 
+/// Per-run cache hit/miss counters (schema v5), aggregated from
+/// [`EcoEvent::CacheQuery`] events. The engine fills the window / CNF
+/// / target layers; the daemon fills the netlist and outcome layers
+/// when it serializes per-request metrics. All zero when no cache is
+/// attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Parsed-netlist layer hits (daemon-side).
+    pub netlist_hits: u64,
+    /// Parsed-netlist layer misses (daemon-side).
+    pub netlist_misses: u64,
+    /// Window-extraction layer hits.
+    pub window_hits: u64,
+    /// Window-extraction layer misses.
+    pub window_misses: u64,
+    /// CNF(miter)-build layer hits.
+    pub cnf_hits: u64,
+    /// CNF(miter)-build layer misses.
+    pub cnf_misses: u64,
+    /// Solved-target layer hits.
+    pub target_hits: u64,
+    /// Solved-target layer misses.
+    pub target_misses: u64,
+    /// Full-outcome layer hits (daemon-side).
+    pub outcome_hits: u64,
+    /// Full-outcome layer misses (daemon-side).
+    pub outcome_misses: u64,
+}
+
+impl CacheCounters {
+    /// Records one [`EcoEvent::CacheQuery`].
+    pub fn record(&mut self, layer: crate::cache::CacheLayer, hit: bool) {
+        use crate::cache::CacheLayer;
+        let slot = match layer {
+            CacheLayer::Netlist => {
+                if hit {
+                    &mut self.netlist_hits
+                } else {
+                    &mut self.netlist_misses
+                }
+            }
+            CacheLayer::Window => {
+                if hit {
+                    &mut self.window_hits
+                } else {
+                    &mut self.window_misses
+                }
+            }
+            CacheLayer::Cnf => {
+                if hit {
+                    &mut self.cnf_hits
+                } else {
+                    &mut self.cnf_misses
+                }
+            }
+            CacheLayer::Target => {
+                if hit {
+                    &mut self.target_hits
+                } else {
+                    &mut self.target_misses
+                }
+            }
+            CacheLayer::Outcome => {
+                if hit {
+                    &mut self.outcome_hits
+                } else {
+                    &mut self.outcome_misses
+                }
+            }
+        };
+        *slot += 1;
+    }
+
+    /// Total hits across all layers.
+    pub fn hits(&self) -> u64 {
+        self.netlist_hits + self.window_hits + self.cnf_hits + self.target_hits + self.outcome_hits
+    }
+
+    /// Total misses across all layers.
+    pub fn misses(&self) -> u64 {
+        self.netlist_misses
+            + self.window_misses
+            + self.cnf_misses
+            + self.target_misses
+            + self.outcome_misses
+    }
+}
+
 /// Serializable aggregate of one engine run, built by
 /// [`MetricsObserver`] and attached to
 /// [`crate::EcoOutcome::metrics`] when the engine was configured with
 /// [`crate::EcoEngine::with_metrics`].
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunMetrics {
+    /// The serving-layer request id the run was tagged with
+    /// ([`EcoEvent::RequestTagged`]), `None` for untagged runs.
+    pub request_id: Option<String>,
     /// Number of targets in the problem.
     pub num_targets: usize,
     /// The configured per-call conflict budget.
@@ -576,6 +683,9 @@ pub struct RunMetrics {
     pub governor_trips: u64,
     /// Degradation-ladder descents ([`EcoEvent::LadderStep`]).
     pub ladder_steps: u64,
+    /// Cache hit/miss counters ([`EcoEvent::CacheQuery`]); all zero
+    /// when no cache is attached.
+    pub cache: CacheCounters,
 }
 
 fn push_json_array(out: &mut String, counts: &[u64]) {
@@ -597,9 +707,10 @@ fn push_json_string(out: &mut String, text: &str) {
 
 impl RunMetrics {
     /// Serializes to the stable JSON schema documented in
-    /// `EXPERIMENTS.md` (schema_version 4, which added the worker count
-    /// and per-worker attribution). Key order is fixed; durations are
-    /// integer microseconds; fractions carry six decimal places.
+    /// `EXPERIMENTS.md` (schema_version 5, which added the request-id
+    /// dimension and the cache hit/miss counters). Key order is fixed;
+    /// durations are integer microseconds; fractions carry six decimal
+    /// places.
     pub fn to_json(&self) -> String {
         let us = |d: Duration| -> u64 { d.as_micros().min(u64::MAX as u128) as u64 };
         let opt_u64 = |v: Option<u64>| match v {
@@ -607,7 +718,14 @@ impl RunMetrics {
             None => "null".to_string(),
         };
         let mut s = String::new();
-        s.push_str("{\"schema_version\":4");
+        s.push_str("{\"schema_version\":5");
+        match &self.request_id {
+            Some(id) => {
+                s.push_str(",\"request_id\":");
+                push_json_string(&mut s, id);
+            }
+            None => s.push_str(",\"request_id\":null"),
+        }
         s.push_str(&format!(",\"num_targets\":{}", self.num_targets));
         s.push_str(&format!(
             ",\"per_call_conflicts\":{}",
@@ -710,6 +828,22 @@ impl RunMetrics {
             self.cegar_min_rounds,
             self.governor_trips,
             self.ladder_steps
+        ));
+        let c = &self.cache;
+        s.push_str(&format!(
+            ",\"cache\":{{\"netlist_hits\":{},\"netlist_misses\":{},\"window_hits\":{},\
+             \"window_misses\":{},\"cnf_hits\":{},\"cnf_misses\":{},\"target_hits\":{},\
+             \"target_misses\":{},\"outcome_hits\":{},\"outcome_misses\":{}}}",
+            c.netlist_hits,
+            c.netlist_misses,
+            c.window_hits,
+            c.window_misses,
+            c.cnf_hits,
+            c.cnf_misses,
+            c.target_hits,
+            c.target_misses,
+            c.outcome_hits,
+            c.outcome_misses
         ));
         s.push('}');
         s
@@ -883,6 +1017,10 @@ impl EcoObserver for MetricsObserver {
             EcoEvent::CegarMinRound { .. } => self.metrics.cegar_min_rounds += 1,
             EcoEvent::GovernorTripped { .. } => self.metrics.governor_trips += 1,
             EcoEvent::LadderStep { .. } => self.metrics.ladder_steps += 1,
+            EcoEvent::RequestTagged { ref request_id } => {
+                self.metrics.request_id = Some(request_id.clone());
+            }
+            EcoEvent::CacheQuery { layer, hit } => self.metrics.cache.record(layer, hit),
             EcoEvent::RunFinished { elapsed } => {
                 self.metrics.elapsed = elapsed;
                 if let Some(b) = &mut self.metrics.budget {
@@ -1040,7 +1178,9 @@ mod tests {
             ..RunMetrics::default()
         };
         let json = m.to_json();
-        assert!(json.starts_with("{\"schema_version\":4"));
+        assert!(json.starts_with("{\"schema_version\":5"));
+        assert!(json.contains("\"request_id\":null"));
+        assert!(json.contains("\"cache\":{\"netlist_hits\":0"));
         assert!(json.contains("\"per_call_conflicts\":null"));
         assert!(json.contains("\"jobs\":4"));
         assert!(json.contains("\"workers\":[]"));

@@ -1,0 +1,385 @@
+//! Immutable, content-hashed problem snapshots — the engine's primary
+//! input since the serving-layer redesign.
+//!
+//! A [`ProblemSnapshot`] wraps an [`EcoProblem`] in an [`Arc`] and
+//! precomputes stable content hashes of every ingredient (the
+//! implementation and specification AIGs, the target list, the weight
+//! vector). Requests can then share one immutable problem across
+//! worker threads without cloning, and caches (see [`crate::cache`])
+//! can key derived artifacts — windows, quantified miters, solved
+//! patches — by content instead of identity, so a re-run after a small
+//! spec revision reuses everything the revision did not touch.
+//!
+//! Two different notions of hash are used, deliberately:
+//!
+//! - **Representation hashes** ([`hash_aig`]) cover the exact stored
+//!   form of an AIG — node array order included. Equality implies the
+//!   two values are bit-for-bit the same structure, so cached artifacts
+//!   holding node ids (patch supports, divisor lists) remain valid.
+//! - **Canonical cone hashes** ([`cone_hash`]) cover the logic cone of
+//!   chosen outputs up to node *renumbering*: nodes are relabeled in
+//!   deterministic first-visit order from the roots. Two specification
+//!   revisions that leave an output cone untouched produce equal cone
+//!   hashes even though unrelated edits shifted every node id — which
+//!   is exactly what lets a one-gate spec revision reuse the window and
+//!   CNF cache entries of every *other* cone.
+
+use crate::problem::EcoProblem;
+use eco_aig::{Aig, AigNode, NodeId};
+use std::sync::Arc;
+
+/// Seed for the primary hash lane (FNV-1a 64-bit offset basis).
+const LANE_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// Seed for the secondary lane, making 128-bit cache keys cheap.
+const LANE_B: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Incremental content hasher: two independent 64-bit lanes folded
+/// over `u64` words with a SplitMix64-style finalizer per word. Not
+/// cryptographic — used only for cache keying, where a collision costs
+/// a wrong cache hit with probability ~2⁻¹²⁸ per pair.
+#[derive(Clone, Copy, Debug)]
+pub struct ContentHasher {
+    a: u64,
+    b: u64,
+}
+
+impl ContentHasher {
+    /// A hasher seeded with `tag`, which domain-separates key spaces
+    /// (window keys never collide with solve keys, etc.).
+    pub fn new(tag: u64) -> ContentHasher {
+        let mut h = ContentHasher {
+            a: LANE_A,
+            b: LANE_B,
+        };
+        h.write(tag);
+        h
+    }
+
+    /// Folds one word into both lanes.
+    pub fn write(&mut self, word: u64) {
+        self.a = mix64(self.a ^ word);
+        self.b = mix64(self.b.wrapping_add(word).rotate_left(17) ^ 0xa076_1d64_78bd_642f);
+    }
+
+    /// Folds a length-prefixed byte string.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write(u64::from_le_bytes(word));
+        }
+    }
+
+    /// The primary 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        mix64(self.a ^ self.b.rotate_left(32))
+    }
+
+    /// Both lanes as one 128-bit digest (cache keys).
+    pub fn finish128(&self) -> u128 {
+        ((self.finish() as u128) << 64) | mix64(self.b ^ self.a.rotate_left(32)) as u128
+    }
+}
+
+/// SplitMix64 finalizer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes a length-prefixed byte string (netlist sources, option
+/// fingerprints) into one 64-bit digest.
+pub fn hash_bytes(tag: u64, bytes: &[u8]) -> u64 {
+    let mut h = ContentHasher::new(tag);
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Representation hash of an AIG: covers the node array in index
+/// order, the input list, and the output literals. Equal hashes mean
+/// the two AIGs are the same stored structure — same node ids, same
+/// everything — so artifacts holding [`NodeId`]s transfer soundly.
+pub fn hash_aig(aig: &Aig) -> u64 {
+    let mut h = ContentHasher::new(0x41_49_47);
+    h.write(aig.num_nodes() as u64);
+    for id in aig.iter_nodes() {
+        match aig.node(id) {
+            AigNode::Const0 => h.write(0),
+            AigNode::Input { index } => {
+                h.write(1);
+                h.write(index as u64);
+            }
+            AigNode::And { f0, f1 } => {
+                h.write(2);
+                h.write(lit_word(f0));
+                h.write(lit_word(f1));
+            }
+        }
+    }
+    h.write(aig.num_inputs() as u64);
+    h.write(aig.num_outputs() as u64);
+    for &o in aig.outputs() {
+        h.write(lit_word(o));
+    }
+    h.finish()
+}
+
+fn lit_word(l: eco_aig::AigLit) -> u64 {
+    ((l.node().index() as u64) << 1) | l.is_complement() as u64
+}
+
+/// Canonical hash of the cone of the given primary-output indices:
+/// nodes are relabeled in deterministic first-visit order (outputs in
+/// the given order, fanin 0 before fanin 1), so the digest is invariant
+/// under node renumbering but captures the full DAG shape *including
+/// sharing*. Two AIGs with equal cone hashes drive any deterministic
+/// cone consumer (miter construction, CNF encoding) to identical
+/// results.
+pub fn cone_hash(aig: &Aig, outputs: &[usize]) -> u64 {
+    let mut local: Vec<u32> = vec![u32::MAX; aig.num_nodes()];
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &o in outputs {
+        stack.push(aig.outputs()[o].node());
+        while let Some(n) = stack.pop() {
+            if local[n.index()] != u32::MAX {
+                continue;
+            }
+            local[n.index()] = order.len() as u32;
+            order.push(n);
+            if let AigNode::And { f0, f1 } = aig.node(n) {
+                // Push f1 first so f0 is visited (and numbered) first.
+                stack.push(f1.node());
+                stack.push(f0.node());
+            }
+        }
+    }
+    let mut h = ContentHasher::new(0x43_4f_4e_45);
+    h.write(order.len() as u64);
+    for &n in &order {
+        match aig.node(n) {
+            AigNode::Const0 => h.write(0),
+            AigNode::Input { index } => {
+                h.write(1);
+                h.write(index as u64);
+            }
+            AigNode::And { f0, f1 } => {
+                h.write(2);
+                h.write(((local[f0.node().index()] as u64) << 1) | f0.is_complement() as u64);
+                h.write(((local[f1.node().index()] as u64) << 1) | f1.is_complement() as u64);
+            }
+        }
+    }
+    h.write(outputs.len() as u64);
+    for &o in outputs {
+        let l = aig.outputs()[o];
+        h.write(o as u64);
+        h.write(((local[l.node().index()] as u64) << 1) | l.is_complement() as u64);
+    }
+    h.finish()
+}
+
+/// The precomputed content hashes of a [`ProblemSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotHashes {
+    /// Representation hash of the implementation AIG.
+    pub implementation: u64,
+    /// Representation hash of the specification AIG.
+    pub specification: u64,
+    /// Hash of the target node list (ids in order).
+    pub targets: u64,
+    /// Hash of the weight vector plus the default weight.
+    pub weights: u64,
+    /// Combined digest of all of the above — the problem identity.
+    pub problem: u64,
+}
+
+/// An immutable, content-hashed ECO problem: the input of
+/// [`crate::EcoEngine::solve`].
+///
+/// Construction walks the problem once to fill [`SnapshotHashes`];
+/// cloning afterwards is an `Arc` bump, so one snapshot can fan out to
+/// any number of worker threads or live in a server-side cache without
+/// copying netlists.
+///
+/// # Examples
+///
+/// ```
+/// use eco_aig::Aig;
+/// use eco_core::{EcoEngine, EcoOptions, EcoProblem};
+///
+/// let mut im = Aig::new();
+/// let a = im.add_input();
+/// let b = im.add_input();
+/// let t = im.and(a, b);
+/// im.add_output(t);
+/// let mut sp = Aig::new();
+/// let a = sp.add_input();
+/// let b = sp.add_input();
+/// let o = sp.or(a, b);
+/// sp.add_output(o);
+/// let problem = EcoProblem::with_unit_weights(im, sp, vec![t.node()])?;
+/// let snapshot = problem.snapshot();
+/// let outcome = EcoEngine::new(EcoOptions::default()).solve(&snapshot)?;
+/// assert!(outcome.verified);
+/// // The same logical problem always hashes the same.
+/// assert_eq!(
+///     snapshot.hashes().problem,
+///     snapshot.problem().snapshot().hashes().problem,
+/// );
+/// # Ok::<(), eco_core::EcoError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProblemSnapshot {
+    problem: Arc<EcoProblem>,
+    hashes: SnapshotHashes,
+}
+
+impl ProblemSnapshot {
+    /// Takes ownership of `problem` and precomputes its hashes.
+    pub fn new(problem: EcoProblem) -> ProblemSnapshot {
+        ProblemSnapshot::from_arc(Arc::new(problem))
+    }
+
+    /// Wraps an already-shared problem.
+    pub fn from_arc(problem: Arc<EcoProblem>) -> ProblemSnapshot {
+        let implementation = hash_aig(&problem.implementation);
+        let specification = hash_aig(&problem.specification);
+        let mut th = ContentHasher::new(0x54_47_54);
+        th.write(problem.targets.len() as u64);
+        for &t in &problem.targets {
+            th.write(t.index() as u64);
+        }
+        let targets = th.finish();
+        let mut wh = ContentHasher::new(0x57_47_54);
+        wh.write(problem.default_weight);
+        wh.write(problem.weights.len() as u64);
+        for &w in &problem.weights {
+            wh.write(w);
+        }
+        let weights = wh.finish();
+        let mut ph = ContentHasher::new(0x50_52_4f_42);
+        ph.write(implementation);
+        ph.write(specification);
+        ph.write(targets);
+        ph.write(weights);
+        let hashes = SnapshotHashes {
+            implementation,
+            specification,
+            targets,
+            weights,
+            problem: ph.finish(),
+        };
+        ProblemSnapshot { problem, hashes }
+    }
+
+    /// The wrapped problem.
+    pub fn problem(&self) -> &EcoProblem {
+        &self.problem
+    }
+
+    /// A shared handle to the problem (an `Arc` bump).
+    pub fn share(&self) -> Arc<EcoProblem> {
+        self.problem.clone()
+    }
+
+    /// The precomputed content hashes.
+    pub fn hashes(&self) -> &SnapshotHashes {
+        &self.hashes
+    }
+}
+
+impl From<EcoProblem> for ProblemSnapshot {
+    fn from(problem: EcoProblem) -> ProblemSnapshot {
+        ProblemSnapshot::new(problem)
+    }
+}
+
+impl From<Arc<EcoProblem>> for ProblemSnapshot {
+    fn from(problem: Arc<EcoProblem>) -> ProblemSnapshot {
+        ProblemSnapshot::from_arc(problem)
+    }
+}
+
+impl EcoProblem {
+    /// A content-hashed snapshot of a clone of this problem — the
+    /// bridge from the borrowing API to [`crate::EcoEngine::solve`].
+    pub fn snapshot(&self) -> ProblemSnapshot {
+        ProblemSnapshot::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_problem() -> EcoProblem {
+        let mut im = Aig::new();
+        let (a, b) = (im.add_input(), im.add_input());
+        let t = im.and(a, b);
+        im.add_output(t);
+        let t_node = t.node();
+        let mut sp = Aig::new();
+        let (a, b) = (sp.add_input(), sp.add_input());
+        let o = sp.or(a, b);
+        sp.add_output(o);
+        EcoProblem::with_unit_weights(im, sp, vec![t_node]).expect("valid")
+    }
+
+    #[test]
+    fn identical_problems_hash_identically() {
+        let a = tiny_problem().snapshot();
+        let b = tiny_problem().snapshot();
+        assert_eq!(a.hashes(), b.hashes());
+    }
+
+    #[test]
+    fn weight_changes_move_the_problem_hash_only() {
+        let p = tiny_problem();
+        let mut q = p.clone();
+        q.weights[1] = 7;
+        let (sa, sb) = (p.snapshot(), q.snapshot());
+        assert_eq!(sa.hashes().implementation, sb.hashes().implementation);
+        assert_eq!(sa.hashes().specification, sb.hashes().specification);
+        assert_ne!(sa.hashes().weights, sb.hashes().weights);
+        assert_ne!(sa.hashes().problem, sb.hashes().problem);
+    }
+
+    #[test]
+    fn cone_hash_ignores_unrelated_nodes() {
+        // Two variants of a 2-output spec: o0's cone identical, extra
+        // logic ahead of it shifts every node id in variant B.
+        let mut a = Aig::new();
+        let (x, y) = (a.add_input(), a.add_input());
+        let o0 = a.and(x, y);
+        let o1 = a.or(x, y);
+        a.add_output(o0);
+        a.add_output(o1);
+
+        let mut b = Aig::new();
+        let (x, y) = (b.add_input(), b.add_input());
+        let extra = b.xor(x, y); // allocated *before* o0's cone
+        let o0b = b.and(x, y);
+        b.add_output(o0b);
+        b.add_output(extra);
+
+        assert_eq!(cone_hash(&a, &[0]), cone_hash(&b, &[0]));
+        assert_ne!(cone_hash(&a, &[0, 1]), cone_hash(&b, &[0, 1]));
+        assert_ne!(hash_aig(&a), hash_aig(&b));
+    }
+
+    #[test]
+    fn representation_hash_distinguishes_output_polarity() {
+        let mut a = Aig::new();
+        let x = a.add_input();
+        a.add_output(x);
+        let mut b = Aig::new();
+        let x = b.add_input();
+        b.add_output(!x);
+        assert_ne!(hash_aig(&a), hash_aig(&b));
+        assert_ne!(cone_hash(&a, &[0]), cone_hash(&b, &[0]));
+    }
+}

@@ -170,6 +170,20 @@ fn event_record(ts_us: u64, event: &EcoEvent) -> String {
                 opt_usize(*target_index)
             );
         }
+        EcoEvent::RequestTagged { request_id } => {
+            let _ = write!(
+                s,
+                "\"request_tagged\",\"request_id\":\"{}\"",
+                escape_json(request_id)
+            );
+        }
+        EcoEvent::CacheQuery { layer, hit } => {
+            let _ = write!(
+                s,
+                "\"cache_query\",\"layer\":\"{}\",\"hit\":{hit}",
+                layer.name()
+            );
+        }
         EcoEvent::RunFinished { elapsed } => {
             let _ = write!(
                 s,
@@ -389,6 +403,8 @@ impl<W: Write> EcoObserver for ChromeTraceObserver<W> {
                     EcoEvent::GovernorTripped { .. } => "governor_tripped",
                     EcoEvent::LadderStep { .. } => "ladder_step",
                     EcoEvent::CegarMinRound { .. } => "cegar_min_round",
+                    EcoEvent::RequestTagged { .. } => "request_tagged",
+                    EcoEvent::CacheQuery { .. } => "cache_query",
                     _ => "event",
                 };
                 self.push(format!(

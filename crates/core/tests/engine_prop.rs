@@ -113,9 +113,14 @@ fn minimized_cost_beats_baseline_on_geomean() {
             continue;
         }
         let run = |method| {
-            EcoEngine::new(EcoOptions::builder().method(method).build())
-                .run(&p)
-                .expect("engine run")
+            EcoEngine::new(
+                EcoOptions::builder()
+                    .method(method)
+                    .build()
+                    .expect("valid options"),
+            )
+            .solve(&p.snapshot())
+            .expect("engine run")
         };
         let baseline = run(SupportMethod::AnalyzeFinal);
         let minimized = run(SupportMethod::MinimizeAssumptions);
@@ -156,7 +161,7 @@ fn reports_are_consistent() {
             return;
         }
         let out = EcoEngine::new(EcoOptions::default())
-            .run(&p)
+            .solve(&p.snapshot())
             .expect("engine run");
         assert!(out.verified, "case {case}");
         assert_eq!(out.reports.len(), k, "case {case}");

@@ -1,0 +1,43 @@
+//! # eco-daemon
+//!
+//! `eco_patchd`: a persistent serving daemon for the ECO engine. It
+//! accepts a stream of ECO requests as JSON Lines — one request object
+//! per line, over stdin/stdout or a unix domain socket — and answers
+//! each with a patched netlist, per-request [`RunMetrics`] telemetry,
+//! and cache hit/miss accounting.
+//!
+//! Serving many requests from one process is what makes the
+//! content-hash caches pay off: across requests the daemon reuses
+//!
+//! - **parsed netlists** (keyed by the hash of the Verilog text),
+//! - **window extractions, CNF builds, and solved targets** (the
+//!   engine-side [`eco_core::EcoCache`] layers, keyed by canonical
+//!   cone hashes from [`eco_core::ProblemSnapshot`]), and
+//! - **whole outcomes** (keyed by the full request fingerprint), so an
+//!   identical re-run performs zero SAT calls and returns the stored,
+//!   byte-identical patched netlist.
+//!
+//! A sequential ECO stream — the same design revised gate by gate —
+//! hits the window and CNF layers for every untouched cone, which is
+//! the serving-side realization of the paper's observation that ECO
+//! effort should scale with the size of the *change*, not the design.
+//!
+//! Per-request quality of service rides on the governor chain: the
+//! daemon holds one root [`eco_core::ResourceGovernor`] with the
+//! process-wide pools, and each request runs under a
+//! [`eco_core::ResourceGovernor::child_with_limits`] governor carrying
+//! its own deadline and fair-share conflict pool. A request that trips
+//! its own limits degrades alone; the rest of the stream is unharmed.
+//!
+//! [`RunMetrics`]: eco_core::RunMetrics
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{DaemonCache, DaemonCacheStats};
+pub use protocol::{parse_request, EcoRequest, EcoResponse, Request, RequestOptions};
+pub use server::{run_cli, Daemon, DaemonConfig};

@@ -1,0 +1,639 @@
+//! The serving loop: reads JSONL requests from stdin or a unix
+//! socket, schedules them on a daemon-level worker pool, and answers
+//! each on its own line. Responses may interleave out of order when
+//! the pool has more than one worker; clients correlate by `id`.
+
+use crate::cache::{outcome_key, CachedOutcome, DaemonCache};
+use crate::protocol::{error_response, parse_request, EcoRequest, EcoResponse, Request};
+use eco_core::json::escape_json;
+use eco_core::{
+    netlist_patches, CacheCounters, EcoEngine, EcoOptions, EcoProblem, GovernorLimits,
+    ResourceGovernor, RunMetrics, SupportMethod, TargetDisposition,
+};
+use eco_netlist::{Netlist, WeightTable};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Number of daemon-level workers pulling requests off the queue.
+    /// With one worker (the default) responses keep request order;
+    /// with more, independent requests overlap and responses
+    /// interleave.
+    pub workers: usize,
+    /// Entries per cache layer (netlist, outcome, and each
+    /// engine-side layer).
+    pub cache_capacity: usize,
+    /// Daemon-wide resource limits, shared fairly by every request
+    /// through the governor chain (per-request limits layer under
+    /// these).
+    pub limits: GovernorLimits,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            workers: 1,
+            cache_capacity: 256,
+            limits: GovernorLimits::default(),
+        }
+    }
+}
+
+/// The `eco_patchd` daemon: shared caches, the root governor, and the
+/// serving loops.
+#[derive(Debug)]
+pub struct Daemon {
+    config: DaemonConfig,
+    cache: DaemonCache,
+    root: ResourceGovernor,
+    shutdown: AtomicBool,
+}
+
+impl Daemon {
+    /// Creates a daemon with fresh caches and a root governor holding
+    /// the daemon-wide pools.
+    pub fn new(config: DaemonConfig) -> Daemon {
+        let root = ResourceGovernor::new(config.limits.clone());
+        let cache = DaemonCache::new(config.cache_capacity);
+        Daemon {
+            config,
+            cache,
+            root,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The daemon's cache (shared handles; cheap to clone).
+    pub fn cache(&self) -> &DaemonCache {
+        &self.cache
+    }
+
+    /// Handles one request line; returns the response line (without
+    /// trailing newline) and whether the daemon should stop serving.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        match parse_request(line) {
+            Err(e) => (error_response("", &e), false),
+            Ok(Request::Stats { id }) => (
+                format!(
+                    "{{\"id\":\"{}\",\"status\":\"ok\",\"stats\":{}}}",
+                    escape_json(&id),
+                    self.cache.stats().to_json()
+                ),
+                false,
+            ),
+            Ok(Request::Shutdown { id }) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (
+                    format!(
+                        "{{\"id\":\"{}\",\"status\":\"ok\",\"shutdown\":true}}",
+                        escape_json(&id)
+                    ),
+                    true,
+                )
+            }
+            Ok(Request::Eco(req)) => {
+                let response = match self.handle_eco(&req) {
+                    Ok(resp) => resp.to_json(),
+                    Err(e) => error_response(&req.id, &e),
+                };
+                (response, false)
+            }
+        }
+    }
+
+    /// Solves one ECO request through the cache hierarchy.
+    fn handle_eco(&self, req: &EcoRequest) -> Result<EcoResponse, String> {
+        let key = outcome_key(req);
+        if let Some(stored) = self.cache.lookup_outcome(key) {
+            // Outcome hit: replay the stored answer without touching
+            // the engine (or even the parser) — zero SAT calls,
+            // byte-identical patched netlist.
+            let metrics = RunMetrics {
+                request_id: Some(req.id.clone()),
+                num_targets: stored.num_targets,
+                jobs: stored.jobs,
+                cache: CacheCounters {
+                    outcome_hits: 1,
+                    ..CacheCounters::default()
+                },
+                ..RunMetrics::default()
+            };
+            return Ok(EcoResponse {
+                id: req.id.clone(),
+                verified: stored.verified,
+                cost: stored.cost,
+                gates: stored.gates,
+                dispositions: stored.dispositions.clone(),
+                governor_trip: None,
+                netlist_cache_hit: false,
+                outcome_cache_hit: true,
+                patched_verilog: stored.patched_verilog.clone(),
+                metrics_json: metrics.to_json(),
+            });
+        }
+
+        let (impl_design, impl_hit) = self.cache.parsed(&req.impl_verilog)?;
+        let (spec_design, spec_hit) = self.cache.parsed(&req.spec_verilog)?;
+        let netlist_hits = u64::from(impl_hit) + u64::from(spec_hit);
+        let netlist_misses = 2 - netlist_hits;
+
+        let mut weights = WeightTable::new();
+        for (net, w) in &req.weights {
+            weights.set(net.clone(), *w);
+        }
+        let names: Vec<&str> = req.targets.iter().map(String::as_str).collect();
+        let problem = EcoProblem::from_netlists(
+            impl_design.netlist(),
+            spec_design.netlist(),
+            &names,
+            &weights,
+            req.default_weight,
+        )
+        .map_err(|e| e.to_string())?;
+
+        let method = match req.options.method.as_deref() {
+            None | Some("minimize") => SupportMethod::MinimizeAssumptions,
+            Some("baseline") => SupportMethod::AnalyzeFinal,
+            Some("prune") => SupportMethod::SatPrune,
+            Some(other) => {
+                return Err(format!(
+                    "unknown method {other:?} (expected baseline, minimize, or prune)"
+                ))
+            }
+        };
+        let jobs = req.options.jobs.unwrap_or(1);
+        let options = EcoOptions::builder()
+            .method(method)
+            .per_call_conflicts(req.options.budget.or(Some(2_000_000)))
+            .structural_fallback(req.options.structural_fallback.unwrap_or(true))
+            .jobs(jobs)
+            .build()
+            .map_err(|e| e.to_string())?;
+        // Per-request QoS: the request's own deadline and fair-share
+        // conflict pool layer under the daemon-wide root limits. A
+        // zero deadline means "already expired" (anytime answer), so
+        // map it to the smallest representable one — the builder-style
+        // rejection of a literal zero applies to options, not here.
+        let limits = GovernorLimits {
+            timeout: req.options.deadline_ms.map(|ms| {
+                if ms == 0 {
+                    Duration::from_nanos(1)
+                } else {
+                    Duration::from_millis(ms)
+                }
+            }),
+            global_conflicts: req.options.global_conflicts,
+            global_propagations: None,
+            fault_plan: None,
+        };
+        let governor = self.root.child_with_limits(limits);
+        let engine = EcoEngine::new(options)
+            .with_metrics()
+            .with_cache(self.cache.engine())
+            .with_request_id(req.id.clone())
+            .with_governor(governor);
+        let outcome = engine
+            .solve(&problem.snapshot())
+            .map_err(|e| e.to_string())?;
+
+        let dispositions: Vec<String> = outcome
+            .reports
+            .iter()
+            .map(|r| match &r.disposition {
+                TargetDisposition::Patched => "patched".to_string(),
+                TargetDisposition::Degraded => "degraded".to_string(),
+                TargetDisposition::Skipped { reason } => format!("skipped: {reason}"),
+                other => format!("{other:?}"),
+            })
+            .collect();
+
+        // Prefer name-preserving splices; fall back to the rebuilt
+        // netlist when a patch feeds on patch-created logic.
+        let named = netlist_patches(
+            &outcome,
+            &names,
+            impl_design.netlist(),
+            &impl_design.conversion,
+        );
+        let patched = if named.iter().all(Option::is_some) {
+            let mut current = impl_design.netlist().clone();
+            for (i, entry) in named.iter().enumerate() {
+                let np = entry.as_ref().expect("checked");
+                current = current
+                    .insert_patch(&np.target_net, &np.patch, &format!("eco{i}"))
+                    .map_err(|e| e.to_string())?;
+            }
+            current
+        } else {
+            Netlist::from_aig(
+                format!("{}_patched", impl_design.netlist().name()),
+                &outcome.patched_implementation,
+            )
+        };
+        let patched_verilog = patched.to_verilog();
+
+        let mut metrics = outcome.metrics.clone().expect("with_metrics was set");
+        metrics.cache.netlist_hits += netlist_hits;
+        metrics.cache.netlist_misses += netlist_misses;
+        metrics.cache.outcome_misses += 1;
+
+        // Only clean runs are replayable: a governor trip or injected
+        // fault marks a resource-shaped answer that must not be
+        // served as if it were the real one.
+        if outcome.governor_trip.is_none() && outcome.fault_injections == 0 {
+            self.cache.store_outcome(
+                key,
+                CachedOutcome {
+                    verified: outcome.verified,
+                    cost: outcome.total_cost,
+                    gates: outcome.total_gates as u64,
+                    dispositions: dispositions.clone(),
+                    patched_verilog: patched_verilog.clone(),
+                    num_targets: req.targets.len(),
+                    jobs,
+                },
+            );
+        }
+
+        Ok(EcoResponse {
+            id: req.id.clone(),
+            verified: outcome.verified,
+            cost: outcome.total_cost,
+            gates: outcome.total_gates as u64,
+            dispositions,
+            governor_trip: outcome.governor_trip.map(|t| t.to_string()),
+            netlist_cache_hit: netlist_hits == 2,
+            outcome_cache_hit: false,
+            patched_verilog,
+            metrics_json: metrics.to_json(),
+        })
+    }
+
+    /// Serves one JSONL stream until EOF or a `shutdown` request.
+    ///
+    /// With `workers == 1`, requests are handled inline in arrival
+    /// order. With more workers, lines are queued to a pool and
+    /// responses interleave; each response line is written atomically.
+    /// A `shutdown` answered by a worker stops the reader at the next
+    /// line boundary (lines already queued still drain).
+    pub fn serve<R: BufRead, W: Write + Send>(&self, reader: R, writer: W) -> io::Result<()> {
+        if self.config.workers <= 1 {
+            let mut writer = writer;
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (response, stop) = self.handle_line(&line);
+                writeln!(writer, "{response}")?;
+                writer.flush()?;
+                if stop {
+                    break;
+                }
+            }
+            return Ok(());
+        }
+        let writer = Mutex::new(writer);
+        let (tx, rx) = mpsc::channel::<String>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..self.config.workers {
+                scope.spawn(|| loop {
+                    let next = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+                    let Ok(line) = next else { break };
+                    let (response, _) = self.handle_line(&line);
+                    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                    // Worker-side write errors cannot unwind into the
+                    // reader; a broken pipe simply ends the stream.
+                    let _ = writeln!(w, "{response}");
+                    let _ = w.flush();
+                });
+            }
+            for line in reader.lines() {
+                let line = line?;
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+            drop(tx);
+            Ok(())
+        })
+    }
+
+    /// Serves connections on a unix domain socket at `path` (created
+    /// fresh; a stale socket file is removed first). Connections are
+    /// accepted one at a time; a `shutdown` request ends the accept
+    /// loop after its connection closes.
+    pub fn serve_unix(&self, path: &Path) -> io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        for connection in listener.incoming() {
+            let stream = connection?;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.serve(reader, stream)?;
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+}
+
+const USAGE: &str = "\
+eco_patchd: persistent ECO patch daemon (JSONL over stdio or a unix socket)
+
+USAGE:
+  eco_patchd [--socket PATH] [--workers N] [--cache-capacity N]
+             [--global-budget N] [--timeout-ms N]
+
+OPTIONS:
+  --socket PATH       serve a unix domain socket instead of stdio
+  --workers N         daemon-level request concurrency (default 1;
+                      responses interleave when N > 1)
+  --cache-capacity N  entries per cache layer (default 256)
+  --global-budget N   daemon-wide shared conflict pool
+  --timeout-ms N      daemon-wide deadline (whole-process wall clock)
+  -h, --help          print this help
+
+PROTOCOL: one JSON object per line; see the eco-daemon crate docs.
+";
+
+/// Entry point for the `eco_patchd` binary. Returns the process exit
+/// code: `0` on success, `1` for I/O failures, `2` for usage errors.
+pub fn run_cli(args: &[String]) -> u8 {
+    let mut config = DaemonConfig::default();
+    let mut socket: Option<String> = None;
+    let mut i = 0;
+    let parse_num = |args: &[String], i: usize, flag: &str| -> Result<u64, String> {
+        args.get(i)
+            .ok_or_else(|| format!("{flag} requires a value"))?
+            .parse()
+            .map_err(|_| format!("{flag} expects a non-negative integer"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return 0;
+            }
+            "--socket" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => socket = Some(path.clone()),
+                    None => {
+                        eprintln!("eco_patchd: --socket requires a path");
+                        return 2;
+                    }
+                }
+            }
+            "--workers" => {
+                i += 1;
+                match parse_num(args, i, "--workers") {
+                    Ok(n) => config.workers = (n as usize).max(1),
+                    Err(e) => {
+                        eprintln!("eco_patchd: {e}");
+                        return 2;
+                    }
+                }
+            }
+            "--cache-capacity" => {
+                i += 1;
+                match parse_num(args, i, "--cache-capacity") {
+                    Ok(n) => config.cache_capacity = (n as usize).max(1),
+                    Err(e) => {
+                        eprintln!("eco_patchd: {e}");
+                        return 2;
+                    }
+                }
+            }
+            "--global-budget" => {
+                i += 1;
+                match parse_num(args, i, "--global-budget") {
+                    Ok(n) => config.limits.global_conflicts = Some(n),
+                    Err(e) => {
+                        eprintln!("eco_patchd: {e}");
+                        return 2;
+                    }
+                }
+            }
+            "--timeout-ms" => {
+                i += 1;
+                match parse_num(args, i, "--timeout-ms") {
+                    Ok(n) => {
+                        config.limits.timeout = Some(if n == 0 {
+                            Duration::from_nanos(1)
+                        } else {
+                            Duration::from_millis(n)
+                        })
+                    }
+                    Err(e) => {
+                        eprintln!("eco_patchd: {e}");
+                        return 2;
+                    }
+                }
+            }
+            other => {
+                eprintln!("eco_patchd: unexpected argument {other:?} (try --help)");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let daemon = Daemon::new(config);
+    let served = match socket {
+        Some(path) => daemon.serve_unix(Path::new(&path)),
+        None => {
+            // `Stdout` (unlike `StdoutLock`) is `Send`, which the
+            // worker pool needs; per-line locking is fine since every
+            // response is written in one call.
+            daemon.serve(io::stdin().lock(), io::stdout())
+        }
+    };
+    match served {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("eco_patchd: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_core::json::{parse_json, JsonValue};
+
+    const IMPL: &str = "module top(a, b, y);\ninput a, b;\noutput y;\nwire t;\n\
+                        and g0(t, a, b);\nbuf g1(y, t);\nendmodule\n";
+    const SPEC: &str = "module top(a, b, y);\ninput a, b;\noutput y;\nwire t;\n\
+                        or g0(t, a, b);\nbuf g1(y, t);\nendmodule\n";
+
+    fn eco_line(id: &str) -> String {
+        format!(
+            "{{\"id\":\"{id}\",\"impl\":\"{}\",\"spec\":\"{}\",\"targets\":[\"t\"]}}",
+            escape_json(IMPL),
+            escape_json(SPEC)
+        )
+    }
+
+    #[test]
+    fn identical_requests_replay_from_the_outcome_cache() {
+        let daemon = Daemon::new(DaemonConfig::default());
+        let (cold, stop) = daemon.handle_line(&eco_line("r1"));
+        assert!(!stop);
+        let cold = parse_json(&cold).expect("valid JSON");
+        assert_eq!(cold.get("status").and_then(JsonValue::as_str), Some("ok"));
+        assert_eq!(
+            cold.get("verified").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            cold.get("cache")
+                .and_then(|c| c.get("outcome"))
+                .and_then(JsonValue::as_str),
+            Some("miss")
+        );
+        let (warm, _) = daemon.handle_line(&eco_line("r2"));
+        let warm = parse_json(&warm).expect("valid JSON");
+        assert_eq!(
+            warm.get("cache")
+                .and_then(|c| c.get("outcome"))
+                .and_then(JsonValue::as_str),
+            Some("hit")
+        );
+        // Byte-identical patched netlist, zero SAT calls on the warm run.
+        assert_eq!(
+            cold.get("patched_verilog").and_then(JsonValue::as_str),
+            warm.get("patched_verilog").and_then(JsonValue::as_str)
+        );
+        let sat_total = warm
+            .get("metrics")
+            .and_then(|m| m.get("sat_calls"))
+            .and_then(|s| s.get("total"))
+            .and_then(JsonValue::as_u64);
+        assert_eq!(sat_total, Some(0));
+        assert_eq!(
+            warm.get("metrics")
+                .and_then(|m| m.get("request_id"))
+                .and_then(JsonValue::as_str),
+            Some("r2")
+        );
+    }
+
+    #[test]
+    fn stats_and_shutdown_commands_answer_and_stop() {
+        let daemon = Daemon::new(DaemonConfig::default());
+        let (stats, stop) = daemon.handle_line("{\"id\":\"s\",\"cmd\":\"stats\"}");
+        assert!(!stop);
+        let v = parse_json(&stats).expect("valid JSON");
+        assert_eq!(
+            v.get("stats")
+                .and_then(|s| s.get("outcome_hits"))
+                .and_then(JsonValue::as_u64),
+            Some(0)
+        );
+        let (bye, stop) = daemon.handle_line("{\"id\":\"q\",\"cmd\":\"shutdown\"}");
+        assert!(stop);
+        assert!(bye.contains("\"shutdown\":true"));
+    }
+
+    #[test]
+    fn malformed_lines_and_bad_netlists_answer_with_errors() {
+        let daemon = Daemon::new(DaemonConfig::default());
+        let (resp, stop) = daemon.handle_line("{oops");
+        assert!(!stop);
+        let v = parse_json(&resp).expect("valid JSON");
+        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("error"));
+        let (resp, _) = daemon.handle_line(
+            "{\"id\":\"r\",\"impl\":\"garbage\",\"spec\":\"garbage\",\"targets\":[\"t\"]}",
+        );
+        let v = parse_json(&resp).expect("valid JSON");
+        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("error"));
+        assert_eq!(v.get("id").and_then(JsonValue::as_str), Some("r"));
+    }
+
+    #[test]
+    fn serve_answers_a_session_in_order_with_one_worker() {
+        let daemon = Daemon::new(DaemonConfig::default());
+        let session = format!(
+            "{}\n\n{}\n{{\"id\":\"q\",\"cmd\":\"shutdown\"}}\nignored after shutdown\n",
+            eco_line("r1"),
+            eco_line("r2")
+        );
+        let mut out = Vec::new();
+        daemon
+            .serve(session.as_bytes(), &mut out)
+            .expect("serve succeeds");
+        let text = String::from_utf8(out).expect("UTF-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "r1, r2, shutdown — nothing after:\n{text}");
+        assert!(lines[0].contains("\"id\":\"r1\""));
+        assert!(lines[1].contains("\"id\":\"r2\""));
+        assert!(lines[2].contains("\"shutdown\":true"));
+    }
+
+    #[test]
+    fn serve_with_a_worker_pool_answers_every_request() {
+        let daemon = Daemon::new(DaemonConfig {
+            workers: 3,
+            ..DaemonConfig::default()
+        });
+        let session: String = (0..6).map(|i| eco_line(&format!("r{i}")) + "\n").collect();
+        let mut out = Vec::new();
+        daemon
+            .serve(session.as_bytes(), &mut out)
+            .expect("serve succeeds");
+        let text = String::from_utf8(out).expect("UTF-8");
+        assert_eq!(text.lines().count(), 6);
+        for i in 0..6 {
+            assert!(
+                text.contains(&format!("\"id\":\"r{i}\"")),
+                "response for r{i} missing:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_unix_answers_over_a_socket() {
+        let dir = std::env::temp_dir().join(format!("eco_patchd_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("sock");
+        let daemon = Daemon::new(DaemonConfig::default());
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| daemon.serve_unix(&path));
+            // Wait for the socket to appear, then run a session.
+            let mut stream = loop {
+                match std::os::unix::net::UnixStream::connect(&path) {
+                    Ok(s) => break s,
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            let session = format!(
+                "{}\n{{\"id\":\"q\",\"cmd\":\"shutdown\"}}\n",
+                eco_line("u1")
+            );
+            stream.write_all(session.as_bytes()).expect("write");
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            let mut reply = String::new();
+            let mut reader = BufReader::new(stream);
+            reader.read_line(&mut reply).expect("read");
+            assert!(reply.contains("\"id\":\"u1\""), "got: {reply}");
+            server.join().expect("no panic").expect("serve_unix ok");
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

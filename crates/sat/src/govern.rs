@@ -175,9 +175,12 @@ struct GovernorState {
     calls: AtomicU64,
     fault_injections: AtomicU64,
     fault_plan: Option<FaultPlan>,
-    /// Child governors keep their own `cancelled` flag but share
-    /// everything else (deadline, pools, fault plan, call counter) with
-    /// the root of the chain.
+    /// Child governors carry their own cancellation flag and — when
+    /// created with [`ResourceGovernor::child_with_limits`] — their own
+    /// deadline, budget pools and fault plan, while still observing
+    /// every ancestor's limits through the chain. The SAT-call counter
+    /// always lives at the root, so fault plans anywhere in a chain
+    /// see one consistent call numbering.
     parent: Option<Arc<GovernorState>>,
 }
 
@@ -191,17 +194,39 @@ impl GovernorState {
         state
     }
 
-    /// Whether this handle or any ancestor was cancelled.
-    fn cancelled_chain(&self) -> bool {
+    /// Walks the chain from `self` to the root until `f` returns
+    /// `Some`.
+    fn find_up<T>(&self, mut f: impl FnMut(&GovernorState) -> Option<T>) -> Option<T> {
         let mut state = self;
         loop {
-            if state.cancelled.load(Ordering::Relaxed) {
-                return true;
+            if let Some(found) = f(state) {
+                return Some(found);
             }
             match state.parent.as_deref() {
                 Some(parent) => state = parent,
-                None => return false,
+                None => return None,
             }
+        }
+    }
+
+    /// Whether this handle or any ancestor was cancelled.
+    fn cancelled_chain(&self) -> bool {
+        self.find_up(|s| s.cancelled.load(Ordering::Relaxed).then_some(()))
+            .is_some()
+    }
+
+    /// Whether this state's own deadline (if any) has passed, latching
+    /// the sticky flag on first observation.
+    fn own_deadline_passed(&self) -> bool {
+        if self.deadline_tripped.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.deadline_tripped.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
         }
     }
 }
@@ -250,17 +275,30 @@ impl ResourceGovernor {
     /// through the chain — exactly what a racing worker needs so losers
     /// can be cancelled without touching the winner or the run.
     pub fn child(&self) -> ResourceGovernor {
+        self.child_with_limits(GovernorLimits::default())
+    }
+
+    /// A child handle with its *own* limits layered under the parent's:
+    /// its deadline clock starts now, its pools are private, and its
+    /// fault plan is evaluated against the chain-wide call counter.
+    /// Every check observes the tightest constraint along the chain, so
+    /// the child can never outlive or outspend the parent — the
+    /// per-request QoS primitive: a serving process keeps one root
+    /// governor for global capacity and derives one bounded child per
+    /// request (deadline + fair-share conflict pool), cancelling or
+    /// expiring requests individually without touching its neighbours.
+    pub fn child_with_limits(&self, limits: GovernorLimits) -> ResourceGovernor {
         ResourceGovernor {
             state: Arc::new(GovernorState {
-                deadline: None,
-                conflict_pool: None,
-                propagation_pool: None,
+                deadline: limits.timeout.map(|t| Instant::now() + t),
+                conflict_pool: limits.global_conflicts.map(AtomicU64::new),
+                propagation_pool: limits.global_propagations.map(AtomicU64::new),
                 cancelled: AtomicBool::new(false),
                 deadline_tripped: AtomicBool::new(false),
                 budget_tripped: AtomicBool::new(false),
                 calls: AtomicU64::new(0),
                 fault_injections: AtomicU64::new(0),
-                fault_plan: None,
+                fault_plan: limits.fault_plan,
                 parent: Some(self.state.clone()),
             }),
         }
@@ -285,10 +323,8 @@ impl ResourceGovernor {
     pub fn trip(&self) -> Option<TripReason> {
         self.hard_trip().or_else(|| {
             self.state
-                .root()
-                .budget_tripped
-                .load(Ordering::Relaxed)
-                .then_some(TripReason::GlobalBudget)
+                .find_up(|s| s.budget_tripped.load(Ordering::Relaxed).then_some(()))
+                .map(|()| TripReason::GlobalBudget)
         })
     }
 
@@ -312,41 +348,48 @@ impl ResourceGovernor {
         self.state.root().calls.load(Ordering::Relaxed)
     }
 
-    /// Number of faults injected so far by the [`FaultPlan`].
+    /// Number of faults injected so far by the [`FaultPlan`]s of this
+    /// handle and its ancestors.
     pub fn fault_injections(&self) -> u64 {
-        self.state.root().fault_injections.load(Ordering::Relaxed)
+        let mut total = 0;
+        let _ = self.state.find_up(|s| {
+            total += s.fault_injections.load(Ordering::Relaxed);
+            None::<()>
+        });
+        total
     }
 
-    /// Remaining global conflict pool (`None` = unlimited).
+    /// Tightest remaining conflict pool along the chain (`None` =
+    /// unlimited everywhere).
     pub fn remaining_conflicts(&self) -> Option<u64> {
-        self.state
-            .root()
-            .conflict_pool
-            .as_ref()
-            .map(|p| p.load(Ordering::Relaxed))
+        let mut min: Option<u64> = None;
+        let _ = self.state.find_up(|s| {
+            if let Some(pool) = &s.conflict_pool {
+                let left = pool.load(Ordering::Relaxed);
+                min = Some(min.map_or(left, |m| m.min(left)));
+            }
+            None::<()>
+        });
+        min
     }
 
-    /// Time left before the deadline (`None` = no deadline). Zero once
-    /// the deadline has passed.
+    /// Time left before the nearest deadline along the chain (`None` =
+    /// no deadline anywhere). Zero once any deadline has passed.
     pub fn remaining_time(&self) -> Option<Duration> {
-        self.state
-            .root()
-            .deadline
-            .map(|d| d.saturating_duration_since(Instant::now()))
+        let mut nearest: Option<Instant> = None;
+        let _ = self.state.find_up(|s| {
+            if let Some(d) = s.deadline {
+                nearest = Some(nearest.map_or(d, |n| n.min(d)));
+            }
+            None::<()>
+        });
+        nearest.map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     fn deadline_passed(&self) -> bool {
-        let root = self.state.root();
-        if root.deadline_tripped.load(Ordering::Relaxed) {
-            return true;
-        }
-        match root.deadline {
-            Some(d) if Instant::now() >= d => {
-                root.deadline_tripped.store(true, Ordering::Relaxed);
-                true
-            }
-            _ => false,
-        }
+        self.state
+            .find_up(|s| s.own_deadline_passed().then_some(()))
+            .is_some()
     }
 
     /// Draws `amount` from `pool`; returns `true` when the pool is now
@@ -365,32 +408,42 @@ impl ResourceGovernor {
 
 impl SearchControl for ResourceGovernor {
     fn solve_started(&self) -> bool {
-        let root = self.state.root();
-        let call = root.calls.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(plan) = &root.fault_plan {
-            if plan.cancels(call) {
-                root.cancelled.store(true, Ordering::Relaxed);
-            }
-            if plan.injects(call) {
-                root.fault_injections.fetch_add(1, Ordering::Relaxed);
-                return true;
-            }
-        }
-        self.trip().is_some()
+        // One chain-wide call numbering, owned by the root; each
+        // state's own fault plan is then evaluated against it.
+        let call = self.state.root().calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let injected = self
+            .state
+            .find_up(|s| {
+                let plan = s.fault_plan.as_ref()?;
+                if plan.cancels(call) {
+                    s.cancelled.store(true, Ordering::Relaxed);
+                }
+                if plan.injects(call) {
+                    s.fault_injections.fetch_add(1, Ordering::Relaxed);
+                    return Some(());
+                }
+                None
+            })
+            .is_some();
+        injected || self.trip().is_some()
     }
 
     fn consume(&self, conflicts: u64, propagations: u64) -> bool {
-        let root = self.state.root();
-        if let Some(pool) = &root.conflict_pool {
-            if ResourceGovernor::draw(pool, conflicts) {
-                root.budget_tripped.store(true, Ordering::Relaxed);
+        // Spend against every pool along the chain: a child's private
+        // fair-share pool and the root's global capacity drain together.
+        let _ = self.state.find_up(|s| {
+            if let Some(pool) = &s.conflict_pool {
+                if ResourceGovernor::draw(pool, conflicts) {
+                    s.budget_tripped.store(true, Ordering::Relaxed);
+                }
             }
-        }
-        if let Some(pool) = &root.propagation_pool {
-            if ResourceGovernor::draw(pool, propagations) {
-                root.budget_tripped.store(true, Ordering::Relaxed);
+            if let Some(pool) = &s.propagation_pool {
+                if ResourceGovernor::draw(pool, propagations) {
+                    s.budget_tripped.store(true, Ordering::Relaxed);
+                }
             }
-        }
+            None::<()>
+        });
         self.trip().is_some()
     }
 }
@@ -546,6 +599,46 @@ mod tests {
         // Calls made under children count on the shared counter.
         assert_eq!(governor.sat_calls(), sibling.sat_calls());
         assert!(governor.sat_calls() >= 1);
+    }
+
+    #[test]
+    fn child_limits_layer_under_the_parent() {
+        let root = ResourceGovernor::new(GovernorLimits {
+            global_conflicts: Some(1_000_000),
+            ..GovernorLimits::default()
+        });
+        // A request-scoped child with a small private fair-share pool.
+        let request = root.child_with_limits(GovernorLimits {
+            global_conflicts: Some(50),
+            ..GovernorLimits::default()
+        });
+        assert_eq!(request.remaining_conflicts(), Some(50), "tightest pool");
+        let mut solver = Solver::new();
+        pigeonhole(&mut solver, 7);
+        solver.set_search_control(Some(request.control()));
+        assert_eq!(solver.solve(&[]), SolveResult::Unknown);
+        // The request tripped on its own pool; the root keeps capacity
+        // (minus what the request actually spent) and stays untripped.
+        assert_eq!(request.trip(), Some(TripReason::GlobalBudget));
+        assert_eq!(root.trip(), None);
+        let left = root.remaining_conflicts().expect("root pool present");
+        assert!(left < 1_000_000, "spend drains the root pool too");
+        assert!(left > 0, "a 50-conflict request cannot drain the root");
+        // Calls still count on the shared chain-wide counter.
+        assert_eq!(root.sat_calls(), request.sat_calls());
+    }
+
+    #[test]
+    fn child_deadline_expires_without_touching_the_parent() {
+        let root = ResourceGovernor::unlimited();
+        let request = root.child_with_limits(GovernorLimits {
+            timeout: Some(Duration::from_millis(0)),
+            ..GovernorLimits::default()
+        });
+        assert_eq!(request.hard_trip(), Some(TripReason::Deadline));
+        assert_eq!(request.remaining_time(), Some(Duration::ZERO));
+        assert_eq!(root.trip(), None);
+        assert_eq!(root.remaining_time(), None);
     }
 
     #[test]

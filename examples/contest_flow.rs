@@ -80,9 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = EcoEngine::new(
         EcoOptions::builder()
             .method(SupportMethod::SatPrune)
-            .build(),
+            .build()?,
     );
-    let outcome = engine.run(&problem)?;
+    let outcome = engine.solve(&problem.snapshot())?;
     println!("verified: {}", outcome.verified);
     println!("total patch cost: {}", outcome.total_cost);
     println!("total patch gates: {}", outcome.total_gates);

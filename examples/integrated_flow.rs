@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 2: compute and verify the patches.
     let problem = EcoProblem::with_unit_weights(implementation, specification, detected.targets)?;
-    let outcome = EcoEngine::new(EcoOptions::default()).run(&problem)?;
+    let outcome = EcoEngine::new(EcoOptions::default()).solve(&problem.snapshot())?;
     println!("patched and verified: {}", outcome.verified);
     for r in &outcome.reports {
         println!(

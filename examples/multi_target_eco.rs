@@ -47,9 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("minimize_assumptions", SupportMethod::MinimizeAssumptions),
         ("SAT_prune", SupportMethod::SatPrune),
     ] {
-        let engine = EcoEngine::new(EcoOptions::builder().method(method).build());
+        let engine = EcoEngine::new(EcoOptions::builder().method(method).build()?);
         let t = std::time::Instant::now();
-        let outcome = engine.run(&problem)?;
+        let outcome = engine.solve(&problem.snapshot())?;
         assert!(
             outcome.verified,
             "every method must produce a verified patch"

@@ -30,9 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = EcoEngine::new(
         EcoOptions::builder()
             .method(SupportMethod::MinimizeAssumptions)
-            .build(),
+            .build()?,
     );
-    let outcome = engine.run(&problem)?;
+    let outcome = engine.solve(&problem.snapshot())?;
 
     println!("ECO solved and verified: {}", outcome.verified);
     for report in &outcome.reports {

@@ -45,9 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let engine = EcoEngine::new(
             EcoOptions::builder()
                 .method(SupportMethod::MinimizeAssumptions)
-                .build(),
+                .build()?,
         );
-        let outcome = engine.run(&problem)?;
+        let outcome = engine.solve(&problem.snapshot())?;
         assert!(outcome.verified);
         let support: usize = outcome.reports.iter().map(|r| r.support_size).sum();
         println!(

@@ -425,10 +425,20 @@ fn run(args: Args) -> Result<u8, CliError> {
         .method(method)
         .per_call_conflicts(args.budget.or(Some(2_000_000)))
         .structural_fallback(!args.no_fallback)
-        .timeout(args.timeout_ms.map(Duration::from_millis))
+        // `--timeout-ms 0` means "already expired" (anytime outcome,
+        // exit code 5); the builder rejects a literal zero deadline, so
+        // map it to the smallest representable one.
+        .timeout(args.timeout_ms.map(|ms| {
+            if ms == 0 {
+                Duration::from_nanos(1)
+            } else {
+                Duration::from_millis(ms)
+            }
+        }))
         .global_conflicts(args.global_budget)
         .jobs(args.jobs)
-        .build();
+        .build()
+        .map_err(|e| CliError::usage(e.to_string()))?;
     let mut engine = EcoEngine::new(options);
     if args.progress {
         engine = engine.with_observer(ProgressObserver);
@@ -459,7 +469,7 @@ fn run(args: Args) -> Result<u8, CliError> {
         };
         trace_sink = Some(sink);
     }
-    let run_result = engine.run(&problem);
+    let run_result = engine.solve(&problem.snapshot());
     // The trace file is finished even when the run errors, so aborted
     // runs still leave a loadable (if truncated) trace behind.
     drop(engine);

@@ -1,0 +1,8 @@
+//! `eco_patchd`: the persistent ECO patch serving daemon. All logic
+//! lives in [`eco_patch::daemon`]; this wrapper only parses the
+//! process arguments and maps the result to an exit code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(i32::from(eco_patch::daemon::run_cli(&args)));
+}

@@ -13,6 +13,8 @@
 //! - [`netlist`] — contest-style Verilog netlists and weight files,
 //! - [`graph`] — max-flow / node-capacitated min-cut,
 //! - [`core`] — the ECO engine itself,
+//! - [`daemon`] — the `eco_patchd` serving daemon (JSONL protocol,
+//!   content-hash caches),
 //! - [`benchgen`] — the synthetic ICCAD'17-style benchmark suite.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
@@ -34,7 +36,7 @@
 //! let y = sp.or(a, b);
 //! sp.add_output(y);
 //! let problem = EcoProblem::with_unit_weights(im, sp, vec![t.node()])?;
-//! let outcome = EcoEngine::new(EcoOptions::default()).run(&problem)?;
+//! let outcome = EcoEngine::new(EcoOptions::default()).solve(&problem.snapshot())?;
 //! assert!(outcome.verified);
 //! # Ok::<(), eco_patch::core::EcoError>(())
 //! ```
@@ -45,6 +47,7 @@
 pub use eco_aig as aig;
 pub use eco_benchgen as benchgen;
 pub use eco_core as core;
+pub use eco_daemon as daemon;
 pub use eco_graph as graph;
 pub use eco_netlist as netlist;
 pub use eco_sat as sat;

@@ -1,0 +1,249 @@
+//! End-to-end tests of the `eco_patchd` binary: a JSONL session over
+//! stdin/stdout exercising the outcome cache (identical repeat →
+//! zero SAT calls, byte-identical patched netlist), the engine-side
+//! layers (one-gate spec revision → solved-target reuse for the
+//! untouched cone), and the stats/shutdown commands. The CI
+//! daemon-smoke job runs exactly this test.
+
+use eco_patch::core::json::{escape_json, parse_json, JsonValue};
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Implementation: two independently patchable gates with disjoint
+/// output cones.
+const IMPLEMENTATION: &str = "module top(a, b, c, d, y0, y1);\n\
+input a, b, c, d;\noutput y0, y1;\nwire t0, t1;\n\
+and g0(t0, a, b);\nand g1(t1, c, d);\n\
+buf g2(y0, t0);\nbuf g3(y1, t1);\nendmodule\n";
+
+/// Specification: both gates should have been ORs.
+const SPECIFICATION: &str = "module top(a, b, c, d, y0, y1);\n\
+input a, b, c, d;\noutput y0, y1;\nwire t0, t1;\n\
+or g0(t0, a, b);\nor g1(t1, c, d);\n\
+buf g2(y0, t0);\nbuf g3(y1, t1);\nendmodule\n";
+
+/// One-gate revision of the specification: only `t1`'s cone changes.
+const REVISED_SPEC: &str = "module top(a, b, c, d, y0, y1);\n\
+input a, b, c, d;\noutput y0, y1;\nwire t0, t1;\n\
+or g0(t0, a, b);\nxor g1(t1, c, d);\n\
+buf g2(y0, t0);\nbuf g3(y1, t1);\nendmodule\n";
+
+fn eco_line(id: &str, spec: &str) -> String {
+    format!(
+        "{{\"id\":\"{id}\",\"impl\":\"{}\",\"spec\":\"{}\",\"targets\":[\"t0\",\"t1\"]}}",
+        escape_json(IMPLEMENTATION),
+        escape_json(spec)
+    )
+}
+
+/// Runs a JSONL session through the daemon binary and returns one
+/// parsed response per request line.
+fn run_session(session: &str) -> Vec<JsonValue> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_eco_patchd"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn eco_patchd");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(session.as_bytes())
+        .expect("write session");
+    let output = child.wait_with_output().expect("daemon exits");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout)
+        .expect("UTF-8 responses")
+        .lines()
+        .map(|line| parse_json(line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}")))
+        .collect()
+}
+
+fn cache_flag<'a>(response: &'a JsonValue, layer: &str) -> Option<&'a str> {
+    response
+        .get("cache")
+        .and_then(|c| c.get(layer))
+        .and_then(JsonValue::as_str)
+}
+
+fn counter(response: &JsonValue, name: &str) -> Option<u64> {
+    response
+        .get("metrics")
+        .and_then(|m| m.get("cache"))
+        .and_then(|c| c.get(name))
+        .and_then(JsonValue::as_u64)
+}
+
+#[test]
+fn smoke_session_repeat_hits_the_outcome_cache_with_identical_output() {
+    // Three ECO requests: cold, identical repeat, one-gate revision.
+    let session = format!(
+        "{}\n{}\n{}\n{{\"id\":\"s\",\"cmd\":\"stats\"}}\n{{\"id\":\"q\",\"cmd\":\"shutdown\"}}\n",
+        eco_line("cold", SPECIFICATION),
+        eco_line("warm", SPECIFICATION),
+        eco_line("revised", REVISED_SPEC),
+    );
+    let responses = run_session(&session);
+    assert_eq!(responses.len(), 5, "one response per request line");
+    let (cold, warm, revised, stats, bye) = (
+        &responses[0],
+        &responses[1],
+        &responses[2],
+        &responses[3],
+        &responses[4],
+    );
+    for (name, r) in [("cold", cold), ("warm", warm), ("revised", revised)] {
+        assert_eq!(
+            r.get("status").and_then(JsonValue::as_str),
+            Some("ok"),
+            "{name}"
+        );
+        assert_eq!(
+            r.get("verified").and_then(JsonValue::as_bool),
+            Some(true),
+            "{name}"
+        );
+    }
+
+    // Cold run: outcome miss, real SAT work, request id in metrics.
+    assert_eq!(cache_flag(cold, "outcome"), Some("miss"));
+    let cold_sat = cold
+        .get("metrics")
+        .and_then(|m| m.get("sat_calls"))
+        .and_then(|s| s.get("total"))
+        .and_then(JsonValue::as_u64)
+        .expect("cold metrics have SAT totals");
+    assert!(cold_sat > 0, "the cold run must do solver work");
+    assert_eq!(
+        cold.get("metrics")
+            .and_then(|m| m.get("request_id"))
+            .and_then(JsonValue::as_str),
+        Some("cold")
+    );
+
+    // Identical repeat: outcome hit, zero SAT calls, byte-identical
+    // patched netlist.
+    assert_eq!(cache_flag(warm, "outcome"), Some("hit"));
+    let warm_sat = warm
+        .get("metrics")
+        .and_then(|m| m.get("sat_calls"))
+        .and_then(|s| s.get("total"))
+        .and_then(JsonValue::as_u64);
+    assert_eq!(warm_sat, Some(0), "an outcome hit performs zero SAT calls");
+    assert_eq!(counter(warm, "outcome_hits"), Some(1));
+    let cold_patched = cold.get("patched_verilog").and_then(JsonValue::as_str);
+    assert!(cold_patched.is_some_and(|v| v.contains("module")));
+    assert_eq!(
+        cold_patched,
+        warm.get("patched_verilog").and_then(JsonValue::as_str),
+        "replayed patched netlist must be byte-identical"
+    );
+    assert_eq!(
+        warm.get("metrics")
+            .and_then(|m| m.get("request_id"))
+            .and_then(JsonValue::as_str),
+        Some("warm"),
+        "each request's metrics carry its own id"
+    );
+
+    // One-gate spec revision: outcome misses, but the implementation
+    // netlist text and target t0's untouched cone are served from the
+    // caches — visible in the per-request hit/miss counters.
+    assert_eq!(cache_flag(revised, "outcome"), Some("miss"));
+    assert_eq!(
+        counter(revised, "netlist_hits"),
+        Some(1),
+        "impl text is cached"
+    );
+    assert_eq!(
+        counter(revised, "netlist_misses"),
+        Some(1),
+        "revised spec is new"
+    );
+    assert!(
+        counter(revised, "target_hits").is_some_and(|h| h >= 1),
+        "the untouched target must be served from the solved-target layer: {revised:?}"
+    );
+
+    // Stats reflect the session; shutdown acknowledges and stops.
+    let engine_stats = stats.get("stats").expect("stats payload");
+    assert_eq!(
+        engine_stats.get("outcome_hits").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        engine_stats
+            .get("outcome_misses")
+            .and_then(JsonValue::as_u64),
+        Some(2)
+    );
+    assert_eq!(bye.get("shutdown").and_then(JsonValue::as_bool), Some(true));
+}
+
+#[test]
+fn malformed_and_failing_requests_answer_with_errors_and_keep_serving() {
+    let session = format!(
+        "not json\n{{\"id\":\"bad\",\"impl\":\"junk\",\"spec\":\"junk\",\"targets\":[\"t\"]}}\n{}\n",
+        eco_line("ok", SPECIFICATION)
+    );
+    let responses = run_session(&session);
+    assert_eq!(responses.len(), 3);
+    assert_eq!(
+        responses[0].get("status").and_then(JsonValue::as_str),
+        Some("error")
+    );
+    assert_eq!(
+        responses[1].get("status").and_then(JsonValue::as_str),
+        Some("error")
+    );
+    assert_eq!(
+        responses[1].get("id").and_then(JsonValue::as_str),
+        Some("bad")
+    );
+    assert_eq!(
+        responses[2].get("status").and_then(JsonValue::as_str),
+        Some("ok"),
+        "errors must not poison the stream"
+    );
+}
+
+#[test]
+fn per_request_deadline_degrades_one_request_without_caching_it() {
+    // A request with an already-expired deadline yields an anytime
+    // answer (governor trip reported); repeating it without the
+    // deadline must NOT hit the outcome cache — pressured results are
+    // never stored.
+    let strained = format!(
+        "{{\"id\":\"strained\",\"impl\":\"{}\",\"spec\":\"{}\",\"targets\":[\"t0\",\"t1\"],\
+         \"options\":{{\"deadline_ms\":0}}}}",
+        escape_json(IMPLEMENTATION),
+        escape_json(SPECIFICATION)
+    );
+    let session = format!("{strained}\n{}\n", eco_line("clean", SPECIFICATION));
+    let responses = run_session(&session);
+    assert_eq!(responses.len(), 2);
+    let strained = &responses[0];
+    assert_eq!(
+        strained.get("status").and_then(JsonValue::as_str),
+        Some("ok")
+    );
+    assert!(
+        strained
+            .get("governor_trip")
+            .and_then(JsonValue::as_str)
+            .is_some(),
+        "a zero deadline must trip: {strained:?}"
+    );
+    let clean = &responses[1];
+    assert_eq!(cache_flag(clean, "outcome"), Some("miss"));
+    assert_eq!(
+        clean.get("verified").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(clean.get("governor_trip"), Some(&JsonValue::Null));
+}

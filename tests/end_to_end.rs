@@ -66,7 +66,7 @@ fn contest_flow_fixes_the_alu_slice() {
     let (problem, targets) = problem_from_sources();
     assert_eq!(targets, vec!["s2"]);
     let engine = EcoEngine::new(EcoOptions::default());
-    let outcome = engine.run(&problem).expect("engine runs");
+    let outcome = engine.solve(&problem.snapshot()).expect("engine runs");
     assert!(outcome.verified);
     // The cheap patch is xor(s1, cin): support cost 2 + 3 = 5, far below
     // rebuilding from the inputs (20 + 20 + 3).
@@ -85,8 +85,13 @@ fn every_method_produces_an_equivalent_netlist() {
         SupportMethod::MinimizeAssumptions,
         SupportMethod::SatPrune,
     ] {
-        let engine = EcoEngine::new(EcoOptions::builder().method(method).build());
-        let outcome = engine.run(&problem).expect("engine runs");
+        let engine = EcoEngine::new(
+            EcoOptions::builder()
+                .method(method)
+                .build()
+                .expect("valid options"),
+        );
+        let outcome = engine.solve(&problem.snapshot()).expect("engine runs");
         assert!(outcome.verified, "{method:?}");
         // And the result survives a netlist round trip.
         let patched_netlist = Netlist::from_aig("patched", &outcome.patched_implementation);
@@ -109,10 +114,15 @@ fn method_cost_ordering_holds() {
     // minimize_assumptions (single target = exact).
     let (problem, _) = problem_from_sources();
     let run = |method| {
-        EcoEngine::new(EcoOptions::builder().method(method).build())
-            .run(&problem)
-            .expect("engine runs")
-            .total_cost
+        EcoEngine::new(
+            EcoOptions::builder()
+                .method(method)
+                .build()
+                .expect("valid options"),
+        )
+        .solve(&problem.snapshot())
+        .expect("engine runs")
+        .total_cost
     };
     let baseline = run(SupportMethod::AnalyzeFinal);
     let minimized = run(SupportMethod::MinimizeAssumptions);

@@ -69,7 +69,7 @@ fn run_recorded(
     let recorder = Arc::new(Mutex::new(Recorder::default()));
     let engine = EcoEngine::new(options)
         .with_shared_observer(recorder.clone() as Arc<Mutex<dyn EcoObserver + Send>>);
-    let outcome = engine.run(problem).expect("anytime outcome");
+    let outcome = engine.solve(&problem.snapshot()).expect("anytime outcome");
     let events = std::mem::take(&mut recorder.lock().expect("no poison").events);
     (outcome, events)
 }
@@ -83,15 +83,16 @@ fn fault_on_full_attempt_degrades_to_retry() {
     let p = and_vs_or_problem();
     // Locate the first patch-phase call: it follows the sufficiency
     // check's QBF calls, whose count a fault-free metered run reveals.
-    let baseline = EcoEngine::new(EcoOptions::builder().build())
+    let baseline = EcoEngine::new(EcoOptions::builder().build().expect("valid options"))
         .with_metrics()
-        .run(&p)
+        .solve(&p.snapshot())
         .expect("baseline");
     let qbf_calls =
         baseline.metrics.expect("metrics").sat_calls.by_kind[SatCallKind::Qbf.index()].calls;
     let options = EcoOptions::builder()
         .fault_plan(Some(FaultPlan::AtCalls(vec![qbf_calls + 1])))
-        .build();
+        .build()
+        .expect("valid options");
     let (outcome, events) = run_recorded(options, &p);
     assert_eq!(outcome.fault_injections, 1);
     assert_eq!(outcome.reports.len(), 1);
@@ -118,7 +119,8 @@ fn all_faults_degrade_to_structural() {
     let p = and_vs_or_problem();
     let options = EcoOptions::builder()
         .fault_plan(Some(FaultPlan::EveryNth(1)))
-        .build();
+        .build()
+        .expect("valid options");
     let (outcome, events) = run_recorded(options, &p);
     assert_eq!(outcome.reports.len(), 1);
     // CEGAR_min may shrug off faulted (Unknown) equivalence queries and
@@ -157,7 +159,8 @@ fn cancellation_skips_every_target() {
     let p = multi_target_problem();
     let options = EcoOptions::builder()
         .fault_plan(Some(FaultPlan::CancelAt(1)))
-        .build();
+        .build()
+        .expect("valid options");
     let (outcome, events) = run_recorded(options, &p);
     assert_eq!(outcome.governor_trip, Some(TripReason::Cancelled));
     assert_eq!(outcome.reports.len(), 2);
@@ -190,9 +193,14 @@ fn cancellation_skips_every_target() {
 #[test]
 fn expired_deadline_returns_anytime_outcome() {
     let p = multi_target_problem();
-    let options = EcoOptions::builder().timeout(Some(Duration::ZERO)).build();
+    let options = EcoOptions::builder()
+        .timeout(Some(Duration::from_nanos(1)))
+        .build()
+        .expect("valid options");
     let t0 = Instant::now();
-    let outcome = EcoEngine::new(options).run(&p).expect("anytime outcome");
+    let outcome = EcoEngine::new(options)
+        .solve(&p.snapshot())
+        .expect("anytime outcome");
     let elapsed = t0.elapsed();
     assert_eq!(outcome.governor_trip, Some(TripReason::Deadline));
     assert_eq!(outcome.reports.len(), 2);
@@ -219,8 +227,11 @@ fn exhausted_global_pool_degrades_but_patches() {
     let options = EcoOptions::builder()
         .global_conflicts(Some(0))
         .cegar_min(false)
-        .build();
-    let outcome = EcoEngine::new(options).run(&p).expect("anytime outcome");
+        .build()
+        .expect("valid options");
+    let outcome = EcoEngine::new(options)
+        .solve(&p.snapshot())
+        .expect("anytime outcome");
     assert_eq!(outcome.governor_trip, Some(TripReason::GlobalBudget));
     assert_eq!(outcome.reports.len(), 2);
     for r in &outcome.reports {
@@ -239,9 +250,9 @@ fn external_governor_cancellation_is_honored() {
     let p = and_vs_or_problem();
     let governor = ResourceGovernor::new(GovernorLimits::default());
     governor.cancel();
-    let outcome = EcoEngine::new(EcoOptions::builder().build())
+    let outcome = EcoEngine::new(EcoOptions::builder().build().expect("valid options"))
         .with_governor(governor.clone())
-        .run(&p)
+        .solve(&p.snapshot())
         .expect("anytime outcome");
     assert_eq!(outcome.governor_trip, Some(TripReason::Cancelled));
     assert!(matches!(
@@ -259,10 +270,11 @@ fn external_governor_cancellation_is_honored() {
 fn no_fallback_mode_reports_deadline_error() {
     let p = and_vs_or_problem();
     let options = EcoOptions::builder()
-        .timeout(Some(Duration::ZERO))
+        .timeout(Some(Duration::from_nanos(1)))
         .structural_fallback(false)
-        .build();
-    let err = EcoEngine::new(options).run(&p).unwrap_err();
+        .build()
+        .expect("valid options");
+    let err = EcoEngine::new(options).solve(&p.snapshot()).unwrap_err();
     assert!(
         matches!(err, eco_patch::core::EcoError::DeadlineExceeded { .. }),
         "got {err:?}"
@@ -278,8 +290,11 @@ fn seeded_fault_schedule_is_reproducible() {
     let run = |seed: u64| {
         let options = EcoOptions::builder()
             .fault_plan(Some(FaultPlan::Seeded { seed, one_in: 3 }))
-            .build();
-        let out = EcoEngine::new(options).run(&p).expect("anytime outcome");
+            .build()
+            .expect("valid options");
+        let out = EcoEngine::new(options)
+            .solve(&p.snapshot())
+            .expect("anytime outcome");
         (
             out.fault_injections,
             out.reports

@@ -51,9 +51,10 @@ fn random_options(rng: &mut Rng) -> EcoOptions {
             None
         })
         .timeout(if rng.below(4) == 0 {
-            // Zero or tiny: expired or expiring mid-run. Wall-clock
-            // dependent, so assertions below stay timing-agnostic.
-            Some(Duration::from_millis(rng.below(3)))
+            // Near-expired or expiring mid-run (the builder rejects a
+            // literal zero). Wall-clock dependent, so assertions below
+            // stay timing-agnostic.
+            Some(Duration::from_millis(rng.below(3)).max(Duration::from_nanos(1)))
         } else {
             None
         })
@@ -64,6 +65,7 @@ fn random_options(rng: &mut Rng) -> EcoOptions {
         .verify(rng.bool())
         .jobs(rng.range(1, 5) as usize)
         .build()
+        .expect("valid options")
 }
 
 /// Builds a random small multi-target problem, or `None` when the
@@ -101,7 +103,7 @@ fn engine_is_total_under_chaos() {
         // The property: `run` is total. No panic, and the result is
         // either an anytime outcome covering every target or a typed
         // error that renders.
-        match EcoEngine::new(options).run(&problem) {
+        match EcoEngine::new(options).solve(&problem.snapshot()) {
             Ok(outcome) => {
                 assert_eq!(
                     outcome.reports.len(),
@@ -150,7 +152,7 @@ fn parallel_chaos_keeps_trace_span_discipline() {
         let trace = Arc::new(Mutex::new(JsonlTraceObserver::new(Vec::new())));
         let engine = EcoEngine::new(options)
             .with_shared_observer(trace.clone() as Arc<Mutex<dyn EcoObserver + Send>>);
-        let result = engine.run(&problem);
+        let result = engine.solve(&problem.snapshot());
         drop(engine);
         let writer = Arc::try_unwrap(trace)
             .unwrap_or_else(|_| panic!("case {case}: engine still holds the trace observer"))

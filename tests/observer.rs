@@ -5,9 +5,9 @@
 use eco_patch::aig::Aig;
 use eco_patch::core::json::{parse_json, JsonValue};
 use eco_patch::core::{
-    BudgetMetrics, EcoEngine, EcoEvent, EcoObserver, EcoOptions, EcoProblem, KindMetrics,
-    PatchKind, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics, SupportMethod,
-    TargetMetrics, WorkerMetrics,
+    BudgetMetrics, CacheCounters, EcoEngine, EcoEvent, EcoObserver, EcoOptions, EcoProblem,
+    KindMetrics, PatchKind, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics,
+    SupportMethod, TargetMetrics, WorkerMetrics,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -60,14 +60,17 @@ fn record_run(
     let recorder = Arc::new(Mutex::new(Recorder::default()));
     let engine = EcoEngine::new(options)
         .with_shared_observer(recorder.clone() as Arc<Mutex<dyn EcoObserver + Send>>);
-    let outcome = engine.run(problem).expect("engine run");
+    let outcome = engine.solve(&problem.snapshot()).expect("engine run");
     let events = std::mem::take(&mut recorder.lock().expect("no poison").events);
     (outcome, events)
 }
 
 #[test]
 fn phases_nest_and_cover_the_whole_run() {
-    let (_, events) = record_run(EcoOptions::builder().build(), &multi_target_problem());
+    let (_, events) = record_run(
+        EcoOptions::builder().build().expect("valid options"),
+        &multi_target_problem(),
+    );
     assert!(
         matches!(
             events.first(),
@@ -147,8 +150,13 @@ fn attributed_sat_calls_match_reports_for_every_method() {
         SupportMethod::SatPrune,
     ] {
         for problem in [and_vs_or_problem(), multi_target_problem()] {
-            let (outcome, events) =
-                record_run(EcoOptions::builder().method(method).build(), &problem);
+            let (outcome, events) = record_run(
+                EcoOptions::builder()
+                    .method(method)
+                    .build()
+                    .expect("valid options"),
+                &problem,
+            );
             let by_target = attributed_calls(&events);
             for report in &outcome.reports {
                 if report.kind == PatchKind::TrivialDead {
@@ -171,7 +179,8 @@ fn attributed_sat_calls_match_reports_on_structural_fallback() {
         .per_call_conflicts(Some(0)) // force the fallback
         .cegar_min(true)
         .verify(false)
-        .build();
+        .build()
+        .expect("valid options");
     let (outcome, events) = record_run(options, &and_vs_or_problem());
     assert_eq!(outcome.reports[0].kind, PatchKind::StructuralCegarMin);
     assert!(
@@ -190,8 +199,11 @@ fn attributed_sat_calls_match_reports_on_structural_fallback() {
 
 #[test]
 fn metrics_observer_reconciles_with_reports() {
-    let engine = EcoEngine::new(EcoOptions::builder().build()).with_metrics();
-    let outcome = engine.run(&multi_target_problem()).expect("engine run");
+    let engine =
+        EcoEngine::new(EcoOptions::builder().build().expect("valid options")).with_metrics();
+    let outcome = engine
+        .solve(&multi_target_problem().snapshot())
+        .expect("engine run");
     let metrics = outcome.metrics.as_ref().expect("with_metrics attached");
     assert_eq!(metrics.num_targets, 2);
     assert!(!metrics.targets.is_empty());
@@ -259,8 +271,14 @@ fn disjoint_targets_problem() -> EcoProblem {
 fn run_metrics_totals_are_jobs_invariant() {
     for problem in [multi_target_problem(), disjoint_targets_problem()] {
         let run = |jobs: usize| {
-            let engine = EcoEngine::new(EcoOptions::builder().jobs(jobs).build()).with_metrics();
-            let outcome = engine.run(&problem).expect("engine run");
+            let engine = EcoEngine::new(
+                EcoOptions::builder()
+                    .jobs(jobs)
+                    .build()
+                    .expect("valid options"),
+            )
+            .with_metrics();
+            let outcome = engine.solve(&problem.snapshot()).expect("engine run");
             outcome.metrics.expect("with_metrics attached")
         };
         let base = run(1);
@@ -343,6 +361,7 @@ fn golden_metrics() -> RunMetrics {
         latency_histogram: [1, 0, 0, 0, 0, 0, 0, 0],
     };
     RunMetrics {
+        request_id: Some("req-7".to_string()),
         num_targets: 1,
         per_call_conflicts: Some(1000),
         jobs: 2,
@@ -399,6 +418,13 @@ fn golden_metrics() -> RunMetrics {
         cegar_min_rounds: 4,
         governor_trips: 5,
         ladder_steps: 6,
+        cache: CacheCounters {
+            window_hits: 1,
+            window_misses: 2,
+            cnf_hits: 3,
+            cnf_misses: 4,
+            ..CacheCounters::default()
+        },
     }
 }
 
@@ -409,7 +435,8 @@ fn run_metrics_golden_json() {
                              \"latency_histogram\":[0,0,0,0,0,0,0,0]}";
     let expected = format!(
         concat!(
-            "{{\"schema_version\":4,\"num_targets\":1,\"per_call_conflicts\":1000,",
+            "{{\"schema_version\":5,\"request_id\":\"req-7\",",
+            "\"num_targets\":1,\"per_call_conflicts\":1000,",
             "\"jobs\":2,\"elapsed_us\":1234,",
             "\"phases\":[{{\"phase\":\"sufficiency_check\",\"elapsed_us\":10}}],",
             "\"targets\":[{{\"target_index\":0,\"sat_calls\":3,\"observed_sat_calls\":3,",
@@ -440,7 +467,10 @@ fn run_metrics_golden_json() {
             "\"mean_fraction\":0.250000}},",
             "\"counters\":{{\"qbf_refinements\":1,\"quantification_refinements\":2,",
             "\"support_minimization_steps\":3,\"structural_fallbacks\":0,",
-            "\"cegar_min_rounds\":4,\"governor_trips\":5,\"ladder_steps\":6}}}}"
+            "\"cegar_min_rounds\":4,\"governor_trips\":5,\"ladder_steps\":6}},",
+            "\"cache\":{{\"netlist_hits\":0,\"netlist_misses\":0,\"window_hits\":1,",
+            "\"window_misses\":2,\"cnf_hits\":3,\"cnf_misses\":4,\"target_hits\":0,",
+            "\"target_misses\":0,\"outcome_hits\":0,\"outcome_misses\":0}}}}"
         ),
         z = ZERO_KIND
     );
@@ -448,11 +478,18 @@ fn run_metrics_golden_json() {
 }
 
 #[test]
-fn run_metrics_v4_round_trips_through_parser() {
+fn run_metrics_v5_round_trips_through_parser() {
     let metrics = golden_metrics();
-    let doc = parse_json(&metrics.to_json()).expect("schema v4 output is valid JSON");
+    let doc = parse_json(&metrics.to_json()).expect("schema v5 output is valid JSON");
     let u = |v: &JsonValue, key: &str| v.get(key).and_then(JsonValue::as_u64);
-    assert_eq!(u(&doc, "schema_version"), Some(4));
+    assert_eq!(u(&doc, "schema_version"), Some(5));
+    assert_eq!(
+        doc.get("request_id").and_then(JsonValue::as_str),
+        Some("req-7")
+    );
+    let cache = doc.get("cache").expect("cache counters object");
+    assert_eq!(u(cache, "window_hits"), Some(1));
+    assert_eq!(u(cache, "cnf_misses"), Some(4));
     assert_eq!(u(&doc, "num_targets"), Some(1));
     assert_eq!(u(&doc, "jobs"), Some(2));
     assert_eq!(u(&doc, "elapsed_us"), Some(1234));

@@ -16,7 +16,7 @@ const TEST_SCALE: f64 = 0.02;
 
 fn run_at(problem: &EcoProblem, options: EcoOptions, name: &str) -> EcoOutcome {
     EcoEngine::new(options)
-        .run(problem)
+        .solve(&problem.snapshot())
         .unwrap_or_else(|e| panic!("{name} failed: {e}"))
 }
 
@@ -66,7 +66,12 @@ fn assert_outcomes_identical(seq: &EcoOutcome, par: &EcoOutcome, name: &str) {
 fn suite_outcomes_are_byte_identical_across_jobs() {
     for unit in table1_units(TEST_SCALE).iter() {
         let problem = build_unit(unit);
-        let opts = |jobs: usize| EcoOptions::builder().jobs(jobs).build();
+        let opts = |jobs: usize| {
+            EcoOptions::builder()
+                .jobs(jobs)
+                .build()
+                .expect("valid options")
+        };
         let seq = run_at(&problem, opts(1), unit.name);
         let par = run_at(&problem, opts(4), unit.name);
         assert_outcomes_identical(&seq, &par, unit.name);
@@ -101,6 +106,7 @@ fn racing_ladder_is_byte_identical_under_per_call_budgets() {
                 .cegar_min(true)
                 .jobs(jobs)
                 .build()
+                .expect("valid options")
         };
         let seq = run_at(&problem, opts(1), unit.name);
         let par = run_at(&problem, opts(4), unit.name);
@@ -121,6 +127,7 @@ fn sat_prune_suite_is_byte_identical_across_jobs() {
                 .method(SupportMethod::SatPrune)
                 .jobs(jobs)
                 .build()
+                .expect("valid options")
         };
         let seq = run_at(&problem, opts(1), unit.name);
         let par = run_at(&problem, opts(4), unit.name);

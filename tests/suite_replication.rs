@@ -15,10 +15,11 @@ fn all_units_solve_and_verify_with_minimize_assumptions() {
         let engine = EcoEngine::new(
             EcoOptions::builder()
                 .method(SupportMethod::MinimizeAssumptions)
-                .build(),
+                .build()
+                .expect("valid options"),
         );
         let outcome = engine
-            .run(&problem)
+            .solve(&problem.snapshot())
             .unwrap_or_else(|e| panic!("{} failed: {e}", unit.name));
         assert!(outcome.verified, "{} (index {i}) did not verify", unit.name);
         assert_eq!(
@@ -40,10 +41,11 @@ fn single_target_units_solve_with_analyze_final_baseline() {
         let engine = EcoEngine::new(
             EcoOptions::builder()
                 .method(SupportMethod::AnalyzeFinal)
-                .build(),
+                .build()
+                .expect("valid options"),
         );
         let outcome = engine
-            .run(&problem)
+            .solve(&problem.snapshot())
             .unwrap_or_else(|e| panic!("{} failed: {e}", unit.name));
         assert!(outcome.verified, "{}", unit.name);
     }
@@ -56,10 +58,15 @@ fn minimize_assumptions_beats_baseline_on_geomean_cost() {
     for unit in table1_units(TEST_SCALE).iter().take(12) {
         let problem = build_unit(unit);
         let run = |method| {
-            EcoEngine::new(EcoOptions::builder().method(method).build())
-                .run(&problem)
-                .map(|o| o.total_cost)
-                .unwrap_or(u64::MAX)
+            EcoEngine::new(
+                EcoOptions::builder()
+                    .method(method)
+                    .build()
+                    .expect("valid options"),
+            )
+            .solve(&problem.snapshot())
+            .map(|o| o.total_cost)
+            .unwrap_or(u64::MAX)
         };
         let baseline = run(SupportMethod::AnalyzeFinal);
         let minimized = run(SupportMethod::MinimizeAssumptions);
@@ -89,10 +96,11 @@ fn multi_target_units_solve_with_sat_prune() {
         let engine = EcoEngine::new(
             EcoOptions::builder()
                 .method(SupportMethod::SatPrune)
-                .build(),
+                .build()
+                .expect("valid options"),
         );
         let outcome = engine
-            .run(&problem)
+            .solve(&problem.snapshot())
             .unwrap_or_else(|e| panic!("{} failed: {e}", unit.name));
         assert!(outcome.verified, "{}", unit.name);
     }
@@ -107,10 +115,11 @@ fn structural_path_verifies_on_every_unit() {
             .per_call_conflicts(Some(0)) // force structural
             .cegar_min(true)
             .verify(false)
-            .build();
+            .build()
+            .expect("valid options");
         let engine = EcoEngine::new(options);
         let outcome = engine
-            .run(&problem)
+            .solve(&problem.snapshot())
             .unwrap_or_else(|e| panic!("{} failed: {e}", unit.name));
         assert_eq!(
             check_equivalence(

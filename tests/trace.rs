@@ -32,7 +32,7 @@ fn traced_run(options: EcoOptions, problem: &EcoProblem) -> (String, RunMetrics)
     let engine = EcoEngine::new(options)
         .with_metrics()
         .with_shared_observer(sink.clone() as Arc<Mutex<dyn EcoObserver + Send>>);
-    let outcome = engine.run(problem).expect("engine run");
+    let outcome = engine.solve(&problem.snapshot()).expect("engine run");
     drop(engine);
     let observer = Arc::try_unwrap(sink)
         .unwrap_or_else(|_| panic!("engine dropped"))
@@ -45,7 +45,10 @@ fn traced_run(options: EcoOptions, problem: &EcoProblem) -> (String, RunMetrics)
 
 #[test]
 fn jsonl_trace_round_trips_and_passes_integrity() {
-    let (text, _) = traced_run(EcoOptions::builder().build(), &multi_target_problem());
+    let (text, _) = traced_run(
+        EcoOptions::builder().build().expect("valid options"),
+        &multi_target_problem(),
+    );
     assert!(text.lines().count() > 8, "trace too short:\n{text}");
     let mut last_ts = 0u64;
     for line in text.lines() {
@@ -66,7 +69,10 @@ fn jsonl_trace_round_trips_and_passes_integrity() {
 
 #[test]
 fn report_phase_totals_agree_with_run_metrics_v3() {
-    let (text, metrics) = traced_run(EcoOptions::builder().build(), &multi_target_problem());
+    let (text, metrics) = traced_run(
+        EcoOptions::builder().build().expect("valid options"),
+        &multi_target_problem(),
+    );
     let summary = summarize_trace(&text, 5).expect("summarize");
 
     // Phase totals: both paths truncate the same Duration to µs, so
@@ -115,7 +121,10 @@ fn report_phase_totals_agree_with_run_metrics_v3() {
 
 #[test]
 fn top_calls_are_sorted_and_bounded() {
-    let (text, _) = traced_run(EcoOptions::builder().build(), &multi_target_problem());
+    let (text, _) = traced_run(
+        EcoOptions::builder().build().expect("valid options"),
+        &multi_target_problem(),
+    );
     let summary = summarize_trace(&text, 3).expect("summarize");
     assert!(summary.top_calls.len() <= 3);
     for pair in summary.top_calls.windows(2) {
@@ -129,9 +138,11 @@ fn top_calls_are_sorted_and_bounded() {
 #[test]
 fn chrome_trace_is_balanced_and_loadable() {
     let sink = Arc::new(Mutex::new(ChromeTraceObserver::new(Vec::new())));
-    let engine = EcoEngine::new(EcoOptions::builder().build())
+    let engine = EcoEngine::new(EcoOptions::builder().build().expect("valid options"))
         .with_shared_observer(sink.clone() as Arc<Mutex<dyn EcoObserver + Send>>);
-    engine.run(&multi_target_problem()).expect("engine run");
+    engine
+        .solve(&multi_target_problem().snapshot())
+        .expect("engine run");
     drop(engine);
     let observer = Arc::try_unwrap(sink)
         .unwrap_or_else(|_| panic!("engine dropped"))

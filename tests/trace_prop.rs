@@ -49,6 +49,7 @@ fn random_options(rng: &mut Rng) -> EcoOptions {
         .degraded_retry(rng.bool())
         .verify(rng.bool())
         .build()
+        .expect("valid options")
 }
 
 #[test]
@@ -78,7 +79,7 @@ fn spans_stay_lifo_under_faults_and_trips() {
         let sink = Arc::new(Mutex::new(JsonlTraceObserver::new(Vec::new())));
         let engine = EcoEngine::new(options)
             .with_shared_observer(sink.clone() as Arc<Mutex<dyn EcoObserver + Send>>);
-        let result = engine.run(&problem);
+        let result = engine.solve(&problem.snapshot());
         drop(engine);
         let bytes = Arc::try_unwrap(sink)
             .unwrap_or_else(|_| panic!("engine dropped"))
