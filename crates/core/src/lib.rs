@@ -109,8 +109,9 @@ pub use miter::{EcoMiter, QuantifiedMiter};
 pub use observe::{
     conflict_bucket, latency_bucket, BudgetMetrics, CacheCounters, EcoEvent, EcoObserver,
     KindMetrics, LadderRung, MetricsObserver, NullObserver, Phase, PhaseMetrics, RunMetrics,
-    SatCallKind, SatCallMetrics, SupportStep, TargetMetrics, TeeObserver, WorkerMetrics,
-    CONFLICT_BUCKET_BOUNDS, LATENCY_BUCKET_BOUNDS_US, NUM_CONFLICT_BUCKETS, NUM_LATENCY_BUCKETS,
+    SatCallKind, SatCallMetrics, ServingCounters, SupportStep, TargetMetrics, TeeObserver,
+    WorkerMetrics, CONFLICT_BUCKET_BOUNDS, LATENCY_BUCKET_BOUNDS_US, NUM_CONFLICT_BUCKETS,
+    NUM_LATENCY_BUCKETS,
 };
 pub use problem::EcoProblem;
 pub use qbf::{check_targets_sufficient, QbfOutcome};

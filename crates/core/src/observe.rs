@@ -579,6 +579,22 @@ pub struct CacheCounters {
     pub outcome_misses: u64,
 }
 
+/// Per-request serving-layer failure-mode counters (schema v6), filled
+/// in by `eco_patchd` when it serializes per-request metrics. All zero
+/// for runs that never crossed a serving layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServingCounters {
+    /// Requests load-shed at admission (bounded queue full).
+    pub shed: u64,
+    /// Requests whose deadline expired while queued (rejected before
+    /// any solver work).
+    pub expired: u64,
+    /// Daemon-side retries after a fair-share budget trip.
+    pub retried: u64,
+    /// Worker panics isolated by the serving layer.
+    pub panicked: u64,
+}
+
 impl CacheCounters {
     /// Records one [`EcoEvent::CacheQuery`].
     pub fn record(&mut self, layer: crate::cache::CacheLayer, hit: bool) {
@@ -686,6 +702,9 @@ pub struct RunMetrics {
     /// Cache hit/miss counters ([`EcoEvent::CacheQuery`]); all zero
     /// when no cache is attached.
     pub cache: CacheCounters,
+    /// Serving-layer failure-mode counters (schema v6); all zero for
+    /// runs that never crossed a serving layer.
+    pub serving: ServingCounters,
 }
 
 fn push_json_array(out: &mut String, counts: &[u64]) {
@@ -707,10 +726,11 @@ fn push_json_string(out: &mut String, text: &str) {
 
 impl RunMetrics {
     /// Serializes to the stable JSON schema documented in
-    /// `EXPERIMENTS.md` (schema_version 5, which added the request-id
-    /// dimension and the cache hit/miss counters). Key order is fixed;
-    /// durations are integer microseconds; fractions carry six decimal
-    /// places.
+    /// `EXPERIMENTS.md` (schema_version 6, which added the serving
+    /// shed/expired/retried/panicked counters on top of v5's
+    /// request-id dimension and cache hit/miss counters). Key order is
+    /// fixed; durations are integer microseconds; fractions carry six
+    /// decimal places.
     pub fn to_json(&self) -> String {
         let us = |d: Duration| -> u64 { d.as_micros().min(u64::MAX as u128) as u64 };
         let opt_u64 = |v: Option<u64>| match v {
@@ -718,7 +738,7 @@ impl RunMetrics {
             None => "null".to_string(),
         };
         let mut s = String::new();
-        s.push_str("{\"schema_version\":5");
+        s.push_str("{\"schema_version\":6");
         match &self.request_id {
             Some(id) => {
                 s.push_str(",\"request_id\":");
@@ -844,6 +864,11 @@ impl RunMetrics {
             c.target_misses,
             c.outcome_hits,
             c.outcome_misses
+        ));
+        let v = &self.serving;
+        s.push_str(&format!(
+            ",\"serving\":{{\"shed\":{},\"expired\":{},\"retried\":{},\"panicked\":{}}}",
+            v.shed, v.expired, v.retried, v.panicked
         ));
         s.push('}');
         s
@@ -1178,9 +1203,12 @@ mod tests {
             ..RunMetrics::default()
         };
         let json = m.to_json();
-        assert!(json.starts_with("{\"schema_version\":5"));
+        assert!(json.starts_with("{\"schema_version\":6"));
         assert!(json.contains("\"request_id\":null"));
         assert!(json.contains("\"cache\":{\"netlist_hits\":0"));
+        assert!(
+            json.contains("\"serving\":{\"shed\":0,\"expired\":0,\"retried\":0,\"panicked\":0}")
+        );
         assert!(json.contains("\"per_call_conflicts\":null"));
         assert!(json.contains("\"jobs\":4"));
         assert!(json.contains("\"workers\":[]"));

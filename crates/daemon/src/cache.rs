@@ -76,6 +76,10 @@ impl<T: Clone> Lru<T> {
         })
     }
 
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
     fn put(&mut self, key: u128, value: T, capacity: usize) {
         self.tick += 1;
         if self.entries.len() >= capacity && !self.entries.contains_key(&key) {
@@ -99,6 +103,7 @@ struct Counters {
     netlist_misses: u64,
     outcome_hits: u64,
     outcome_misses: u64,
+    poison_hits: u64,
 }
 
 /// Aggregated daemon cache statistics: the daemon-side layers plus
@@ -114,6 +119,12 @@ pub struct DaemonCacheStats {
     pub outcome_hits: u64,
     /// Outcome layer misses.
     pub outcome_misses: u64,
+    /// Quarantined request fingerprints currently held as poison
+    /// pills (requests whose solve path panicked; identical retries
+    /// are rejected fast instead of re-crashing a worker).
+    pub poison_pills: u64,
+    /// Fast rejections served from the poison-pill layer.
+    pub poison_hits: u64,
     /// Entries evicted from the daemon-side layers.
     pub evictions: u64,
     /// Engine-side (window / CNF / solved-target) statistics.
@@ -125,13 +136,16 @@ impl DaemonCacheStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"netlist_hits\":{},\"netlist_misses\":{},\"outcome_hits\":{},\
-             \"outcome_misses\":{},\"evictions\":{},\"engine\":{{\
+             \"outcome_misses\":{},\"poison_pills\":{},\"poison_hits\":{},\
+             \"evictions\":{},\"engine\":{{\
              \"window_hits\":{},\"window_misses\":{},\"cnf_hits\":{},\"cnf_misses\":{},\
              \"target_hits\":{},\"target_misses\":{},\"evictions\":{}}}}}",
             self.netlist_hits,
             self.netlist_misses,
             self.outcome_hits,
             self.outcome_misses,
+            self.poison_pills,
+            self.poison_hits,
             self.evictions,
             self.engine.window_hits,
             self.engine.window_misses,
@@ -150,6 +164,10 @@ impl DaemonCacheStats {
 pub struct DaemonCache {
     netlist: Arc<Mutex<Lru<Arc<ParsedDesign>>>>,
     outcome: Arc<Mutex<Lru<Arc<CachedOutcome>>>>,
+    /// Quarantined request fingerprints → panic message. An entry
+    /// means "this exact request crashed a worker"; retries are
+    /// answered from here without touching the engine.
+    poison: Arc<Mutex<Lru<Arc<String>>>>,
     counters: Arc<Mutex<Counters>>,
     engine: EcoCache,
     capacity: usize,
@@ -172,6 +190,7 @@ impl DaemonCache {
         DaemonCache {
             netlist: Arc::new(Mutex::new(Lru::new())),
             outcome: Arc::new(Mutex::new(Lru::new())),
+            poison: Arc::new(Mutex::new(Lru::new())),
             counters: Arc::new(Mutex::new(Counters::default())),
             engine: EcoCache::new(capacity),
             capacity,
@@ -205,9 +224,42 @@ impl DaemonCache {
             netlist_misses: c.netlist_misses,
             outcome_hits: c.outcome_hits,
             outcome_misses: c.outcome_misses,
+            poison_pills: self
+                .poison
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len() as u64,
+            poison_hits: c.poison_hits,
             evictions,
             engine: self.engine.stats(),
         }
+    }
+
+    /// Quarantines a request fingerprint after a worker panic: every
+    /// later request with the same fingerprint is answered by
+    /// [`DaemonCache::poisoned`] without touching the engine.
+    pub(crate) fn poison(&self, key: u128, message: &str) {
+        self.poison
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .put(key, Arc::new(message.to_string()), self.capacity);
+    }
+
+    /// The stored panic message when `key` is quarantined; counts a
+    /// poison hit on match.
+    pub(crate) fn poisoned(&self, key: u128) -> Option<Arc<String>> {
+        let hit = self
+            .poison
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key);
+        if hit.is_some() {
+            self.counters
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .poison_hits += 1;
+        }
+        hit
     }
 
     /// Parses `text` through the netlist layer; the returned flag is
@@ -342,6 +394,19 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.netlist_hits, 1);
         assert_eq!(stats.netlist_misses, 3);
+    }
+
+    #[test]
+    fn poison_pills_quarantine_fingerprints_and_count_hits() {
+        let cache = DaemonCache::new(4);
+        assert!(cache.poisoned(7).is_none());
+        cache.poison(7, "injected solver panic");
+        let pill = cache.poisoned(7).expect("quarantined");
+        assert_eq!(pill.as_str(), "injected solver panic");
+        assert!(cache.poisoned(8).is_none(), "other fingerprints unaffected");
+        let stats = cache.stats();
+        assert_eq!(stats.poison_pills, 1);
+        assert_eq!(stats.poison_hits, 1);
     }
 
     #[test]

@@ -29,6 +29,16 @@
 //! its own deadline and fair-share conflict pool. A request that trips
 //! its own limits degrades alone; the rest of the stream is unharmed.
 //!
+//! The daemon is also built to *stay up*: every request's solve path
+//! runs behind an unwind boundary (a panicking request answers
+//! `"status":"panic"` and its fingerprint is quarantined as a poison
+//! pill), admission is bounded by a load-shedding queue
+//! ([`RequestQueue`]) with `"status":"overloaded"` + `retry_after_ms`
+//! responses, requests whose deadline expired while queued are shed
+//! before any solver work, and the `drain`/`health` commands give
+//! operators a graceful way out and a live view in. See
+//! [`server`] for the full resilience story.
+//!
 //! [`RunMetrics`]: eco_core::RunMetrics
 
 #![forbid(unsafe_code)]
@@ -36,8 +46,10 @@
 
 pub mod cache;
 pub mod protocol;
+pub mod queue;
 pub mod server;
 
 pub use cache::{DaemonCache, DaemonCacheStats};
 pub use protocol::{parse_request, EcoRequest, EcoResponse, Request, RequestOptions};
+pub use queue::{Admission, QueuedRequest, RequestQueue};
 pub use server::{run_cli, Daemon, DaemonConfig};

@@ -47,6 +47,15 @@ pub struct RequestOptions {
     pub jobs: Option<usize>,
     /// Whether the structural fallback ladder is enabled.
     pub structural_fallback: Option<bool>,
+    /// Chaos hook (requires the daemon's `--chaos` flag): hold the
+    /// request on its worker for this many milliseconds before
+    /// solving, keeping the worker deterministically busy so tests can
+    /// fill the queue and force load-shedding.
+    pub hold_ms: Option<u64>,
+    /// Chaos hook (requires the daemon's `--chaos` flag): panic on the
+    /// request's first SAT call, simulating a solver bug; the daemon
+    /// must answer `"status":"panic"` and keep serving.
+    pub inject_panic: bool,
 }
 
 /// One ECO request, decoded from a JSONL line.
@@ -79,6 +88,17 @@ pub enum Request {
         /// Echoed request id.
         id: String,
     },
+    /// Report daemon health: queue depth, in-flight count, uptime,
+    /// poison pills, serving counters, and per-layer cache stats.
+    Health {
+        /// Echoed request id.
+        id: String,
+    },
+    /// Stop admission, drain in-flight work, then exit cleanly.
+    Drain {
+        /// Echoed request id.
+        id: String,
+    },
     /// Answer, then stop serving.
     Shutdown {
         /// Echoed request id.
@@ -108,8 +128,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     if let Some(cmd) = v.get("cmd") {
         return match cmd.as_str() {
             Some("stats") => Ok(Request::Stats { id }),
+            Some("health") => Ok(Request::Health { id }),
+            Some("drain") => Ok(Request::Drain { id }),
             Some("shutdown") => Ok(Request::Shutdown { id }),
-            _ => Err(format!("unknown cmd {cmd:?} (expected stats or shutdown)")),
+            _ => Err(format!(
+                "unknown cmd {cmd:?} (expected stats, health, drain, or shutdown)"
+            )),
         };
     }
     let impl_verilog = string_field(&v, "impl")?;
@@ -169,6 +193,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         options.deadline_ms = uint("deadline_ms")?;
         options.jobs = uint("jobs")?.map(|j| j as usize);
         options.structural_fallback = opts.get("structural_fallback").and_then(JsonValue::as_bool);
+        options.hold_ms = uint("hold_ms")?;
+        options.inject_panic = opts
+            .get("inject_panic")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false);
     }
     Ok(Request::Eco(Box::new(EcoRequest {
         id,
@@ -267,6 +296,47 @@ pub fn error_response(id: &str, message: &str) -> String {
     )
 }
 
+/// Serializes a load-shed response: the bounded queue is full and the
+/// client should back off for about `retry_after_ms` before retrying.
+pub fn overloaded_response(id: &str, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"status\":\"overloaded\",\"retry_after_ms\":{retry_after_ms}}}",
+        escape_json(id)
+    )
+}
+
+/// Serializes an expired-in-queue response: the request's own
+/// `deadline_ms` passed while it waited (`queued_ms` reports the
+/// wait), so it was rejected before any solver work.
+pub fn expired_response(id: &str, queued_ms: u64) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"status\":\"expired\",\"queued_ms\":{queued_ms}}}",
+        escape_json(id)
+    )
+}
+
+/// Serializes a draining response: admission is closed because the
+/// daemon is shutting down gracefully; the client should fail over or
+/// retry elsewhere after `retry_after_ms`.
+pub fn draining_response(id: &str, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"status\":\"draining\",\"retry_after_ms\":{retry_after_ms}}}",
+        escape_json(id)
+    )
+}
+
+/// Serializes a panic response: the request's solve path panicked and
+/// was isolated by the worker's unwind boundary. `poisoned` is `true`
+/// when this is a fast cached rejection of a quarantined fingerprint
+/// (a poison pill) rather than a fresh panic.
+pub fn panic_response(id: &str, message: &str, poisoned: bool) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"status\":\"panic\",\"error\":\"{}\",\"poisoned\":{poisoned}}}",
+        escape_json(id),
+        escape_json(message)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,11 +386,63 @@ mod tests {
             })
         );
         assert_eq!(
+            parse_request(r#"{"id":"h","cmd":"health"}"#),
+            Ok(Request::Health {
+                id: "h".to_string()
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"id":"d","cmd":"drain"}"#),
+            Ok(Request::Drain {
+                id: "d".to_string()
+            })
+        );
+        assert_eq!(
             parse_request(r#"{"id":"b","cmd":"shutdown"}"#),
             Ok(Request::Shutdown {
                 id: "b".to_string()
             })
         );
+    }
+
+    #[test]
+    fn parses_chaos_options() {
+        let line = r#"{"id":"c","impl":"i","spec":"s","targets":["t"],
+            "options":{"hold_ms":250,"inject_panic":true}}"#
+            .replace('\n', " ");
+        let Request::Eco(req) = parse_request(&line).expect("parses") else {
+            panic!("expected an ECO request");
+        };
+        assert_eq!(req.options.hold_ms, Some(250));
+        assert!(req.options.inject_panic);
+    }
+
+    #[test]
+    fn resilience_responses_are_valid_json() {
+        let v = parse_json(&overloaded_response("o1", 300)).expect("overloaded parses");
+        assert_eq!(
+            v.get("status").and_then(JsonValue::as_str),
+            Some("overloaded")
+        );
+        assert_eq!(
+            v.get("retry_after_ms").and_then(JsonValue::as_u64),
+            Some(300)
+        );
+        let v = parse_json(&expired_response("e1", 42)).expect("expired parses");
+        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("expired"));
+        assert_eq!(v.get("queued_ms").and_then(JsonValue::as_u64), Some(42));
+        let v = parse_json(&draining_response("d1", 1000)).expect("draining parses");
+        assert_eq!(
+            v.get("status").and_then(JsonValue::as_str),
+            Some("draining")
+        );
+        let v = parse_json(&panic_response("p1", "solver \"bug\"", true)).expect("panic parses");
+        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("panic"));
+        assert_eq!(
+            v.get("error").and_then(JsonValue::as_str),
+            Some("solver \"bug\"")
+        );
+        assert_eq!(v.get("poisoned").and_then(JsonValue::as_bool), Some(true));
     }
 
     #[test]
@@ -360,7 +482,7 @@ mod tests {
             netlist_cache_hit: true,
             outcome_cache_hit: false,
             patched_verilog: "module m;\nendmodule\n".to_string(),
-            metrics_json: "{\"schema_version\":5}".to_string(),
+            metrics_json: "{\"schema_version\":6}".to_string(),
         };
         let line = resp.to_json();
         let v = parse_json(&line).expect("response is valid JSON");
@@ -381,7 +503,7 @@ mod tests {
             v.get("metrics")
                 .and_then(|m| m.get("schema_version"))
                 .and_then(JsonValue::as_u64),
-            Some(5)
+            Some(6)
         );
         let err = error_response("e1", "bad \"thing\"");
         let v = parse_json(&err).expect("error response is valid JSON");

@@ -2,20 +2,69 @@
 //! socket, schedules them on a daemon-level worker pool, and answers
 //! each on its own line. Responses may interleave out of order when
 //! the pool has more than one worker; clients correlate by `id`.
+//!
+//! # Resilience
+//!
+//! The daemon is built to degrade per-request, never per-process:
+//!
+//! - **Panic isolation** — every request's solve path runs inside an
+//!   unwind boundary. A panic (a solver bug, real or injected) becomes
+//!   a structured `"status":"panic"` response, and the request's
+//!   content fingerprint is quarantined as a *poison pill*: identical
+//!   retries get a fast cached rejection instead of re-crashing a
+//!   worker.
+//! - **Admission control** — in pooled mode (`--workers` > 1) a
+//!   capacity-bounded queue fronts the pool. A full queue sheds new
+//!   requests with `"status":"overloaded"` and a `retry_after_ms`
+//!   hint; a request whose own `deadline_ms` expires while queued is
+//!   rejected with `"status":"expired"` before any solver work.
+//! - **Retry with backoff** — a request that tripped the daemon's
+//!   fair-share conflict pool (not its own deadline or an explicit
+//!   caller budget) is re-run once with an escalated budget before the
+//!   degraded answer is returned.
+//! - **Graceful drain** — the `drain` command stops admission
+//!   (subsequent requests answer `"status":"draining"`), lets
+//!   in-flight work finish, and exits cleanly once the stream closes.
+//!   End-of-stream without `drain` behaves the same way: accepted work
+//!   always drains before exit.
+//! - **Health** — the `health` command reports queue depth, in-flight
+//!   count, uptime, poison-pill count, shed/expired/retried/panicked
+//!   counters, and per-layer cache statistics, and is answered by the
+//!   reader thread so it works even while every worker is busy.
 
 use crate::cache::{outcome_key, CachedOutcome, DaemonCache};
-use crate::protocol::{error_response, parse_request, EcoRequest, EcoResponse, Request};
+use crate::protocol::{
+    draining_response, error_response, expired_response, overloaded_response, panic_response,
+    parse_request, EcoRequest, EcoResponse, Request,
+};
+use crate::queue::{Admission, RequestQueue};
 use eco_core::json::escape_json;
 use eco_core::{
-    netlist_patches, CacheCounters, EcoEngine, EcoOptions, EcoProblem, GovernorLimits,
-    ResourceGovernor, RunMetrics, SupportMethod, TargetDisposition,
+    netlist_patches, CacheCounters, EcoEngine, EcoOptions, EcoProblem, FaultPlan, GovernorLimits,
+    ResourceGovernor, RunMetrics, SupportMethod, TargetDisposition, TripReason,
 };
 use eco_netlist::{Netlist, WeightTable};
 use std::io::{self, BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex, PoisonError};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// `retry_after_ms` hint on `draining` responses: the client should
+/// fail over to another instance, so the hint is deliberately long.
+const DRAIN_RETRY_HINT_MS: u64 = 1000;
+
+/// How many times a fair-share budget trip is retried with an
+/// escalated budget before the degraded answer is returned.
+const MAX_FAIR_SHARE_RETRIES: u64 = 1;
+
+/// Budget multiplier per fair-share retry.
+const FAIR_SHARE_ESCALATION: u64 = 4;
+
+/// Upper bound on the `hold_ms` chaos hook, so a hostile client with
+/// `--chaos` enabled cannot park a worker forever.
+const MAX_HOLD_MS: u64 = 60_000;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -25,9 +74,22 @@ pub struct DaemonConfig {
     /// with more, independent requests overlap and responses
     /// interleave.
     pub workers: usize,
-    /// Entries per cache layer (netlist, outcome, and each
-    /// engine-side layer).
+    /// Entries per cache layer (netlist, outcome, poison-pill, and
+    /// each engine-side layer).
     pub cache_capacity: usize,
+    /// Waiting requests admitted before the daemon load-sheds
+    /// (pooled mode only; inline mode handles each line
+    /// synchronously, so a queue never builds).
+    pub queue_capacity: usize,
+    /// Default per-request conflict pool applied when a request does
+    /// not bring its own `global_conflicts`. A request that trips
+    /// this daemon-imposed pool (and only this pool) is retried with
+    /// an escalated budget.
+    pub fair_share_conflicts: Option<u64>,
+    /// Enables the chaos hooks (`hold_ms`, `inject_panic` request
+    /// options). Off by default: chaos requests are refused so a
+    /// stray client cannot park or panic workers in production.
+    pub chaos: bool,
     /// Daemon-wide resource limits, shared fairly by every request
     /// through the governor chain (per-request limits layer under
     /// these).
@@ -39,19 +101,29 @@ impl Default for DaemonConfig {
         DaemonConfig {
             workers: 1,
             cache_capacity: 256,
+            queue_capacity: 64,
+            fair_share_conflicts: None,
+            chaos: false,
             limits: GovernorLimits::default(),
         }
     }
 }
 
-/// The `eco_patchd` daemon: shared caches, the root governor, and the
-/// serving loops.
+/// The `eco_patchd` daemon: shared caches, the root governor, the
+/// serving loops, and the resilience state (drain flag, serving
+/// counters, poison pills).
 #[derive(Debug)]
 pub struct Daemon {
     config: DaemonConfig,
     cache: DaemonCache,
     root: ResourceGovernor,
     shutdown: AtomicBool,
+    draining: AtomicBool,
+    started: Instant,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    retried: AtomicU64,
+    panicked: AtomicU64,
 }
 
 impl Daemon {
@@ -65,6 +137,12 @@ impl Daemon {
             cache,
             root,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
         }
     }
 
@@ -73,8 +151,47 @@ impl Daemon {
         &self.cache
     }
 
+    /// Whether admission is closed (a `drain` request was served).
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// The health payload: serving counters, queue occupancy (as
+    /// reported by the caller — the queue lives inside the serving
+    /// loop), uptime, poison pills, and cache statistics.
+    fn health_json(&self, id: &str, queue_depth: usize, in_flight: usize) -> String {
+        let stats = self.cache.stats();
+        format!(
+            "{{\"id\":\"{}\",\"status\":\"ok\",\"health\":{{\"uptime_ms\":{},\
+             \"draining\":{},\"queue_depth\":{queue_depth},\"in_flight\":{in_flight},\
+             \"poison_pills\":{},\"shed\":{},\"expired\":{},\"retried\":{},\"panicked\":{},\
+             \"cache\":{}}}}}",
+            escape_json(id),
+            self.started.elapsed().as_millis().min(u64::MAX as u128) as u64,
+            self.draining(),
+            stats.poison_pills,
+            self.shed.load(Ordering::Relaxed),
+            self.expired.load(Ordering::Relaxed),
+            self.retried.load(Ordering::Relaxed),
+            self.panicked.load(Ordering::Relaxed),
+            stats.to_json()
+        )
+    }
+
+    fn drain_ack(&self, id: &str, queue_depth: usize, in_flight: usize) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"status\":\"ok\",\"draining\":true,\
+             \"queue_depth\":{queue_depth},\"in_flight\":{in_flight}}}",
+            escape_json(id)
+        )
+    }
+
     /// Handles one request line; returns the response line (without
     /// trailing newline) and whether the daemon should stop serving.
+    ///
+    /// This is the inline (single-worker) path: requests are solved
+    /// synchronously, so queue depth and in-flight count are always
+    /// zero in `health` responses.
     pub fn handle_line(&self, line: &str) -> (String, bool) {
         match parse_request(line) {
             Err(e) => (error_response("", &e), false),
@@ -86,6 +203,11 @@ impl Daemon {
                 ),
                 false,
             ),
+            Ok(Request::Health { id }) => (self.health_json(&id, 0, 0), false),
+            Ok(Request::Drain { id }) => {
+                self.draining.store(true, Ordering::SeqCst);
+                (self.drain_ack(&id, 0, 0), false)
+            }
             Ok(Request::Shutdown { id }) => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 (
@@ -97,11 +219,42 @@ impl Daemon {
                 )
             }
             Ok(Request::Eco(req)) => {
-                let response = match self.handle_eco(&req) {
-                    Ok(resp) => resp.to_json(),
-                    Err(e) => error_response(&req.id, &e),
-                };
-                (response, false)
+                if self.draining() {
+                    return (draining_response(&req.id, DRAIN_RETRY_HINT_MS), false);
+                }
+                (self.answer_eco(&req), false)
+            }
+        }
+    }
+
+    /// Answers one admitted ECO request with full panic isolation:
+    /// poison-pill lookup, chaos gating, then the engine behind an
+    /// unwind boundary. Always returns a response line — never
+    /// propagates a panic into the serving loop.
+    fn answer_eco(&self, req: &EcoRequest) -> String {
+        let key = outcome_key(req);
+        if let Some(pill) = self.cache.poisoned(key) {
+            // Quarantined fingerprint: fast cached rejection, zero
+            // engine work, no second crash.
+            return panic_response(&req.id, &pill, true);
+        }
+        if (req.options.inject_panic || req.options.hold_ms.is_some()) && !self.config.chaos {
+            return error_response(
+                &req.id,
+                "chaos options (hold_ms, inject_panic) require --chaos",
+            );
+        }
+        if let Some(ms) = req.options.hold_ms {
+            std::thread::sleep(Duration::from_millis(ms.min(MAX_HOLD_MS)));
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.handle_eco(req))) {
+            Ok(Ok(response)) => response.to_json(),
+            Ok(Err(e)) => error_response(&req.id, &e),
+            Err(payload) => {
+                let message = panic_text(payload.as_ref());
+                self.panicked.fetch_add(1, Ordering::Relaxed);
+                self.cache.poison(key, &message);
+                panic_response(&req.id, &message, false)
             }
         }
     }
@@ -179,27 +332,57 @@ impl Daemon {
         // zero deadline means "already expired" (anytime answer), so
         // map it to the smallest representable one — the builder-style
         // rejection of a literal zero applies to options, not here.
-        let limits = GovernorLimits {
-            timeout: req.options.deadline_ms.map(|ms| {
-                if ms == 0 {
-                    Duration::from_nanos(1)
-                } else {
-                    Duration::from_millis(ms)
-                }
-            }),
-            global_conflicts: req.options.global_conflicts,
-            global_propagations: None,
-            fault_plan: None,
+        let timeout = req.options.deadline_ms.map(|ms| {
+            if ms == 0 {
+                Duration::from_nanos(1)
+            } else {
+                Duration::from_millis(ms)
+            }
+        });
+        // The fair-share pool: the caller's own budget wins when
+        // present; otherwise the daemon's default applies, and trips
+        // of that daemon-imposed pool are eligible for escalation.
+        let caller_pool = req.options.global_conflicts;
+        let mut pool = caller_pool.or(self.config.fair_share_conflicts);
+        let mut retries = 0u64;
+        let snapshot = problem.snapshot();
+        let outcome = loop {
+            let limits = GovernorLimits {
+                timeout,
+                global_conflicts: pool,
+                global_propagations: None,
+                // Chaos hook: panic on this request's first SAT call
+                // (the call counter is chain-wide, so "next call" is
+                // current + 1).
+                fault_plan: req
+                    .options
+                    .inject_panic
+                    .then(|| FaultPlan::PanicAt(self.root.sat_calls() + 1)),
+            };
+            let governor = self.root.child_with_limits(limits);
+            let engine = EcoEngine::new(options.clone())
+                .with_metrics()
+                .with_cache(self.cache.engine())
+                .with_request_id(req.id.clone())
+                .with_governor(governor);
+            let outcome = engine.solve(&snapshot).map_err(|e| e.to_string())?;
+            // Daemon-side retry: the trip must come from the
+            // fair-share pool this daemon imposed — not the caller's
+            // own budget, not a deadline, and not the daemon-wide
+            // root pool (whose exhaustion an escalated retry would
+            // only make worse).
+            let fair_share_trip = outcome.governor_trip == Some(TripReason::GlobalBudget)
+                && caller_pool.is_none()
+                && self.config.fair_share_conflicts.is_some()
+                && self.root.trip().is_none();
+            if fair_share_trip && retries < MAX_FAIR_SHARE_RETRIES {
+                retries += 1;
+                pool = pool.map(|p| p.saturating_mul(FAIR_SHARE_ESCALATION));
+                continue;
+            }
+            break outcome;
         };
-        let governor = self.root.child_with_limits(limits);
-        let engine = EcoEngine::new(options)
-            .with_metrics()
-            .with_cache(self.cache.engine())
-            .with_request_id(req.id.clone())
-            .with_governor(governor);
-        let outcome = engine
-            .solve(&problem.snapshot())
-            .map_err(|e| e.to_string())?;
+        self.retried.fetch_add(retries, Ordering::Relaxed);
 
         let dispositions: Vec<String> = outcome
             .reports
@@ -223,7 +406,9 @@ impl Daemon {
         let patched = if named.iter().all(Option::is_some) {
             let mut current = impl_design.netlist().clone();
             for (i, entry) in named.iter().enumerate() {
-                let np = entry.as_ref().expect("checked");
+                let Some(np) = entry.as_ref() else {
+                    return Err("named patch vanished between checks".to_string());
+                };
                 current = current
                     .insert_patch(&np.target_net, &np.patch, &format!("eco{i}"))
                     .map_err(|e| e.to_string())?;
@@ -237,10 +422,14 @@ impl Daemon {
         };
         let patched_verilog = patched.to_verilog();
 
-        let mut metrics = outcome.metrics.clone().expect("with_metrics was set");
+        let mut metrics = outcome
+            .metrics
+            .clone()
+            .ok_or_else(|| "engine returned no metrics despite with_metrics".to_string())?;
         metrics.cache.netlist_hits += netlist_hits;
         metrics.cache.netlist_misses += netlist_misses;
         metrics.cache.outcome_misses += 1;
+        metrics.serving.retried = retries;
 
         // Only clean runs are replayable: a governor trip or injected
         // fault marks a resource-shaped answer that must not be
@@ -274,13 +463,16 @@ impl Daemon {
         })
     }
 
-    /// Serves one JSONL stream until EOF or a `shutdown` request.
+    /// Serves one JSONL stream until EOF, a `shutdown`, or a `drain`
+    /// followed by EOF.
     ///
     /// With `workers == 1`, requests are handled inline in arrival
-    /// order. With more workers, lines are queued to a pool and
-    /// responses interleave; each response line is written atomically.
-    /// A `shutdown` answered by a worker stops the reader at the next
-    /// line boundary (lines already queued still drain).
+    /// order. With more workers, ECO requests flow through the
+    /// bounded admission queue to a pool and responses interleave;
+    /// control requests (`stats`, `health`, `drain`, `shutdown`) are
+    /// answered immediately by the reader, so they work even while
+    /// every worker is busy. Each response line is written atomically.
+    /// Accepted work always drains before this returns.
     pub fn serve<R: BufRead, W: Write + Send>(&self, reader: R, writer: W) -> io::Result<()> {
         if self.config.workers <= 1 {
             let mut writer = writer;
@@ -298,51 +490,119 @@ impl Daemon {
             }
             return Ok(());
         }
+        self.serve_pooled(reader, writer)
+    }
+
+    /// The pooled serving loop: a reader thread doing admission
+    /// control, `workers` solver threads draining the bounded queue.
+    fn serve_pooled<R: BufRead, W: Write + Send>(&self, reader: R, writer: W) -> io::Result<()> {
+        let queue = RequestQueue::new(self.config.queue_capacity);
         let writer = Mutex::new(writer);
-        let (tx, rx) = mpsc::channel::<String>();
-        let rx = Mutex::new(rx);
+        // Worker- and reader-side write errors cannot unwind across
+        // the pool; a broken pipe simply ends the stream.
+        let write_line = |response: &str| {
+            let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = writeln!(w, "{response}");
+            let _ = w.flush();
+        };
         std::thread::scope(|scope| -> io::Result<()> {
             for _ in 0..self.config.workers {
-                scope.spawn(|| loop {
-                    let next = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
-                    let Ok(line) = next else { break };
-                    let (response, _) = self.handle_line(&line);
-                    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
-                    // Worker-side write errors cannot unwind into the
-                    // reader; a broken pipe simply ends the stream.
-                    let _ = writeln!(w, "{response}");
-                    let _ = w.flush();
+                scope.spawn(|| {
+                    while let Some(item) = queue.take() {
+                        let response = match item.expired_in_queue() {
+                            Some(queued_ms) => {
+                                // The caller's deadline passed while
+                                // the request sat in the queue: shed
+                                // it before any solver work.
+                                self.expired.fetch_add(1, Ordering::Relaxed);
+                                expired_response(&item.request.id, queued_ms)
+                            }
+                            None => self.answer_eco(&item.request),
+                        };
+                        write_line(&response);
+                        queue.finish();
+                    }
                 });
             }
-            for line in reader.lines() {
-                let line = line?;
-                if self.shutdown.load(Ordering::SeqCst) {
-                    break;
+            let read_result = (|| -> io::Result<()> {
+                for line in reader.lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match parse_request(&line) {
+                        Err(e) => write_line(&error_response("", &e)),
+                        Ok(Request::Stats { id }) => write_line(&format!(
+                            "{{\"id\":\"{}\",\"status\":\"ok\",\"stats\":{}}}",
+                            escape_json(&id),
+                            self.cache.stats().to_json()
+                        )),
+                        Ok(Request::Health { id }) => {
+                            write_line(&self.health_json(&id, queue.depth(), queue.in_flight()));
+                        }
+                        Ok(Request::Drain { id }) => {
+                            self.draining.store(true, Ordering::SeqCst);
+                            queue.close();
+                            write_line(&self.drain_ack(&id, queue.depth(), queue.in_flight()));
+                        }
+                        Ok(Request::Shutdown { id }) => {
+                            self.shutdown.store(true, Ordering::SeqCst);
+                            write_line(&format!(
+                                "{{\"id\":\"{}\",\"status\":\"ok\",\"shutdown\":true}}",
+                                escape_json(&id)
+                            ));
+                            break;
+                        }
+                        Ok(Request::Eco(req)) => {
+                            if self.draining() {
+                                write_line(&draining_response(&req.id, DRAIN_RETRY_HINT_MS));
+                                continue;
+                            }
+                            let id = req.id.clone();
+                            match queue.offer(req) {
+                                Admission::Queued => {}
+                                Admission::Shed { retry_after_ms } => {
+                                    self.shed.fetch_add(1, Ordering::Relaxed);
+                                    write_line(&overloaded_response(&id, retry_after_ms));
+                                }
+                                Admission::Draining => {
+                                    write_line(&draining_response(&id, DRAIN_RETRY_HINT_MS));
+                                }
+                            }
+                        }
+                    }
                 }
-                if line.trim().is_empty() {
-                    continue;
-                }
-                if tx.send(line).is_err() {
-                    break;
-                }
-            }
-            drop(tx);
-            Ok(())
+                Ok(())
+            })();
+            // Whatever ended the stream — EOF, shutdown, or a reader
+            // I/O error — accepted work drains before the pool exits.
+            queue.close();
+            read_result
         })
     }
 
-    /// Serves connections on a unix domain socket at `path` (created
-    /// fresh; a stale socket file is removed first). Connections are
-    /// accepted one at a time; a `shutdown` request ends the accept
-    /// loop after its connection closes.
+    /// Serves connections on a unix domain socket at `path`.
+    /// Connections are accepted one at a time; a `shutdown` or
+    /// `drain` request ends the accept loop after its connection
+    /// closes. Connection-level I/O faults (mid-request disconnects,
+    /// reset streams) are logged and the next connection is accepted
+    /// — they never kill the daemon.
+    ///
+    /// A leftover socket file from an unclean shutdown is detected by
+    /// probing it: a dead socket is removed and the address rebound,
+    /// while a path owned by a live daemon (or occupied by a
+    /// non-socket file) is refused.
     pub fn serve_unix(&self, path: &Path) -> io::Result<()> {
-        let _ = std::fs::remove_file(path);
-        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        let listener = bind_unix_listener(path)?;
         for connection in listener.incoming() {
-            let stream = connection?;
-            let reader = BufReader::new(stream.try_clone()?);
-            self.serve(reader, stream)?;
-            if self.shutdown.load(Ordering::SeqCst) {
+            let served = connection.and_then(|stream| {
+                let reader = BufReader::new(stream.try_clone()?);
+                self.serve(reader, stream)
+            });
+            if let Err(e) = served {
+                eprintln!("eco_patchd: connection error (continuing): {e}");
+            }
+            if self.shutdown.load(Ordering::SeqCst) || self.draining() {
                 break;
             }
         }
@@ -351,23 +611,81 @@ impl Daemon {
     }
 }
 
+/// Renders a caught panic payload as text (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Binds `path`, detecting and replacing a stale socket file left by
+/// an unclean shutdown. A live socket (something accepts connections)
+/// or a non-socket file at `path` is an error.
+fn bind_unix_listener(path: &Path) -> io::Result<std::os::unix::net::UnixListener> {
+    use std::os::unix::fs::FileTypeExt;
+    match std::os::unix::net::UnixListener::bind(path) {
+        Ok(listener) => Ok(listener),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            let is_socket = std::fs::metadata(path)
+                .map(|m| m.file_type().is_socket())
+                .unwrap_or(false);
+            if !is_socket {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("{} exists and is not a socket", path.display()),
+                ));
+            }
+            match std::os::unix::net::UnixStream::connect(path) {
+                // Someone answered: a live daemon owns this path.
+                Ok(_) => Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("{} is in use by a live daemon", path.display()),
+                )),
+                // Dead socket file from an unclean shutdown: remove
+                // and rebind.
+                Err(_) => {
+                    std::fs::remove_file(path)?;
+                    std::os::unix::net::UnixListener::bind(path)
+                }
+            }
+        }
+        Err(e) => Err(e),
+    }
+}
+
 const USAGE: &str = "\
 eco_patchd: persistent ECO patch daemon (JSONL over stdio or a unix socket)
 
 USAGE:
   eco_patchd [--socket PATH] [--workers N] [--cache-capacity N]
+             [--queue-capacity N] [--fair-share N] [--chaos]
              [--global-budget N] [--timeout-ms N]
 
 OPTIONS:
   --socket PATH       serve a unix domain socket instead of stdio
+                      (a stale socket file from an unclean shutdown is
+                      detected and replaced; a live one is refused)
   --workers N         daemon-level request concurrency (default 1;
                       responses interleave when N > 1)
   --cache-capacity N  entries per cache layer (default 256)
+  --queue-capacity N  waiting requests admitted before load-shedding
+                      with status \"overloaded\" (default 64; applies
+                      when --workers > 1)
+  --fair-share N      default per-request conflict pool; requests that
+                      trip it are retried once with an escalated budget
+  --chaos             enable the hold_ms / inject_panic chaos request
+                      options (testing only)
   --global-budget N   daemon-wide shared conflict pool
   --timeout-ms N      daemon-wide deadline (whole-process wall clock)
   -h, --help          print this help
 
 PROTOCOL: one JSON object per line; see the eco-daemon crate docs.
+COMMANDS: {\"id\":...,\"cmd\":\"stats\"|\"health\"|\"drain\"|\"shutdown\"}
 ";
 
 /// Entry point for the `eco_patchd` binary. Returns the process exit
@@ -417,6 +735,29 @@ pub fn run_cli(args: &[String]) -> u8 {
                         return 2;
                     }
                 }
+            }
+            "--queue-capacity" => {
+                i += 1;
+                match parse_num(args, i, "--queue-capacity") {
+                    Ok(n) => config.queue_capacity = (n as usize).max(1),
+                    Err(e) => {
+                        eprintln!("eco_patchd: {e}");
+                        return 2;
+                    }
+                }
+            }
+            "--fair-share" => {
+                i += 1;
+                match parse_num(args, i, "--fair-share") {
+                    Ok(n) => config.fair_share_conflicts = Some(n.max(1)),
+                    Err(e) => {
+                        eprintln!("eco_patchd: {e}");
+                        return 2;
+                    }
+                }
+            }
+            "--chaos" => {
+                config.chaos = true;
             }
             "--global-budget" => {
                 i += 1;
@@ -474,11 +815,15 @@ pub fn run_cli(args: &[String]) -> u8 {
 mod tests {
     use super::*;
     use eco_core::json::{parse_json, JsonValue};
+    use std::collections::VecDeque;
+    use std::io::Read;
 
     const IMPL: &str = "module top(a, b, y);\ninput a, b;\noutput y;\nwire t;\n\
                         and g0(t, a, b);\nbuf g1(y, t);\nendmodule\n";
     const SPEC: &str = "module top(a, b, y);\ninput a, b;\noutput y;\nwire t;\n\
                         or g0(t, a, b);\nbuf g1(y, t);\nendmodule\n";
+    const SPEC_XOR: &str = "module top(a, b, y);\ninput a, b;\noutput y;\nwire t;\n\
+                        xor g0(t, a, b);\nbuf g1(y, t);\nendmodule\n";
 
     fn eco_line(id: &str) -> String {
         format!(
@@ -488,13 +833,26 @@ mod tests {
         )
     }
 
+    fn eco_line_with(id: &str, spec: &str, options: &str) -> String {
+        format!(
+            "{{\"id\":\"{id}\",\"impl\":\"{}\",\"spec\":\"{}\",\"targets\":[\"t\"],\
+             \"options\":{options}}}",
+            escape_json(IMPL),
+            escape_json(spec)
+        )
+    }
+
+    fn status(v: &JsonValue) -> Option<&str> {
+        v.get("status").and_then(JsonValue::as_str)
+    }
+
     #[test]
     fn identical_requests_replay_from_the_outcome_cache() {
         let daemon = Daemon::new(DaemonConfig::default());
         let (cold, stop) = daemon.handle_line(&eco_line("r1"));
         assert!(!stop);
         let cold = parse_json(&cold).expect("valid JSON");
-        assert_eq!(cold.get("status").and_then(JsonValue::as_str), Some("ok"));
+        assert_eq!(status(&cold), Some("ok"));
         assert_eq!(
             cold.get("verified").and_then(JsonValue::as_bool),
             Some(true)
@@ -555,13 +913,128 @@ mod tests {
         let (resp, stop) = daemon.handle_line("{oops");
         assert!(!stop);
         let v = parse_json(&resp).expect("valid JSON");
-        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("error"));
+        assert_eq!(status(&v), Some("error"));
         let (resp, _) = daemon.handle_line(
             "{\"id\":\"r\",\"impl\":\"garbage\",\"spec\":\"garbage\",\"targets\":[\"t\"]}",
         );
         let v = parse_json(&resp).expect("valid JSON");
-        assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("error"));
+        assert_eq!(status(&v), Some("error"));
         assert_eq!(v.get("id").and_then(JsonValue::as_str), Some("r"));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_poisons_the_fingerprint() {
+        let daemon = Daemon::new(DaemonConfig {
+            chaos: true,
+            ..DaemonConfig::default()
+        });
+        let chaos = eco_line_with("p1", SPEC, "{\"inject_panic\":true}");
+        let (resp, stop) = daemon.handle_line(&chaos);
+        assert!(!stop, "a panic must not stop the daemon");
+        let v = parse_json(&resp).expect("valid JSON");
+        assert_eq!(status(&v), Some("panic"), "got: {resp}");
+        assert_eq!(v.get("poisoned").and_then(JsonValue::as_bool), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|e| e.contains("injected solver panic")));
+
+        // Identical payload (id differs): fast cached rejection from
+        // the poison pill, no second crash.
+        let retry = eco_line_with("p2", SPEC, "{\"inject_panic\":true}");
+        let (resp, _) = daemon.handle_line(&retry);
+        let v = parse_json(&resp).expect("valid JSON");
+        assert_eq!(status(&v), Some("panic"));
+        assert_eq!(v.get("poisoned").and_then(JsonValue::as_bool), Some(true));
+
+        // The daemon keeps solving healthy requests afterwards.
+        let (resp, _) = daemon.handle_line(&eco_line("healthy"));
+        let v = parse_json(&resp).expect("valid JSON");
+        assert_eq!(status(&v), Some("ok"));
+        assert_eq!(v.get("verified").and_then(JsonValue::as_bool), Some(true));
+
+        // Health surfaces the isolation.
+        let (health, _) = daemon.handle_line("{\"id\":\"h\",\"cmd\":\"health\"}");
+        let v = parse_json(&health).expect("valid JSON");
+        let h = v.get("health").expect("health payload");
+        assert_eq!(h.get("panicked").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(h.get("poison_pills").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            h.get("cache")
+                .and_then(|c| c.get("poison_hits"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn chaos_options_are_refused_without_the_chaos_flag() {
+        let daemon = Daemon::new(DaemonConfig::default());
+        let (resp, _) = daemon.handle_line(&eco_line_with("c1", SPEC, "{\"inject_panic\":true}"));
+        let v = parse_json(&resp).expect("valid JSON");
+        assert_eq!(status(&v), Some("error"));
+        assert!(v
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|e| e.contains("--chaos")));
+    }
+
+    #[test]
+    fn drain_stops_admission_and_reports_draining() {
+        let daemon = Daemon::new(DaemonConfig::default());
+        let (ack, stop) = daemon.handle_line("{\"id\":\"d\",\"cmd\":\"drain\"}");
+        assert!(!stop, "drain answers, then the stream winds down");
+        let v = parse_json(&ack).expect("valid JSON");
+        assert_eq!(v.get("draining").and_then(JsonValue::as_bool), Some(true));
+        assert!(daemon.draining());
+        let (resp, _) = daemon.handle_line(&eco_line("late"));
+        let v = parse_json(&resp).expect("valid JSON");
+        assert_eq!(status(&v), Some("draining"));
+        assert!(v
+            .get("retry_after_ms")
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|ms| ms > 0));
+    }
+
+    #[test]
+    fn fair_share_trips_are_retried_with_an_escalated_budget() {
+        // A 1-conflict fair share trips immediately; the escalated
+        // retry gets enough budget to finish cleanly.
+        let daemon = Daemon::new(DaemonConfig {
+            fair_share_conflicts: Some(1),
+            ..DaemonConfig::default()
+        });
+        let (resp, _) = daemon.handle_line(&eco_line("fs"));
+        let v = parse_json(&resp).expect("valid JSON");
+        assert_eq!(status(&v), Some("ok"), "got: {resp}");
+        let retried = v
+            .get("metrics")
+            .and_then(|m| m.get("serving"))
+            .and_then(|s| s.get("retried"))
+            .and_then(JsonValue::as_u64);
+        assert_eq!(retried, Some(1), "the fair-share trip must retry: {resp}");
+        let (health, _) = daemon.handle_line("{\"id\":\"h\",\"cmd\":\"health\"}");
+        let h = parse_json(&health).expect("valid JSON");
+        assert_eq!(
+            h.get("health")
+                .and_then(|x| x.get("retried"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        // A caller-chosen budget is never second-guessed: the tripped
+        // answer comes back without a retry.
+        let caller = eco_line_with("own", SPEC_XOR, "{\"global_conflicts\":1}");
+        let (resp, _) = daemon.handle_line(&caller);
+        let v = parse_json(&resp).expect("valid JSON");
+        assert_eq!(status(&v), Some("ok"));
+        assert_eq!(
+            v.get("metrics")
+                .and_then(|m| m.get("serving"))
+                .and_then(|s| s.get("retried"))
+                .and_then(JsonValue::as_u64),
+            Some(0),
+            "caller budgets are not escalated: {resp}"
+        );
     }
 
     #[test]
@@ -605,6 +1078,116 @@ mod tests {
         }
     }
 
+    /// A reader that releases its stages with delays, so pooled-serve
+    /// tests can pace a session deterministically (fill the pool, then
+    /// overflow the queue, then drain) without a real client.
+    struct PacedReader {
+        stages: VecDeque<(Duration, Vec<u8>)>,
+    }
+
+    impl Read for PacedReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let Some((delay, bytes)) = self.stages.pop_front() else {
+                return Ok(0); // EOF
+            };
+            std::thread::sleep(delay);
+            assert!(buf.len() >= bytes.len(), "stage fits the read buffer");
+            buf[..bytes.len()].copy_from_slice(&bytes);
+            Ok(bytes.len())
+        }
+    }
+
+    #[test]
+    fn pooled_serve_sheds_expires_and_drains_under_pressure() {
+        let daemon = Daemon::new(DaemonConfig {
+            workers: 2,
+            queue_capacity: 2,
+            chaos: true,
+            ..DaemonConfig::default()
+        });
+        // Stage 1: two held requests occupy both workers.
+        let stage1 = format!(
+            "{}\n{}\n",
+            eco_line_with("hold_a", SPEC, "{\"hold_ms\":400}"),
+            eco_line_with("hold_b", SPEC_XOR, "{\"hold_ms\":400}")
+        );
+        // Stage 2 (workers busy): `queued` and `exp` fill the queue,
+        // `shed_me` overflows it. `exp` uses a unique spec text so the
+        // netlist-layer counters prove it never reached the parser.
+        let unique_spec = SPEC.replace("or g0", "nand g0");
+        let exp_line = format!(
+            "{{\"id\":\"exp\",\"impl\":\"{}\",\"spec\":\"{}\",\"targets\":[\"t\"],\
+             \"options\":{{\"deadline_ms\":1}}}}",
+            escape_json(IMPL),
+            escape_json(&unique_spec)
+        );
+        let stage2 = format!(
+            "{}\n{exp_line}\n{}\n",
+            eco_line("queued"),
+            eco_line("shed_me")
+        );
+        // Stage 3 (after the holds clear): health, then drain, then a
+        // request that must be refused.
+        let stage3 = format!(
+            "{{\"id\":\"h\",\"cmd\":\"health\"}}\n{{\"id\":\"d\",\"cmd\":\"drain\"}}\n{}\n",
+            eco_line("too_late")
+        );
+        let reader = BufReader::new(PacedReader {
+            stages: VecDeque::from([
+                (Duration::ZERO, stage1.into_bytes()),
+                (Duration::from_millis(150), stage2.into_bytes()),
+                (Duration::from_millis(600), stage3.into_bytes()),
+            ]),
+        });
+        let mut out = Vec::new();
+        daemon.serve(reader, &mut out).expect("serve succeeds");
+        let text = String::from_utf8(out).expect("UTF-8");
+        let mut by_id = std::collections::HashMap::new();
+        for line in text.lines() {
+            let v = parse_json(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            let id = v
+                .get("id")
+                .and_then(JsonValue::as_str)
+                .expect("every response carries an id")
+                .to_string();
+            by_id.insert(id, v);
+        }
+        for id in ["hold_a", "hold_b", "queued"] {
+            assert_eq!(status(&by_id[id]), Some("ok"), "{id}: {text}");
+            assert_eq!(
+                by_id[id].get("verified").and_then(JsonValue::as_bool),
+                Some(true),
+                "{id}"
+            );
+        }
+        assert_eq!(status(&by_id["shed_me"]), Some("overloaded"), "{text}");
+        assert!(by_id["shed_me"]
+            .get("retry_after_ms")
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|ms| ms > 0));
+        assert_eq!(status(&by_id["exp"]), Some("expired"), "{text}");
+        assert!(by_id["exp"]
+            .get("queued_ms")
+            .and_then(JsonValue::as_u64)
+            .is_some_and(|ms| ms >= 1));
+        assert_eq!(status(&by_id["too_late"]), Some("draining"), "{text}");
+        assert_eq!(
+            by_id["d"].get("draining").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        // The expired request was rejected before any solver work:
+        // its unique spec never hit the netlist layer (3 misses: the
+        // shared impl + the two healthy specs).
+        let stats = daemon.cache().stats();
+        assert_eq!(
+            stats.netlist_misses, 3,
+            "expired request must not reach the parser: {stats:?}"
+        );
+        let h = by_id["h"].get("health").expect("health payload");
+        assert_eq!(h.get("shed").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(h.get("expired").and_then(JsonValue::as_u64), Some(1));
+    }
+
     #[test]
     fn serve_unix_answers_over_a_socket() {
         let dir = std::env::temp_dir().join(format!("eco_patchd_test_{}", std::process::id()));
@@ -632,6 +1215,75 @@ mod tests {
             let mut reader = BufReader::new(stream);
             reader.read_line(&mut reply).expect("read");
             assert!(reply.contains("\"id\":\"u1\""), "got: {reply}");
+            server.join().expect("no panic").expect("serve_unix ok");
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_socket_files_are_rebound_and_live_ones_refused() {
+        let dir = std::env::temp_dir().join(format!("eco_patchd_stale_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+
+        // Simulate an unclean shutdown: bind, then drop the listener
+        // without unlinking the socket file.
+        let stale = dir.join("stale.sock");
+        drop(std::os::unix::net::UnixListener::bind(&stale).expect("first bind"));
+        assert!(stale.exists(), "the socket file survives the listener");
+        let rebound = bind_unix_listener(&stale).expect("stale socket must be replaced");
+        // While the daemon holds it, the path is refused as live.
+        let err = bind_unix_listener(&stale).expect_err("live socket must be refused");
+        assert!(err.to_string().contains("live daemon"), "{err}");
+        drop(rebound);
+
+        // A non-socket file is never clobbered.
+        let plain = dir.join("plain.txt");
+        std::fs::write(&plain, "precious").expect("write");
+        let err = bind_unix_listener(&plain).expect_err("regular file must be refused");
+        assert!(err.to_string().contains("not a socket"), "{err}");
+        assert_eq!(
+            std::fs::read_to_string(&plain).expect("still there"),
+            "precious"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_request_disconnects_do_not_kill_the_accept_loop() {
+        let dir = std::env::temp_dir().join(format!("eco_patchd_chaos_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("sock");
+        let daemon = Daemon::new(DaemonConfig::default());
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| daemon.serve_unix(&path));
+            let connect = || loop {
+                match std::os::unix::net::UnixStream::connect(&path) {
+                    Ok(s) => break s,
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            // Connection 1: half a request, then vanish mid-line.
+            let mut rude = connect();
+            rude.write_all(b"{\"id\":\"trunc\",\"impl\":\"modu")
+                .expect("partial write");
+            drop(rude);
+            // Connection 2: a healthy session must still be served.
+            let mut stream = connect();
+            let session = format!(
+                "{}\n{{\"id\":\"q\",\"cmd\":\"shutdown\"}}\n",
+                eco_line("after_chaos")
+            );
+            stream.write_all(session.as_bytes()).expect("write");
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            let mut reply = String::new();
+            let mut reader = BufReader::new(stream);
+            reader.read_line(&mut reply).expect("read");
+            assert!(
+                reply.contains("\"id\":\"after_chaos\"") && reply.contains("\"status\":\"ok\""),
+                "got: {reply}"
+            );
             server.join().expect("no panic").expect("serve_unix ok");
         });
         let _ = std::fs::remove_dir_all(&dir);

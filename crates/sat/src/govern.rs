@@ -120,6 +120,13 @@ pub enum FaultPlan {
     /// Trigger a sticky [`TripReason::Cancelled`] at call `n` (and
     /// thereafter), exercising hard-stop paths deterministically.
     CancelAt(u64),
+    /// Panic at the start of the first call whose index is `>= n`,
+    /// simulating a solver bug deep inside a search. Serving layers
+    /// wrap solve paths in `catch_unwind` and must turn this into a
+    /// structured error instead of dying; the `>=` comparison makes
+    /// the plan usable on a child governor sharing a chain-wide call
+    /// counter ("panic on this child's next call").
+    PanicAt(u64),
 }
 
 impl FaultPlan {
@@ -131,13 +138,18 @@ impl FaultPlan {
             FaultPlan::Seeded { seed, one_in } => {
                 *one_in > 0 && splitmix64(seed.wrapping_add(call)).is_multiple_of(*one_in)
             }
-            FaultPlan::CancelAt(_) => false,
+            FaultPlan::CancelAt(_) | FaultPlan::PanicAt(_) => false,
         }
     }
 
     /// Whether this plan cancels the governor at `call`.
     fn cancels(&self, call: u64) -> bool {
         matches!(self, FaultPlan::CancelAt(n) if call >= *n)
+    }
+
+    /// Whether this plan panics the calling thread at `call`.
+    fn panics(&self, call: u64) -> bool {
+        matches!(self, FaultPlan::PanicAt(n) if call >= *n)
     }
 }
 
@@ -418,6 +430,10 @@ impl SearchControl for ResourceGovernor {
                 if plan.cancels(call) {
                     s.cancelled.store(true, Ordering::Relaxed);
                 }
+                if plan.panics(call) {
+                    s.fault_injections.fetch_add(1, Ordering::Relaxed);
+                    panic!("injected solver panic (fault plan, call {call})");
+                }
                 if plan.injects(call) {
                     s.fault_injections.fetch_add(1, Ordering::Relaxed);
                     return Some(());
@@ -570,6 +586,54 @@ mod tests {
         assert_eq!(solver.solve(&[]), SolveResult::Unknown);
         assert_eq!(governor.trip(), Some(TripReason::Cancelled));
         assert_eq!(solver.solve(&[]), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn panic_at_plan_panics_inside_the_solver_call() {
+        let governor = ResourceGovernor::new(GovernorLimits {
+            fault_plan: Some(FaultPlan::PanicAt(2)),
+            ..GovernorLimits::default()
+        });
+        let mut solver = Solver::new();
+        let v = solver.new_var();
+        solver.add_clause(&[v.positive()]);
+        solver.set_search_control(Some(governor.control()));
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| solver.solve(&[])));
+        let payload = unwound.expect_err("call 2 must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a message");
+        assert!(message.contains("injected solver panic"), "{message}");
+        assert_eq!(governor.fault_injections(), 1);
+        assert_eq!(governor.trip(), None, "a panic is not a sticky trip");
+    }
+
+    #[test]
+    fn panic_at_fires_on_a_child_joining_a_running_call_chain() {
+        // The chain-wide counter is already past 1; a child plan with
+        // `PanicAt(current + 1)` must fire on the child's next call.
+        let root = ResourceGovernor::unlimited();
+        let mut warm = Solver::new();
+        let v = warm.new_var();
+        warm.add_clause(&[v.positive()]);
+        warm.set_search_control(Some(root.control()));
+        assert_eq!(warm.solve(&[]), SolveResult::Sat);
+        assert_eq!(warm.solve(&[]), SolveResult::Sat);
+        let child = root.child_with_limits(GovernorLimits {
+            fault_plan: Some(FaultPlan::PanicAt(root.sat_calls() + 1)),
+            ..GovernorLimits::default()
+        });
+        let mut solver = Solver::new();
+        let v = solver.new_var();
+        solver.add_clause(&[v.positive()]);
+        solver.set_search_control(Some(child.control()));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| solver.solve(&[])));
+        assert!(unwound.is_err(), "the child's first call must panic");
+        // The panic stays scoped to the child's plan: solvers on the
+        // root keep working.
+        assert_eq!(warm.solve(&[]), SolveResult::Sat);
     }
 
     #[test]

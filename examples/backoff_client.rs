@@ -1,0 +1,184 @@
+//! Reference `eco_patchd` client: jittered exponential backoff.
+//!
+//! A well-behaved client treats the daemon's load-shedding responses
+//! (`"status":"overloaded"` and `"status":"draining"`) as a signal to
+//! back off and retry, not as failures. This example runs a daemon
+//! in-process over a unix socketpair, deliberately overloads it (two
+//! chaos-held requests park both workers while the admission queue is
+//! one deep), and shows the retry loop every production client should
+//! implement:
+//!
+//! - honour the server's `retry_after_ms` hint as the floor,
+//! - double the wait on every consecutive shed (exponential backoff),
+//! - add full jitter so a fleet of retrying clients does not
+//!   resynchronize into a thundering herd.
+//!
+//! Run with: `cargo run --release --example backoff_client`
+
+use eco_daemon::{Daemon, DaemonConfig};
+use eco_patch::core::json::{escape_json, parse_json, JsonValue};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+const IMPL: &str = "module top(a, b, y);\ninput a, b;\noutput y;\nwire t;\n\
+                    and g0(t, a, b);\nbuf g1(y, t);\nendmodule\n";
+const SPEC: &str = "module top(a, b, y);\ninput a, b;\noutput y;\nwire t;\n\
+                    or g0(t, a, b);\nbuf g1(y, t);\nendmodule\n";
+
+/// Deterministic jitter source (splitmix64) — good enough to
+/// decorrelate retries, with no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Backoff before retry `attempt` (0-based): the server's
+/// `retry_after_ms` hint, doubled per attempt, with full jitter in
+/// the upper half so independent clients spread out.
+fn backoff_ms(attempt: u32, retry_after_ms: u64, rng: &mut u64) -> u64 {
+    let base = retry_after_ms.max(25).saturating_mul(1 << attempt.min(6));
+    base / 2 + splitmix64(rng) % (base / 2 + 1)
+}
+
+fn eco_line(id: &str, hold_ms: Option<u64>) -> String {
+    let options = match hold_ms {
+        Some(ms) => format!(",\"options\":{{\"hold_ms\":{ms}}}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"id\":\"{id}\",\"impl\":\"{}\",\"spec\":\"{}\",\"targets\":[\"t\"]{options}}}",
+        escape_json(IMPL),
+        escape_json(SPEC)
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deliberately tiny daemon: two workers, a one-deep admission
+    // queue, chaos hooks enabled so we can park the workers.
+    let daemon = Daemon::new(DaemonConfig {
+        workers: 2,
+        queue_capacity: 1,
+        chaos: true,
+        ..DaemonConfig::default()
+    });
+    let (client, server) = UnixStream::pair()?;
+
+    std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+        let server_reader = BufReader::new(server.try_clone()?);
+        let server_writer = server.try_clone()?;
+        scope.spawn(move || {
+            if let Err(e) = daemon.serve(server_reader, server_writer) {
+                eprintln!("daemon: {e}");
+            }
+        });
+
+        // Responses interleave (two workers), so a reader thread
+        // routes them by id into a channel the retry loop drains.
+        let (tx, rx) = std::sync::mpsc::channel::<JsonValue>();
+        let response_reader = BufReader::new(client.try_clone()?);
+        scope.spawn(move || {
+            for line in response_reader.lines() {
+                let Ok(line) = line else { break };
+                match parse_json(&line) {
+                    Ok(v) => {
+                        if tx.send(v).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => eprintln!("client: unparsable response {line:?}: {e}"),
+                }
+            }
+        });
+        let mut pending: HashMap<String, JsonValue> = HashMap::new();
+        let wait_for = |id: &str, pending: &mut HashMap<String, JsonValue>| -> JsonValue {
+            if let Some(v) = pending.remove(id) {
+                return v;
+            }
+            loop {
+                let v = rx.recv().expect("daemon closed the stream early");
+                let got = v
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                if got == id {
+                    return v;
+                }
+                pending.insert(got, v);
+            }
+        };
+
+        let mut tx_stream = client.try_clone()?;
+        let mut send = move |line: &str| -> std::io::Result<()> {
+            tx_stream.write_all(line.as_bytes())?;
+            tx_stream.write_all(b"\n")
+        };
+
+        // Park both workers for 300ms and fill the one-deep queue, so
+        // the next submission is shed with `overloaded`.
+        send(&eco_line("hold_0", Some(300)))?;
+        send(&eco_line("hold_1", Some(300)))?;
+        send(&eco_line("filler", None))?;
+
+        // The retry loop: submit, and on `overloaded`/`draining` back
+        // off (server hint × 2^attempt, full jitter) and try again.
+        let mut rng = 0x00C0_FFEE_u64;
+        let mut total_sheds = 0u32;
+        for job in 0..3 {
+            let mut attempt = 0u32;
+            loop {
+                let id = format!("job{job}_try{attempt}");
+                send(&eco_line(&id, None))?;
+                let response = wait_for(&id, &mut pending);
+                match response.get("status").and_then(JsonValue::as_str) {
+                    Some("overloaded") | Some("draining") => {
+                        let hint = response
+                            .get("retry_after_ms")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(100);
+                        let wait = backoff_ms(attempt, hint, &mut rng);
+                        println!(
+                            "{id}: shed (hint {hint}ms) -> backing off {wait}ms \
+                             before attempt {}",
+                            attempt + 1
+                        );
+                        total_sheds += 1;
+                        attempt += 1;
+                        std::thread::sleep(Duration::from_millis(wait));
+                    }
+                    Some("ok") => {
+                        println!(
+                            "{id}: ok (verified={}, cost={})",
+                            response
+                                .get("verified")
+                                .and_then(JsonValue::as_bool)
+                                .unwrap_or(false),
+                            response
+                                .get("cost")
+                                .and_then(JsonValue::as_u64)
+                                .unwrap_or(0)
+                        );
+                        break;
+                    }
+                    other => {
+                        println!("{id}: unexpected terminal status {other:?} — giving up");
+                        break;
+                    }
+                }
+            }
+        }
+
+        send("{\"id\":\"q\",\"cmd\":\"shutdown\"}")?;
+        client.shutdown(std::net::Shutdown::Write)?;
+        println!(
+            "done: 3 jobs landed after {total_sheds} shed(s); \
+             held requests answered in the background"
+        );
+        Ok(())
+    })
+}

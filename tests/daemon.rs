@@ -2,12 +2,16 @@
 //! stdin/stdout exercising the outcome cache (identical repeat →
 //! zero SAT calls, byte-identical patched netlist), the engine-side
 //! layers (one-gate spec revision → solved-target reuse for the
-//! untouched cone), and the stats/shutdown commands. The CI
-//! daemon-smoke job runs exactly this test.
+//! untouched cone), the stats/shutdown commands, and the resilience
+//! layer — a chaos session raining worker panics, overload sheds,
+//! queue-expired deadlines, and a drain on a pooled daemon while every
+//! healthy answer stays byte-identical to an unfaulted run. The CI
+//! daemon-smoke and chaos-smoke jobs run exactly these tests.
 
 use eco_patch::core::json::{escape_json, parse_json, JsonValue};
 use std::io::Write;
 use std::process::{Command, Stdio};
+use std::time::Duration;
 
 /// Implementation: two independently patchable gates with disjoint
 /// output cones.
@@ -55,6 +59,43 @@ fn run_session(session: &str) -> Vec<JsonValue> {
     assert!(
         output.status.success(),
         "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout)
+        .expect("UTF-8 responses")
+        .lines()
+        .map(|line| parse_json(line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}")))
+        .collect()
+}
+
+/// Runs a staged JSONL session through the daemon binary with extra
+/// CLI arguments: each stage is written after its delay, pacing the
+/// session so overload and drain states are reached deterministically.
+/// Asserts a clean exit and returns the parsed response lines.
+fn run_staged_session(args: &[&str], stages: &[(u64, String)]) -> Vec<JsonValue> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_eco_patchd"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn eco_patchd");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let stages: Vec<(u64, String)> = stages.to_vec();
+    let writer = std::thread::spawn(move || {
+        for (delay_ms, text) in stages {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+            stdin.write_all(text.as_bytes()).expect("write stage");
+            stdin.flush().expect("flush stage");
+        }
+        // Dropping stdin closes the stream: accepted work drains,
+        // then the daemon exits.
+    });
+    let output = child.wait_with_output().expect("daemon exits");
+    writer.join().expect("writer thread");
+    assert!(
+        output.status.success(),
+        "daemon must exit cleanly; stderr: {}",
         String::from_utf8_lossy(&output.stderr)
     );
     String::from_utf8(output.stdout)
@@ -246,4 +287,245 @@ fn per_request_deadline_degrades_one_request_without_caching_it() {
         Some(true)
     );
     assert_eq!(clean.get("governor_trip"), Some(&JsonValue::Null));
+}
+
+fn eco_line_opts(id: &str, spec: &str, options: &str) -> String {
+    format!(
+        "{{\"id\":\"{id}\",\"impl\":\"{}\",\"spec\":\"{}\",\"targets\":[\"t0\",\"t1\"],\
+         \"options\":{options}}}",
+        escape_json(IMPLEMENTATION),
+        escape_json(spec)
+    )
+}
+
+fn answer_fields(response: &JsonValue) -> (Option<&str>, Option<bool>, Option<u64>, Option<u64>) {
+    (
+        response.get("patched_verilog").and_then(JsonValue::as_str),
+        response.get("verified").and_then(JsonValue::as_bool),
+        response.get("cost").and_then(JsonValue::as_u64),
+        response.get("gates").and_then(JsonValue::as_u64),
+    )
+}
+
+/// The acceptance scenario for the resilience layer: one pooled chaos
+/// session combining an injected worker panic (fresh + poisoned
+/// retry), an overload shed, a deadline expired in queue, a health
+/// probe, and a graceful drain — and every *healthy* request must be
+/// answered byte-identically to an unfaulted single-worker run, with
+/// the daemon exiting 0.
+#[test]
+fn chaos_session_answers_healthy_requests_byte_identically_and_exits_cleanly() {
+    // Unfaulted reference run: the two healthy payloads, no chaos.
+    let baseline = run_session(&format!(
+        "{}\n{}\n",
+        eco_line("base_spec", SPECIFICATION),
+        eco_line("base_revised", REVISED_SPEC)
+    ));
+    assert_eq!(baseline.len(), 2);
+    let expected_spec = answer_fields(&baseline[0]);
+    let expected_revised = answer_fields(&baseline[1]);
+    assert!(expected_spec.0.is_some_and(|v| v.contains("module")));
+
+    // Chaos run: 2 workers, a 2-deep queue, chaos hooks armed.
+    let stages = [
+        // Two held requests park both workers.
+        (
+            0,
+            format!(
+                "{}\n{}\n",
+                eco_line_opts("hold_a", SPECIFICATION, "{\"hold_ms\":500}"),
+                eco_line_opts("hold_b", REVISED_SPEC, "{\"hold_ms\":500}")
+            ),
+        ),
+        // Workers busy: fill the queue (`queued`, `expired`), then
+        // overflow it (`shed_me`). `expired`'s deadline has already
+        // passed by the time a worker frees up.
+        (
+            150,
+            format!(
+                "{}\n{}\n{}\n",
+                eco_line("queued", SPECIFICATION),
+                eco_line_opts("expired", SPECIFICATION, "{\"deadline_ms\":1}"),
+                eco_line("shed_me", SPECIFICATION)
+            ),
+        ),
+        // Backlog drained: crash a worker mid-solve.
+        (
+            900,
+            format!(
+                "{}\n",
+                eco_line_opts("boom", SPECIFICATION, "{\"inject_panic\":true}")
+            ),
+        ),
+        // Identical payload again: the poison pill answers instantly
+        // instead of crashing a second worker.
+        (
+            400,
+            format!(
+                "{}\n",
+                eco_line_opts("boom_again", SPECIFICATION, "{\"inject_panic\":true}")
+            ),
+        ),
+        // Observe, then wind down gracefully; a request after the
+        // drain must be refused, not queued.
+        (
+            300,
+            "{\"id\":\"h\",\"cmd\":\"health\"}\n{\"id\":\"d\",\"cmd\":\"drain\"}\n".to_string(),
+        ),
+        (100, format!("{}\n", eco_line("too_late", SPECIFICATION))),
+    ];
+    let responses = run_staged_session(
+        &["--workers", "2", "--queue-capacity", "2", "--chaos"],
+        &stages,
+    );
+    let mut by_id = std::collections::HashMap::new();
+    for r in &responses {
+        let id = r
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .expect("every response carries an id")
+            .to_string();
+        by_id.insert(id, r);
+    }
+
+    // Every healthy request answered, byte-identical to the baseline.
+    for (id, expected) in [
+        ("hold_a", &expected_spec),
+        ("hold_b", &expected_revised),
+        ("queued", &expected_spec),
+    ] {
+        let r = by_id[id];
+        assert_eq!(
+            r.get("status").and_then(JsonValue::as_str),
+            Some("ok"),
+            "{id}: {r:?}"
+        );
+        assert_eq!(
+            &answer_fields(r),
+            expected,
+            "{id} must match the unfaulted run byte-for-byte"
+        );
+    }
+
+    // The faults all got their structured answers.
+    let shed = by_id["shed_me"];
+    assert_eq!(
+        shed.get("status").and_then(JsonValue::as_str),
+        Some("overloaded"),
+        "{responses:?}"
+    );
+    assert!(shed
+        .get("retry_after_ms")
+        .and_then(JsonValue::as_u64)
+        .is_some_and(|ms| ms > 0));
+    let expired = by_id["expired"];
+    assert_eq!(
+        expired.get("status").and_then(JsonValue::as_str),
+        Some("expired"),
+        "{responses:?}"
+    );
+    let boom = by_id["boom"];
+    assert_eq!(
+        boom.get("status").and_then(JsonValue::as_str),
+        Some("panic")
+    );
+    assert_eq!(
+        boom.get("poisoned").and_then(JsonValue::as_bool),
+        Some(false),
+        "first crash is fresh"
+    );
+    let boom_again = by_id["boom_again"];
+    assert_eq!(
+        boom_again.get("status").and_then(JsonValue::as_str),
+        Some("panic")
+    );
+    assert_eq!(
+        boom_again.get("poisoned").and_then(JsonValue::as_bool),
+        Some(true),
+        "identical retry must hit the poison pill: {boom_again:?}"
+    );
+    assert_eq!(
+        by_id["d"].get("draining").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        by_id["too_late"].get("status").and_then(JsonValue::as_str),
+        Some("draining")
+    );
+
+    // Health saw it all happen.
+    let health = by_id["h"].get("health").expect("health payload");
+    assert_eq!(health.get("shed").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(health.get("expired").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(health.get("panicked").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(
+        health.get("poison_pills").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+}
+
+/// An uncleanly killed daemon leaves its socket file behind; a
+/// restart on the same path must detect the stale file, rebind, and
+/// serve.
+#[test]
+fn restart_on_the_same_socket_path_replaces_a_stale_socket_file() {
+    let dir = std::env::temp_dir().join(format!("eco_patchd_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("patchd.sock");
+    let spawn = || {
+        Command::new(env!("CARGO_BIN_EXE_eco_patchd"))
+            .args(["--socket", path.to_str().expect("utf-8 path")])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn eco_patchd")
+    };
+    let connect = || {
+        for _ in 0..500 {
+            if let Ok(s) = std::os::unix::net::UnixStream::connect(&path) {
+                return s;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("daemon never bound {}", path.display());
+    };
+
+    // First daemon binds, then dies hard — no cleanup, stale file.
+    let mut first = spawn();
+    drop(connect());
+    first.kill().expect("kill -9 the first daemon");
+    first.wait().expect("reap");
+    assert!(path.exists(), "the socket file must survive the hard kill");
+
+    // Second daemon on the same path must replace the stale socket
+    // and serve a full session.
+    let second = spawn();
+    let mut stream = connect();
+    let session = format!(
+        "{}\n{{\"id\":\"q\",\"cmd\":\"shutdown\"}}\n",
+        eco_line("reborn", SPECIFICATION)
+    );
+    stream.write_all(session.as_bytes()).expect("write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut replies = String::new();
+    std::io::Read::read_to_string(&mut stream, &mut replies).expect("read replies");
+    let first_reply = parse_json(replies.lines().next().expect("a response")).expect("valid JSON");
+    assert_eq!(
+        first_reply.get("id").and_then(JsonValue::as_str),
+        Some("reborn")
+    );
+    assert_eq!(
+        first_reply.get("status").and_then(JsonValue::as_str),
+        Some("ok")
+    );
+    let status = second.wait_with_output().expect("second daemon exits");
+    assert!(
+        status.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

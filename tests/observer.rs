@@ -7,7 +7,7 @@ use eco_patch::core::json::{parse_json, JsonValue};
 use eco_patch::core::{
     BudgetMetrics, CacheCounters, EcoEngine, EcoEvent, EcoObserver, EcoOptions, EcoProblem,
     KindMetrics, PatchKind, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics,
-    SupportMethod, TargetMetrics, WorkerMetrics,
+    ServingCounters, SupportMethod, TargetMetrics, WorkerMetrics,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -425,6 +425,12 @@ fn golden_metrics() -> RunMetrics {
             cnf_misses: 4,
             ..CacheCounters::default()
         },
+        serving: ServingCounters {
+            shed: 8,
+            expired: 9,
+            retried: 10,
+            panicked: 11,
+        },
     }
 }
 
@@ -435,7 +441,7 @@ fn run_metrics_golden_json() {
                              \"latency_histogram\":[0,0,0,0,0,0,0,0]}";
     let expected = format!(
         concat!(
-            "{{\"schema_version\":5,\"request_id\":\"req-7\",",
+            "{{\"schema_version\":6,\"request_id\":\"req-7\",",
             "\"num_targets\":1,\"per_call_conflicts\":1000,",
             "\"jobs\":2,\"elapsed_us\":1234,",
             "\"phases\":[{{\"phase\":\"sufficiency_check\",\"elapsed_us\":10}}],",
@@ -470,7 +476,8 @@ fn run_metrics_golden_json() {
             "\"cegar_min_rounds\":4,\"governor_trips\":5,\"ladder_steps\":6}},",
             "\"cache\":{{\"netlist_hits\":0,\"netlist_misses\":0,\"window_hits\":1,",
             "\"window_misses\":2,\"cnf_hits\":3,\"cnf_misses\":4,\"target_hits\":0,",
-            "\"target_misses\":0,\"outcome_hits\":0,\"outcome_misses\":0}}}}"
+            "\"target_misses\":0,\"outcome_hits\":0,\"outcome_misses\":0}},",
+            "\"serving\":{{\"shed\":8,\"expired\":9,\"retried\":10,\"panicked\":11}}}}"
         ),
         z = ZERO_KIND
     );
@@ -478,11 +485,16 @@ fn run_metrics_golden_json() {
 }
 
 #[test]
-fn run_metrics_v5_round_trips_through_parser() {
+fn run_metrics_v6_round_trips_through_parser() {
     let metrics = golden_metrics();
-    let doc = parse_json(&metrics.to_json()).expect("schema v5 output is valid JSON");
+    let doc = parse_json(&metrics.to_json()).expect("schema v6 output is valid JSON");
     let u = |v: &JsonValue, key: &str| v.get(key).and_then(JsonValue::as_u64);
-    assert_eq!(u(&doc, "schema_version"), Some(5));
+    assert_eq!(u(&doc, "schema_version"), Some(6));
+    let serving = doc.get("serving").expect("serving counters object");
+    assert_eq!(u(serving, "shed"), Some(8));
+    assert_eq!(u(serving, "expired"), Some(9));
+    assert_eq!(u(serving, "retried"), Some(10));
+    assert_eq!(u(serving, "panicked"), Some(11));
     assert_eq!(
         doc.get("request_id").and_then(JsonValue::as_str),
         Some("req-7")
