@@ -50,7 +50,7 @@ pub enum AigNode {
 ///     aig.or(t, bc)
 /// };
 /// aig.add_output(carry);
-/// let tt = aig.simulate_all_inputs();
+/// let tt = aig.simulate_all_inputs().expect("3 inputs is exhaustible");
 /// // Majority function: 1 for inputs {3,5,6,7}.
 /// assert_eq!(tt[0][0] & 0xff, 0b1110_1000);
 /// ```
@@ -377,7 +377,7 @@ mod tests {
         let b = g.add_input();
         let o = g.or(a, b);
         g.add_output(o);
-        let tt = g.simulate_all_inputs();
+        let tt = g.simulate_all_inputs().expect("small input count");
         assert_eq!(tt[0][0] & 0xf, 0b1110);
     }
 
@@ -391,7 +391,7 @@ mod tests {
         let s = g.add_input();
         let m = g.mux(s, a, b);
         g.add_output(m);
-        let tt = g.simulate_all_inputs();
+        let tt = g.simulate_all_inputs().expect("small input count");
         // inputs: bit0=a, bit1=b, bit2=s over 8 rows
         assert_eq!(tt[0][0] & 0xff, 0b0110_0110); // xor ignores s
                                                   // mux: s=0 -> b, s=1 -> a
@@ -417,7 +417,7 @@ mod tests {
         let c = g.add_input();
         let all = g.and_many(&[a, b, c]);
         g.add_output(all);
-        let tt = g.simulate_all_inputs();
+        let tt = g.simulate_all_inputs().expect("small input count");
         assert_eq!(tt[0][0] & 0xff, 0b1000_0000);
     }
 
@@ -438,7 +438,7 @@ mod tests {
         let b = g.add_input();
         let outs2 = g.import(&other, &[a, b]);
         g.add_output(outs2[0]);
-        let tt = g.simulate_all_inputs();
+        let tt = g.simulate_all_inputs().expect("small input count");
         assert_eq!(tt[0][0] & 0xf, 0b1000);
     }
 

@@ -37,6 +37,7 @@ mod aig;
 mod cone;
 mod cube;
 mod factor;
+mod fraig;
 mod isop;
 mod lit;
 mod sim;
@@ -49,8 +50,10 @@ pub use aig::{Aig, AigNode};
 pub use cone::Cone;
 pub use cube::{Cube, CubeLit, Sop};
 pub use factor::factor_sop;
+pub use fraig::{CandidateClasses, PatternPool, SweepCandidate};
 pub use isop::isop_between;
 pub use lit::{AigLit, NodeId};
+pub use sim::{TooManyInputsError, MAX_EXHAUSTIVE_INPUTS};
 pub use subst::{NodePatch, SubstituteCycleError, SubstituteResult};
 pub use tt::TruthTable;
 pub use write::ParseAagError;

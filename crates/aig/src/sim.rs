@@ -3,6 +3,36 @@
 
 use crate::aig::{Aig, AigNode};
 use crate::lit::AigLit;
+use std::fmt;
+
+/// Largest input count [`Aig::simulate_all_inputs`] accepts: `2^20`
+/// rows (one million) is the point past which exhaustive tables stop
+/// being a reasonable in-memory object.
+pub const MAX_EXHAUSTIVE_INPUTS: usize = 20;
+
+/// Error returned by [`Aig::simulate_all_inputs`] when the AIG has more
+/// than [`MAX_EXHAUSTIVE_INPUTS`] inputs.
+///
+/// Callers that hit this (the sweep layer in particular) are expected
+/// to fall back to sampled simulation via [`Aig::simulate`] instead of
+/// aborting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TooManyInputsError {
+    /// Number of inputs of the offending AIG.
+    pub num_inputs: usize,
+}
+
+impl fmt::Display for TooManyInputsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exhaustive simulation limited to {MAX_EXHAUSTIVE_INPUTS} inputs, got {}",
+            self.num_inputs
+        )
+    }
+}
+
+impl std::error::Error for TooManyInputsError {}
 
 /// Canonical 64-row pattern of input variable `i < 6`: row `r` has bit
 /// `(r >> i) & 1`.
@@ -83,12 +113,16 @@ impl Aig {
     /// each output, its truth table packed LSB-first into `u64` words
     /// (row `r` = input assignment with input `i` at bit `(r >> i) & 1`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the AIG has more than 20 inputs (over a million rows).
-    pub fn simulate_all_inputs(&self) -> Vec<Vec<u64>> {
+    /// Returns [`TooManyInputsError`] if the AIG has more than
+    /// [`MAX_EXHAUSTIVE_INPUTS`] inputs (over a million rows); callers
+    /// should fall back to sampled [`Aig::simulate`] in that case.
+    pub fn simulate_all_inputs(&self) -> Result<Vec<Vec<u64>>, TooManyInputsError> {
         let n = self.num_inputs();
-        assert!(n <= 20, "exhaustive simulation limited to 20 inputs");
+        if n > MAX_EXHAUSTIVE_INPUTS {
+            return Err(TooManyInputsError { num_inputs: n });
+        }
         let num_words = 1usize.max((1usize << n) >> 6);
         let mut result: Vec<Vec<u64>> = vec![Vec::with_capacity(num_words); self.num_outputs()];
         let mut inputs = vec![0u64; n];
@@ -107,7 +141,7 @@ impl Aig {
                 result[o].push(val);
             }
         }
-        result
+        Ok(result)
     }
 }
 
@@ -148,7 +182,7 @@ mod tests {
         let ins: Vec<_> = (0..8).map(|_| g.add_input()).collect();
         let all = g.and_many(&ins);
         g.add_output(all);
-        let tt = g.simulate_all_inputs();
+        let tt = g.simulate_all_inputs().expect("8 inputs fits");
         assert_eq!(tt[0].len(), 4);
         let ones: u32 = tt[0].iter().map(|w| w.count_ones()).sum();
         assert_eq!(ones, 1);
@@ -171,8 +205,24 @@ mod tests {
         let mut g = Aig::new();
         g.add_output(AigLit::TRUE);
         g.add_output(AigLit::FALSE);
-        let tt = g.simulate_all_inputs();
+        let tt = g.simulate_all_inputs().expect("zero inputs fits");
         assert_eq!(tt[0][0], u64::MAX);
         assert_eq!(tt[1][0], 0);
+    }
+
+    #[test]
+    fn too_many_inputs_is_an_error_not_a_panic() {
+        let mut g = Aig::new();
+        let ins: Vec<_> = (0..MAX_EXHAUSTIVE_INPUTS + 1)
+            .map(|_| g.add_input())
+            .collect();
+        let all = g.and_many(&ins);
+        g.add_output(all);
+        let err = g.simulate_all_inputs().expect_err("21 inputs rejected");
+        assert_eq!(err.num_inputs, MAX_EXHAUSTIVE_INPUTS + 1);
+        assert!(err.to_string().contains("21"));
+        // The documented fallback still works: sampled simulation.
+        let words = g.simulate(&[u64::MAX; MAX_EXHAUSTIVE_INPUTS + 1]);
+        assert_eq!(words[all.node().index()], u64::MAX);
     }
 }

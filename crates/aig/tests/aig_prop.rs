@@ -164,7 +164,7 @@ fn isop_factoring_pipeline_preserves_function() {
         let inputs: Vec<AigLit> = (0..4).map(|_| aig.add_input()).collect();
         let root = build(&mut aig, &inputs, &e);
         aig.add_output(root);
-        let tt_words = aig.simulate_all_inputs();
+        let tt_words = aig.simulate_all_inputs().expect("4 inputs is exhaustible");
         let tt = TruthTable::from_words(4, vec![tt_words[0][0] & 0xffff]);
         let cover = tt.isop();
         assert_eq!(cover.truth_table(), tt.clone(), "case {case}");

@@ -60,7 +60,21 @@ pub fn options_for_jobs(
     per_call_conflicts: Option<u64>,
     jobs: usize,
 ) -> EcoOptions {
+    options_configured(method, per_call_conflicts, jobs, false)
+}
+
+/// [`options_for_jobs`] with the simulation-guided SAT-sweeping layer
+/// toggled. Sweeping keeps every output byte-identical; only the
+/// SAT-call and runtime columns may move, which is exactly what the
+/// bench measures.
+pub fn options_configured(
+    method: SupportMethod,
+    per_call_conflicts: Option<u64>,
+    jobs: usize,
+    sweep: bool,
+) -> EcoOptions {
     EcoOptions::builder()
+        .sweep(sweep)
         .method(method)
         .cegar_min(method == SupportMethod::SatPrune)
         .per_call_conflicts(per_call_conflicts)
@@ -91,7 +105,19 @@ pub fn run_method_jobs(
     per_call_conflicts: Option<u64>,
     jobs: usize,
 ) -> MethodResult {
-    let engine = EcoEngine::new(options_for_jobs(method, per_call_conflicts, jobs)).with_metrics();
+    run_method_configured(problem, method, per_call_conflicts, jobs, false)
+}
+
+/// [`run_method_jobs`] with the SAT-sweeping layer toggled.
+pub fn run_method_configured(
+    problem: &EcoProblem,
+    method: SupportMethod,
+    per_call_conflicts: Option<u64>,
+    jobs: usize,
+    sweep: bool,
+) -> MethodResult {
+    let engine =
+        EcoEngine::new(options_configured(method, per_call_conflicts, jobs, sweep)).with_metrics();
     let t = std::time::Instant::now();
     match engine.solve(&problem.snapshot()) {
         Ok(out) => MethodResult {

@@ -128,7 +128,7 @@ mod tests {
     /// Checks the encoding of an AIG output against exhaustive
     /// simulation.
     fn check_encoding(aig: &Aig) {
-        let tt = aig.simulate_all_inputs();
+        let tt = aig.simulate_all_inputs().expect("test AIGs stay small");
         let mut solver = Solver::new();
         let mut enc = CnfEncoder::new(aig);
         let out_lits: Vec<Lit> = aig

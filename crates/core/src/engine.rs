@@ -18,7 +18,8 @@ use crate::problem::EcoProblem;
 use crate::qbf::{check_targets_sufficient_observed, QbfOutcome};
 use crate::snapshot::{cone_hash, hash_aig, hash_bytes, ContentHasher, ProblemSnapshot};
 use crate::structural::structural_patch;
-use crate::support::{support_solver_for, SupportResult};
+use crate::support::{support_solver_for, SupportResult, SupportSolver};
+use crate::sweep::{check_outputs_equivalence_swept, SweepOracle};
 use crate::window::{
     compute_divisors, compute_window, independent_targets, per_target_outputs, Window,
 };
@@ -119,6 +120,13 @@ pub struct EcoOptions {
     /// dispositions, and run-level metric totals are invariant across
     /// `jobs` (worker attribution and wall-clock times are not).
     pub jobs: usize,
+    /// SAT sweeping (fraig): attach a simulation-based infeasibility
+    /// oracle to each target's support solver and run the final
+    /// verification through a simulation prefilter. Verdict-preserving
+    /// by construction — patches, costs, dispositions, and exit codes
+    /// are byte-identical with sweeping on or off; only the number of
+    /// real SAT calls drops (never rises).
+    pub sweep: bool,
 }
 
 impl Default for EcoOptions {
@@ -144,6 +152,7 @@ impl Default for EcoOptions {
             degraded_retry: true,
             verify_budget_factor: 8,
             jobs: 1,
+            sweep: false,
         }
     }
 }
@@ -300,6 +309,12 @@ impl EcoOptionsBuilder {
     /// Sets the worker-thread count for the parallel backend.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.options.jobs = jobs;
+        self
+    }
+
+    /// Enables or disables the SAT-sweeping (fraig) front end.
+    pub fn sweep(mut self, enabled: bool) -> Self {
+        self.options.sweep = enabled;
         self
     }
 
@@ -1385,26 +1400,47 @@ impl EcoEngine {
             let mut ss = support_solver_for(work, qm, &divisors, opts.per_call_conflicts);
             ss.set_observer(obs.clone(), Some(original_index));
             ss.set_governor(governor.cloned());
+            if opts.sweep {
+                // The oracle is rebuilt deterministically from the
+                // miter and divisor list on every refinement
+                // iteration, so swept runs are identical at any job
+                // count.
+                obs.emit(|| EcoEvent::SweepStarted {
+                    target_index: Some(original_index),
+                });
+                let sweep_t = Instant::now();
+                let seed = sweep_seed(original_index, assignments.len());
+                let oracle = SweepOracle::build(qm, &divisors, seed);
+                obs.emit(|| EcoEvent::SweepFinished {
+                    target_index: Some(original_index),
+                    elapsed: sweep_t.elapsed(),
+                });
+                ss.set_sweep_oracle(Some(oracle));
+            }
             let feasible = match ss.all_feasible() {
                 Ok(f) => f,
                 Err(e) => {
                     *spent += ss.sat_calls;
+                    emit_sweep_oracle_report(obs, &ss, original_index);
                     return Err(e);
                 }
             };
             if !feasible {
                 if exact {
                     *spent += ss.sat_calls;
+                    emit_sweep_oracle_report(obs, &ss, original_index);
                     return Err(EcoError::NoFeasibleSupport {
                         target_index: original_index,
                     });
                 }
                 if assignments.len() >= opts.max_refinements {
                     *spent += ss.sat_calls;
+                    emit_sweep_oracle_report(obs, &ss, original_index);
                     return Err(EcoError::budget_exhausted("quantification refinement"));
                 }
                 let (x1, x2) = ss.infeasibility_witness();
                 *spent += ss.sat_calls;
+                emit_sweep_oracle_report(obs, &ss, original_index);
                 if !self.refine_assignments(
                     work,
                     window,
@@ -1441,6 +1477,7 @@ impl EcoEngine {
                 Ok(s) => s,
                 Err(e) => {
                     *spent += ss.sat_calls;
+                    emit_sweep_oracle_report(obs, &ss, original_index);
                     return Err(e);
                 }
             };
@@ -1450,6 +1487,7 @@ impl EcoEngine {
                 .map(|&i| divisors[i])
                 .collect();
             *spent += ss.sat_calls;
+            emit_sweep_oracle_report(obs, &ss, original_index);
             let sop = enumerate_patch_sop_observed(
                 qm,
                 &support_nodes,
@@ -2009,14 +2047,16 @@ impl EcoEngine {
                 let worker_gov = cancel.clone();
                 let (sweep_obs, sink) = buffered_handle(obs.is_active());
                 let spec = spec.clone();
+                let sweep = opts.sweep;
                 let handle = std::thread::spawn(move || {
-                    check_outputs_equivalence_observed(
+                    verify_chunk(
                         &task.snapshot,
                         &spec,
-                        Some(&task.outputs),
+                        &task.outputs,
                         budget,
                         &sweep_obs,
                         Some(&worker_gov),
+                        sweep,
                     )
                 });
                 sweeps.push(SweepExec::Running {
@@ -2050,13 +2090,14 @@ impl EcoEngine {
         let mut iter = sweeps.into_iter();
         while let Some(exec) = iter.next() {
             let verdict = match exec {
-                SweepExec::Deferred(task) => check_outputs_equivalence_observed(
+                SweepExec::Deferred(task) => verify_chunk(
                     &task.snapshot,
                     spec,
-                    Some(&task.outputs),
+                    &task.outputs,
                     budget,
                     obs,
                     governor,
+                    opts.sweep,
                 ),
                 SweepExec::Running { handle, sink, .. } => {
                     let verdict = join_worker(handle.join());
@@ -2523,7 +2564,82 @@ fn options_fingerprint(opts: &EcoOptions) -> u64 {
     normalized.global_propagations = None;
     normalized.fault_plan = None;
     normalized.jobs = 1;
+    // Sweeping is verdict-preserving, so swept and unswept runs may
+    // share cache entries.
+    normalized.sweep = false;
     hash_bytes(TAG_OPTS, format!("{normalized:?}").as_bytes())
+}
+
+/// Deterministic seed for a target's sweep oracle. Depends only on
+/// jobs-invariant quantities (target index and refinement iteration),
+/// so swept runs are reproducible at any `--jobs` count.
+fn sweep_seed(target_index: usize, refinement: usize) -> u64 {
+    (target_index as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(refinement as u64)
+}
+
+/// Reports a support solver's sweep-oracle counters (a no-op without
+/// an attached oracle, i.e. whenever sweeping is off).
+fn emit_sweep_oracle_report(obs: &ObserverHandle, ss: &SupportSolver, target_index: usize) {
+    let Some(stats) = ss.sweep_stats() else {
+        return;
+    };
+    obs.emit(|| EcoEvent::SweepReport {
+        target_index: Some(target_index),
+        classes: stats.classes,
+        merges: 0,
+        sat_calls: 0,
+        refinement_rounds: stats.refinement_rounds,
+        nodes_eliminated: 0,
+        oracle_hits: stats.oracle_hits,
+        sim_discharged_outputs: 0,
+    });
+}
+
+/// One verification chunk: the sweeping check (simulation prefilter,
+/// same verdict, at most the same single SAT call) when `sweep` is on,
+/// the plain check otherwise.
+fn verify_chunk(
+    snapshot: &Aig,
+    spec: &Aig,
+    outputs: &[usize],
+    budget: Option<u64>,
+    obs: &ObserverHandle,
+    governor: Option<&ResourceGovernor>,
+    sweep: bool,
+) -> CecResult {
+    if !sweep {
+        return check_outputs_equivalence_observed(
+            snapshot,
+            spec,
+            Some(outputs),
+            budget,
+            obs,
+            governor,
+        );
+    }
+    obs.emit(|| EcoEvent::SweepStarted { target_index: None });
+    let sweep_t = Instant::now();
+    // Chunk-independent fixed seed: the pool depends only on the input
+    // count, keeping the query set identical across job counts.
+    let report =
+        check_outputs_equivalence_swept(snapshot, spec, Some(outputs), budget, obs, governor, 0);
+    obs.emit(|| EcoEvent::SweepFinished {
+        target_index: None,
+        elapsed: sweep_t.elapsed(),
+    });
+    obs.emit(|| EcoEvent::SweepReport {
+        target_index: None,
+        classes: 0,
+        merges: 0,
+        sat_calls: 0,
+        refinement_rounds: 0,
+        nodes_eliminated: 0,
+        oracle_hits: u64::from(report.sim_counterexample),
+        sim_discharged_outputs: report.sim_discharged_outputs,
+    });
+    report.result
 }
 
 /// Only pure, full-effort results enter the solve cache: a degraded or

@@ -85,6 +85,7 @@ mod qbf;
 mod snapshot;
 mod structural;
 mod support;
+mod sweep;
 pub mod trace;
 mod window;
 
@@ -109,9 +110,9 @@ pub use miter::{EcoMiter, QuantifiedMiter};
 pub use observe::{
     conflict_bucket, latency_bucket, BudgetMetrics, CacheCounters, EcoEvent, EcoObserver,
     KindMetrics, LadderRung, MetricsObserver, NullObserver, Phase, PhaseMetrics, RunMetrics,
-    SatCallKind, SatCallMetrics, ServingCounters, SupportStep, TargetMetrics, TeeObserver,
-    WorkerMetrics, CONFLICT_BUCKET_BOUNDS, LATENCY_BUCKET_BOUNDS_US, NUM_CONFLICT_BUCKETS,
-    NUM_LATENCY_BUCKETS,
+    SatCallKind, SatCallMetrics, ServingCounters, SupportStep, SweepCounters, TargetMetrics,
+    TeeObserver, WorkerMetrics, CONFLICT_BUCKET_BOUNDS, LATENCY_BUCKET_BOUNDS_US,
+    NUM_CONFLICT_BUCKETS, NUM_LATENCY_BUCKETS,
 };
 pub use problem::EcoProblem;
 pub use qbf::{check_targets_sufficient, QbfOutcome};
@@ -123,6 +124,7 @@ pub use support::{
     minimize_assumptions, naive_minimize_assumptions, support_solver_for, SupportResult,
     SupportSolver,
 };
+pub use sweep::{fraig_reduce, FraigOptions, FraigOutcome, FraigStats};
 pub use window::{compute_divisors, compute_window, Window};
 
 // Resource-governance types, re-exported so engine callers need not

@@ -67,11 +67,13 @@ pub enum SatCallKind {
     Refinement,
     /// Combinational equivalence checking.
     Cec,
+    /// Equivalence proofs of sweep candidate pairs (fraig merging).
+    Sweep,
 }
 
 impl SatCallKind {
     /// All kinds, in the order used by per-kind metric arrays.
-    pub const ALL: [SatCallKind; 8] = [
+    pub const ALL: [SatCallKind; 9] = [
         SatCallKind::Qbf,
         SatCallKind::Support,
         SatCallKind::Minimize,
@@ -80,6 +82,7 @@ impl SatCallKind {
         SatCallKind::CegarMin,
         SatCallKind::Refinement,
         SatCallKind::Cec,
+        SatCallKind::Sweep,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -93,6 +96,7 @@ impl SatCallKind {
             SatCallKind::CegarMin => "cegar_min",
             SatCallKind::Refinement => "refinement",
             SatCallKind::Cec => "cec",
+            SatCallKind::Sweep => "sweep",
         }
     }
 
@@ -291,6 +295,43 @@ pub enum EcoEvent {
         /// `true` on a hit (the derived artifact was reused).
         hit: bool,
     },
+    /// A simulation-guided sweep phase began (schema v7): either the
+    /// sweep oracle construction for one target's support queries, or a
+    /// swept CEC verification wave.
+    SweepStarted {
+        /// Target the sweep serves (`None` for verification waves).
+        target_index: Option<usize>,
+    },
+    /// The matching end of an [`EcoEvent::SweepStarted`] span.
+    SweepFinished {
+        /// Target the sweep served (`None` for verification waves).
+        target_index: Option<usize>,
+        /// Wall-clock time of the sweep phase.
+        elapsed: Duration,
+    },
+    /// Counter report of one sweep activity (schema v7): oracle
+    /// construction, swept verification, or a `fraig_reduce` run.
+    /// Aggregated into [`SweepCounters`].
+    SweepReport {
+        /// Target the sweep served (`None` for shared activities).
+        target_index: Option<usize>,
+        /// Equivalence-candidate classes examined.
+        classes: u64,
+        /// Node merges proven by SAT.
+        merges: u64,
+        /// SAT calls spent on sweep proofs ([`SatCallKind::Sweep`]).
+        sat_calls: u64,
+        /// CEGAR refinement rounds (counterexample patterns fed back).
+        refinement_rounds: u64,
+        /// AIG nodes eliminated by proven merges.
+        nodes_eliminated: u64,
+        /// Support-feasibility queries answered by simulation alone
+        /// (no solver call issued).
+        oracle_hits: u64,
+        /// Verification outputs discharged by simulation/structure
+        /// without a dedicated SAT call.
+        sim_discharged_outputs: u64,
+    },
     /// The run completed (success paths only; errors abort the stream).
     RunFinished {
         /// Total wall-clock time.
@@ -466,8 +507,12 @@ pub struct TargetMetrics {
     /// SAT calls per the target's [`crate::TargetPatchReport`].
     pub sat_calls: u64,
     /// SAT calls observed as [`EcoEvent::SatCall`] events attributed to
-    /// this target. Equal to `sat_calls` by construction; kept separate
-    /// so the accounting is auditable from the JSON alone.
+    /// this target. Equal to `sat_calls` by construction on unswept
+    /// runs; under `--sweep` the report counter also tallies calls the
+    /// simulation oracle discharged (keeping reports byte-identical to
+    /// an unswept run), so `sat_calls - observed_sat_calls` is exactly
+    /// this target's share of [`SweepCounters::oracle_hits`]. Kept
+    /// separate so the accounting is auditable from the JSON alone.
     pub observed_sat_calls: u64,
     /// Total conflicts across the attributed calls.
     pub conflicts: u64,
@@ -510,7 +555,7 @@ pub struct SatCallMetrics {
     /// Total solver wall-clock time.
     pub time: Duration,
     /// Per-kind breakdown, parallel to [`SatCallKind::ALL`].
-    pub by_kind: [KindMetrics; 8],
+    pub by_kind: [KindMetrics; 9],
     /// Per-call conflict histogram ([`CONFLICT_BUCKET_BOUNDS`]).
     pub conflict_histogram: [u64; NUM_CONFLICT_BUCKETS],
     /// Per-call latency histogram ([`LATENCY_BUCKET_BOUNDS_US`]).
@@ -577,6 +622,27 @@ pub struct CacheCounters {
     pub outcome_hits: u64,
     /// Full-outcome layer misses (daemon-side).
     pub outcome_misses: u64,
+}
+
+/// Run-wide SAT-sweeping counters (schema v7), aggregated from
+/// [`EcoEvent::SweepReport`] events. All zero when sweeping is off
+/// ([`crate::EcoOptions::sweep`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepCounters {
+    /// Equivalence-candidate classes examined across all sweeps.
+    pub classes: u64,
+    /// Node merges proven by SAT.
+    pub merges: u64,
+    /// SAT calls spent on sweep proofs ([`SatCallKind::Sweep`]).
+    pub sweep_sat_calls: u64,
+    /// CEGAR refinement rounds (counterexamples fed back as patterns).
+    pub refinement_rounds: u64,
+    /// AIG nodes eliminated by proven merges.
+    pub nodes_eliminated: u64,
+    /// Support-feasibility queries answered by simulation alone.
+    pub oracle_hits: u64,
+    /// Verification outputs discharged without a dedicated SAT call.
+    pub sim_discharged_outputs: u64,
 }
 
 /// Per-request serving-layer failure-mode counters (schema v6), filled
@@ -705,6 +771,9 @@ pub struct RunMetrics {
     /// Serving-layer failure-mode counters (schema v6); all zero for
     /// runs that never crossed a serving layer.
     pub serving: ServingCounters,
+    /// SAT-sweeping counters (schema v7); all zero when sweeping is
+    /// off.
+    pub sweep: SweepCounters,
 }
 
 fn push_json_array(out: &mut String, counts: &[u64]) {
@@ -726,11 +795,10 @@ fn push_json_string(out: &mut String, text: &str) {
 
 impl RunMetrics {
     /// Serializes to the stable JSON schema documented in
-    /// `EXPERIMENTS.md` (schema_version 6, which added the serving
-    /// shed/expired/retried/panicked counters on top of v5's
-    /// request-id dimension and cache hit/miss counters). Key order is
-    /// fixed; durations are integer microseconds; fractions carry six
-    /// decimal places.
+    /// `EXPERIMENTS.md` (schema_version 7, which added the sweep
+    /// counters and the `sweep` SAT-call kind on top of v6's serving
+    /// counters). Key order is fixed; durations are integer
+    /// microseconds; fractions carry six decimal places.
     pub fn to_json(&self) -> String {
         let us = |d: Duration| -> u64 { d.as_micros().min(u64::MAX as u128) as u64 };
         let opt_u64 = |v: Option<u64>| match v {
@@ -738,7 +806,7 @@ impl RunMetrics {
             None => "null".to_string(),
         };
         let mut s = String::new();
-        s.push_str("{\"schema_version\":6");
+        s.push_str("{\"schema_version\":7");
         match &self.request_id {
             Some(id) => {
                 s.push_str(",\"request_id\":");
@@ -869,6 +937,19 @@ impl RunMetrics {
         s.push_str(&format!(
             ",\"serving\":{{\"shed\":{},\"expired\":{},\"retried\":{},\"panicked\":{}}}",
             v.shed, v.expired, v.retried, v.panicked
+        ));
+        let w = &self.sweep;
+        s.push_str(&format!(
+            ",\"sweep\":{{\"classes\":{},\"merges\":{},\"sweep_sat_calls\":{},\
+             \"refinement_rounds\":{},\"nodes_eliminated\":{},\"oracle_hits\":{},\
+             \"sim_discharged_outputs\":{}}}",
+            w.classes,
+            w.merges,
+            w.sweep_sat_calls,
+            w.refinement_rounds,
+            w.nodes_eliminated,
+            w.oracle_hits,
+            w.sim_discharged_outputs
         ));
         s.push('}');
         s
@@ -1046,6 +1127,25 @@ impl EcoObserver for MetricsObserver {
                 self.metrics.request_id = Some(request_id.clone());
             }
             EcoEvent::CacheQuery { layer, hit } => self.metrics.cache.record(layer, hit),
+            EcoEvent::SweepReport {
+                classes,
+                merges,
+                sat_calls,
+                refinement_rounds,
+                nodes_eliminated,
+                oracle_hits,
+                sim_discharged_outputs,
+                ..
+            } => {
+                let w = &mut self.metrics.sweep;
+                w.classes += classes;
+                w.merges += merges;
+                w.sweep_sat_calls += sat_calls;
+                w.refinement_rounds += refinement_rounds;
+                w.nodes_eliminated += nodes_eliminated;
+                w.oracle_hits += oracle_hits;
+                w.sim_discharged_outputs += sim_discharged_outputs;
+            }
             EcoEvent::RunFinished { elapsed } => {
                 self.metrics.elapsed = elapsed;
                 if let Some(b) = &mut self.metrics.budget {
@@ -1203,12 +1303,17 @@ mod tests {
             ..RunMetrics::default()
         };
         let json = m.to_json();
-        assert!(json.starts_with("{\"schema_version\":6"));
+        assert!(json.starts_with("{\"schema_version\":7"));
         assert!(json.contains("\"request_id\":null"));
         assert!(json.contains("\"cache\":{\"netlist_hits\":0"));
         assert!(
             json.contains("\"serving\":{\"shed\":0,\"expired\":0,\"retried\":0,\"panicked\":0}")
         );
+        assert!(json.contains(
+            "\"sweep\":{\"classes\":0,\"merges\":0,\"sweep_sat_calls\":0,\
+             \"refinement_rounds\":0,\"nodes_eliminated\":0,\"oracle_hits\":0,\
+             \"sim_discharged_outputs\":0}"
+        ));
         assert!(json.contains("\"per_call_conflicts\":null"));
         assert!(json.contains("\"jobs\":4"));
         assert!(json.contains("\"workers\":[]"));

@@ -7,6 +7,7 @@ use crate::error::EcoError;
 use crate::miter::QuantifiedMiter;
 use crate::observe::{EcoEvent, ObserverHandle, SatCallKind, SupportStep};
 use crate::problem::EcoProblem;
+use crate::sweep::{OracleStats, SweepOracle};
 use eco_aig::NodeId;
 use eco_sat::{Lit, ResourceGovernor, SolveResult, Solver};
 
@@ -198,6 +199,9 @@ pub struct SupportSolver {
     target_index: Option<usize>,
     /// Shared resource governor, when the engine runs under one.
     governor: Option<ResourceGovernor>,
+    /// Simulation oracle short-circuiting provably infeasible subset
+    /// queries (attached only when sweeping is enabled).
+    sweep_oracle: Option<SweepOracle>,
 }
 
 /// A computed patch support: divisor positions plus their summed cost.
@@ -267,7 +271,21 @@ impl SupportSolver {
             obs: ObserverHandle::default(),
             target_index: None,
             governor: None,
+            sweep_oracle: None,
         }
+    }
+
+    /// Attaches (or clears) a sweep oracle. With one attached,
+    /// [`SupportSolver::subset_feasible`] answers simulation-provable
+    /// infeasibilities without a SAT call; the verdict stream — and
+    /// therefore every downstream artifact — is unchanged.
+    pub(crate) fn set_sweep_oracle(&mut self, oracle: Option<SweepOracle>) {
+        self.sweep_oracle = oracle;
+    }
+
+    /// Counters of the attached sweep oracle, if any.
+    pub(crate) fn sweep_stats(&self) -> Option<OracleStats> {
+        self.sweep_oracle.as_ref().map(SweepOracle::stats)
     }
 
     /// Attaches an event sink; subsequent SAT calls emit
@@ -343,17 +361,50 @@ impl SupportSolver {
     ///
     /// [`EcoError::SolverBudgetExhausted`] on budget exhaustion.
     pub fn subset_feasible(&mut self, indices: &[usize]) -> Result<bool, EcoError> {
+        if let Some(oracle) = self.sweep_oracle.as_mut() {
+            if oracle.proves_infeasible(indices) {
+                // A stored pattern pair is a ready-made model of this
+                // instance, so a SAT call would return `Sat`. Count the
+                // avoided call to keep per-target tallies identical.
+                self.sat_calls += 1;
+                return Ok(false);
+            }
+        }
         let mut assumptions = self.base.clone();
         assumptions.extend(indices.iter().map(|&i| self.aux[i]));
-        self.solve(&assumptions)
+        let feasible = self.solve(&assumptions)?;
+        self.learn_from_model(feasible);
+        Ok(feasible)
     }
 
     /// Feasibility with *all* divisors active. This is the gate before
     /// any support minimization: if it fails, the candidate set cannot
     /// express the patch at all.
+    ///
+    /// Always issues a real SAT call, bypassing any sweep oracle:
+    /// callers consume this call's model through
+    /// [`SupportSolver::infeasibility_witness`] to refine an
+    /// approximate quantification, and a simulation short-circuit has
+    /// no model to offer.
     pub fn all_feasible(&mut self) -> Result<bool, EcoError> {
-        let all: Vec<usize> = (0..self.aux.len()).collect();
-        self.subset_feasible(&all)
+        let mut assumptions = self.base.clone();
+        assumptions.extend(self.aux.iter().copied());
+        let feasible = self.solve(&assumptions)?;
+        self.learn_from_model(feasible);
+        Ok(feasible)
+    }
+
+    /// After an infeasible (satisfiable) query, feeds the model's
+    /// witness pair into the sweep oracle so later subset queries can
+    /// be answered by simulation.
+    fn learn_from_model(&mut self, feasible: bool) {
+        if feasible || self.sweep_oracle.is_none() {
+            return;
+        }
+        let (x1, x2) = self.infeasibility_witness();
+        if let Some(oracle) = self.sweep_oracle.as_mut() {
+            oracle.learn(&x1, &x2);
+        }
     }
 
     /// Baseline support (the paper's "w/o minimize_assumptions"

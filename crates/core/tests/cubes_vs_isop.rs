@@ -52,8 +52,8 @@ fn check_case(case: u64, rng: &mut Rng) {
         .expect("input support is always sufficient");
 
     // Oracle interval from the miter cofactors.
-    let m0 = qm.cofactor(false).simulate_all_inputs()[0][0] & 0xff;
-    let m1 = qm.cofactor(true).simulate_all_inputs()[0][0] & 0xff;
+    let m0 = qm.cofactor(false).simulate_all_inputs().expect("3 inputs")[0][0] & 0xff;
+    let m1 = qm.cofactor(true).simulate_all_inputs().expect("3 inputs")[0][0] & 0xff;
     let onset = TruthTable::from_words(3, vec![m0]);
     let offset_complement = !&TruthTable::from_words(3, vec![m1]);
     assert!(

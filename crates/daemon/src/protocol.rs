@@ -47,6 +47,8 @@ pub struct RequestOptions {
     pub jobs: Option<usize>,
     /// Whether the structural fallback ladder is enabled.
     pub structural_fallback: Option<bool>,
+    /// Whether the simulation-guided SAT sweeping layer is enabled.
+    pub sweep: Option<bool>,
     /// Chaos hook (requires the daemon's `--chaos` flag): hold the
     /// request on its worker for this many milliseconds before
     /// solving, keeping the worker deterministically busy so tests can
@@ -193,6 +195,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         options.deadline_ms = uint("deadline_ms")?;
         options.jobs = uint("jobs")?.map(|j| j as usize);
         options.structural_fallback = opts.get("structural_fallback").and_then(JsonValue::as_bool);
+        options.sweep = opts.get("sweep").and_then(JsonValue::as_bool);
         options.hold_ms = uint("hold_ms")?;
         options.inject_panic = opts
             .get("inject_panic")
@@ -346,7 +349,8 @@ mod tests {
         let line = r#"{"id":"r1","impl":"module a; endmodule","spec":"module b; endmodule",
             "targets":["t0","t1"],"weights":{"n1":4,"n2":0},"default_weight":2,
             "options":{"method":"prune","budget":100,"global_conflicts":50,
-                       "deadline_ms":1000,"jobs":2,"structural_fallback":false}}"#
+                       "deadline_ms":1000,"jobs":2,"structural_fallback":false,
+                       "sweep":true}}"#
             .replace('\n', " ");
         let Request::Eco(req) = parse_request(&line).expect("parses") else {
             panic!("expected an ECO request");
@@ -364,6 +368,7 @@ mod tests {
         assert_eq!(req.options.deadline_ms, Some(1000));
         assert_eq!(req.options.jobs, Some(2));
         assert_eq!(req.options.structural_fallback, Some(false));
+        assert_eq!(req.options.sweep, Some(true));
     }
 
     #[test]
@@ -482,7 +487,7 @@ mod tests {
             netlist_cache_hit: true,
             outcome_cache_hit: false,
             patched_verilog: "module m;\nendmodule\n".to_string(),
-            metrics_json: "{\"schema_version\":6}".to_string(),
+            metrics_json: "{\"schema_version\":7}".to_string(),
         };
         let line = resp.to_json();
         let v = parse_json(&line).expect("response is valid JSON");
@@ -503,7 +508,7 @@ mod tests {
             v.get("metrics")
                 .and_then(|m| m.get("schema_version"))
                 .and_then(JsonValue::as_u64),
-            Some(6)
+            Some(7)
         );
         let err = error_response("e1", "bad \"thing\"");
         let v = parse_json(&err).expect("error response is valid JSON");

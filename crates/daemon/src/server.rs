@@ -325,6 +325,7 @@ impl Daemon {
             .per_call_conflicts(req.options.budget.or(Some(2_000_000)))
             .structural_fallback(req.options.structural_fallback.unwrap_or(true))
             .jobs(jobs)
+            .sweep(req.options.sweep.unwrap_or(false))
             .build()
             .map_err(|e| e.to_string())?;
         // Per-request QoS: the request's own deadline and fair-share

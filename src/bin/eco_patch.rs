@@ -7,7 +7,8 @@
 //!           [--out patched.v] [--budget N] [--default-weight N]
 //!           [--stats-json stats.json|-] [--progress] [--quiet]
 //!           [--no-fallback] [--timeout-ms MS] [--global-budget N]
-//!           [--jobs N] [--trace-out trace.json] [--trace-format jsonl|chrome]
+//!           [--jobs N] [--sweep]
+//!           [--trace-out trace.json] [--trace-format jsonl|chrome]
 //! eco-patch report <trace.jsonl> [--top N]
 //! ```
 //!
@@ -117,6 +118,7 @@ struct Args {
     trace_out: Option<String>,
     trace_format: TraceFormat,
     jobs: usize,
+    sweep: bool,
 }
 
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -131,7 +133,7 @@ fn usage() -> &'static str {
      [--targets n1,n2] [--detect] [--method baseline|minimize|prune] \
      [--out patched.v] [--budget CONFLICTS] [--default-weight N] \
      [--stats-json PATH|-] [--progress] [--quiet] [--no-fallback] \
-     [--timeout-ms MS] [--global-budget CONFLICTS] [--jobs N] \
+     [--timeout-ms MS] [--global-budget CONFLICTS] [--jobs N] [--sweep] \
      [--trace-out PATH] [--trace-format jsonl|chrome]\n\
      \x20      eco-patch report TRACE.jsonl [--top N]"
 }
@@ -198,6 +200,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--jobs expects a value >= 1".to_string());
                 }
             }
+            "--sweep" => args.sweep = true,
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--trace-format" => {
                 args.trace_format = match value("--trace-format")?.as_str() {
@@ -437,6 +440,7 @@ fn run(args: Args) -> Result<u8, CliError> {
         }))
         .global_conflicts(args.global_budget)
         .jobs(args.jobs)
+        .sweep(args.sweep)
         .build()
         .map_err(|e| CliError::usage(e.to_string()))?;
     let mut engine = EcoEngine::new(options);

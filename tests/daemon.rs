@@ -40,6 +40,15 @@ fn eco_line(id: &str, spec: &str) -> String {
     )
 }
 
+fn eco_line_with_options(id: &str, spec: &str, options: &str) -> String {
+    format!(
+        "{{\"id\":\"{id}\",\"impl\":\"{}\",\"spec\":\"{}\",\"targets\":[\"t0\",\"t1\"],\
+         \"options\":{options}}}",
+        escape_json(IMPLEMENTATION),
+        escape_json(spec)
+    )
+}
+
 /// Runs a JSONL session through the daemon binary and returns one
 /// parsed response per request line.
 fn run_session(session: &str) -> Vec<JsonValue> {
@@ -224,6 +233,68 @@ fn smoke_session_repeat_hits_the_outcome_cache_with_identical_output() {
         Some(2)
     );
     assert_eq!(bye.get("shutdown").and_then(JsonValue::as_bool), Some(true));
+}
+
+#[test]
+fn sweeping_requests_replay_as_zero_sat_call_outcome_hits() {
+    // Warm replay with `"sweep":true` must behave exactly like the
+    // unswept smoke session: the cold swept run does real (reduced)
+    // SAT work, the identical repeat is an outcome hit with zero SAT
+    // calls, and both patched netlists are byte-identical to an
+    // unswept run of the same request.
+    let session = format!(
+        "{}\n{}\n{}\n",
+        eco_line("plain", SPECIFICATION),
+        eco_line_with_options("cold", SPECIFICATION, "{\"sweep\":true}"),
+        eco_line_with_options("warm", SPECIFICATION, "{\"sweep\":true}"),
+    );
+    let responses = run_session(&session);
+    assert_eq!(responses.len(), 3);
+    let (plain, cold, warm) = (&responses[0], &responses[1], &responses[2]);
+    for (name, r) in [("plain", plain), ("cold", cold), ("warm", warm)] {
+        assert_eq!(
+            r.get("status").and_then(JsonValue::as_str),
+            Some("ok"),
+            "{name}"
+        );
+        assert_eq!(
+            r.get("verified").and_then(JsonValue::as_bool),
+            Some(true),
+            "{name}"
+        );
+    }
+    let sat_total = |r: &JsonValue| {
+        r.get("metrics")
+            .and_then(|m| m.get("sat_calls"))
+            .and_then(|s| s.get("total"))
+            .and_then(JsonValue::as_u64)
+    };
+    assert_eq!(cache_flag(cold, "outcome"), Some("miss"));
+    let plain_sat = sat_total(plain).expect("unswept SAT totals");
+    let cold_sat = sat_total(cold).expect("swept SAT totals");
+    assert!(cold_sat > 0, "the cold swept run must do solver work");
+    assert!(
+        cold_sat <= plain_sat,
+        "sweeping must not add SAT calls: {cold_sat} > {plain_sat}"
+    );
+    assert_eq!(cache_flag(warm, "outcome"), Some("hit"));
+    assert_eq!(
+        sat_total(warm),
+        Some(0),
+        "a swept outcome hit performs zero SAT calls"
+    );
+    let patched = |r: &JsonValue| {
+        r.get("patched_verilog")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+    };
+    assert!(patched(plain).is_some_and(|v| v.contains("module")));
+    assert_eq!(
+        patched(plain),
+        patched(cold),
+        "sweeping must not move a byte of the patched netlist"
+    );
+    assert_eq!(patched(cold), patched(warm), "replay is byte-identical");
 }
 
 #[test]

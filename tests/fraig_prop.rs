@@ -1,0 +1,175 @@
+//! Property tests for the fraig SAT-sweeping front end: random
+//! benchgen circuits are swept with [`fraig_reduce`] and checked
+//! node-for-node equivalent against the unswept original — by
+//! exhaustive simulation up to [`MAX_EXHAUSTIVE_INPUTS`] inputs and by
+//! miter-SAT above — across seeds, budgets, and fault-injection chaos.
+//! A tripped sweep must degrade to the unswept circuit, never to a
+//! wrong answer.
+
+use eco_patch::aig::{Aig, MAX_EXHAUSTIVE_INPUTS};
+use eco_patch::benchgen::{random_aig, CircuitSpec};
+use eco_patch::core::{
+    check_equivalence, fraig_reduce, CecResult, FaultPlan, FraigOptions, FraigOutcome,
+    GovernorLimits, ResourceGovernor,
+};
+use eco_testutil::{cases, Rng};
+
+fn random_spec(rng: &mut Rng) -> CircuitSpec {
+    CircuitSpec {
+        num_inputs: rng.range(3, 10) as usize,
+        num_outputs: rng.range(1, 5) as usize,
+        num_gates: rng.range(20, 120) as usize,
+        seed: rng.next_u64(),
+    }
+}
+
+/// Pairs every surviving node of `original` with its mapped literal:
+/// two probe AIGs whose output lists line up position by position.
+fn probe_pair(original: &Aig, out: &FraigOutcome, max_probes: usize) -> (Aig, Aig) {
+    let mut po = original.clone();
+    let mut pn = out.aig.clone();
+    let mut probes = 0;
+    for id in original.iter_nodes() {
+        let Some(mapped) = out.node_map[id.index()] else {
+            continue;
+        };
+        po.add_output(id.lit());
+        pn.add_output(mapped);
+        probes += 1;
+        if probes >= max_probes {
+            break;
+        }
+    }
+    (po, pn)
+}
+
+/// Node-for-node equivalence by exhaustive simulation (≤ 2^n rows).
+fn assert_nodes_equivalent_exhaustive(original: &Aig, out: &FraigOutcome, label: &str) {
+    let (po, pn) = probe_pair(original, out, usize::MAX);
+    let to = po.simulate_all_inputs().expect("small input count");
+    let tn = pn.simulate_all_inputs().expect("same input count");
+    assert_eq!(to, tn, "{label}: some node changed function under sweeping");
+}
+
+#[test]
+fn swept_random_aigs_are_node_for_node_equivalent() {
+    cases(24, |case, rng| {
+        let spec = random_spec(rng);
+        let original = random_aig(&spec);
+        let opts = FraigOptions {
+            pattern_words: rng.range(1, 4) as usize,
+            seed: rng.next_u64(),
+            max_rounds: rng.range(1, 5) as usize,
+            per_call_conflicts: Some(100_000),
+        };
+        let out = fraig_reduce(&original, &opts, None);
+        assert!(
+            !out.degraded,
+            "case {case}: an ungoverned generous budget must not trip"
+        );
+        assert!(
+            out.aig.num_nodes() <= original.num_nodes(),
+            "case {case}: sweeping must never grow the circuit"
+        );
+        assert_nodes_equivalent_exhaustive(&original, &out, &format!("case {case}"));
+    });
+}
+
+#[test]
+fn sweeps_above_the_exhaustive_limit_are_verified_by_miter_sat() {
+    // 22 inputs puts exhaustive simulation out of reach, so the check
+    // runs through the same miter-SAT path production CEC uses.
+    for seed in [7u64, 1881, 424242] {
+        let spec = CircuitSpec {
+            num_inputs: MAX_EXHAUSTIVE_INPUTS + 2,
+            num_outputs: 4,
+            num_gates: 160,
+            seed,
+        };
+        let original = random_aig(&spec);
+        assert!(original.simulate_all_inputs().is_err());
+        let out = fraig_reduce(&original, &FraigOptions::default(), None);
+        assert!(!out.degraded, "seed {seed}");
+        // Outputs first, then a bounded sample of internal probes so
+        // the miter stays small enough for an un-budgeted proof.
+        assert_eq!(
+            check_equivalence(&original, &out.aig, None),
+            CecResult::Equivalent,
+            "seed {seed}: swept outputs must match"
+        );
+        let (po, pn) = probe_pair(&original, &out, 40);
+        assert_eq!(
+            check_equivalence(&po, &pn, None),
+            CecResult::Equivalent,
+            "seed {seed}: sampled internal nodes must match"
+        );
+    }
+}
+
+fn random_fault_plan(rng: &mut Rng) -> Option<FaultPlan> {
+    Some(match rng.below(5) {
+        0 => return None,
+        1 => FaultPlan::EveryNth(rng.below(4)),
+        2 => FaultPlan::AtCalls((0..rng.range(1, 5)).map(|_| rng.range(1, 20)).collect()),
+        3 => FaultPlan::Seeded {
+            seed: rng.next_u64(),
+            one_in: rng.range(1, 5),
+        },
+        _ => FaultPlan::CancelAt(rng.range(1, 12)),
+    })
+}
+
+#[test]
+fn chaos_degrades_the_sweep_but_never_corrupts_it() {
+    cases(24, |case, rng| {
+        let spec = random_spec(rng);
+        let original = random_aig(&spec);
+        let governor = ResourceGovernor::new(GovernorLimits {
+            global_conflicts: if rng.bool() {
+                Some(rng.below(200))
+            } else {
+                None
+            },
+            fault_plan: random_fault_plan(rng),
+            ..GovernorLimits::default()
+        });
+        let opts = FraigOptions {
+            per_call_conflicts: Some(rng.below(50)),
+            seed: rng.next_u64(),
+            ..FraigOptions::default()
+        };
+        let out = fraig_reduce(&original, &opts, Some(&governor));
+        if out.degraded {
+            // A tripped sweep falls back to the unswept circuit.
+            assert_eq!(
+                out.aig.num_nodes(),
+                original.num_nodes(),
+                "case {case}: degraded sweeps must be the identity"
+            );
+            assert_eq!(out.stats.merges, 0, "case {case}");
+        }
+        // Tripped or not, the function is untouched.
+        assert_nodes_equivalent_exhaustive(&original, &out, &format!("case {case}"));
+    });
+}
+
+#[test]
+fn sweeping_is_deterministic_for_a_fixed_seed() {
+    cases(12, |case, rng| {
+        let spec = random_spec(rng);
+        let original = random_aig(&spec);
+        let opts = FraigOptions {
+            seed: rng.next_u64(),
+            ..FraigOptions::default()
+        };
+        let first = fraig_reduce(&original, &opts, None);
+        let second = fraig_reduce(&original, &opts, None);
+        assert_eq!(first.stats, second.stats, "case {case}");
+        assert_eq!(
+            first.aig.to_aag(),
+            second.aig.to_aag(),
+            "case {case}: swept AIG must be byte-identical across runs"
+        );
+        assert_eq!(first.node_map, second.node_map, "case {case}");
+    });
+}

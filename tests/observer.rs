@@ -7,7 +7,7 @@ use eco_patch::core::json::{parse_json, JsonValue};
 use eco_patch::core::{
     BudgetMetrics, CacheCounters, EcoEngine, EcoEvent, EcoObserver, EcoOptions, EcoProblem,
     KindMetrics, PatchKind, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics,
-    ServingCounters, SupportMethod, TargetMetrics, WorkerMetrics,
+    ServingCounters, SupportMethod, SweepCounters, TargetMetrics, WorkerMetrics,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -338,7 +338,7 @@ fn run_metrics_totals_are_jobs_invariant() {
 }
 
 fn golden_metrics() -> RunMetrics {
-    let mut by_kind = [KindMetrics::default(); 8];
+    let mut by_kind = [KindMetrics::default(); 9];
     by_kind[SatCallKind::Support.index()] = KindMetrics {
         calls: 2,
         conflicts: 4,
@@ -431,6 +431,15 @@ fn golden_metrics() -> RunMetrics {
             retried: 10,
             panicked: 11,
         },
+        sweep: SweepCounters {
+            classes: 12,
+            merges: 13,
+            sweep_sat_calls: 14,
+            refinement_rounds: 15,
+            nodes_eliminated: 16,
+            oracle_hits: 17,
+            sim_discharged_outputs: 18,
+        },
     }
 }
 
@@ -441,7 +450,7 @@ fn run_metrics_golden_json() {
                              \"latency_histogram\":[0,0,0,0,0,0,0,0]}";
     let expected = format!(
         concat!(
-            "{{\"schema_version\":6,\"request_id\":\"req-7\",",
+            "{{\"schema_version\":7,\"request_id\":\"req-7\",",
             "\"num_targets\":1,\"per_call_conflicts\":1000,",
             "\"jobs\":2,\"elapsed_us\":1234,",
             "\"phases\":[{{\"phase\":\"sufficiency_check\",\"elapsed_us\":10}}],",
@@ -466,7 +475,8 @@ fn run_metrics_golden_json() {
             "\"refinement\":{z},",
             "\"cec\":{{\"calls\":1,\"conflicts\":2,\"time_us\":10,",
             "\"conflict_histogram\":[0,1,0,0,0,0,0,0],",
-            "\"latency_histogram\":[1,0,0,0,0,0,0,0]}}}},",
+            "\"latency_histogram\":[1,0,0,0,0,0,0,0]}},",
+            "\"sweep\":{z}}},",
             "\"conflict_histogram\":[1,3,0,0,0,0,0,0],",
             "\"latency_histogram\":[1,3,0,0,0,0,0,0]}},",
             "\"budget\":{{\"per_call_conflicts\":1000,\"max_fraction\":0.500000,",
@@ -477,7 +487,10 @@ fn run_metrics_golden_json() {
             "\"cache\":{{\"netlist_hits\":0,\"netlist_misses\":0,\"window_hits\":1,",
             "\"window_misses\":2,\"cnf_hits\":3,\"cnf_misses\":4,\"target_hits\":0,",
             "\"target_misses\":0,\"outcome_hits\":0,\"outcome_misses\":0}},",
-            "\"serving\":{{\"shed\":8,\"expired\":9,\"retried\":10,\"panicked\":11}}}}"
+            "\"serving\":{{\"shed\":8,\"expired\":9,\"retried\":10,\"panicked\":11}},",
+            "\"sweep\":{{\"classes\":12,\"merges\":13,\"sweep_sat_calls\":14,",
+            "\"refinement_rounds\":15,\"nodes_eliminated\":16,\"oracle_hits\":17,",
+            "\"sim_discharged_outputs\":18}}}}"
         ),
         z = ZERO_KIND
     );
@@ -485,16 +498,24 @@ fn run_metrics_golden_json() {
 }
 
 #[test]
-fn run_metrics_v6_round_trips_through_parser() {
+fn run_metrics_v7_round_trips_through_parser() {
     let metrics = golden_metrics();
-    let doc = parse_json(&metrics.to_json()).expect("schema v6 output is valid JSON");
+    let doc = parse_json(&metrics.to_json()).expect("schema v7 output is valid JSON");
     let u = |v: &JsonValue, key: &str| v.get(key).and_then(JsonValue::as_u64);
-    assert_eq!(u(&doc, "schema_version"), Some(6));
+    assert_eq!(u(&doc, "schema_version"), Some(7));
     let serving = doc.get("serving").expect("serving counters object");
     assert_eq!(u(serving, "shed"), Some(8));
     assert_eq!(u(serving, "expired"), Some(9));
     assert_eq!(u(serving, "retried"), Some(10));
     assert_eq!(u(serving, "panicked"), Some(11));
+    let sweep = doc.get("sweep").expect("sweep counters object");
+    assert_eq!(u(sweep, "classes"), Some(12));
+    assert_eq!(u(sweep, "merges"), Some(13));
+    assert_eq!(u(sweep, "sweep_sat_calls"), Some(14));
+    assert_eq!(u(sweep, "refinement_rounds"), Some(15));
+    assert_eq!(u(sweep, "nodes_eliminated"), Some(16));
+    assert_eq!(u(sweep, "oracle_hits"), Some(17));
+    assert_eq!(u(sweep, "sim_discharged_outputs"), Some(18));
     assert_eq!(
         doc.get("request_id").and_then(JsonValue::as_str),
         Some("req-7")

@@ -1,0 +1,219 @@
+//! Byte-identity suite for `--sweep`: the simulation-guided sweeping
+//! layer may only *avoid* SAT calls whose verdicts it can prove by
+//! simulation — it must never move a support, a patch, a cost, a
+//! disposition, or a byte of the emitted netlist. Sweeping on must
+//! also never issue *more* SAT calls than sweeping off.
+
+use std::io::Write;
+use std::process::Command;
+
+use eco_patch::benchgen::{build_unit, table1_units};
+use eco_patch::core::{
+    AppliedPatch, EcoEngine, EcoOptions, EcoOutcome, EcoProblem, RunMetrics, SupportMethod,
+};
+use eco_patch::netlist::Netlist;
+
+const TEST_SCALE: f64 = 0.02;
+
+fn run(problem: &EcoProblem, options: EcoOptions, name: &str) -> EcoOutcome {
+    EcoEngine::new(options)
+        .with_metrics()
+        .solve(&problem.snapshot())
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"))
+}
+
+fn patched_text(outcome: &EcoOutcome) -> String {
+    Netlist::from_aig("patched".to_string(), &outcome.patched_implementation).to_verilog()
+}
+
+fn patch_fingerprint(p: &AppliedPatch) -> String {
+    format!(
+        "target={} support={:?} original={:?} aig={}",
+        p.target_index,
+        p.support,
+        p.original_support,
+        Netlist::from_aig("patch".to_string(), &p.aig).to_verilog()
+    )
+}
+
+fn assert_outcomes_identical(off: &EcoOutcome, on: &EcoOutcome, name: &str) {
+    assert_eq!(
+        format!("{:?}", off.reports),
+        format!("{:?}", on.reports),
+        "{name}: per-target reports (dispositions, kinds, costs, sat_calls) must not move"
+    );
+    let fingerprints = |o: &EcoOutcome| o.patches.iter().map(patch_fingerprint).collect::<Vec<_>>();
+    assert_eq!(
+        fingerprints(off),
+        fingerprints(on),
+        "{name}: applied patches must not move"
+    );
+    assert_eq!(off.total_cost, on.total_cost, "{name}: total cost");
+    assert_eq!(off.total_gates, on.total_gates, "{name}: total gates");
+    assert_eq!(off.verified, on.verified, "{name}: verification verdict");
+    assert_eq!(
+        patched_text(off),
+        patched_text(on),
+        "{name}: patched netlist text must be byte-identical"
+    );
+}
+
+fn metrics<'a>(outcome: &'a EcoOutcome, name: &str) -> &'a RunMetrics {
+    outcome
+        .metrics
+        .as_ref()
+        .unwrap_or_else(|| panic!("{name}: metrics requested"))
+}
+
+#[test]
+fn sweep_on_matches_sweep_off_byte_for_byte() {
+    for unit in table1_units(TEST_SCALE).iter() {
+        let problem = build_unit(unit);
+        let opts = |sweep: bool| {
+            EcoOptions::builder()
+                .sweep(sweep)
+                .build()
+                .expect("valid options")
+        };
+        let off = run(&problem, opts(false), unit.name);
+        let on = run(&problem, opts(true), unit.name);
+        assert_outcomes_identical(&off, &on, unit.name);
+        assert!(
+            metrics(&on, unit.name).sat_calls.total <= metrics(&off, unit.name).sat_calls.total,
+            "{}: sweeping must not add SAT calls",
+            unit.name
+        );
+    }
+}
+
+#[test]
+fn sweeping_never_adds_sat_calls_on_unit20() {
+    // SatPrune issues orders of magnitude more subset-feasibility
+    // calls than MinimizeAssumptions, so it runs at a smaller scale to
+    // keep the unoptimized test build quick.
+    for (method, scale) in [
+        (SupportMethod::MinimizeAssumptions, TEST_SCALE),
+        (SupportMethod::SatPrune, 0.008),
+    ] {
+        let unit = table1_units(scale)
+            .into_iter()
+            .find(|u| u.name == "unit20")
+            .expect("unit20 exists");
+        let problem = build_unit(&unit);
+        let opts = |sweep: bool| {
+            EcoOptions::builder()
+                .method(method)
+                .sweep(sweep)
+                .build()
+                .expect("valid options")
+        };
+        let name = format!("unit20/{method:?}");
+        let off = run(&problem, opts(false), &name);
+        let on = run(&problem, opts(true), &name);
+        assert_outcomes_identical(&off, &on, &name);
+        let (off_m, on_m) = (metrics(&off, &name), metrics(&on, &name));
+        assert!(
+            on_m.sat_calls.total <= off_m.sat_calls.total,
+            "{name}: sweep-on issued {} SAT calls, sweep-off {}",
+            on_m.sat_calls.total,
+            off_m.sat_calls.total
+        );
+        // The sweep layer actually engaged: candidate classes were
+        // partitioned and the counters made it into RunMetrics.
+        assert!(
+            on_m.sweep.classes > 0 || on_m.sweep.oracle_hits == 0,
+            "{name}: oracle hits without classes are impossible"
+        );
+        assert_eq!(
+            off_m.sweep.classes, 0,
+            "{name}: sweep-off emits no sweep events"
+        );
+        if method == SupportMethod::SatPrune {
+            // Everything is seeded, so the measured reduction is
+            // deterministic: the oracle must discharge real calls.
+            assert!(on_m.sweep.oracle_hits > 0, "{name}: the oracle never fired");
+            assert!(
+                on_m.sat_calls.total < off_m.sat_calls.total,
+                "{name}: sweeping must measurably reduce SAT calls here"
+            );
+        }
+    }
+}
+
+#[test]
+fn swept_runs_are_jobs_invariant() {
+    for unit in table1_units(TEST_SCALE).iter().take(6) {
+        let problem = build_unit(unit);
+        let opts = |jobs: usize| {
+            EcoOptions::builder()
+                .sweep(true)
+                .jobs(jobs)
+                .build()
+                .expect("valid options")
+        };
+        let seq = run(&problem, opts(1), unit.name);
+        let par = run(&problem, opts(4), unit.name);
+        assert_outcomes_identical(&seq, &par, unit.name);
+    }
+}
+
+const IMPLEMENTATION: &str = "
+module adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire s1, c1, c2;
+  // eco_target c1
+  xor g1 (s1, a, b);
+  xor g2 (sum, s1, cin);
+  or  g3 (c1, a, b);
+  and g4 (c2, s1, cin);
+  or  g5 (cout, c1, c2);
+endmodule
+";
+
+const SPECIFICATION: &str = "
+module adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire s1, c1, c2;
+  xor g1 (s1, a, b);
+  xor g2 (sum, s1, cin);
+  and g3 (c1, a, b);
+  and g4 (c2, s1, cin);
+  or  g5 (cout, c1, c2);
+endmodule
+";
+
+#[test]
+fn cli_sweep_flag_keeps_exit_code_and_output_bytes() {
+    let dir = std::env::temp_dir().join(format!("eco_sweep_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let write = |name: &str, content: &str| {
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).expect("create");
+        f.write_all(content.as_bytes()).expect("write");
+        path.to_string_lossy().into_owned()
+    };
+    let f = write("F.v", IMPLEMENTATION);
+    let g = write("G.v", SPECIFICATION);
+    let mut variants = Vec::new();
+    for sweep in [false, true] {
+        let out = dir
+            .join(if sweep { "on.v" } else { "off.v" })
+            .to_string_lossy()
+            .into_owned();
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_eco_patch"));
+        cmd.args(["--impl", &f, "--spec", &g, "--out", &out]);
+        if sweep {
+            cmd.arg("--sweep");
+        }
+        let status = cmd.status().expect("binary runs");
+        variants.push((status.code(), std::fs::read(&out).expect("output written")));
+    }
+    assert_eq!(variants[0].0, variants[1].0, "exit codes must match");
+    assert_eq!(
+        variants[0].1, variants[1].1,
+        "patched netlists must be byte-identical with and without --sweep"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
