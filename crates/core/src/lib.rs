@@ -129,4 +129,6 @@ pub use window::{compute_divisors, compute_window, Window};
 
 // Resource-governance types, re-exported so engine callers need not
 // depend on `eco_sat` directly.
-pub use eco_sat::{FaultPlan, GovernorLimits, ResourceGovernor, SearchControl, TripReason};
+pub use eco_sat::{
+    FaultPlan, GovernorLimits, ResourceGovernor, SearchControl, SolveResult, TripReason,
+};

@@ -343,7 +343,32 @@ pub(crate) fn outcome_key(req: &crate::protocol::EcoRequest) -> u128 {
         h.write(*w);
     }
     h.write(req.default_weight);
-    h.write_bytes(format!("{:?}", req.options).as_bytes());
+    // Options are hashed field-by-field (a Debug rendering would also
+    // capture observability-only fields). `trace_id` is deliberately
+    // excluded: it names trace spans, never the answer.
+    let opts = &req.options;
+    let mut opt_u64 = |v: Option<u64>| match v {
+        None => h.write(0),
+        Some(x) => {
+            h.write(1);
+            h.write(x);
+        }
+    };
+    opt_u64(opts.budget);
+    opt_u64(opts.global_conflicts);
+    opt_u64(opts.deadline_ms);
+    opt_u64(opts.jobs.map(|j| j as u64));
+    opt_u64(opts.hold_ms);
+    opt_u64(opts.structural_fallback.map(u64::from));
+    opt_u64(opts.sweep.map(u64::from));
+    match &opts.method {
+        None => h.write(0),
+        Some(m) => {
+            h.write(1);
+            h.write_bytes(m.as_bytes());
+        }
+    }
+    h.write(u64::from(opts.inject_panic));
     h.finish128()
 }
 
@@ -377,6 +402,24 @@ mod tests {
         let mut d = a.clone();
         d.options.budget = Some(9);
         assert_ne!(outcome_key(&a), outcome_key(&d));
+    }
+
+    #[test]
+    fn outcome_keys_ignore_the_trace_id() {
+        let a = request("spec");
+        let mut b = a.clone();
+        b.options.trace_id = Some("perfetto-lane-4".to_string());
+        assert_eq!(
+            outcome_key(&a),
+            outcome_key(&b),
+            "trace_id is observability-only and must not split the cache"
+        );
+        // Adjacent option fields must not alias each other's encoding.
+        let mut c = a.clone();
+        c.options.budget = Some(5);
+        let mut d = a.clone();
+        d.options.global_conflicts = Some(5);
+        assert_ne!(outcome_key(&c), outcome_key(&d));
     }
 
     #[test]

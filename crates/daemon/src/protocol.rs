@@ -58,6 +58,11 @@ pub struct RequestOptions {
     /// request's first SAT call, simulating a solver bug; the daemon
     /// must answer `"status":"panic"` and keep serving.
     pub inject_panic: bool,
+    /// Client-chosen trace correlation id: names the request's
+    /// lifecycle span in the daemon's `--trace-out` timeline (defaults
+    /// to the request id). Observability-only — it never affects
+    /// solving or caching.
+    pub trace_id: Option<String>,
 }
 
 /// One ECO request, decoded from a JSONL line.
@@ -96,6 +101,14 @@ pub enum Request {
         /// Echoed request id.
         id: String,
     },
+    /// Scrape the metrics registry: counters, gauges, stage-latency
+    /// histograms, and rolling-window rates/quantiles.
+    Metrics {
+        /// Echoed request id.
+        id: String,
+        /// Rendering requested by the client.
+        format: MetricsFormat,
+    },
     /// Stop admission, drain in-flight work, then exit cleanly.
     Drain {
         /// Echoed request id.
@@ -106,6 +119,17 @@ pub enum Request {
         /// Echoed request id.
         id: String,
     },
+}
+
+/// Rendering of a `metrics` scrape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition format 0.0.4 (the default),
+    /// returned as a JSON string under `"metrics"`.
+    #[default]
+    Prometheus,
+    /// A JSON object under `"metrics"`.
+    Json,
 }
 
 fn string_field(v: &JsonValue, key: &str) -> Result<String, String> {
@@ -131,10 +155,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         return match cmd.as_str() {
             Some("stats") => Ok(Request::Stats { id }),
             Some("health") => Ok(Request::Health { id }),
+            Some("metrics") => {
+                let format = match v.get("format").and_then(JsonValue::as_str) {
+                    None | Some("prometheus") => MetricsFormat::Prometheus,
+                    Some("json") => MetricsFormat::Json,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown metrics format {other:?} (expected prometheus or json)"
+                        ))
+                    }
+                };
+                Ok(Request::Metrics { id, format })
+            }
             Some("drain") => Ok(Request::Drain { id }),
             Some("shutdown") => Ok(Request::Shutdown { id }),
             _ => Err(format!(
-                "unknown cmd {cmd:?} (expected stats, health, drain, or shutdown)"
+                "unknown cmd {cmd:?} (expected stats, health, metrics, drain, or shutdown)"
             )),
         };
     }
@@ -201,6 +237,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             .get("inject_panic")
             .and_then(JsonValue::as_bool)
             .unwrap_or(false);
+        options.trace_id = opts
+            .get("trace_id")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
     }
     Ok(Request::Eco(Box::new(EcoRequest {
         id,
@@ -408,6 +448,38 @@ mod tests {
                 id: "b".to_string()
             })
         );
+    }
+
+    #[test]
+    fn parses_metrics_commands_and_formats() {
+        assert_eq!(
+            parse_request(r#"{"id":"m","cmd":"metrics"}"#),
+            Ok(Request::Metrics {
+                id: "m".to_string(),
+                format: MetricsFormat::Prometheus
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"id":"m","cmd":"metrics","format":"json"}"#),
+            Ok(Request::Metrics {
+                id: "m".to_string(),
+                format: MetricsFormat::Json
+            })
+        );
+        let err = parse_request(r#"{"id":"m","cmd":"metrics","format":"xml"}"#)
+            .expect_err("xml is not a format");
+        assert!(err.contains("unknown metrics format"), "{err}");
+    }
+
+    #[test]
+    fn parses_the_trace_id_option() {
+        let line = r#"{"id":"t","impl":"i","spec":"s","targets":["t"],
+            "options":{"trace_id":"batch-7/step-2"}}"#
+            .replace('\n', " ");
+        let Request::Eco(req) = parse_request(&line).expect("parses") else {
+            panic!("expected an ECO request");
+        };
+        assert_eq!(req.options.trace_id.as_deref(), Some("batch-7/step-2"));
     }
 
     #[test]

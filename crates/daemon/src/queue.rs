@@ -41,6 +41,13 @@ impl QueuedRequest {
         self.enqueued_at.elapsed().as_millis().min(u64::MAX as u128) as u64
     }
 
+    /// Time this request has waited since admission, at full
+    /// resolution (the telemetry queue-wait stage records
+    /// microseconds).
+    pub fn queued_duration(&self) -> std::time::Duration {
+        self.enqueued_at.elapsed()
+    }
+
     /// If the request carried a `deadline_ms` and that deadline has
     /// already passed while the request was queued, returns the queue
     /// wait in milliseconds. Such a request must be rejected without
@@ -71,6 +78,7 @@ pub enum Admission {
 struct QueueState {
     queue: VecDeque<QueuedRequest>,
     in_flight: usize,
+    peak_depth: usize,
     closed: bool,
 }
 
@@ -119,6 +127,7 @@ impl RequestQueue {
             request,
             enqueued_at: Instant::now(),
         });
+        state.peak_depth = state.peak_depth.max(state.queue.len());
         drop(state);
         self.ready.notify_one();
         Admission::Queued
@@ -170,6 +179,11 @@ impl RequestQueue {
     pub fn in_flight(&self) -> usize {
         self.lock().in_flight
     }
+
+    /// High-water mark of the queue depth since creation.
+    pub fn peak_depth(&self) -> usize {
+        self.lock().peak_depth
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +229,11 @@ mod tests {
         assert_eq!(retry_after_ms, RETRY_HINT_BASE_MS * 4, "in-flight counts");
         queue.finish();
         assert_eq!(queue.in_flight(), 0);
+        assert_eq!(
+            queue.peak_depth(),
+            2,
+            "peak tracks the deepest backlog, not the current one"
+        );
     }
 
     #[test]

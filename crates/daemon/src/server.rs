@@ -35,9 +35,12 @@
 use crate::cache::{outcome_key, CachedOutcome, DaemonCache};
 use crate::protocol::{
     draining_response, error_response, expired_response, overloaded_response, panic_response,
-    parse_request, EcoRequest, EcoResponse, Request,
+    parse_request, EcoRequest, EcoResponse, MetricsFormat, Request,
 };
 use crate::queue::{Admission, RequestQueue};
+use crate::telemetry::{
+    CacheLayer, CommandKind, Field, Journal, Level, ScrapeView, Stage, Telemetry, TraceAggregator,
+};
 use eco_core::json::escape_json;
 use eco_core::{
     netlist_patches, CacheCounters, EcoEngine, EcoOptions, EcoProblem, FaultPlan, GovernorLimits,
@@ -47,8 +50,8 @@ use eco_netlist::{Netlist, WeightTable};
 use std::io::{self, BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// `retry_after_ms` hint on `draining` responses: the client should
@@ -110,8 +113,9 @@ impl Default for DaemonConfig {
 }
 
 /// The `eco_patchd` daemon: shared caches, the root governor, the
-/// serving loops, and the resilience state (drain flag, serving
-/// counters, poison pills).
+/// serving loops, the resilience state (drain flag, poison pills),
+/// and the observability plane (metrics registry, event journal,
+/// trace aggregation).
 #[derive(Debug)]
 pub struct Daemon {
     config: DaemonConfig,
@@ -120,18 +124,34 @@ pub struct Daemon {
     shutdown: AtomicBool,
     draining: AtomicBool,
     started: Instant,
-    shed: AtomicU64,
-    expired: AtomicU64,
-    retried: AtomicU64,
-    panicked: AtomicU64,
+    telemetry: Telemetry,
+    journal: Journal,
+    trace: Option<TraceAggregator>,
+    /// `(daemon, engine)` eviction counts already reported to the
+    /// journal, so each eviction is journaled exactly once.
+    evictions_seen: Mutex<(u64, u64)>,
 }
 
 impl Daemon {
-    /// Creates a daemon with fresh caches and a root governor holding
-    /// the daemon-wide pools.
+    /// Creates a daemon with fresh caches, a root governor holding the
+    /// daemon-wide pools, and the default observability plane: metrics
+    /// always on, journal to stderr at [`Level::Warn`], no trace
+    /// aggregation.
     pub fn new(config: DaemonConfig) -> Daemon {
+        let journal = Journal::new().with_stderr(Level::Warn);
+        Daemon::with_observability(config, journal, None)
+    }
+
+    /// Creates a daemon with an explicit journal and optional trace
+    /// aggregator (the `--log-jsonl` / `--trace-out` path).
+    pub fn with_observability(
+        config: DaemonConfig,
+        journal: Journal,
+        trace: Option<TraceAggregator>,
+    ) -> Daemon {
         let root = ResourceGovernor::new(config.limits.clone());
         let cache = DaemonCache::new(config.cache_capacity);
+        let telemetry = Telemetry::new(config.workers);
         Daemon {
             config,
             cache,
@@ -139,16 +159,80 @@ impl Daemon {
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             started: Instant::now(),
-            shed: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            retried: AtomicU64::new(0),
-            panicked: AtomicU64::new(0),
+            telemetry,
+            journal,
+            trace,
+            evictions_seen: Mutex::new((0, 0)),
         }
     }
 
     /// The daemon's cache (shared handles; cheap to clone).
     pub fn cache(&self) -> &DaemonCache {
         &self.cache
+    }
+
+    /// The daemon's metrics registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The daemon's event journal (cheap to clone).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Closes the trace aggregation document, if one is attached.
+    /// Call after serving ends; later calls are no-ops.
+    pub fn finish_trace(&self) -> io::Result<()> {
+        match &self.trace {
+            Some(t) => t.finish(),
+            None => Ok(()),
+        }
+    }
+
+    /// Journals cache evictions that happened since the last call, so
+    /// the journal carries one `eviction` event per observed batch.
+    fn note_evictions(&self) {
+        let stats = self.cache.stats();
+        let mut seen = self
+            .evictions_seen
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let (daemon_new, engine_new) = (
+            stats.evictions.saturating_sub(seen.0),
+            stats.engine.evictions.saturating_sub(seen.1),
+        );
+        *seen = (stats.evictions, stats.engine.evictions);
+        drop(seen);
+        if daemon_new > 0 || engine_new > 0 {
+            self.journal.event(
+                Level::Info,
+                "eviction",
+                None,
+                &[
+                    ("daemon_evictions", Field::U(daemon_new)),
+                    ("engine_evictions", Field::U(engine_new)),
+                ],
+            );
+        }
+    }
+
+    /// The `metrics` response: the rendered scrape under `"metrics"`
+    /// (a string for Prometheus exposition, an object for JSON).
+    fn metrics_response(&self, id: &str, format: MetricsFormat, view: &ScrapeView<'_>) -> String {
+        match format {
+            MetricsFormat::Prometheus => format!(
+                "{{\"id\":\"{}\",\"status\":\"ok\",\"format\":\"prometheus\",\
+                 \"metrics\":\"{}\"}}",
+                escape_json(id),
+                escape_json(&self.telemetry.render_prometheus(view))
+            ),
+            MetricsFormat::Json => format!(
+                "{{\"id\":\"{}\",\"status\":\"ok\",\"format\":\"json\",\"metrics\":{}}}",
+                escape_json(id),
+                self.telemetry.render_json(view)
+            ),
+        }
     }
 
     /// Whether admission is closed (a `drain` request was served).
@@ -158,22 +242,25 @@ impl Daemon {
 
     /// The health payload: serving counters, queue occupancy (as
     /// reported by the caller — the queue lives inside the serving
-    /// loop), uptime, poison pills, and cache statistics.
-    fn health_json(&self, id: &str, queue_depth: usize, in_flight: usize) -> String {
+    /// loop), serving mode (`"direct"` handles requests inline, so the
+    /// occupancy gauges are structurally zero; `"pooled"` reports live
+    /// queue state), uptime, poison pills, and cache statistics.
+    fn health_json(&self, id: &str, queue_depth: usize, in_flight: usize, mode: &str) -> String {
         let stats = self.cache.stats();
         format!(
             "{{\"id\":\"{}\",\"status\":\"ok\",\"health\":{{\"uptime_ms\":{},\
-             \"draining\":{},\"queue_depth\":{queue_depth},\"in_flight\":{in_flight},\
+             \"mode\":\"{mode}\",\"draining\":{},\"queue_depth\":{queue_depth},\
+             \"in_flight\":{in_flight},\
              \"poison_pills\":{},\"shed\":{},\"expired\":{},\"retried\":{},\"panicked\":{},\
              \"cache\":{}}}}}",
             escape_json(id),
             self.started.elapsed().as_millis().min(u64::MAX as u128) as u64,
             self.draining(),
             stats.poison_pills,
-            self.shed.load(Ordering::Relaxed),
-            self.expired.load(Ordering::Relaxed),
-            self.retried.load(Ordering::Relaxed),
-            self.panicked.load(Ordering::Relaxed),
+            self.telemetry.shed.get(),
+            self.telemetry.expired.get(),
+            self.telemetry.retried.get(),
+            self.telemetry.panicked.get(),
             stats.to_json()
         )
     }
@@ -190,11 +277,24 @@ impl Daemon {
     /// trailing newline) and whether the daemon should stop serving.
     ///
     /// This is the inline (single-worker) path: requests are solved
-    /// synchronously, so queue depth and in-flight count are always
-    /// zero in `health` responses.
+    /// synchronously, so no queue exists — `health` and `metrics`
+    /// responses mark themselves `"mode":"direct"` and report the
+    /// occupancy gauges as the structural zeros they are, instead of
+    /// posing as idle pooled readings.
     pub fn handle_line(&self, line: &str) -> (String, bool) {
-        match parse_request(line) {
-            Err(e) => (error_response("", &e), false),
+        let received = Instant::now();
+        let parsed = parse_request(line);
+        self.telemetry.record_request(command_kind(&parsed));
+        match parsed {
+            Err(e) => {
+                self.journal.event(
+                    Level::Warn,
+                    "parse_error",
+                    None,
+                    &[("error", Field::S(e.clone()))],
+                );
+                (error_response("", &e), false)
+            }
             Ok(Request::Stats { id }) => (
                 format!(
                     "{{\"id\":\"{}\",\"status\":\"ok\",\"stats\":{}}}",
@@ -203,13 +303,27 @@ impl Daemon {
                 ),
                 false,
             ),
-            Ok(Request::Health { id }) => (self.health_json(&id, 0, 0), false),
+            Ok(Request::Health { id }) => (self.health_json(&id, 0, 0, "direct"), false),
+            Ok(Request::Metrics { id, format }) => {
+                let stats = self.cache.stats();
+                let view = ScrapeView {
+                    cache: &stats,
+                    queue_depth: 0,
+                    in_flight: 0,
+                    queue_peak: 0,
+                    draining: self.draining(),
+                    mode: "direct",
+                };
+                (self.metrics_response(&id, format, &view), false)
+            }
             Ok(Request::Drain { id }) => {
                 self.draining.store(true, Ordering::SeqCst);
+                self.journal.event(Level::Info, "drain", Some(&id), &[]);
                 (self.drain_ack(&id, 0, 0), false)
             }
             Ok(Request::Shutdown { id }) => {
                 self.shutdown.store(true, Ordering::SeqCst);
+                self.journal.event(Level::Info, "shutdown", Some(&id), &[]);
                 (
                     format!(
                         "{{\"id\":\"{}\",\"status\":\"ok\",\"shutdown\":true}}",
@@ -220,9 +334,19 @@ impl Daemon {
             }
             Ok(Request::Eco(req)) => {
                 if self.draining() {
+                    self.journal
+                        .event(Level::Warn, "drain_refused", Some(&req.id), &[]);
                     return (draining_response(&req.id, DRAIN_RETRY_HINT_MS), false);
                 }
-                (self.answer_eco(&req), false)
+                self.telemetry
+                    .record_stage(Stage::Admission, duration_us(received.elapsed()));
+                self.journal.event(
+                    Level::Info,
+                    "admit",
+                    Some(&req.id),
+                    &[("mode", Field::S("direct".to_string()))],
+                );
+                (self.answer_eco(&req, None, None), false)
             }
         }
     }
@@ -231,38 +355,139 @@ impl Daemon {
     /// poison-pill lookup, chaos gating, then the engine behind an
     /// unwind boundary. Always returns a response line — never
     /// propagates a panic into the serving loop.
-    fn answer_eco(&self, req: &EcoRequest) -> String {
+    ///
+    /// `queued` is the admission-queue wait (pooled mode), `worker`
+    /// the pool worker index — both feed the telemetry stage and
+    /// utilization series, and the queue wait also becomes a
+    /// retroactive block on the request's trace lane.
+    fn answer_eco(
+        &self,
+        req: &EcoRequest,
+        queued: Option<Duration>,
+        worker: Option<usize>,
+    ) -> String {
+        let begun = Instant::now();
+        let queued_us = queued.map(duration_us).unwrap_or(0);
+        if queued.is_some() {
+            self.telemetry.record_stage(Stage::QueueWait, queued_us);
+        }
+        // The lifecycle span opens retroactively at admission time, so
+        // the queue-wait block and every engine span nest inside it.
+        let lane = self.trace.as_ref().map(|t| {
+            let lane = t.open_lane();
+            let trace_id = req.options.trace_id.as_deref().unwrap_or(&req.id);
+            let start = t.ts_us().saturating_sub(queued_us);
+            t.begin_request(lane, trace_id, &req.id, start);
+            if queued_us > 0 {
+                t.queue_wait(lane, &req.id, start, queued_us);
+            }
+            lane
+        });
         let key = outcome_key(req);
-        if let Some(pill) = self.cache.poisoned(key) {
-            // Quarantined fingerprint: fast cached rejection, zero
-            // engine work, no second crash.
-            return panic_response(&req.id, &pill, true);
+        let mut stage = StageTimes::default();
+        let (line, status) = 'resp: {
+            if let Some(pill) = self.cache.poisoned(key) {
+                // Quarantined fingerprint: fast cached rejection, zero
+                // engine work, no second crash.
+                self.telemetry.record_cache(CacheLayer::Poison, 1, 0);
+                self.journal
+                    .event(Level::Warn, "poison_hit", Some(&req.id), &[]);
+                break 'resp (panic_response(&req.id, &pill, true), "panic");
+            }
+            if (req.options.inject_panic || req.options.hold_ms.is_some()) && !self.config.chaos {
+                break 'resp (
+                    error_response(
+                        &req.id,
+                        "chaos options (hold_ms, inject_panic) require --chaos",
+                    ),
+                    "error",
+                );
+            }
+            if let Some(ms) = req.options.hold_ms {
+                std::thread::sleep(Duration::from_millis(ms.min(MAX_HOLD_MS)));
+            }
+            match catch_unwind(AssertUnwindSafe(|| self.handle_eco(req, lane, &mut stage))) {
+                Ok(Ok(response)) => {
+                    let serializing = Instant::now();
+                    let line = response.to_json();
+                    stage.serialize_us =
+                        Some(stage.serialize_us.unwrap_or(0) + duration_us(serializing.elapsed()));
+                    (line, "ok")
+                }
+                Ok(Err(e)) => (error_response(&req.id, &e), "error"),
+                Err(payload) => {
+                    let message = panic_text(payload.as_ref());
+                    self.telemetry.panicked.inc();
+                    self.cache.poison(key, &message);
+                    self.journal.event(
+                        Level::Error,
+                        "panic",
+                        Some(&req.id),
+                        &[("error", Field::S(message.clone()))],
+                    );
+                    (panic_response(&req.id, &message, false), "panic")
+                }
+            }
+        };
+        if let (Some(t), Some(lane)) = (self.trace.as_ref(), lane) {
+            t.end_request(lane, t.ts_us());
         }
-        if (req.options.inject_panic || req.options.hold_ms.is_some()) && !self.config.chaos {
-            return error_response(
-                &req.id,
-                "chaos options (hold_ms, inject_panic) require --chaos",
-            );
-        }
-        if let Some(ms) = req.options.hold_ms {
-            std::thread::sleep(Duration::from_millis(ms.min(MAX_HOLD_MS)));
-        }
-        match catch_unwind(AssertUnwindSafe(|| self.handle_eco(req))) {
-            Ok(Ok(response)) => response.to_json(),
-            Ok(Err(e)) => error_response(&req.id, &e),
-            Err(payload) => {
-                let message = panic_text(payload.as_ref());
-                self.panicked.fetch_add(1, Ordering::Relaxed);
-                self.cache.poison(key, &message);
-                panic_response(&req.id, &message, false)
+        let total_us = duration_us(begun.elapsed());
+        self.telemetry
+            .record_worker_busy(worker.unwrap_or(0), total_us);
+        for (s, us) in [
+            (Stage::Parse, stage.parse_us),
+            (Stage::Solve, stage.solve_us),
+            (Stage::Serialize, stage.serialize_us),
+        ] {
+            if let Some(us) = us {
+                self.telemetry.record_stage(s, us);
             }
         }
+        let stats = self.cache.stats();
+        self.journal.event(
+            Level::Info,
+            "request_done",
+            Some(&req.id),
+            &[
+                ("cmd", Field::S("eco".to_string())),
+                ("status", Field::S(status.to_string())),
+                ("queue_wait_us", Field::U(queued_us)),
+                ("parse_us", Field::U(stage.parse_us.unwrap_or(0))),
+                ("solve_us", Field::U(stage.solve_us.unwrap_or(0))),
+                ("serialize_us", Field::U(stage.serialize_us.unwrap_or(0))),
+                ("total_us", Field::U(total_us)),
+                (
+                    "cache_hits_total",
+                    Field::U(
+                        stats.netlist_hits
+                            + stats.outcome_hits
+                            + stats.poison_hits
+                            + stats.engine.hits(),
+                    ),
+                ),
+                (
+                    "cache_misses_total",
+                    Field::U(stats.netlist_misses + stats.outcome_misses + stats.engine.misses()),
+                ),
+            ],
+        );
+        self.note_evictions();
+        line
     }
 
-    /// Solves one ECO request through the cache hierarchy.
-    fn handle_eco(&self, req: &EcoRequest) -> Result<EcoResponse, String> {
+    /// Solves one ECO request through the cache hierarchy. `lane` is
+    /// the request's trace lane (engine spans are forwarded onto it),
+    /// and `stage` receives the parse/solve/serialize wall times.
+    fn handle_eco(
+        &self,
+        req: &EcoRequest,
+        lane: Option<usize>,
+        stage: &mut StageTimes,
+    ) -> Result<EcoResponse, String> {
         let key = outcome_key(req);
         if let Some(stored) = self.cache.lookup_outcome(key) {
+            self.telemetry.record_cache(CacheLayer::Outcome, 1, 0);
             // Outcome hit: replay the stored answer without touching
             // the engine (or even the parser) — zero SAT calls,
             // byte-identical patched netlist.
@@ -290,10 +515,15 @@ impl Daemon {
             });
         }
 
+        self.telemetry.record_cache(CacheLayer::Outcome, 0, 1);
+
+        let parsing = Instant::now();
         let (impl_design, impl_hit) = self.cache.parsed(&req.impl_verilog)?;
         let (spec_design, spec_hit) = self.cache.parsed(&req.spec_verilog)?;
         let netlist_hits = u64::from(impl_hit) + u64::from(spec_hit);
         let netlist_misses = 2 - netlist_hits;
+        self.telemetry
+            .record_cache(CacheLayer::Netlist, netlist_hits, netlist_misses);
 
         let mut weights = WeightTable::new();
         for (net, w) in &req.weights {
@@ -308,6 +538,7 @@ impl Daemon {
             req.default_weight,
         )
         .map_err(|e| e.to_string())?;
+        stage.parse_us = Some(duration_us(parsing.elapsed()));
 
         let method = match req.options.method.as_deref() {
             None | Some("minimize") => SupportMethod::MinimizeAssumptions,
@@ -347,6 +578,7 @@ impl Daemon {
         let mut pool = caller_pool.or(self.config.fair_share_conflicts);
         let mut retries = 0u64;
         let snapshot = problem.snapshot();
+        let solving = Instant::now();
         let outcome = loop {
             let limits = GovernorLimits {
                 timeout,
@@ -361,11 +593,15 @@ impl Daemon {
                     .then(|| FaultPlan::PanicAt(self.root.sat_calls() + 1)),
             };
             let governor = self.root.child_with_limits(limits);
-            let engine = EcoEngine::new(options.clone())
+            let mut engine = EcoEngine::new(options.clone())
                 .with_metrics()
                 .with_cache(self.cache.engine())
                 .with_request_id(req.id.clone())
                 .with_governor(governor);
+            if let (Some(t), Some(lane)) = (self.trace.as_ref(), lane) {
+                engine = engine
+                    .with_shared_observer(Arc::new(Mutex::new(t.observer(lane, req.id.clone()))));
+            }
             let outcome = engine.solve(&snapshot).map_err(|e| e.to_string())?;
             // Daemon-side retry: the trip must come from the
             // fair-share pool this daemon imposed — not the caller's
@@ -379,11 +615,18 @@ impl Daemon {
             if fair_share_trip && retries < MAX_FAIR_SHARE_RETRIES {
                 retries += 1;
                 pool = pool.map(|p| p.saturating_mul(FAIR_SHARE_ESCALATION));
+                self.journal.event(
+                    Level::Info,
+                    "retry",
+                    Some(&req.id),
+                    &[("escalated_pool", Field::U(pool.unwrap_or(0)))],
+                );
                 continue;
             }
             break outcome;
         };
-        self.retried.fetch_add(retries, Ordering::Relaxed);
+        stage.solve_us = Some(duration_us(solving.elapsed()));
+        self.telemetry.retried.add(retries);
 
         let dispositions: Vec<String> = outcome
             .reports
@@ -398,6 +641,7 @@ impl Daemon {
 
         // Prefer name-preserving splices; fall back to the rebuilt
         // netlist when a patch feeds on patch-created logic.
+        let serializing = Instant::now();
         let named = netlist_patches(
             &outcome,
             &names,
@@ -431,6 +675,28 @@ impl Daemon {
         metrics.cache.netlist_misses += netlist_misses;
         metrics.cache.outcome_misses += 1;
         metrics.serving.retried = retries;
+        // This run's engine-layer cache activity feeds the rolling
+        // hit-rate series (the cumulative counters come from
+        // `DaemonCacheStats` at scrape time).
+        for (layer, hits, misses) in [
+            (
+                CacheLayer::Window,
+                metrics.cache.window_hits,
+                metrics.cache.window_misses,
+            ),
+            (
+                CacheLayer::Cnf,
+                metrics.cache.cnf_hits,
+                metrics.cache.cnf_misses,
+            ),
+            (
+                CacheLayer::Target,
+                metrics.cache.target_hits,
+                metrics.cache.target_misses,
+            ),
+        ] {
+            self.telemetry.record_cache(layer, hits, misses);
+        }
 
         // Only clean runs are replayable: a governor trip or injected
         // fault marks a resource-shaped answer that must not be
@@ -450,6 +716,9 @@ impl Daemon {
             );
         }
 
+        let metrics_json = metrics.to_json();
+        stage.serialize_us = Some(duration_us(serializing.elapsed()));
+
         Ok(EcoResponse {
             id: req.id.clone(),
             verified: outcome.verified,
@@ -460,7 +729,7 @@ impl Daemon {
             netlist_cache_hit: netlist_hits == 2,
             outcome_cache_hit: false,
             patched_verilog,
-            metrics_json: metrics.to_json(),
+            metrics_json,
         })
     }
 
@@ -483,8 +752,11 @@ impl Daemon {
                     continue;
                 }
                 let (response, stop) = self.handle_line(&line);
+                let writing = Instant::now();
                 writeln!(writer, "{response}")?;
                 writer.flush()?;
+                self.telemetry
+                    .record_stage(Stage::WriteBack, duration_us(writing.elapsed()));
                 if stop {
                     break;
                 }
@@ -502,23 +774,45 @@ impl Daemon {
         // Worker- and reader-side write errors cannot unwind across
         // the pool; a broken pipe simply ends the stream.
         let write_line = |response: &str| {
+            let writing = Instant::now();
             let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
             let _ = writeln!(w, "{response}");
             let _ = w.flush();
+            self.telemetry
+                .record_stage(Stage::WriteBack, duration_us(writing.elapsed()));
         };
         std::thread::scope(|scope| -> io::Result<()> {
-            for _ in 0..self.config.workers {
-                scope.spawn(|| {
+            for worker in 0..self.config.workers {
+                let queue = &queue;
+                let write_line = &write_line;
+                scope.spawn(move || {
                     while let Some(item) = queue.take() {
                         let response = match item.expired_in_queue() {
                             Some(queued_ms) => {
                                 // The caller's deadline passed while
                                 // the request sat in the queue: shed
                                 // it before any solver work.
-                                self.expired.fetch_add(1, Ordering::Relaxed);
+                                self.telemetry.expired.inc();
+                                self.telemetry.record_stage(
+                                    Stage::QueueWait,
+                                    duration_us(item.queued_duration()),
+                                );
+                                self.journal.event(
+                                    Level::Warn,
+                                    "expired",
+                                    Some(&item.request.id),
+                                    &[("queued_ms", Field::U(queued_ms))],
+                                );
+                                if let Some(t) = &self.trace {
+                                    t.instant("expired", &item.request.id);
+                                }
                                 expired_response(&item.request.id, queued_ms)
                             }
-                            None => self.answer_eco(&item.request),
+                            None => self.answer_eco(
+                                &item.request,
+                                Some(item.queued_duration()),
+                                Some(worker),
+                            ),
                         };
                         write_line(&response);
                         queue.finish();
@@ -531,23 +825,64 @@ impl Daemon {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    match parse_request(&line) {
-                        Err(e) => write_line(&error_response("", &e)),
+                    let received = Instant::now();
+                    let parsed = parse_request(&line);
+                    self.telemetry.record_request(command_kind(&parsed));
+                    match parsed {
+                        Err(e) => {
+                            self.journal.event(
+                                Level::Warn,
+                                "parse_error",
+                                None,
+                                &[("error", Field::S(e.clone()))],
+                            );
+                            write_line(&error_response("", &e));
+                        }
                         Ok(Request::Stats { id }) => write_line(&format!(
                             "{{\"id\":\"{}\",\"status\":\"ok\",\"stats\":{}}}",
                             escape_json(&id),
                             self.cache.stats().to_json()
                         )),
                         Ok(Request::Health { id }) => {
-                            write_line(&self.health_json(&id, queue.depth(), queue.in_flight()));
+                            write_line(&self.health_json(
+                                &id,
+                                queue.depth(),
+                                queue.in_flight(),
+                                "pooled",
+                            ));
+                        }
+                        Ok(Request::Metrics { id, format }) => {
+                            let stats = self.cache.stats();
+                            let view = ScrapeView {
+                                cache: &stats,
+                                queue_depth: queue.depth() as u64,
+                                in_flight: queue.in_flight() as u64,
+                                queue_peak: queue.peak_depth() as u64,
+                                draining: self.draining(),
+                                mode: "pooled",
+                            };
+                            write_line(&self.metrics_response(&id, format, &view));
                         }
                         Ok(Request::Drain { id }) => {
                             self.draining.store(true, Ordering::SeqCst);
                             queue.close();
+                            self.journal.event(
+                                Level::Info,
+                                "drain",
+                                Some(&id),
+                                &[
+                                    ("queue_depth", Field::U(queue.depth() as u64)),
+                                    ("in_flight", Field::U(queue.in_flight() as u64)),
+                                ],
+                            );
+                            if let Some(t) = &self.trace {
+                                t.instant("drain", &id);
+                            }
                             write_line(&self.drain_ack(&id, queue.depth(), queue.in_flight()));
                         }
                         Ok(Request::Shutdown { id }) => {
                             self.shutdown.store(true, Ordering::SeqCst);
+                            self.journal.event(Level::Info, "shutdown", Some(&id), &[]);
                             write_line(&format!(
                                 "{{\"id\":\"{}\",\"status\":\"ok\",\"shutdown\":true}}",
                                 escape_json(&id)
@@ -556,17 +891,48 @@ impl Daemon {
                         }
                         Ok(Request::Eco(req)) => {
                             if self.draining() {
+                                self.journal.event(
+                                    Level::Warn,
+                                    "drain_refused",
+                                    Some(&req.id),
+                                    &[],
+                                );
                                 write_line(&draining_response(&req.id, DRAIN_RETRY_HINT_MS));
                                 continue;
                             }
                             let id = req.id.clone();
-                            match queue.offer(req) {
-                                Admission::Queued => {}
+                            let admission = queue.offer(req);
+                            self.telemetry
+                                .record_stage(Stage::Admission, duration_us(received.elapsed()));
+                            match admission {
+                                Admission::Queued => {
+                                    self.journal.event(
+                                        Level::Info,
+                                        "admit",
+                                        Some(&id),
+                                        &[("queue_depth", Field::U(queue.depth() as u64))],
+                                    );
+                                }
                                 Admission::Shed { retry_after_ms } => {
-                                    self.shed.fetch_add(1, Ordering::Relaxed);
+                                    self.telemetry.shed.inc();
+                                    self.journal.event(
+                                        Level::Warn,
+                                        "shed",
+                                        Some(&id),
+                                        &[("retry_after_ms", Field::U(retry_after_ms))],
+                                    );
+                                    if let Some(t) = &self.trace {
+                                        t.instant("shed", &id);
+                                    }
                                     write_line(&overloaded_response(&id, retry_after_ms));
                                 }
                                 Admission::Draining => {
+                                    self.journal.event(
+                                        Level::Warn,
+                                        "drain_refused",
+                                        Some(&id),
+                                        &[],
+                                    );
                                     write_line(&draining_response(&id, DRAIN_RETRY_HINT_MS));
                                 }
                             }
@@ -601,7 +967,12 @@ impl Daemon {
                 self.serve(reader, stream)
             });
             if let Err(e) = served {
-                eprintln!("eco_patchd: connection error (continuing): {e}");
+                self.journal.event(
+                    Level::Error,
+                    "connection_error",
+                    None,
+                    &[("error", Field::S(e.to_string()))],
+                );
             }
             if self.shutdown.load(Ordering::SeqCst) || self.draining() {
                 break;
@@ -609,6 +980,36 @@ impl Daemon {
         }
         let _ = std::fs::remove_file(path);
         Ok(())
+    }
+}
+
+/// Microseconds of a `Duration`, saturating.
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Per-request stage wall times filled by [`Daemon::handle_eco`] and
+/// recorded by [`Daemon::answer_eco`]. Lives outside the unwind
+/// boundary, so stages completed before a panic still count; `None`
+/// means the stage never ran (e.g. no parse on an outcome-cache hit).
+#[derive(Clone, Copy, Debug, Default)]
+struct StageTimes {
+    parse_us: Option<u64>,
+    solve_us: Option<u64>,
+    serialize_us: Option<u64>,
+}
+
+/// The [`CommandKind`] of a parse result, for per-command request
+/// counters.
+fn command_kind(parsed: &Result<Request, String>) -> CommandKind {
+    match parsed {
+        Err(_) => CommandKind::Invalid,
+        Ok(Request::Eco(_)) => CommandKind::Eco,
+        Ok(Request::Stats { .. }) => CommandKind::Stats,
+        Ok(Request::Health { .. }) => CommandKind::Health,
+        Ok(Request::Metrics { .. }) => CommandKind::Metrics,
+        Ok(Request::Drain { .. }) => CommandKind::Drain,
+        Ok(Request::Shutdown { .. }) => CommandKind::Shutdown,
     }
 }
 
@@ -666,6 +1067,8 @@ USAGE:
   eco_patchd [--socket PATH] [--workers N] [--cache-capacity N]
              [--queue-capacity N] [--fair-share N] [--chaos]
              [--global-budget N] [--timeout-ms N]
+             [--log-jsonl PATH] [--log-level LVL] [--log-rotate-bytes N]
+             [--trace-out PATH]
 
 OPTIONS:
   --socket PATH       serve a unix domain socket instead of stdio
@@ -683,10 +1086,19 @@ OPTIONS:
                       options (testing only)
   --global-budget N   daemon-wide shared conflict pool
   --timeout-ms N      daemon-wide deadline (whole-process wall clock)
+  --log-jsonl PATH    append the structured event journal to PATH
+                      (one JSON object per line; rotated in place)
+  --log-level LVL     journal file verbosity: debug, info, warn, or
+                      error (default info; stderr always logs warn+)
+  --log-rotate-bytes N  rotate the journal file to PATH.1 once it
+                      exceeds N bytes (default 8388608)
+  --trace-out PATH    write a Chrome/Perfetto trace of the whole
+                      session: daemon lifecycle spans with nested
+                      engine spans, tagged by request id
   -h, --help          print this help
 
 PROTOCOL: one JSON object per line; see the eco-daemon crate docs.
-COMMANDS: {\"id\":...,\"cmd\":\"stats\"|\"health\"|\"drain\"|\"shutdown\"}
+COMMANDS: {\"id\":...,\"cmd\":\"stats\"|\"health\"|\"metrics\"|\"drain\"|\"shutdown\"}
 ";
 
 /// Entry point for the `eco_patchd` binary. Returns the process exit
@@ -694,6 +1106,10 @@ COMMANDS: {\"id\":...,\"cmd\":\"stats\"|\"health\"|\"drain\"|\"shutdown\"}
 pub fn run_cli(args: &[String]) -> u8 {
     let mut config = DaemonConfig::default();
     let mut socket: Option<String> = None;
+    let mut log_jsonl: Option<String> = None;
+    let mut log_level = Level::Info;
+    let mut log_rotate_bytes = crate::telemetry::DEFAULT_LOG_ROTATE_BYTES;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     let parse_num = |args: &[String], i: usize, flag: &str| -> Result<u64, String> {
         args.get(i)
@@ -786,6 +1202,53 @@ pub fn run_cli(args: &[String]) -> u8 {
                     }
                 }
             }
+            "--log-jsonl" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => log_jsonl = Some(path.clone()),
+                    None => {
+                        eprintln!("eco_patchd: --log-jsonl requires a path");
+                        return 2;
+                    }
+                }
+            }
+            "--log-level" => {
+                i += 1;
+                match args.get(i).map(String::as_str).map(Level::parse) {
+                    Some(Some(level)) => log_level = level,
+                    Some(None) => {
+                        eprintln!(
+                            "eco_patchd: --log-level expects debug, info, warn, or error, got {:?}",
+                            args[i]
+                        );
+                        return 2;
+                    }
+                    None => {
+                        eprintln!("eco_patchd: --log-level requires a value");
+                        return 2;
+                    }
+                }
+            }
+            "--log-rotate-bytes" => {
+                i += 1;
+                match parse_num(args, i, "--log-rotate-bytes") {
+                    Ok(n) => log_rotate_bytes = n.max(1024),
+                    Err(e) => {
+                        eprintln!("eco_patchd: {e}");
+                        return 2;
+                    }
+                }
+            }
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => trace_out = Some(path.clone()),
+                    None => {
+                        eprintln!("eco_patchd: --trace-out requires a path");
+                        return 2;
+                    }
+                }
+            }
             other => {
                 eprintln!("eco_patchd: unexpected argument {other:?} (try --help)");
                 return 2;
@@ -793,7 +1256,39 @@ pub fn run_cli(args: &[String]) -> u8 {
         }
         i += 1;
     }
-    let daemon = Daemon::new(config);
+    let mut journal = Journal::new().with_stderr(Level::Warn);
+    if let Some(path) = &log_jsonl {
+        match journal.with_file(Path::new(path), log_level, log_rotate_bytes) {
+            Ok(j) => journal = j,
+            Err(e) => {
+                eprintln!("eco_patchd: cannot open journal {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    let trace = match &trace_out {
+        None => None,
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Some(TraceAggregator::new(Box::new(io::BufWriter::new(file)))),
+            Err(e) => {
+                eprintln!("eco_patchd: cannot open trace {path}: {e}");
+                return 1;
+            }
+        },
+    };
+    let daemon = Daemon::with_observability(config, journal, trace);
+    daemon.journal().event(
+        Level::Info,
+        "daemon_started",
+        None,
+        &[
+            ("workers", Field::U(daemon.config.workers as u64)),
+            (
+                "mode",
+                Field::S(if socket.is_some() { "socket" } else { "stdio" }.to_string()),
+            ),
+        ],
+    );
     let served = match socket {
         Some(path) => daemon.serve_unix(Path::new(&path)),
         None => {
@@ -803,6 +1298,13 @@ pub fn run_cli(args: &[String]) -> u8 {
             daemon.serve(io::stdin().lock(), io::stdout())
         }
     };
+    daemon
+        .journal()
+        .event(Level::Info, "daemon_stopped", None, &[]);
+    if let Err(e) = daemon.finish_trace() {
+        eprintln!("eco_patchd: trace write failed: {e}");
+        return 1;
+    }
     match served {
         Ok(()) => 0,
         Err(e) => {

@@ -7,6 +7,8 @@
 //! against it are fully deterministic: a failure reproduces from the
 //! printed case seed alone.
 
+pub mod prom;
+
 /// A splitmix64 generator. Cheap, decent-quality, and `Copy`-free so
 /// accidental state sharing is impossible.
 pub struct Rng(u64);

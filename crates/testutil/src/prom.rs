@@ -1,0 +1,344 @@
+//! A small, strict checker for Prometheus text exposition format
+//! 0.0.4, used to validate the daemon's hand-rolled `metrics`
+//! rendering in tests and CI.
+//!
+//! The checker is stricter than a real scraper in ways that keep our
+//! generator honest: every sample must be preceded by a `# TYPE`
+//! declaration for its family, counters must be finite and
+//! non-negative, and histogram families must carry a complete,
+//! monotonic bucket series ending in `+Inf` whose value equals the
+//! family's `_count`.
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Full sample name (histogram samples keep their `_bucket` /
+    /// `_sum` / `_count` suffix).
+    pub name: String,
+    /// Label pairs, in declaration order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`NaN` compares unequal to itself; use
+    /// `is_nan`).
+    pub value: f64,
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+fn parse_name(s: &str) -> Result<(&str, &str), String> {
+    let mut end = 0;
+    for (i, c) in s.char_indices() {
+        if i == 0 {
+            if !is_name_start(c) {
+                return Err(format!("bad metric name start in {s:?}"));
+            }
+        } else if !is_name_char(c) {
+            end = i;
+            break;
+        }
+        end = i + c.len_utf8();
+    }
+    if end == 0 {
+        return Err(format!("empty metric name in {s:?}"));
+    }
+    Ok((&s[..end], &s[end..]))
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s
+            .parse::<f64>()
+            .map_err(|e| format!("bad sample value {s:?}: {e}")),
+    }
+}
+
+/// Parsed label pairs plus the unconsumed remainder of the line.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+fn parse_labels(s: &str) -> Result<ParsedLabels<'_>, String> {
+    // Caller has consumed the metric name; `s` starts at `{`.
+    let mut rest = s
+        .strip_prefix('{')
+        .ok_or_else(|| format!("expected '{{' in {s:?}"))?;
+    let mut labels = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let (key, after_key) = parse_name(rest)?;
+        rest = after_key
+            .strip_prefix('=')
+            .ok_or_else(|| format!("expected '=' after label {key:?}"))?;
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected '\"' opening label {key:?}"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    consumed = Some(i + 1);
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label {key:?}")),
+                },
+                '\n' => return Err(format!("raw newline in label {key:?}")),
+                _ => value.push(c),
+            }
+        }
+        let end = consumed.ok_or_else(|| format!("unterminated label {key:?}"))?;
+        labels.push((key.to_string(), value));
+        rest = &rest[end..];
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after;
+        } else if !rest.trim_start().starts_with('}') {
+            return Err(format!("expected ',' or '}}' after label {key:?}"));
+        }
+    }
+}
+
+/// The family a sample belongs to: histogram samples shed their
+/// conventional suffix when (and only when) the base family is
+/// declared as a histogram.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Validates `text` as Prometheus exposition format 0.0.4 and returns
+/// every sample, in order. Errors name the offending line.
+pub fn check_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helped: BTreeMap<String, ()> = BTreeMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = parse_name(rest).map_err(err)?;
+            if !help.starts_with(' ') || help.trim().is_empty() {
+                return Err(err(format!("HELP for {name} has no text")));
+            }
+            if helped.insert(name.to_string(), ()).is_some() {
+                return Err(err(format!("duplicate HELP for {name}")));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = parse_name(rest).map_err(err)?;
+            let kind = kind.trim();
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(err(format!("bad TYPE {kind:?} for {name}")));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(err(format!("duplicate TYPE for {name}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            // Bare comments are legal.
+            continue;
+        }
+        let (name, rest) = parse_name(line).map_err(&err)?;
+        let (labels, rest) = if rest.starts_with('{') {
+            parse_labels(rest).map_err(&err)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let value_text = rest.trim();
+        if value_text.contains(' ') {
+            return Err(err(format!(
+                "unexpected trailing tokens after value in {line:?}"
+            )));
+        }
+        let value = parse_value(value_text).map_err(&err)?;
+        let family = family_of(name, &types);
+        let kind = types
+            .get(family)
+            .ok_or_else(|| err(format!("sample {name} precedes its TYPE")))?;
+        if kind == "counter" && !(value >= 0.0 && value.is_finite()) {
+            return Err(err(format!("counter {name} has value {value}")));
+        }
+        samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    check_histograms(&types, &samples)?;
+    Ok(samples)
+}
+
+fn labelset_key(labels: &[(String, String)], skip: &str) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .filter(|(k, _)| k != skip)
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    pairs.sort_unstable();
+    pairs.join(",")
+}
+
+fn check_histograms(types: &BTreeMap<String, String>, samples: &[Sample]) -> Result<(), String> {
+    for (family, kind) in types {
+        if kind != "histogram" {
+            continue;
+        }
+        // Group bucket series by their labelset minus `le`.
+        let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+        let mut sums: BTreeMap<String, ()> = BTreeMap::new();
+        for s in samples {
+            if s.name == format!("{family}_bucket") {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("{family}_bucket sample without le"))?;
+                let bound = parse_value(&le.1)?;
+                series
+                    .entry(labelset_key(&s.labels, "le"))
+                    .or_default()
+                    .push((bound, s.value));
+            } else if s.name == format!("{family}_count") {
+                counts.insert(labelset_key(&s.labels, "le"), s.value);
+            } else if s.name == format!("{family}_sum") {
+                sums.insert(labelset_key(&s.labels, "le"), ());
+            }
+        }
+        if series.is_empty() {
+            return Err(format!("histogram {family} has no bucket samples"));
+        }
+        for (key, mut buckets) in series {
+            buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut prev = -1.0f64;
+            for &(_, v) in &buckets {
+                if v < prev {
+                    return Err(format!(
+                        "histogram {family}{{{key}}} buckets are not monotonic"
+                    ));
+                }
+                prev = v;
+            }
+            let (last_bound, inf_value) = *buckets.last().expect("nonempty");
+            if !last_bound.is_infinite() {
+                return Err(format!("histogram {family}{{{key}}} lacks a +Inf bucket"));
+            }
+            let count = counts
+                .get(&key)
+                .ok_or_else(|| format!("histogram {family}{{{key}}} lacks _count"))?;
+            if (count - inf_value).abs() > f64::EPSILON {
+                return Err(format!(
+                    "histogram {family}{{{key}}}: _count {count} != +Inf bucket {inf_value}"
+                ));
+            }
+            if !sums.contains_key(&key) {
+                return Err(format!("histogram {family}{{{key}}} lacks _sum"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let text = "\
+# HELP demo_requests_total Requests.
+# TYPE demo_requests_total counter
+demo_requests_total{cmd=\"eco\"} 3
+demo_requests_total{cmd=\"say \\\"hi\\\"\"} 0
+# HELP demo_latency_us Latency.
+# TYPE demo_latency_us histogram
+demo_latency_us_bucket{le=\"10\"} 1
+demo_latency_us_bucket{le=\"+Inf\"} 2
+demo_latency_us_sum 12
+demo_latency_us_count 2
+# HELP demo_ratio Ratio.
+# TYPE demo_ratio gauge
+demo_ratio NaN
+";
+        let samples = check_exposition(text).expect("parses");
+        assert_eq!(samples.len(), 7);
+        assert_eq!(samples[1].labels[0].1, "say \"hi\"");
+        assert!(samples[6].value.is_nan());
+    }
+
+    #[test]
+    fn rejects_samples_before_their_type() {
+        let text = "demo_total 1\n# TYPE demo_total counter\n";
+        let e = check_exposition(text).unwrap_err();
+        assert!(e.contains("precedes its TYPE"), "{e}");
+    }
+
+    #[test]
+    fn rejects_negative_counters() {
+        let text = "# TYPE demo_total counter\ndemo_total -1\n";
+        let e = check_exposition(text).unwrap_err();
+        assert!(e.contains("counter"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_monotonic_histograms() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"+Inf\"} 3
+h_sum 9
+h_count 3
+";
+        let e = check_exposition(text).unwrap_err();
+        assert!(e.contains("not monotonic"), "{e}");
+    }
+
+    #[test]
+    fn rejects_histograms_without_inf_or_count_mismatch() {
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(check_exposition(no_inf).unwrap_err().contains("+Inf"));
+        let mismatch = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 2
+h_sum 1
+h_count 3
+";
+        assert!(check_exposition(mismatch).unwrap_err().contains("_count"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(check_exposition("1bad_name 2\n").is_err());
+        assert!(check_exposition("# TYPE x widget\nx 1\n").is_err());
+        assert!(check_exposition("# TYPE x gauge\nx{le=\"oops} 1\n").is_err());
+        assert!(check_exposition("# TYPE x gauge\nx 1 extra\n").is_err());
+    }
+}

@@ -10,6 +10,7 @@
 //!           [--jobs N] [--sweep]
 //!           [--trace-out trace.json] [--trace-format jsonl|chrome]
 //! eco-patch report <trace.jsonl> [--top N]
+//! eco-patch report --journal <journal.jsonl>
 //! ```
 //!
 //! Targets come from `--targets`, from `// eco_target <net>` directives
@@ -25,7 +26,11 @@
 //! default, or the Chrome `trace_event` format with
 //! `--trace-format chrome` (loadable in Perfetto). `eco-patch report`
 //! replays a JSONL trace and prints the time/conflict breakdown by
-//! phase, target, and call kind plus the most expensive calls.
+//! phase, target, and call kind plus the most expensive calls;
+//! `eco-patch report --journal` instead analyzes an `eco_patchd`
+//! `--log-jsonl` event journal (per-command latency percentiles,
+//! shed/expired/panic counts, queue-wait vs solve-time attribution,
+//! cache hit-rate trajectory).
 //!
 //! `--timeout-ms` sets a wall-clock deadline and `--global-budget` a
 //! run-wide conflict pool; when either trips, the run degrades
@@ -37,7 +42,8 @@
 //! cancelled.
 
 use eco_patch::core::trace::{
-    check_span_integrity, render_report, summarize_trace, ChromeTraceObserver, JsonlTraceObserver,
+    check_span_integrity, render_journal_report, render_report, summarize_journal, summarize_trace,
+    ChromeTraceObserver, JsonlTraceObserver,
 };
 use eco_patch::core::{
     detect_targets, netlist_patches, DetectOptions, EcoEngine, EcoError, EcoEvent, EcoObserver,
@@ -135,7 +141,8 @@ fn usage() -> &'static str {
      [--stats-json PATH|-] [--progress] [--quiet] [--no-fallback] \
      [--timeout-ms MS] [--global-budget CONFLICTS] [--jobs N] [--sweep] \
      [--trace-out PATH] [--trace-format jsonl|chrome]\n\
-     \x20      eco-patch report TRACE.jsonl [--top N]"
+     \x20      eco-patch report TRACE.jsonl [--top N]\n\
+     \x20      eco-patch report --journal JOURNAL.jsonl"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -298,10 +305,15 @@ impl TraceSink {
     }
 }
 
-/// `eco-patch report TRACE.jsonl [--top N]`: replay a JSONL trace and
-/// print its profile to stdout.
+/// `eco-patch report TRACE.jsonl [--top N]`: replay a JSONL engine
+/// trace and print its profile to stdout. With `--journal FILE` the
+/// input is instead an `eco_patchd --log-jsonl` event journal, and the
+/// report shows serving behavior: per-command latency percentiles,
+/// shed/expired/panic counts, queue-wait vs solve-time attribution,
+/// and the cache hit-rate trajectory.
 fn run_report(rest: &[String]) -> Result<u8, CliError> {
     let mut path: Option<String> = None;
+    let mut journal: Option<String> = None;
     let mut top = 5usize;
     let mut i = 0;
     while i < rest.len() {
@@ -314,10 +326,28 @@ fn run_report(rest: &[String]) -> Result<u8, CliError> {
                     .parse()
                     .map_err(|_| CliError::usage("--top expects an integer"))?;
             }
+            "--journal" => {
+                i += 1;
+                journal = Some(
+                    rest.get(i)
+                        .ok_or_else(|| CliError::usage("--journal requires a file"))?
+                        .clone(),
+                );
+            }
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
             other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
         }
         i += 1;
+    }
+    if let Some(path) = journal {
+        if path.is_empty() {
+            return Err(CliError::usage("--journal requires a file"));
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError::general(format!("cannot read {path}: {e}")))?;
+        let summary = summarize_journal(&text).map_err(CliError::general)?;
+        print!("{}", render_journal_report(&summary));
+        return Ok(0);
     }
     let path = path.ok_or_else(|| CliError::usage("report requires a trace file"))?;
     let text = std::fs::read_to_string(&path)

@@ -535,6 +535,293 @@ fn chaos_session_answers_healthy_requests_byte_identically_and_exits_cleanly() {
     );
 }
 
+/// The observability acceptance scenario: the chaos session again
+/// (shed + expired + panic + drain), but served with `--log-jsonl` and
+/// `--trace-out`, scraped twice through the `metrics` command. The
+/// Prometheus exposition must parse and agree with the `health`
+/// serving counters, the journal's event sequence must reconstruct
+/// the same counts, the merged Chrome trace must nest every solved
+/// request's engine spans under a daemon lifecycle span carrying its
+/// request id — and the solved answers must stay byte-identical to a
+/// telemetry-disabled run.
+#[test]
+fn observability_session_metrics_journal_and_trace_agree() {
+    // Telemetry-disabled reference run.
+    let baseline = run_session(&format!(
+        "{}\n{}\n",
+        eco_line("base_spec", SPECIFICATION),
+        eco_line("base_revised", REVISED_SPEC)
+    ));
+    assert_eq!(baseline.len(), 2);
+    let expected_spec = answer_fields(&baseline[0]);
+    let expected_revised = answer_fields(&baseline[1]);
+    assert!(expected_spec.0.is_some_and(|v| v.contains("module")));
+
+    let dir = std::env::temp_dir().join(format!("eco_patchd_obs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal_path = dir.join("journal.jsonl");
+    let trace_path = dir.join("trace.json");
+
+    let stages = [
+        // Two held requests park both workers; `hold_a` carries a
+        // client-supplied trace id.
+        (
+            0,
+            format!(
+                "{}\n{}\n",
+                eco_line_opts(
+                    "hold_a",
+                    SPECIFICATION,
+                    "{\"hold_ms\":500,\"trace_id\":\"client-lane-a\"}"
+                ),
+                eco_line_opts("hold_b", REVISED_SPEC, "{\"hold_ms\":500}")
+            ),
+        ),
+        // Fill the queue (`queued`, `expired`), then overflow it.
+        (
+            150,
+            format!(
+                "{}\n{}\n{}\n",
+                eco_line("queued", SPECIFICATION),
+                eco_line_opts("expired", SPECIFICATION, "{\"deadline_ms\":1}"),
+                eco_line("shed_me", SPECIFICATION)
+            ),
+        ),
+        // Backlog drained: crash a worker mid-solve.
+        (
+            900,
+            format!(
+                "{}\n",
+                eco_line_opts("boom", SPECIFICATION, "{\"inject_panic\":true}")
+            ),
+        ),
+        // Scrape both formats, probe health, then wind down.
+        (
+            400,
+            "{\"id\":\"m1\",\"cmd\":\"metrics\"}\n\
+             {\"id\":\"h\",\"cmd\":\"health\"}\n\
+             {\"id\":\"m2\",\"cmd\":\"metrics\",\"format\":\"json\"}\n\
+             {\"id\":\"d\",\"cmd\":\"drain\"}\n"
+                .to_string(),
+        ),
+        (100, format!("{}\n", eco_line("too_late", SPECIFICATION))),
+    ];
+    let responses = run_staged_session(
+        &[
+            "--workers",
+            "2",
+            "--queue-capacity",
+            "2",
+            "--chaos",
+            "--log-jsonl",
+            journal_path.to_str().expect("utf-8 path"),
+            "--trace-out",
+            trace_path.to_str().expect("utf-8 path"),
+        ],
+        &stages,
+    );
+    let mut by_id = std::collections::HashMap::new();
+    for r in &responses {
+        let id = r
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .expect("every response carries an id")
+            .to_string();
+        by_id.insert(id, r);
+    }
+
+    // Telemetry must not move a byte of any solved answer.
+    for (id, expected) in [
+        ("hold_a", &expected_spec),
+        ("hold_b", &expected_revised),
+        ("queued", &expected_spec),
+    ] {
+        let r = by_id[id];
+        assert_eq!(
+            r.get("status").and_then(JsonValue::as_str),
+            Some("ok"),
+            "{id}: {r:?}"
+        );
+        assert_eq!(
+            &answer_fields(r),
+            expected,
+            "{id} must match the telemetry-disabled run byte-for-byte"
+        );
+    }
+    assert_eq!(
+        by_id["shed_me"].get("status").and_then(JsonValue::as_str),
+        Some("overloaded")
+    );
+    assert_eq!(
+        by_id["expired"].get("status").and_then(JsonValue::as_str),
+        Some("expired")
+    );
+    assert_eq!(
+        by_id["boom"].get("status").and_then(JsonValue::as_str),
+        Some("panic")
+    );
+
+    // The Prometheus scrape parses and its serving counters equal the
+    // health command's view.
+    let health = by_id["h"].get("health").expect("health payload");
+    let h = |key: &str| health.get(key).and_then(JsonValue::as_u64).expect(key);
+    let m1 = by_id["m1"];
+    assert_eq!(
+        m1.get("format").and_then(JsonValue::as_str),
+        Some("prometheus")
+    );
+    let exposition = m1
+        .get("metrics")
+        .and_then(JsonValue::as_str)
+        .expect("prometheus metrics payload is text");
+    let samples = eco_testutil::prom::check_exposition(exposition)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{exposition}"));
+    let sample = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    };
+    assert_eq!(sample("eco_patchd_shed_total") as u64, h("shed"));
+    assert_eq!(sample("eco_patchd_expired_total") as u64, h("expired"));
+    assert_eq!(sample("eco_patchd_panicked_total") as u64, h("panicked"));
+    assert_eq!(h("shed"), 1);
+    assert_eq!(h("expired"), 1);
+    assert_eq!(h("panicked"), 1);
+    let eco_requests = samples
+        .iter()
+        .find(|s| {
+            s.name == "eco_patchd_requests_total"
+                && s.labels == [("cmd".to_string(), "eco".to_string())]
+        })
+        .expect("per-command request counter");
+    // hold_a, hold_b, queued, expired, shed_me, boom (too_late arrives
+    // after this scrape).
+    assert_eq!(eco_requests.value as u64, 6);
+
+    // The JSON scrape agrees.
+    let m2 = by_id["m2"];
+    assert_eq!(m2.get("format").and_then(JsonValue::as_str), Some("json"));
+    let serving = m2
+        .get("metrics")
+        .and_then(|m| m.get("serving"))
+        .expect("json metrics payload");
+    for key in ["shed", "expired", "panicked"] {
+        assert_eq!(
+            serving.get(key).and_then(JsonValue::as_u64),
+            Some(h(key)),
+            "{key}"
+        );
+    }
+    assert_eq!(
+        m2.get("metrics")
+            .and_then(|m| m.get("mode"))
+            .and_then(JsonValue::as_str),
+        Some("pooled")
+    );
+
+    // The journal reconstructs the same counts, event by event.
+    let journal_text = std::fs::read_to_string(&journal_path).expect("journal written");
+    let journal =
+        eco_patch::core::trace::summarize_journal(&journal_text).expect("journal is valid JSONL");
+    assert_eq!(journal.shed, 1, "{journal_text}");
+    assert_eq!(journal.expired, 1);
+    assert_eq!(journal.panicked, 1);
+    assert_eq!(journal.drain_refused, 1, "too_late refused while draining");
+    assert!(
+        journal.admitted >= 4,
+        "hold_a, hold_b, queued, expired, boom admit: {journal:?}"
+    );
+    let ok = journal
+        .statuses
+        .iter()
+        .find(|(s, _)| s == "ok")
+        .map(|(_, n)| *n);
+    assert_eq!(ok, Some(3), "three solved requests: {journal:?}");
+    assert!(
+        journal.solve_us > 0 && journal.queue_wait_us > 0,
+        "attribution must see real solve and queue time: {journal:?}"
+    );
+
+    // The merged trace is one Chrome document where each solved
+    // request's lifecycle span carries its request id and its engine
+    // spans sit on the same lane inside the span.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let doc = parse_json(&trace_text).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    let request_id_of = |e: &JsonValue| {
+        e.get("args")
+            .and_then(|a| a.get("request_id"))
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+    };
+    for (id, trace_name) in [
+        ("hold_a", "request client-lane-a"),
+        ("hold_b", "request hold_b"),
+        ("queued", "request queued"),
+    ] {
+        let begin = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("B")
+                    && request_id_of(e).as_deref() == Some(id)
+            })
+            .unwrap_or_else(|| panic!("no lifecycle span for {id}"));
+        assert_eq!(
+            begin.get("name").and_then(JsonValue::as_str),
+            Some(trace_name),
+            "client trace ids label the span"
+        );
+        let lane = begin.get("tid").and_then(JsonValue::as_u64).expect("tid");
+        let begin_ts = begin.get("ts").and_then(JsonValue::as_u64).expect("ts");
+        let end_ts = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("E")
+                    && e.get("tid").and_then(JsonValue::as_u64) == Some(lane)
+            })
+            .filter_map(|e| e.get("ts").and_then(JsonValue::as_u64))
+            .find(|ts| *ts >= begin_ts)
+            .unwrap_or_else(|| panic!("lifecycle span for {id} never closes"));
+        let engine_spans: Vec<&JsonValue> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("X")
+                    && e.get("tid").and_then(JsonValue::as_u64) == Some(lane)
+                    && request_id_of(e).as_deref() == Some(id)
+                    && e.get("cat").and_then(JsonValue::as_str) != Some("daemon")
+            })
+            .collect();
+        assert!(
+            !engine_spans.is_empty(),
+            "{id} must contribute engine spans on its lane"
+        );
+        for span in engine_spans {
+            let ts = span.get("ts").and_then(JsonValue::as_u64).expect("ts");
+            let dur = span.get("dur").and_then(JsonValue::as_u64).unwrap_or(0);
+            assert!(
+                ts >= begin_ts && ts + dur <= end_ts,
+                "{id}: engine span {span:?} must nest in [{begin_ts}, {end_ts}]"
+            );
+        }
+    }
+    // The faults landed on the control lane as instants.
+    for name in ["shed", "expired"] {
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("i")
+                    && e.get("name").and_then(JsonValue::as_str) == Some(name)
+            }),
+            "missing {name} instant in trace"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// An uncleanly killed daemon leaves its socket file behind; a
 /// restart on the same path must detect the stale file, rebind, and
 /// serve.
