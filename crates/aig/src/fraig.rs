@@ -38,6 +38,10 @@ pub struct PatternPool {
     /// Bits used in the last (counterexample) word, 0 when the last
     /// word is a full random word.
     extra_fill: usize,
+    /// Words present at construction (the seeded random prefix).
+    seed_words: usize,
+    /// Counterexample patterns appended so far.
+    appended: usize,
 }
 
 impl PatternPool {
@@ -53,6 +57,8 @@ impl PatternPool {
             num_inputs,
             columns,
             extra_fill: 0,
+            seed_words: words,
+            appended: 0,
         }
     }
 
@@ -79,11 +85,20 @@ impl PatternPool {
     /// sweep proof). Unused bits of a partially filled word replay the
     /// all-zero pattern, which is harmless — signatures only gain rows.
     ///
+    /// Duplicates of a pattern appended earlier are dropped: prune and
+    /// minimize can both learn the same counterexample, and storing it
+    /// twice wastes a pool slot without distinguishing anything new.
+    /// Only appended slots are checked — the seeded random prefix is
+    /// left alone so pool growth stays deterministic.
+    ///
     /// # Panics
     ///
     /// Panics if `bits.len() != self.num_inputs()`.
     pub fn add_pattern(&mut self, bits: &[bool]) {
         assert_eq!(bits.len(), self.num_inputs, "one bit per input required");
+        if self.appended_contains(bits) {
+            return;
+        }
         if self.extra_fill == 0 {
             for c in &mut self.columns {
                 c.push(0);
@@ -97,6 +112,20 @@ impl PatternPool {
             }
         }
         self.extra_fill = (self.extra_fill + 1) % 64;
+        self.appended += 1;
+    }
+
+    /// True when `bits` matches a previously appended counterexample
+    /// slot (the seeded random words are not consulted).
+    fn appended_contains(&self, bits: &[bool]) -> bool {
+        (0..self.appended).any(|k| {
+            let w = self.seed_words + k / 64;
+            let r = (k % 64) as u32;
+            self.columns
+                .iter()
+                .zip(bits)
+                .all(|(c, &b)| ((c[w] >> r) & 1 == 1) == b)
+        })
     }
 
     /// Simulates the AIG over the whole pool and returns one signature
@@ -250,6 +279,36 @@ mod tests {
         p1.add_pattern(&[true, true, false]);
         assert_eq!(p1.num_words(), 5);
         assert_eq!(p1.input_words(4), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn duplicate_counterexamples_are_not_stored_twice() {
+        let mut p = PatternPool::new(3, 4, 7);
+        p.add_pattern(&[true, false, true]);
+        p.add_pattern(&[true, true, false]);
+        let before = p.input_words(4);
+        // Re-learning either pattern (prune and minimize can both hit
+        // the same witness) must leave the pool byte-identical.
+        p.add_pattern(&[true, false, true]);
+        p.add_pattern(&[true, true, false]);
+        assert_eq!(p.num_words(), 5);
+        assert_eq!(p.input_words(4), before);
+        // A genuinely new pattern still lands in the next slot — dedup
+        // consults only the appended slots, never the seeded prefix,
+        // so a pattern already present among the random words is kept.
+        p.add_pattern(&[false, true, true]);
+        assert_eq!(p.num_words(), 5);
+        assert_eq!(p.input_words(4), vec![3, 6, 5]);
+        // All eight 3-bit patterns appended repeatedly occupy exactly
+        // eight slots — still within the single counterexample word.
+        for _ in 0..3 {
+            for k in 0..8u8 {
+                let bits = [k & 1 == 1, k & 2 == 2, k & 4 == 4];
+                p.add_pattern(&bits);
+            }
+        }
+        assert_eq!(p.num_words(), 5);
+        assert_eq!(p.input_words(4).iter().map(|w| w >> 8).sum::<u64>(), 0);
     }
 
     #[test]

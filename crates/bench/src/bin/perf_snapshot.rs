@@ -4,14 +4,14 @@
 //!
 //! ```text
 //! perf_snapshot [--scale F] [--iters N] [--units N] [--unit NAME]
-//!               [--jobs N] [--sweep] [--out DIR]
+//!               [--jobs N] [--sweep] [--classes] [--out DIR]
 //! ```
 //!
 //! One record per (unit, method): mean/min wall time plus the key
 //! `RunMetrics` v3 counters (SAT calls, conflicts, solver µs), so perf
 //! regressions are attributable to solver work vs. engine overhead.
 
-use eco_bench::run_method_configured;
+use eco_bench::run_method_configured_classes;
 use eco_benchgen::{build_unit, table1_units};
 use eco_core::json::escape_json;
 use eco_core::SupportMethod;
@@ -25,6 +25,7 @@ struct Config {
     unit: Option<String>,
     jobs: usize,
     sweep: bool,
+    classes: bool,
     out_dir: String,
 }
 
@@ -36,6 +37,7 @@ fn parse_config() -> Result<Config, String> {
         unit: None,
         jobs: 1,
         sweep: false,
+        classes: false,
         out_dir: ".".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -66,12 +68,13 @@ fn parse_config() -> Result<Config, String> {
                     .map_err(|_| "--jobs expects an integer".to_string())?
             }
             "--sweep" => config.sweep = true,
+            "--classes" => config.classes = true,
             "--out" => config.out_dir = value("--out")?,
             other => {
                 return Err(format!(
                     "unknown flag {other:?}\nusage: perf_snapshot [--scale F] \
                      [--iters N] [--units N] [--unit NAME] [--jobs N] [--sweep] \
-                     [--out DIR]"
+                     [--classes] [--out DIR]"
                 ))
             }
         }
@@ -114,12 +117,13 @@ fn main() {
             let mut min = Duration::MAX;
             let mut last = None;
             for _ in 0..config.iters {
-                let r = run_method_configured(
+                let r = run_method_configured_classes(
                     &problem,
                     method,
                     Some(500_000),
                     config.jobs,
                     config.sweep,
+                    config.classes,
                 );
                 total += r.time;
                 min = min.min(r.time);
@@ -155,6 +159,13 @@ fn main() {
                 if config.sweep {
                     let _ = write!(record, ",\"oracle_hits\":{}", m.sweep.oracle_hits);
                 }
+                if config.classes {
+                    let _ = write!(
+                        record,
+                        ",\"inherited_answers\":{}",
+                        m.classes.inherited_answers
+                    );
+                }
             }
             record.push('}');
             eprintln!(
@@ -169,8 +180,8 @@ fn main() {
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\"schema_version\":1,\"suite\":\"table1\",\"scale\":{},\"iters\":{},\"jobs\":{},\"sweep\":{},\"cases\":[",
-        config.scale, config.iters, config.jobs, config.sweep
+        "{{\"schema_version\":1,\"suite\":\"table1\",\"scale\":{},\"iters\":{},\"jobs\":{},\"sweep\":{},\"classes\":{},\"cases\":[",
+        config.scale, config.iters, config.jobs, config.sweep, config.classes
     );
     json.push_str(&cases.join(","));
     json.push_str("]}\n");

@@ -73,8 +73,22 @@ pub fn options_configured(
     jobs: usize,
     sweep: bool,
 ) -> EcoOptions {
+    options_configured_classes(method, per_call_conflicts, jobs, sweep, false)
+}
+
+/// [`options_configured`] with the test-equivalence-class layer
+/// toggled. Like sweeping, classes keep every output byte-identical
+/// while dropping observed SAT calls.
+pub fn options_configured_classes(
+    method: SupportMethod,
+    per_call_conflicts: Option<u64>,
+    jobs: usize,
+    sweep: bool,
+    classes: bool,
+) -> EcoOptions {
     EcoOptions::builder()
         .sweep(sweep)
+        .classes(classes)
         .method(method)
         .cegar_min(method == SupportMethod::SatPrune)
         .per_call_conflicts(per_call_conflicts)
@@ -116,8 +130,27 @@ pub fn run_method_configured(
     jobs: usize,
     sweep: bool,
 ) -> MethodResult {
-    let engine =
-        EcoEngine::new(options_configured(method, per_call_conflicts, jobs, sweep)).with_metrics();
+    run_method_configured_classes(problem, method, per_call_conflicts, jobs, sweep, false)
+}
+
+/// [`run_method_configured`] with the test-equivalence-class layer
+/// toggled.
+pub fn run_method_configured_classes(
+    problem: &EcoProblem,
+    method: SupportMethod,
+    per_call_conflicts: Option<u64>,
+    jobs: usize,
+    sweep: bool,
+    classes: bool,
+) -> MethodResult {
+    let engine = EcoEngine::new(options_configured_classes(
+        method,
+        per_call_conflicts,
+        jobs,
+        sweep,
+        classes,
+    ))
+    .with_metrics();
     let t = std::time::Instant::now();
     match engine.solve(&problem.snapshot()) {
         Ok(out) => MethodResult {

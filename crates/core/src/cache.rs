@@ -129,12 +129,22 @@ impl<T: Clone> Layer<T> {
     }
 }
 
+/// A shared, immutable batch of class-layer witness pattern pairs
+/// (`(input_a, input_b)` valuations), as stored in the cache side
+/// table and replayed into a fresh [`crate::classes::EquivClasses`].
+pub(crate) type WitnessPatterns = Arc<Vec<(Vec<bool>, Vec<bool>)>>;
+
 #[derive(Default)]
 struct CacheInner {
     tick: u64,
     windows: Layer<Window>,
     miters: Layer<Arc<QuantifiedMiter>>,
     solves: Layer<CachedSolve>,
+    /// Class-layer counterexample witnesses, keyed like `miters`. A
+    /// side table rather than a [`CacheLayer`]: hits and misses are
+    /// deliberately unobserved (witness reuse is a warm-start hint that
+    /// must not perturb the event stream or [`CacheStats`]).
+    witnesses: Layer<WitnessPatterns>,
     stats: CacheStats,
 }
 
@@ -249,6 +259,20 @@ impl EcoCache {
         if let Ok(mut g) = self.inner.lock() {
             let tick = g.bump();
             let evicted = g.miters.put(key, miter, tick, self.capacity);
+            g.stats.evictions += evicted;
+        }
+    }
+
+    pub(crate) fn get_witnesses(&self, key: u128) -> Option<WitnessPatterns> {
+        let mut g = self.inner.lock().ok()?;
+        let tick = g.bump();
+        g.witnesses.get(key, tick)
+    }
+
+    pub(crate) fn put_witnesses(&self, key: u128, witnesses: WitnessPatterns) {
+        if let Ok(mut g) = self.inner.lock() {
+            let tick = g.bump();
+            let evicted = g.witnesses.put(key, witnesses, tick, self.capacity);
             g.stats.evictions += evicted;
         }
     }

@@ -6,7 +6,7 @@
 
 use crate::cnf::CnfEncoder;
 use crate::error::EcoError;
-use crate::observe::{EcoEvent, ObserverHandle, SatCallKind};
+use crate::observe::{ClassesCounters, EcoEvent, ObserverHandle, SatCallKind};
 use eco_aig::{Aig, AigLit, NodeId};
 use eco_graph::{NodeCutGraph, INF};
 use eco_sat::{Lit, ResourceGovernor, SolveResult, Solver};
@@ -90,12 +90,21 @@ pub fn cegar_min_filtered(
         &ObserverHandle::default(),
         None,
         None,
+        None,
     )
 }
 
 /// [`cegar_min_filtered`] with event emission: equivalence queries
 /// report as [`SatCallKind::CegarMin`] attributed to `target_index`,
 /// and the completed round as [`EcoEvent::CegarMinRound`].
+///
+/// With `classes` set, counterexample valuations learned from SAT
+/// answers are replayed by simulation to discharge later equivalence
+/// checks whose disagreement is already witnessed (Sat-only
+/// inheritance — a finite pattern store can never prove UNSAT).
+/// Inherited answers still count in `sat_calls`, so reported totals
+/// match a classless run byte-for-byte; the skips are accounted in
+/// `classes.inherited_answers`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn cegar_min_observed(
     implementation: &Aig,
@@ -107,6 +116,7 @@ pub(crate) fn cegar_min_observed(
     obs: &ObserverHandle,
     target_index: Option<usize>,
     governor: Option<&ResourceGovernor>,
+    classes: Option<&mut ClassesCounters>,
 ) -> Result<CegarMinResult, EcoError> {
     assert_eq!(patch.num_outputs(), 1, "patch must be single-output");
     assert_eq!(patch.num_inputs(), bindings.len(), "binding arity mismatch");
@@ -148,6 +158,16 @@ pub(crate) fn cegar_min_observed(
     solver.set_search_control(governor.map(ResourceGovernor::control));
     let mut enc = CnfEncoder::new(&combined);
     let mut sat_calls = 0u64;
+    // Class layer: full node valuations of counterexample inputs
+    // harvested from SAT answers. A valuation where two literals
+    // disagree discharges the matching phase check without a solver
+    // call. Disabled whenever the governor has tripped or injected a
+    // fault — a real call would then see the degraded solver, and the
+    // inherited answer must not mask that.
+    const MAX_CEGAR_CEX: usize = 256;
+    let use_store = classes.is_some();
+    let mut cex_store: Vec<Vec<bool>> = Vec::new();
+    let (mut inherited, mut learned) = (0u64, 0u64);
     let mut prove_equal = |a: AigLit,
                            b: AigLit,
                            solver: &mut Solver,
@@ -156,24 +176,78 @@ pub(crate) fn cegar_min_observed(
         if a == b {
             return Ok(Some(true));
         }
+        let governed_ok =
+            || !governor.is_some_and(|g| g.trip().is_some() || g.fault_injections() != 0);
+        let eval = |vals: &[bool], l: AigLit| vals[l.node().index()] ^ l.is_complement();
+        // known[0]: some valuation has a=1, b=0; known[1]: a=0, b=1.
+        let mut known = [false; 2];
+        if use_store && governed_ok() {
+            for vals in &cex_store {
+                let (va, vb) = (eval(vals, a), eval(vals, b));
+                known[0] |= va && !vb;
+                known[1] |= !va && vb;
+                if known[0] && known[1] {
+                    break;
+                }
+            }
+        }
         let la = enc.lit(&combined, solver, a);
         let lb = enc.lit(&combined, solver, b);
-        let mut check = |x: Lit, y: Lit, solver: &mut Solver| -> Option<bool> {
-            if let Some(c) = per_call_conflicts {
-                solver.set_budget(Some(c), None);
-            }
-            sat_calls += 1;
-            let before = obs.snapshot(solver);
-            let result = solver.solve(&[x, y]);
-            obs.sat_call(before, solver, SatCallKind::CegarMin, target_index, result);
-            match result {
-                SolveResult::Unsat => Some(true),
-                SolveResult::Sat => Some(false),
-                SolveResult::Unknown => None,
-            }
-        };
+        let mut check =
+            |x: Lit, y: Lit, inherited_sat: bool, solver: &mut Solver| -> Option<bool> {
+                sat_calls += 1;
+                if inherited_sat {
+                    inherited += 1;
+                    return Some(false);
+                }
+                if let Some(c) = per_call_conflicts {
+                    solver.set_budget(Some(c), None);
+                }
+                let before = obs.snapshot(solver);
+                let result = solver.solve(&[x, y]);
+                obs.sat_call(before, solver, SatCallKind::CegarMin, target_index, result);
+                if result == SolveResult::Sat
+                    && use_store
+                    && governed_ok()
+                    && cex_store.len() < MAX_CEGAR_CEX
+                {
+                    let words: Vec<u64> = combined
+                        .inputs()
+                        .iter()
+                        .map(|&n| {
+                            let bit = enc
+                                .var(n)
+                                .map(|v| {
+                                    solver
+                                        .model_value(v.positive())
+                                        .to_option()
+                                        .unwrap_or(false)
+                                })
+                                .unwrap_or(false);
+                            u64::from(bit)
+                        })
+                        .collect();
+                    let vals: Vec<bool> = combined
+                        .simulate(&words)
+                        .iter()
+                        .map(|&w| w & 1 == 1)
+                        .collect();
+                    if !cex_store.contains(&vals) {
+                        cex_store.push(vals);
+                        learned += 1;
+                    }
+                }
+                match result {
+                    SolveResult::Unsat => Some(true),
+                    SolveResult::Sat => Some(false),
+                    SolveResult::Unknown => None,
+                }
+            };
         // a != b is UNSAT in both phases.
-        match (check(la, !lb, solver), check(!la, lb, solver)) {
+        match (
+            check(la, !lb, known[0], solver),
+            check(!la, lb, known[1], solver),
+        ) {
             (Some(true), Some(true)) => Ok(Some(true)),
             (Some(_), Some(_)) => Ok(Some(false)),
             _ => Ok(None), // budget: treat as unproven
@@ -212,6 +286,11 @@ pub(crate) fn cegar_min_observed(
                 break;
             }
         }
+    }
+
+    if let Some(counters) = classes {
+        counters.inherited_answers += inherited;
+        counters.refinement_rounds += learned;
     }
 
     let out = patch.outputs()[0];

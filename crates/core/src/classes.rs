@@ -1,0 +1,655 @@
+//! Test-equivalence-class pruning (schema v8): simulation-first
+//! partitioning of divisors and support subsets so that SAT calls are
+//! spent on class representatives only.
+//!
+//! Three pieces live here:
+//!
+//! - [`EquivClasses`]: the per-target class layer over the two-copy
+//!   support instance of expression (2). It combines the A/B witness
+//!   store of the PR 8 sweep oracle (satisfiable answers inherited
+//!   from stored pattern pairs) with a feasible-set store (UNSAT
+//!   answers inherited by supersets of a proven-feasible subset — a
+//!   monotonicity argument, see [`EquivClasses::proves_feasible`]).
+//!   Witness models from real SAT calls refine the stores CEGAR-style,
+//!   and raw witnesses carry across quantification-refinement rounds
+//!   and across requests via the [`EcoCache`](crate::EcoCache).
+//! - [`MinimizeHook`]: the *learn-only* observation point
+//!   `minimize_assumptions` exposes so the class layer can harvest
+//!   witnesses and feasible sets from the recursion's real calls.
+//!   Deliberately not an answer source: the recursion prunes by the
+//!   solver's final conflict, and a conflict's content depends on the
+//!   learned-clause state every earlier solve left behind — skipping
+//!   even one solve (with a semantically correct verdict) changes
+//!   later conflict sets and therefore the minimized result.
+//!   Inheritance is confined to verdict-only consumers:
+//!   [`SupportSolver::subset_feasible`](crate::support::SupportSolver::subset_feasible)
+//!   and the `CEGAR_min` equivalence checks.
+//! - [`partition_literals`]: the public partition-and-prove API the
+//!   property tests drive: literals are partitioned by bit-parallel
+//!   signatures, each member is SAT-proven equal to its class
+//!   representative, and counterexamples split classes until the
+//!   partition is exact. Under a tripped or fault-injecting governor
+//!   it degrades to the identity partition (never a wrong answer).
+//!
+//! Everything here is *verdict-preserving*: an answer the layer
+//! short-circuits is one the SAT solver would have returned, so
+//! patches, costs, dispositions, and exit codes are byte-identical for
+//! any `--jobs`/`--sweep` combination — only `sat_calls` drops, and
+//! the drop is auditable as `sat_calls - observed_sat_calls ==
+//! sweep.oracle_hits + classes.inherited_answers`.
+
+use crate::cnf::CnfEncoder;
+use crate::miter::QuantifiedMiter;
+use crate::observe::ClassesCounters;
+use crate::sweep::{signature_at, word_of, SWEEP_POOL_WORDS};
+use eco_aig::{Aig, AigLit, NodeId, PatternPool};
+use eco_sat::{Lit, ResourceGovernor, SolveResult, Solver};
+use std::collections::{HashMap, HashSet};
+
+/// Cap on witness patterns stored per side; beyond it the layer stays
+/// sound, just less sharp.
+const MAX_WITNESS_PATTERNS: usize = 1024;
+
+/// Cap on raw witness pairs carried across refinement rounds/requests.
+const MAX_CARRIED_WITNESSES: usize = 1024;
+
+/// Cap on stored feasible (UNSAT-proven) subsets.
+const MAX_FEASIBLE_SETS: usize = 512;
+
+/// Cap on tracked representative subsets (counting only).
+const MAX_REPRESENTATIVES: usize = 4096;
+
+/// The per-target test-equivalence-class layer over the support
+/// instance of expression (2).
+///
+/// Like the sweep oracle it keeps two signature sets — `A` for
+/// patterns with `M(0, x) = 1`, `B` for `M(1, x) = 1` — whose agreeing
+/// projections witness infeasibility (the instance is satisfiable).
+/// On top it stores subsets proven *feasible* (UNSAT): activations are
+/// constraints, so every superset of a feasible subset is feasible too
+/// and the UNSAT answer is inherited without a call. Quantification
+/// refinement only strengthens the miter (`M_new = M_old ∧ extra`), so
+/// carried feasible sets stay valid; carried infeasibility witnesses
+/// are re-verified by simulation before being trusted.
+#[derive(Debug)]
+pub(crate) struct EquivClasses {
+    miter: Aig,
+    output: AigLit,
+    x_count: usize,
+    divisor_lits: Vec<AigLit>,
+    /// Divisor signatures of patterns where `M(0, x) = 1`.
+    a_sigs: Vec<Vec<u64>>,
+    /// Divisor signatures of patterns where `M(1, x) = 1`.
+    b_sigs: Vec<Vec<u64>>,
+    /// Raw witness pairs, for carry across rounds and requests.
+    witnesses: Vec<(Vec<bool>, Vec<bool>)>,
+    /// Canonical (sorted) divisor-index sets proven feasible (UNSAT).
+    feasible: Vec<Vec<usize>>,
+    /// Canonical subsets that went to the real solver (counting only).
+    reps: HashSet<Vec<usize>>,
+    stats: ClassesCounters,
+    governor: Option<ResourceGovernor>,
+}
+
+impl EquivClasses {
+    /// Builds the class layer for one quantified miter and its divisor
+    /// list, seeding the pattern pool deterministically (identical
+    /// inputs produce an identical layer at any `--jobs` count).
+    pub(crate) fn build(qm: &QuantifiedMiter, divisors: &[NodeId], seed: u64) -> EquivClasses {
+        let x_count = qm.x_inputs.len();
+        let divisor_lits: Vec<AigLit> = divisors.iter().map(|d| qm.impl_map[d.index()]).collect();
+        let mut classes = EquivClasses {
+            miter: qm.aig.clone(),
+            output: qm.output,
+            x_count,
+            divisor_lits,
+            a_sigs: Vec::new(),
+            b_sigs: Vec::new(),
+            witnesses: Vec::new(),
+            feasible: Vec::new(),
+            reps: HashSet::new(),
+            stats: ClassesCounters::default(),
+            governor: None,
+        };
+        // Partition the divisors into signature classes (canonical up
+        // to complement) under a pool over all miter inputs — the
+        // partition the counters report.
+        let class_pool = PatternPool::new(x_count + 1, SWEEP_POOL_WORDS, seed);
+        let sigs = class_pool.signatures(&classes.miter);
+        let nw = class_pool.num_words();
+        let mut distinct: HashSet<Vec<u64>> = HashSet::new();
+        for &dl in &classes.divisor_lits {
+            let node = dl.node().index();
+            let mut v: Vec<u64> = sigs[node * nw..(node + 1) * nw].to_vec();
+            if dl.is_complement() {
+                for w in &mut v {
+                    *w = !*w;
+                }
+            }
+            if v.first().is_some_and(|w| w & 1 == 1) {
+                for w in &mut v {
+                    *w = !*w;
+                }
+            }
+            distinct.insert(v);
+        }
+        classes.stats.partitions = distinct.len() as u64;
+        // Harvest initial A/B patterns from a pool over the x inputs,
+        // simulating the miter under both cofactors of n.
+        let pool = PatternPool::new(x_count, SWEEP_POOL_WORDS, seed);
+        for w in 0..pool.num_words() {
+            let x_words = pool.input_words(w);
+            for n_value in [false, true] {
+                let mut cols = x_words.clone();
+                cols.push(if n_value { !0u64 } else { 0u64 });
+                let words = classes.miter.simulate(&cols);
+                let out_word = word_of(&words, classes.output);
+                for r in 0..64u32 {
+                    if out_word >> r & 1 == 0 {
+                        continue;
+                    }
+                    let sig = signature_at(&words, &classes.divisor_lits, r);
+                    classes.store(n_value, sig);
+                }
+            }
+        }
+        classes
+    }
+
+    /// Attaches the engine's governor; a tripped or fault-injecting
+    /// governor deactivates every lookup and learn, degrading the
+    /// layer to the identity (zero inherited answers).
+    pub(crate) fn set_governor(&mut self, governor: Option<ResourceGovernor>) {
+        self.governor = governor;
+    }
+
+    fn active(&self) -> bool {
+        self.governor
+            .as_ref()
+            .is_none_or(|g| g.trip().is_none() && g.fault_injections() == 0)
+    }
+
+    fn store(&mut self, n_value: bool, sig: Vec<u64>) {
+        let side = if n_value {
+            &mut self.b_sigs
+        } else {
+            &mut self.a_sigs
+        };
+        if side.len() < MAX_WITNESS_PATTERNS && !side.contains(&sig) {
+            side.push(sig);
+        }
+    }
+
+    /// `true` if a stored pattern pair already witnesses that the
+    /// divisor subset (by index) is infeasible — a SAT call would
+    /// return `Sat`.
+    pub(crate) fn proves_infeasible(&mut self, indices: &[usize]) -> bool {
+        if !self.active() || self.a_sigs.is_empty() || self.b_sigs.is_empty() {
+            return false;
+        }
+        let project = |sig: &Vec<u64>| -> Vec<u64> {
+            let mut out = vec![0u64; indices.len().div_ceil(64).max(1)];
+            for (k, &d) in indices.iter().enumerate() {
+                if sig[d / 64] >> (d % 64) & 1 == 1 {
+                    out[k / 64] |= 1u64 << (k % 64);
+                }
+            }
+            out
+        };
+        let (small, large) = if self.a_sigs.len() <= self.b_sigs.len() {
+            (&self.a_sigs, &self.b_sigs)
+        } else {
+            (&self.b_sigs, &self.a_sigs)
+        };
+        let keys: HashSet<Vec<u64>> = small.iter().map(project).collect();
+        let hit = large.iter().any(|sig| keys.contains(&project(sig)));
+        if hit {
+            self.stats.inherited_answers += 1;
+        }
+        hit
+    }
+
+    /// `true` if a stored feasible subset proves this subset feasible —
+    /// a SAT call would return `Unsat`. Sound by monotonicity:
+    /// activation literals are constraints, so `S ⊇ F` with `F`
+    /// UNSAT-proven keeps the instance UNSAT.
+    pub(crate) fn proves_feasible(&mut self, indices: &[usize]) -> bool {
+        if !self.active() || self.feasible.is_empty() {
+            return false;
+        }
+        let have: HashSet<usize> = indices.iter().copied().collect();
+        let hit = self
+            .feasible
+            .iter()
+            .any(|f| f.iter().all(|d| have.contains(d)));
+        if hit {
+            self.stats.inherited_answers += 1;
+        }
+        hit
+    }
+
+    /// Records a subset proven feasible (UNSAT) by a real SAT call.
+    /// Subsets subsume their supersets, so subsumed entries are pruned.
+    pub(crate) fn learn_feasible(&mut self, indices: &[usize]) {
+        if !self.active() {
+            return;
+        }
+        let mut canon: Vec<usize> = indices.to_vec();
+        canon.sort_unstable();
+        canon.dedup();
+        let new_set: HashSet<usize> = canon.iter().copied().collect();
+        if self
+            .feasible
+            .iter()
+            .any(|f| f.iter().all(|d| new_set.contains(d)))
+        {
+            return; // an existing subset already subsumes it
+        }
+        self.feasible
+            .retain(|f| !canon.iter().all(|d| f.contains(d)));
+        if self.feasible.len() < MAX_FEASIBLE_SETS {
+            self.feasible.push(canon);
+        }
+    }
+
+    /// Learns an infeasibility witness from a real SAT model: `x1`
+    /// satisfies `M(0, x1) = 1` and `x2` satisfies `M(1, x2) = 1`.
+    /// Each side is re-verified by evaluation before being stored, so
+    /// a bogus witness can degrade sharpness but never soundness.
+    pub(crate) fn learn_witness(&mut self, x1: &[bool], x2: &[bool]) {
+        if !self.active() {
+            return;
+        }
+        if self.absorb_witness(x1, x2) {
+            self.stats.refinement_rounds += 1;
+        }
+    }
+
+    /// Replays a witness carried from an earlier refinement round or a
+    /// cached request; counted separately from fresh learning.
+    pub(crate) fn replay_witness(&mut self, x1: &[bool], x2: &[bool]) {
+        if !self.active() {
+            return;
+        }
+        if self.absorb_witness(x1, x2) {
+            self.stats.witness_replays += 1;
+        }
+    }
+
+    fn absorb_witness(&mut self, x1: &[bool], x2: &[bool]) -> bool {
+        let added = self.absorb_side(x1, false) | self.absorb_side(x2, true);
+        if added && self.witnesses.len() < MAX_CARRIED_WITNESSES {
+            let pair = (x1.to_vec(), x2.to_vec());
+            if !self.witnesses.contains(&pair) {
+                self.witnesses.push(pair);
+            }
+        }
+        added
+    }
+
+    fn absorb_side(&mut self, x: &[bool], n_value: bool) -> bool {
+        if x.len() != self.x_count {
+            return false;
+        }
+        let side_len = if n_value {
+            self.b_sigs.len()
+        } else {
+            self.a_sigs.len()
+        };
+        if side_len >= MAX_WITNESS_PATTERNS {
+            return false;
+        }
+        let mut cols: Vec<u64> = x.iter().map(|&b| u64::from(b)).collect();
+        cols.push(u64::from(n_value));
+        let words = self.miter.simulate(&cols);
+        if word_of(&words, self.output) & 1 == 0 {
+            return false; // not actually a witness; drop it
+        }
+        let sig = signature_at(&words, &self.divisor_lits, 0);
+        let before = side_len;
+        self.store(n_value, sig);
+        let after = if n_value {
+            self.b_sigs.len()
+        } else {
+            self.a_sigs.len()
+        };
+        after > before
+    }
+
+    /// Notes a subset that went to the real solver (for the
+    /// `representatives` counter).
+    pub(crate) fn note_representative(&mut self, indices: &[usize]) {
+        if !self.active() || self.reps.len() >= MAX_REPRESENTATIVES {
+            return;
+        }
+        let mut canon: Vec<usize> = indices.to_vec();
+        canon.sort_unstable();
+        canon.dedup();
+        if self.reps.insert(canon) {
+            self.stats.representatives = self.reps.len() as u64;
+        }
+    }
+
+    /// The raw witness pairs accumulated so far (for carry/caching).
+    pub(crate) fn witnesses(&self) -> &[(Vec<bool>, Vec<bool>)] {
+        &self.witnesses
+    }
+
+    /// The feasible sets accumulated so far (for carry across
+    /// refinement rounds — refinement strengthens the miter, so UNSAT
+    /// answers persist).
+    pub(crate) fn feasible_sets(&self) -> &[Vec<usize>] {
+        &self.feasible
+    }
+
+    /// Adopts a feasible set carried from an earlier refinement round.
+    pub(crate) fn adopt_feasible(&mut self, indices: &[usize]) {
+        self.learn_feasible(indices);
+    }
+
+    /// The accumulated counters.
+    pub(crate) fn stats(&self) -> ClassesCounters {
+        self.stats
+    }
+}
+
+/// Learn-only observation point for `minimize_assumptions` recursion
+/// queries.
+///
+/// The hook never *answers* a query — the recursion prunes by the
+/// solver's final conflict, whose content depends on the learned-clause
+/// state every earlier solve left behind, so skipping a solve (even
+/// with a semantically correct verdict) would change later conflict
+/// sets and the minimized result with them. `learn` runs after every
+/// real call so the class layer can refine itself from the verdict and
+/// (on `Sat`) the solver's model; the knowledge pays off at the
+/// verdict-only inheritance sites instead.
+pub(crate) trait MinimizeHook {
+    /// Observes the verdict (and model, via `solver`) of a real call.
+    fn learn(&mut self, fixed: &[Lit], extra: &[Lit], unsat: bool, solver: &Solver);
+}
+
+/// [`MinimizeHook`] over an [`EquivClasses`] layer for the support
+/// instance: assumption literals map to divisor indices through the
+/// activation-literal table, and real-call verdicts and models feed
+/// the class layer as feasible sets / infeasibility witnesses for the
+/// verdict-only inheritance sites to use later.
+pub(crate) struct SupportClassesHook<'a> {
+    pub classes: &'a mut EquivClasses,
+    /// Activation literal → divisor index.
+    pub aux_index: &'a HashMap<Lit, usize>,
+    /// Primary-input literals of the two miter copies, for witness
+    /// extraction from `Sat` models.
+    pub x1: &'a [Lit],
+    pub x2: &'a [Lit],
+}
+
+impl SupportClassesHook<'_> {
+    fn indices(&self, fixed: &[Lit], extra: &[Lit]) -> Vec<usize> {
+        let mut v: Vec<usize> = fixed
+            .iter()
+            .chain(extra)
+            .filter_map(|l| self.aux_index.get(l).copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl MinimizeHook for SupportClassesHook<'_> {
+    fn learn(&mut self, fixed: &[Lit], extra: &[Lit], unsat: bool, solver: &Solver) {
+        let indices = self.indices(fixed, extra);
+        self.classes.note_representative(&indices);
+        if unsat {
+            self.classes.learn_feasible(&indices);
+        } else {
+            let read = |lits: &[Lit]| -> Vec<bool> {
+                lits.iter()
+                    .map(|&l| solver.model_value(l).to_option().unwrap_or(false))
+                    .collect()
+            };
+            let (x1, x2) = (read(self.x1), read(self.x2));
+            self.classes.learn_witness(&x1, &x2);
+        }
+    }
+}
+
+/// The outcome of [`partition_literals`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionOutcome {
+    /// Equivalence classes as index lists into the input literal
+    /// slice; the first member of each class is its representative.
+    /// Classes appear in first-member order, members in index order.
+    /// Two literals share a class exactly when they compute the same
+    /// function (same phase).
+    pub classes: Vec<Vec<usize>>,
+    /// SAT calls issued for representative proofs
+    /// ([`crate::SatCallKind::Classes`]).
+    pub sat_calls: u64,
+    /// `partitions` / `representatives` / `inherited_answers` /
+    /// `refinement_rounds` as the engine's class layer would report
+    /// them: inherited answers are the member–member equivalences
+    /// implied transitively by the proven member–representative pairs
+    /// (`C(k-1, 2)` per class of size `k`).
+    pub stats: ClassesCounters,
+    /// `true` when chaos (governor trip, fault injection, or budget
+    /// exhaustion) degraded the result to the identity partition.
+    pub degraded: bool,
+}
+
+/// Partitions `literals` of `aig` into test-equivalence classes and
+/// proves every class exact: members are SAT-verified equal to their
+/// class representative, and a failed proof's counterexample refines
+/// the partition CEGAR-style before anything is re-proven.
+///
+/// Under a tripped or fault-injecting [`ResourceGovernor`], or when a
+/// budgeted proof returns `Unknown`, the result degrades to the
+/// identity partition (one class per literal, zero inherited answers)
+/// — never a wrong answer.
+pub fn partition_literals(
+    aig: &Aig,
+    literals: &[AigLit],
+    seed: u64,
+    per_call_conflicts: Option<u64>,
+    governor: Option<&ResourceGovernor>,
+) -> PartitionOutcome {
+    let identity = |sat_calls: u64, stats: ClassesCounters| PartitionOutcome {
+        classes: (0..literals.len()).map(|i| vec![i]).collect(),
+        sat_calls,
+        stats: ClassesCounters {
+            partitions: literals.len() as u64,
+            representatives: 0,
+            inherited_answers: 0,
+            refinement_rounds: stats.refinement_rounds,
+            witness_replays: 0,
+        },
+        degraded: true,
+    };
+    let chaos = |g: &&ResourceGovernor| g.trip().is_some() || g.fault_injections() > 0;
+    if governor.as_ref().is_some_and(chaos) {
+        return identity(0, ClassesCounters::default());
+    }
+    let mut stats = ClassesCounters::default();
+    let mut sat_calls = 0u64;
+    if literals.is_empty() {
+        return PartitionOutcome {
+            classes: Vec::new(),
+            sat_calls,
+            stats,
+            degraded: false,
+        };
+    }
+    let mut solver = Solver::new();
+    if let Some(g) = governor {
+        solver.set_search_control(Some(g.control()));
+    }
+    let mut enc = CnfEncoder::new(aig);
+    let lits: Vec<Lit> = literals
+        .iter()
+        .map(|&l| enc.lit(aig, &mut solver, l))
+        .collect();
+    let mut pool = PatternPool::new(aig.num_inputs(), SWEEP_POOL_WORDS, seed);
+    // Each counterexample splits the failing pair's class, so the
+    // number of refinement rounds is bounded by the literal count; the
+    // slack guards against a degenerate witness that fails to split.
+    let max_rounds = 2 * literals.len() + 8;
+    let mut rounds = 0usize;
+    'outer: loop {
+        // Partition by exact signature over the current pool.
+        let sigs = pool.signatures(aig);
+        let nw = pool.num_words();
+        let mut order: Vec<Vec<usize>> = Vec::new();
+        let mut by_sig: HashMap<Vec<u64>, usize> = HashMap::new();
+        for (i, &l) in literals.iter().enumerate() {
+            let node = l.node().index();
+            let mut v: Vec<u64> = sigs[node * nw..(node + 1) * nw].to_vec();
+            if l.is_complement() {
+                for w in &mut v {
+                    *w = !*w;
+                }
+            }
+            match by_sig.get(&v) {
+                Some(&g) => order[g].push(i),
+                None => {
+                    by_sig.insert(v, order.len());
+                    order.push(vec![i]);
+                }
+            }
+        }
+        // Prove each member equal to its class representative.
+        let mut proofs = 0u64;
+        for group in &order {
+            let rep = group[0];
+            for &m in &group[1..] {
+                for (a, b) in [(lits[rep], !lits[m]), (!lits[rep], lits[m])] {
+                    if governor.as_ref().is_some_and(chaos) {
+                        return identity(sat_calls, stats);
+                    }
+                    if let Some(c) = per_call_conflicts {
+                        solver.set_budget(Some(c), None);
+                    }
+                    sat_calls += 1;
+                    match solver.solve(&[a, b]) {
+                        SolveResult::Unsat => {}
+                        SolveResult::Sat => {
+                            // Counterexample: replay it as a pattern
+                            // and re-partition.
+                            let bits: Vec<bool> = aig
+                                .inputs()
+                                .iter()
+                                .map(|&n| {
+                                    enc.var(n)
+                                        .map(|v| {
+                                            solver
+                                                .model_value(v.positive())
+                                                .to_option()
+                                                .unwrap_or(false)
+                                        })
+                                        .unwrap_or(false)
+                                })
+                                .collect();
+                            pool.add_pattern(&bits);
+                            stats.refinement_rounds += 1;
+                            rounds += 1;
+                            if rounds > max_rounds {
+                                return identity(sat_calls, stats);
+                            }
+                            continue 'outer;
+                        }
+                        SolveResult::Unknown => {
+                            return identity(sat_calls, stats);
+                        }
+                    }
+                }
+                proofs += 1;
+            }
+        }
+        // Every member proven: the k-1 representative proofs per class
+        // imply the remaining C(k-1, 2) pairwise equivalences.
+        stats.partitions = order.len() as u64;
+        stats.representatives = proofs;
+        stats.inherited_answers = order
+            .iter()
+            .map(|g| {
+                let k = g.len() as u64;
+                k.saturating_sub(1) * k.saturating_sub(2) / 2
+            })
+            .sum();
+        return PartitionOutcome {
+            classes: order,
+            sat_calls,
+            stats,
+            degraded: false,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_aig::Aig;
+
+    fn xor_pair() -> (Aig, Vec<AigLit>) {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x1 = g.xor(a, b);
+        let x2 = g.xor(b, a);
+        let and = g.and(a, b);
+        g.add_output(x1);
+        g.add_output(x2);
+        g.add_output(and);
+        (g, vec![x1, x2, and, a])
+    }
+
+    #[test]
+    fn equal_literals_share_a_proven_class() {
+        let (g, lits) = xor_pair();
+        let out = partition_literals(&g, &lits, 7, None, None);
+        assert!(!out.degraded);
+        let class_of = |i: usize| out.classes.iter().position(|c| c.contains(&i)).unwrap();
+        assert_eq!(class_of(0), class_of(1), "xor(a,b) == xor(b,a)");
+        assert_ne!(class_of(0), class_of(2));
+        assert_ne!(class_of(2), class_of(3));
+        assert_eq!(out.stats.partitions, out.classes.len() as u64);
+    }
+
+    #[test]
+    fn empty_input_partitions_trivially() {
+        let g = Aig::new();
+        let out = partition_literals(&g, &[], 1, None, None);
+        assert!(out.classes.is_empty());
+        assert_eq!(out.sat_calls, 0);
+        assert!(!out.degraded);
+    }
+
+    #[test]
+    fn feasible_set_inheritance_is_superset_monotone() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let n = g.add_input();
+        let ab = g.and(a, b);
+        let o = g.or(ab, n);
+        g.add_output(o);
+        let qm = QuantifiedMiter {
+            aig: g.clone(),
+            output: o,
+            n_input: n,
+            x_inputs: vec![a, b],
+            impl_map: (0..g.num_nodes())
+                .map(|i| NodeId::from_index(i).lit())
+                .collect(),
+        };
+        let divisors: Vec<NodeId> = vec![a.node(), b.node()];
+        let mut c = EquivClasses::build(&qm, &divisors, 3);
+        c.learn_feasible(&[0]);
+        assert!(c.proves_feasible(&[0, 1]), "superset inherits UNSAT");
+        assert!(!c.proves_feasible(&[1]));
+        // learning the superset afterwards is subsumed away
+        c.learn_feasible(&[0, 1]);
+        assert_eq!(c.feasible_sets().len(), 1);
+        assert_eq!(c.stats().inherited_answers, 1);
+    }
+}

@@ -67,6 +67,11 @@ pub fn enumerate_patch_sop(
 /// prime-expansion shrink calls as [`SatCallKind::Minimize`], all
 /// attributed to `target_index`. `calls` is incremented eagerly so the
 /// caller's tally stays exact across budget aborts.
+///
+/// Deliberately outside the test-equivalence-class layer: prime
+/// expansion prunes by the solver's final conflict, so inheriting even
+/// a correct `Sat` verdict here would perturb later conflict sets and
+/// change the enumerated cubes.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn enumerate_patch_sop_observed(
     qm: &QuantifiedMiter,
@@ -88,7 +93,6 @@ pub(crate) fn enumerate_patch_sop_observed(
         .iter()
         .map(|&d| enc.lit(&qm.aig, &mut solver, qm.impl_map[d.index()]))
         .collect();
-
     let mut sop = Sop::zero(support.len());
     let mut minterms = 0u64;
     let onset_base = [out, !n];
@@ -163,6 +167,7 @@ pub(crate) fn enumerate_patch_sop_observed(
                     SatCallKind::Minimize,
                     Some(target_index),
                     calls,
+                    None,
                 )?;
                 let cube_lits: Vec<CubeLit> = lits[..kept]
                     .iter()

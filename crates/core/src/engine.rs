@@ -5,14 +5,15 @@
 use crate::cache::{CacheLayer, CachedSolve, EcoCache};
 use crate::cec::{check_outputs_equivalence_observed, CecResult};
 use crate::cegar_min::cegar_min_observed;
+use crate::classes::EquivClasses;
 use crate::cnf::CnfEncoder;
 use crate::cubes::enumerate_patch_sop_observed;
 use crate::error::EcoError;
 use crate::exact::{sat_prune_support, SatPruneOptions};
 use crate::miter::{EcoMiter, QuantifiedMiter};
 use crate::observe::{
-    EcoEvent, EcoObserver, LadderRung, MetricsObserver, ObserverHandle, Phase, RunMetrics,
-    SatCallKind,
+    ClassesCounters, EcoEvent, EcoObserver, LadderRung, MetricsObserver, ObserverHandle, Phase,
+    RunMetrics, SatCallKind,
 };
 use crate::problem::EcoProblem;
 use crate::qbf::{check_targets_sufficient_observed, QbfOutcome};
@@ -127,6 +128,22 @@ pub struct EcoOptions {
     /// are byte-identical with sweeping on or off; only the number of
     /// real SAT calls drops (never rises).
     pub sweep: bool,
+    /// Test-equivalence-class pruning: partition candidate divisors
+    /// and support subsets into classes over the per-target
+    /// simulation/counterexample pattern pool and spend SAT calls on
+    /// class representatives only — UNSAT answers are inherited by
+    /// supersets of proven-feasible subsets, SAT answers by stored
+    /// witness models, and failed-representative models refine the
+    /// partition CEGAR-style; `CEGAR_min` equivalence checks inherit
+    /// SAT answers from harvested counterexample valuations the same
+    /// way. Inheritance is confined to verdict-only query sites —
+    /// conflict-guided minimization and cube prime expansion always
+    /// see real calls — which is what keeps the results byte-identical
+    /// with the option on or off (audited via
+    /// `classes.inherited_answers`), like [`EcoOptions::sweep`], with
+    /// which it composes. Disabled automatically under a fault plan,
+    /// whose call-indexed schedules would otherwise shift.
+    pub classes: bool,
 }
 
 impl Default for EcoOptions {
@@ -153,6 +170,7 @@ impl Default for EcoOptions {
             verify_budget_factor: 8,
             jobs: 1,
             sweep: false,
+            classes: false,
         }
     }
 }
@@ -315,6 +333,12 @@ impl EcoOptionsBuilder {
     /// Enables or disables the SAT-sweeping (fraig) front end.
     pub fn sweep(mut self, enabled: bool) -> Self {
         self.options.sweep = enabled;
+        self
+    }
+
+    /// Enables or disables test-equivalence-class pruning.
+    pub fn classes(mut self, enabled: bool) -> Self {
+        self.options.classes = enabled;
         self
     }
 
@@ -1376,6 +1400,35 @@ impl EcoEngine {
         miter
     }
 
+    /// Persists a class layer's accumulated counterexample witnesses
+    /// under the subproblem's miter key so a later request for the same
+    /// state starts with a warm pattern pool. Witness replay re-verifies
+    /// every pattern by simulation before use, so a stale entry can
+    /// never change a verdict — but anything observed under governor
+    /// pressure is still skipped, mirroring [`solve_is_cacheable`].
+    fn store_witnesses(
+        &self,
+        work: &EcoProblem,
+        pos: usize,
+        assignments: &[Vec<bool>],
+        window: &Window,
+        classes: &EquivClasses,
+        governor: Option<&ResourceGovernor>,
+    ) {
+        let Some(cache) = &self.cache else {
+            return;
+        };
+        if governor.is_some_and(|g| g.trip().is_some() || g.fault_injections() != 0) {
+            return;
+        }
+        let witnesses = classes.witnesses();
+        if witnesses.is_empty() {
+            return;
+        }
+        let key = miter_cache_key(work, pos, assignments, &window.outputs);
+        cache.put_witnesses(key, Arc::new(witnesses.to_vec()));
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn sat_patch_for_target(
         &self,
@@ -1390,6 +1443,16 @@ impl EcoEngine {
         governor: Option<&ResourceGovernor>,
         obs: &ObserverHandle,
     ) -> Result<(NodePatch, TargetPatchReport), EcoError> {
+        // The class layer is disabled under a fault plan: inherited
+        // answers skip real solver calls, which would shift the plan's
+        // call-indexed fault schedule.
+        let classes_on = opts.classes && opts.fault_plan.is_none();
+        // Class layer carried across quantification-refinement
+        // iterations: witnesses are replayed (re-verified by
+        // simulation against the refined miter), feasible sets are
+        // adopted directly (refinement only strengthens the miter, so
+        // UNSAT answers persist).
+        let mut carried: Option<EquivClasses> = None;
         loop {
             let qm = self.quantified_miter(work, pos, assignments, window, obs);
             let qm: &QuantifiedMiter = &qm;
@@ -1417,11 +1480,40 @@ impl EcoEngine {
                 });
                 ss.set_sweep_oracle(Some(oracle));
             }
+            if classes_on {
+                let seed = sweep_seed(original_index, assignments.len());
+                let mut classes = EquivClasses::build(qm, &divisors, seed);
+                match carried.take() {
+                    Some(prev) => {
+                        for (x1, x2) in prev.witnesses() {
+                            classes.replay_witness(x1, x2);
+                        }
+                        for f in prev.feasible_sets() {
+                            classes.adopt_feasible(f);
+                        }
+                    }
+                    None => {
+                        // Cold iteration: replay witnesses an earlier
+                        // request left in the cache for this exact
+                        // subproblem state.
+                        if let Some(cache) = &self.cache {
+                            let key = miter_cache_key(work, pos, assignments, &window.outputs);
+                            if let Some(ws) = cache.get_witnesses(key) {
+                                for (x1, x2) in ws.iter() {
+                                    classes.replay_witness(x1, x2);
+                                }
+                            }
+                        }
+                    }
+                }
+                ss.set_classes(Some(classes));
+            }
             let feasible = match ss.all_feasible() {
                 Ok(f) => f,
                 Err(e) => {
                     *spent += ss.sat_calls;
                     emit_sweep_oracle_report(obs, &ss, original_index);
+                    emit_classes_report(obs, &ss, original_index);
                     return Err(e);
                 }
             };
@@ -1429,6 +1521,7 @@ impl EcoEngine {
                 if exact {
                     *spent += ss.sat_calls;
                     emit_sweep_oracle_report(obs, &ss, original_index);
+                    emit_classes_report(obs, &ss, original_index);
                     return Err(EcoError::NoFeasibleSupport {
                         target_index: original_index,
                     });
@@ -1436,11 +1529,19 @@ impl EcoEngine {
                 if assignments.len() >= opts.max_refinements {
                     *spent += ss.sat_calls;
                     emit_sweep_oracle_report(obs, &ss, original_index);
+                    emit_classes_report(obs, &ss, original_index);
                     return Err(EcoError::budget_exhausted("quantification refinement"));
                 }
                 let (x1, x2) = ss.infeasibility_witness();
                 *spent += ss.sat_calls;
                 emit_sweep_oracle_report(obs, &ss, original_index);
+                emit_classes_report(obs, &ss, original_index);
+                if classes_on {
+                    carried = ss.take_classes();
+                    if let Some(classes) = carried.as_ref() {
+                        self.store_witnesses(work, pos, assignments, window, classes, governor);
+                    }
+                }
                 if !self.refine_assignments(
                     work,
                     window,
@@ -1478,6 +1579,7 @@ impl EcoEngine {
                 Err(e) => {
                     *spent += ss.sat_calls;
                     emit_sweep_oracle_report(obs, &ss, original_index);
+                    emit_classes_report(obs, &ss, original_index);
                     return Err(e);
                 }
             };
@@ -1488,6 +1590,12 @@ impl EcoEngine {
                 .collect();
             *spent += ss.sat_calls;
             emit_sweep_oracle_report(obs, &ss, original_index);
+            emit_classes_report(obs, &ss, original_index);
+            if classes_on {
+                if let Some(classes) = ss.take_classes() {
+                    self.store_witnesses(work, pos, assignments, window, &classes, governor);
+                }
+            }
             let sop = enumerate_patch_sop_observed(
                 qm,
                 &support_nodes,
@@ -1631,6 +1739,8 @@ impl EcoEngine {
                 .tfo_mask(work.targets.iter().copied(), &fanouts);
             let weight = |n: NodeId| work.weight(n);
             let eligible = |n: NodeId| !tfo[n.index()];
+            let classes_on = opts.classes && opts.fault_plan.is_none();
+            let mut cegar_counters = ClassesCounters::default();
             let cm = cegar_min_observed(
                 &work.implementation,
                 &weight,
@@ -1641,7 +1751,22 @@ impl EcoEngine {
                 obs,
                 Some(original_index),
                 governor,
+                if classes_on {
+                    Some(&mut cegar_counters)
+                } else {
+                    None
+                },
             )?;
+            if cegar_counters != ClassesCounters::default() {
+                obs.emit(|| EcoEvent::ClassesReport {
+                    target_index: Some(original_index),
+                    partitions: cegar_counters.partitions,
+                    representatives: cegar_counters.representatives,
+                    inherited_answers: cegar_counters.inherited_answers,
+                    refinement_rounds: cegar_counters.refinement_rounds,
+                    witness_replays: cegar_counters.witness_replays,
+                });
+            }
             let gates = cm.aig.num_ands();
             let support_size = cm.support.len();
             let report = TargetPatchReport {
@@ -2567,6 +2692,9 @@ fn options_fingerprint(opts: &EcoOptions) -> u64 {
     // Sweeping is verdict-preserving, so swept and unswept runs may
     // share cache entries.
     normalized.sweep = false;
+    // So is the class layer: inherited answers carry verdicts a real
+    // solver call would have produced.
+    normalized.classes = false;
     hash_bytes(TAG_OPTS, format!("{normalized:?}").as_bytes())
 }
 
@@ -2594,6 +2722,22 @@ fn emit_sweep_oracle_report(obs: &ObserverHandle, ss: &SupportSolver, target_ind
         nodes_eliminated: 0,
         oracle_hits: stats.oracle_hits,
         sim_discharged_outputs: 0,
+    });
+}
+
+/// Reports a support solver's class-layer counters (a no-op without an
+/// attached [`EquivClasses`], i.e. whenever `--classes` is off).
+fn emit_classes_report(obs: &ObserverHandle, ss: &SupportSolver, target_index: usize) {
+    let Some(stats) = ss.classes_stats() else {
+        return;
+    };
+    obs.emit(|| EcoEvent::ClassesReport {
+        target_index: Some(target_index),
+        partitions: stats.partitions,
+        representatives: stats.representatives,
+        inherited_answers: stats.inherited_answers,
+        refinement_rounds: stats.refinement_rounds,
+        witness_replays: stats.witness_replays,
     });
 }
 

@@ -68,6 +68,7 @@
 mod cache;
 mod cec;
 mod cegar_min;
+mod classes;
 mod cnf;
 mod cost;
 mod cubes;
@@ -92,6 +93,7 @@ mod window;
 pub use cache::{CacheLayer, CacheStats, EcoCache};
 pub use cec::{check_equivalence, CecResult};
 pub use cegar_min::{cegar_min, cegar_min_filtered, CegarMinResult};
+pub use classes::{partition_literals, PartitionOutcome};
 pub use cnf::CnfEncoder;
 pub use cost::{generate_weights, WeightDistribution};
 pub use cubes::{enumerate_patch_sop, PatchSop};
@@ -108,10 +110,10 @@ pub use interp::{
 };
 pub use miter::{EcoMiter, QuantifiedMiter};
 pub use observe::{
-    conflict_bucket, latency_bucket, BudgetMetrics, CacheCounters, EcoEvent, EcoObserver,
-    KindMetrics, LadderRung, MetricsObserver, NullObserver, Phase, PhaseMetrics, RunMetrics,
-    SatCallKind, SatCallMetrics, ServingCounters, SupportStep, SweepCounters, TargetMetrics,
-    TeeObserver, WorkerMetrics, CONFLICT_BUCKET_BOUNDS, LATENCY_BUCKET_BOUNDS_US,
+    conflict_bucket, latency_bucket, BudgetMetrics, CacheCounters, ClassesCounters, EcoEvent,
+    EcoObserver, KindMetrics, LadderRung, MetricsObserver, NullObserver, Phase, PhaseMetrics,
+    RunMetrics, SatCallKind, SatCallMetrics, ServingCounters, SupportStep, SweepCounters,
+    TargetMetrics, TeeObserver, WorkerMetrics, CONFLICT_BUCKET_BOUNDS, LATENCY_BUCKET_BOUNDS_US,
     NUM_CONFLICT_BUCKETS, NUM_LATENCY_BUCKETS,
 };
 pub use problem::EcoProblem;

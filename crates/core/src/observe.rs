@@ -69,11 +69,15 @@ pub enum SatCallKind {
     Cec,
     /// Equivalence proofs of sweep candidate pairs (fraig merging).
     Sweep,
+    /// Representative-equivalence proofs of the test-equivalence-class
+    /// layer (schema v8): member ≡ representative checks issued by
+    /// [`crate::partition_literals`].
+    Classes,
 }
 
 impl SatCallKind {
     /// All kinds, in the order used by per-kind metric arrays.
-    pub const ALL: [SatCallKind; 9] = [
+    pub const ALL: [SatCallKind; 10] = [
         SatCallKind::Qbf,
         SatCallKind::Support,
         SatCallKind::Minimize,
@@ -83,6 +87,7 @@ impl SatCallKind {
         SatCallKind::Refinement,
         SatCallKind::Cec,
         SatCallKind::Sweep,
+        SatCallKind::Classes,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -97,6 +102,7 @@ impl SatCallKind {
             SatCallKind::Refinement => "refinement",
             SatCallKind::Cec => "cec",
             SatCallKind::Sweep => "sweep",
+            SatCallKind::Classes => "classes",
         }
     }
 
@@ -332,6 +338,23 @@ pub enum EcoEvent {
         /// without a dedicated SAT call.
         sim_discharged_outputs: u64,
     },
+    /// Counter report of one test-equivalence-class activity (schema
+    /// v8): the per-target class layer over support/minimize/cube/cegar
+    /// queries. Aggregated into [`ClassesCounters`].
+    ClassesReport {
+        /// Target the class layer served (`None` for shared activities).
+        target_index: Option<usize>,
+        /// Divisor-signature equivalence classes over the pattern pool.
+        partitions: u64,
+        /// Distinct representative queries sent to the real solver.
+        representatives: u64,
+        /// Queries answered by class inheritance (no solver call).
+        inherited_answers: u64,
+        /// Partition refinements from replayed witness models.
+        refinement_rounds: u64,
+        /// Carried/cached witness patterns accepted on replay.
+        witness_replays: u64,
+    },
     /// The run completed (success paths only; errors abort the stream).
     RunFinished {
         /// Total wall-clock time.
@@ -507,12 +530,14 @@ pub struct TargetMetrics {
     /// SAT calls per the target's [`crate::TargetPatchReport`].
     pub sat_calls: u64,
     /// SAT calls observed as [`EcoEvent::SatCall`] events attributed to
-    /// this target. Equal to `sat_calls` by construction on unswept
-    /// runs; under `--sweep` the report counter also tallies calls the
-    /// simulation oracle discharged (keeping reports byte-identical to
-    /// an unswept run), so `sat_calls - observed_sat_calls` is exactly
-    /// this target's share of [`SweepCounters::oracle_hits`]. Kept
-    /// separate so the accounting is auditable from the JSON alone.
+    /// this target. Equal to `sat_calls` by construction on unswept,
+    /// classless runs; under `--sweep` / `--classes` the report counter
+    /// also tallies calls the simulation oracle or class layer
+    /// discharged (keeping reports byte-identical to a plain run), so
+    /// `sat_calls - observed_sat_calls` is exactly this target's share
+    /// of [`SweepCounters::oracle_hits`] plus
+    /// [`ClassesCounters::inherited_answers`]. Kept separate so the
+    /// accounting is auditable from the JSON alone.
     pub observed_sat_calls: u64,
     /// Total conflicts across the attributed calls.
     pub conflicts: u64,
@@ -555,7 +580,7 @@ pub struct SatCallMetrics {
     /// Total solver wall-clock time.
     pub time: Duration,
     /// Per-kind breakdown, parallel to [`SatCallKind::ALL`].
-    pub by_kind: [KindMetrics; 9],
+    pub by_kind: [KindMetrics; 10],
     /// Per-call conflict histogram ([`CONFLICT_BUCKET_BOUNDS`]).
     pub conflict_histogram: [u64; NUM_CONFLICT_BUCKETS],
     /// Per-call latency histogram ([`LATENCY_BUCKET_BOUNDS_US`]).
@@ -643,6 +668,23 @@ pub struct SweepCounters {
     pub oracle_hits: u64,
     /// Verification outputs discharged without a dedicated SAT call.
     pub sim_discharged_outputs: u64,
+}
+
+/// Run-wide test-equivalence-class counters (schema v8), aggregated
+/// from [`EcoEvent::ClassesReport`] events. All zero when the class
+/// layer is off ([`crate::EcoOptions::classes`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassesCounters {
+    /// Divisor-signature equivalence classes over the pattern pools.
+    pub partitions: u64,
+    /// Distinct representative queries sent to the real solver.
+    pub representatives: u64,
+    /// Queries answered by class inheritance (no solver call issued).
+    pub inherited_answers: u64,
+    /// Partition refinements from replayed witness models.
+    pub refinement_rounds: u64,
+    /// Carried/cached witness patterns accepted on replay.
+    pub witness_replays: u64,
 }
 
 /// Per-request serving-layer failure-mode counters (schema v6), filled
@@ -774,6 +816,9 @@ pub struct RunMetrics {
     /// SAT-sweeping counters (schema v7); all zero when sweeping is
     /// off.
     pub sweep: SweepCounters,
+    /// Test-equivalence-class counters (schema v8); all zero when the
+    /// class layer is off.
+    pub classes: ClassesCounters,
 }
 
 fn push_json_array(out: &mut String, counts: &[u64]) {
@@ -795,10 +840,10 @@ fn push_json_string(out: &mut String, text: &str) {
 
 impl RunMetrics {
     /// Serializes to the stable JSON schema documented in
-    /// `EXPERIMENTS.md` (schema_version 7, which added the sweep
-    /// counters and the `sweep` SAT-call kind on top of v6's serving
-    /// counters). Key order is fixed; durations are integer
-    /// microseconds; fractions carry six decimal places.
+    /// `EXPERIMENTS.md` (schema_version 8, which added the
+    /// test-equivalence-class counters and the `classes` SAT-call kind
+    /// on top of v7's sweep counters). Key order is fixed; durations
+    /// are integer microseconds; fractions carry six decimal places.
     pub fn to_json(&self) -> String {
         let us = |d: Duration| -> u64 { d.as_micros().min(u64::MAX as u128) as u64 };
         let opt_u64 = |v: Option<u64>| match v {
@@ -806,7 +851,7 @@ impl RunMetrics {
             None => "null".to_string(),
         };
         let mut s = String::new();
-        s.push_str("{\"schema_version\":7");
+        s.push_str("{\"schema_version\":8");
         match &self.request_id {
             Some(id) => {
                 s.push_str(",\"request_id\":");
@@ -950,6 +995,17 @@ impl RunMetrics {
             w.nodes_eliminated,
             w.oracle_hits,
             w.sim_discharged_outputs
+        ));
+        let c = &self.classes;
+        s.push_str(&format!(
+            ",\"classes\":{{\"partitions\":{},\"representatives\":{},\
+             \"inherited_answers\":{},\"refinement_rounds\":{},\
+             \"witness_replays\":{}}}",
+            c.partitions,
+            c.representatives,
+            c.inherited_answers,
+            c.refinement_rounds,
+            c.witness_replays
         ));
         s.push('}');
         s
@@ -1146,6 +1202,21 @@ impl EcoObserver for MetricsObserver {
                 w.oracle_hits += oracle_hits;
                 w.sim_discharged_outputs += sim_discharged_outputs;
             }
+            EcoEvent::ClassesReport {
+                partitions,
+                representatives,
+                inherited_answers,
+                refinement_rounds,
+                witness_replays,
+                ..
+            } => {
+                let c = &mut self.metrics.classes;
+                c.partitions += partitions;
+                c.representatives += representatives;
+                c.inherited_answers += inherited_answers;
+                c.refinement_rounds += refinement_rounds;
+                c.witness_replays += witness_replays;
+            }
             EcoEvent::RunFinished { elapsed } => {
                 self.metrics.elapsed = elapsed;
                 if let Some(b) = &mut self.metrics.budget {
@@ -1303,7 +1374,7 @@ mod tests {
             ..RunMetrics::default()
         };
         let json = m.to_json();
-        assert!(json.starts_with("{\"schema_version\":7"));
+        assert!(json.starts_with("{\"schema_version\":8"));
         assert!(json.contains("\"request_id\":null"));
         assert!(json.contains("\"cache\":{\"netlist_hits\":0"));
         assert!(
@@ -1313,6 +1384,11 @@ mod tests {
             "\"sweep\":{\"classes\":0,\"merges\":0,\"sweep_sat_calls\":0,\
              \"refinement_rounds\":0,\"nodes_eliminated\":0,\"oracle_hits\":0,\
              \"sim_discharged_outputs\":0}"
+        ));
+        assert!(json.contains(
+            "\"classes\":{\"partitions\":0,\"representatives\":0,\
+             \"inherited_answers\":0,\"refinement_rounds\":0,\
+             \"witness_replays\":0}"
         ));
         assert!(json.contains("\"per_call_conflicts\":null"));
         assert!(json.contains("\"jobs\":4"));

@@ -2,10 +2,11 @@
 //! procedure (Algorithm 1) and the SAT instance of expression (2) with
 //! per-divisor auxiliary activation variables.
 
+use crate::classes::{EquivClasses, MinimizeHook, SupportClassesHook};
 use crate::cnf::CnfEncoder;
 use crate::error::EcoError;
 use crate::miter::QuantifiedMiter;
-use crate::observe::{EcoEvent, ObserverHandle, SatCallKind, SupportStep};
+use crate::observe::{ClassesCounters, EcoEvent, ObserverHandle, SatCallKind, SupportStep};
 use crate::problem::EcoProblem;
 use crate::sweep::{OracleStats, SweepOracle};
 use eco_aig::NodeId;
@@ -42,6 +43,7 @@ pub fn minimize_assumptions(
         SatCallKind::Minimize,
         None,
         &mut calls,
+        None,
     )?;
     Ok((kept, calls))
 }
@@ -50,6 +52,14 @@ pub fn minimize_assumptions(
 /// reported to `obs` as an [`EcoEvent::SatCall`] of `kind` attributed
 /// to `target_index`. `calls` is incremented eagerly, so the tally is
 /// accurate even when a budget error aborts the recursion.
+///
+/// `hook` is the test-equivalence-class *learn-only* observation
+/// point: it sees every real call's verdict and model so the class
+/// layer can accumulate feasible sets and infeasibility witnesses for
+/// the verdict-only inheritance sites ([`SupportSolver::subset_feasible`]).
+/// It never answers a query — the recursion's conflict-guided pruning
+/// makes any skipped solve change the minimized result.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn minimize_assumptions_observed(
     solver: &mut Solver,
     fixed: &[Lit],
@@ -58,6 +68,7 @@ pub(crate) fn minimize_assumptions_observed(
     kind: SatCallKind,
     target_index: Option<usize>,
     calls: &mut u64,
+    hook: Option<&mut dyn MinimizeHook>,
 ) -> Result<usize, EcoError> {
     let mut ctx = MinCtx {
         solver,
@@ -66,6 +77,7 @@ pub(crate) fn minimize_assumptions_observed(
         obs,
         kind,
         target_index,
+        hook,
     };
     let len = assumptions.len();
     rec(&mut ctx, assumptions, 0, len)
@@ -109,16 +121,22 @@ pub fn naive_minimize_assumptions(
     Ok((kept, calls))
 }
 
-struct MinCtx<'s> {
+struct MinCtx<'s, 'h> {
     solver: &'s mut Solver,
     fixed: Vec<Lit>,
     calls: &'s mut u64,
     obs: &'s ObserverHandle,
     kind: SatCallKind,
     target_index: Option<usize>,
+    hook: Option<&'s mut (dyn MinimizeHook + 'h)>,
 }
 
-impl MinCtx<'_> {
+impl MinCtx<'_, '_> {
+    /// One feasibility query under `fixed ++ extra`. Always a real
+    /// solver call: the recursion prunes by the final conflict, whose
+    /// content depends on the learned-clause state of every earlier
+    /// solve, so no query here may be answered from stored knowledge
+    /// without changing the minimized result.
     fn unsat(&mut self, extra: &[Lit]) -> Result<bool, EcoError> {
         *self.calls += 1;
         let mut assumptions = self.fixed.clone();
@@ -128,14 +146,24 @@ impl MinCtx<'_> {
         self.obs
             .sat_call(before, self.solver, self.kind, self.target_index, result);
         match result {
-            SolveResult::Unsat => Ok(true),
-            SolveResult::Sat => Ok(false),
+            SolveResult::Unsat | SolveResult::Sat => {
+                let unsat = result == SolveResult::Unsat;
+                if let Some(hook) = self.hook.as_deref_mut() {
+                    hook.learn(&self.fixed, extra, unsat, self.solver);
+                }
+                Ok(unsat)
+            }
             SolveResult::Unknown => Err(EcoError::budget_exhausted("minimize_assumptions")),
         }
     }
 }
 
-fn rec(ctx: &mut MinCtx<'_>, v: &mut [Lit], start: usize, len: usize) -> Result<usize, EcoError> {
+fn rec(
+    ctx: &mut MinCtx<'_, '_>,
+    v: &mut [Lit],
+    start: usize,
+    len: usize,
+) -> Result<usize, EcoError> {
     if len == 0 {
         return Ok(0);
     }
@@ -202,6 +230,10 @@ pub struct SupportSolver {
     /// Simulation oracle short-circuiting provably infeasible subset
     /// queries (attached only when sweeping is enabled).
     sweep_oracle: Option<SweepOracle>,
+    /// Test-equivalence-class layer inheriting both verdict kinds for
+    /// subset queries, fed additionally by the minimization
+    /// recursion's real calls (attached under `--classes`).
+    classes: Option<EquivClasses>,
 }
 
 /// A computed patch support: divisor positions plus their summed cost.
@@ -272,6 +304,7 @@ impl SupportSolver {
             target_index: None,
             governor: None,
             sweep_oracle: None,
+            classes: None,
         }
     }
 
@@ -286,6 +319,30 @@ impl SupportSolver {
     /// Counters of the attached sweep oracle, if any.
     pub(crate) fn sweep_stats(&self) -> Option<OracleStats> {
         self.sweep_oracle.as_ref().map(SweepOracle::stats)
+    }
+
+    /// Attaches (or clears) a test-equivalence-class layer. With one
+    /// attached, [`SupportSolver::subset_feasible`] inherits answers
+    /// the layer already knows (and the minimization recursion feeds
+    /// it); the verdict stream — and therefore every downstream
+    /// artifact — is unchanged. The layer adopts the solver's governor
+    /// so chaos degrades it to the identity.
+    pub(crate) fn set_classes(&mut self, classes: Option<EquivClasses>) {
+        self.classes = classes;
+        if let Some(c) = self.classes.as_mut() {
+            c.set_governor(self.governor.clone());
+        }
+    }
+
+    /// Gives the class layer back (with everything it learned), e.g.
+    /// to carry witnesses across quantification-refinement rounds.
+    pub(crate) fn take_classes(&mut self) -> Option<EquivClasses> {
+        self.classes.take()
+    }
+
+    /// Counters of the attached class layer, if any.
+    pub(crate) fn classes_stats(&self) -> Option<ClassesCounters> {
+        self.classes.as_ref().map(EquivClasses::stats)
     }
 
     /// Attaches an event sink; subsequent SAT calls emit
@@ -305,6 +362,9 @@ impl SupportSolver {
     pub(crate) fn set_governor(&mut self, governor: Option<ResourceGovernor>) {
         self.solver
             .set_search_control(governor.as_ref().map(ResourceGovernor::control));
+        if let Some(c) = self.classes.as_mut() {
+            c.set_governor(governor.clone());
+        }
         self.governor = governor;
     }
 
@@ -370,10 +430,24 @@ impl SupportSolver {
                 return Ok(false);
             }
         }
+        if let Some(classes) = self.classes.as_mut() {
+            if classes.proves_infeasible(indices) {
+                self.sat_calls += 1;
+                return Ok(false);
+            }
+            if classes.proves_feasible(indices) {
+                // A stored feasible subset of this set keeps the
+                // instance UNSAT (activations only constrain), so a
+                // SAT call would return `Unsat`. Same tally rule.
+                self.sat_calls += 1;
+                return Ok(true);
+            }
+        }
         let mut assumptions = self.base.clone();
         assumptions.extend(indices.iter().map(|&i| self.aux[i]));
         let feasible = self.solve(&assumptions)?;
         self.learn_from_model(feasible);
+        self.learn_into_classes(indices, feasible);
         Ok(feasible)
     }
 
@@ -391,6 +465,8 @@ impl SupportSolver {
         assumptions.extend(self.aux.iter().copied());
         let feasible = self.solve(&assumptions)?;
         self.learn_from_model(feasible);
+        let all: Vec<usize> = (0..self.aux.len()).collect();
+        self.learn_into_classes(&all, feasible);
         Ok(feasible)
     }
 
@@ -404,6 +480,25 @@ impl SupportSolver {
         let (x1, x2) = self.infeasibility_witness();
         if let Some(oracle) = self.sweep_oracle.as_mut() {
             oracle.learn(&x1, &x2);
+        }
+    }
+
+    /// Feeds the verdict (and, on infeasibility, the model's witness
+    /// pair) of a real call into the class layer.
+    fn learn_into_classes(&mut self, indices: &[usize], feasible: bool) {
+        if self.classes.is_none() {
+            return;
+        }
+        let witness = if feasible {
+            None
+        } else {
+            Some(self.infeasibility_witness())
+        };
+        let classes = self.classes.as_mut().expect("checked above");
+        classes.note_representative(indices);
+        match witness {
+            None => classes.learn_feasible(indices),
+            Some((x1, x2)) => classes.learn_witness(&x1, &x2),
         }
     }
 
@@ -459,7 +554,22 @@ impl SupportSolver {
             // emulation of the paper's timeout behaviour simple.
             self.solver.set_budget(Some(c.saturating_mul(64)), None);
         }
+        let lit_index: std::collections::HashMap<Lit, usize> =
+            self.aux.iter().enumerate().map(|(i, &l)| (l, i)).collect();
         let mut calls = 0u64;
+        let mut hook_storage;
+        let hook: Option<&mut dyn MinimizeHook> = match self.classes.as_mut() {
+            Some(classes) => {
+                hook_storage = SupportClassesHook {
+                    classes,
+                    aux_index: &lit_index,
+                    x1: &self.x1,
+                    x2: &self.x2,
+                };
+                Some(&mut hook_storage)
+            }
+            None => None,
+        };
         let kept = minimize_assumptions_observed(
             &mut self.solver,
             &base,
@@ -468,6 +578,7 @@ impl SupportSolver {
             SatCallKind::Minimize,
             self.target_index,
             &mut calls,
+            hook,
         );
         self.sat_calls += calls;
         let kept = kept?;
@@ -476,8 +587,6 @@ impl SupportSolver {
             step: SupportStep::Algorithm1,
             support_size: kept,
         });
-        let lit_index: std::collections::HashMap<Lit, usize> =
-            self.aux.iter().enumerate().map(|(i, &l)| (l, i)).collect();
         let mut selected: Vec<usize> = lits[..kept].iter().map(|l| lit_index[l]).collect();
 
         // Last-gasp improvement: replace a selected divisor by a cheaper

@@ -208,7 +208,7 @@ impl SweepOracle {
 
 /// The simulated value of `lit` in pattern slot `r` of a node-word
 /// vector produced by [`Aig::simulate`].
-fn word_of(words: &[u64], lit: AigLit) -> u64 {
+pub(crate) fn word_of(words: &[u64], lit: AigLit) -> u64 {
     let w = words[lit.node().index()];
     if lit.is_complement() {
         !w
@@ -218,7 +218,7 @@ fn word_of(words: &[u64], lit: AigLit) -> u64 {
 }
 
 /// Packs the divisor values of pattern slot `r` into a bitset.
-fn signature_at(words: &[u64], divisor_lits: &[AigLit], r: u32) -> Vec<u64> {
+pub(crate) fn signature_at(words: &[u64], divisor_lits: &[AigLit], r: u32) -> Vec<u64> {
     let mut sig = vec![0u64; divisor_lits.len().div_ceil(64).max(1)];
     for (d, &dl) in divisor_lits.iter().enumerate() {
         if word_of(words, dl) >> r & 1 == 1 {

@@ -222,6 +222,24 @@ fn event_record(ts_us: u64, event: &EcoEvent) -> String {
                 opt_usize(*target_index)
             );
         }
+        EcoEvent::ClassesReport {
+            target_index,
+            partitions,
+            representatives,
+            inherited_answers,
+            refinement_rounds,
+            witness_replays,
+        } => {
+            let _ = write!(
+                s,
+                "\"classes_report\",\"target_index\":{},\"partitions\":{partitions},\
+                 \"representatives\":{representatives},\
+                 \"inherited_answers\":{inherited_answers},\
+                 \"refinement_rounds\":{refinement_rounds},\
+                 \"witness_replays\":{witness_replays}",
+                opt_usize(*target_index)
+            );
+        }
         EcoEvent::RunFinished { elapsed } => {
             let _ = write!(
                 s,
@@ -458,6 +476,7 @@ impl<W: Write> EcoObserver for ChromeTraceObserver<W> {
                     EcoEvent::RequestTagged { .. } => "request_tagged",
                     EcoEvent::CacheQuery { .. } => "cache_query",
                     EcoEvent::SweepReport { .. } => "sweep_report",
+                    EcoEvent::ClassesReport { .. } => "classes_report",
                     _ => "event",
                 };
                 self.push(format!(

@@ -49,6 +49,9 @@ pub struct RequestOptions {
     pub structural_fallback: Option<bool>,
     /// Whether the simulation-guided SAT sweeping layer is enabled.
     pub sweep: Option<bool>,
+    /// Whether the test-equivalence-class layer (representative-only
+    /// SAT calls with inherited verdicts) is enabled.
+    pub classes: Option<bool>,
     /// Chaos hook (requires the daemon's `--chaos` flag): hold the
     /// request on its worker for this many milliseconds before
     /// solving, keeping the worker deterministically busy so tests can
@@ -232,6 +235,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         options.jobs = uint("jobs")?.map(|j| j as usize);
         options.structural_fallback = opts.get("structural_fallback").and_then(JsonValue::as_bool);
         options.sweep = opts.get("sweep").and_then(JsonValue::as_bool);
+        options.classes = opts.get("classes").and_then(JsonValue::as_bool);
         options.hold_ms = uint("hold_ms")?;
         options.inject_panic = opts
             .get("inject_panic")
@@ -390,7 +394,7 @@ mod tests {
             "targets":["t0","t1"],"weights":{"n1":4,"n2":0},"default_weight":2,
             "options":{"method":"prune","budget":100,"global_conflicts":50,
                        "deadline_ms":1000,"jobs":2,"structural_fallback":false,
-                       "sweep":true}}"#
+                       "sweep":true,"classes":true}}"#
             .replace('\n', " ");
         let Request::Eco(req) = parse_request(&line).expect("parses") else {
             panic!("expected an ECO request");
@@ -409,6 +413,7 @@ mod tests {
         assert_eq!(req.options.jobs, Some(2));
         assert_eq!(req.options.structural_fallback, Some(false));
         assert_eq!(req.options.sweep, Some(true));
+        assert_eq!(req.options.classes, Some(true));
     }
 
     #[test]
@@ -559,7 +564,7 @@ mod tests {
             netlist_cache_hit: true,
             outcome_cache_hit: false,
             patched_verilog: "module m;\nendmodule\n".to_string(),
-            metrics_json: "{\"schema_version\":7}".to_string(),
+            metrics_json: "{\"schema_version\":8}".to_string(),
         };
         let line = resp.to_json();
         let v = parse_json(&line).expect("response is valid JSON");
@@ -580,7 +585,7 @@ mod tests {
             v.get("metrics")
                 .and_then(|m| m.get("schema_version"))
                 .and_then(JsonValue::as_u64),
-            Some(7)
+            Some(8)
         );
         let err = error_response("e1", "bad \"thing\"");
         let v = parse_json(&err).expect("error response is valid JSON");

@@ -557,6 +557,7 @@ impl Daemon {
             .structural_fallback(req.options.structural_fallback.unwrap_or(true))
             .jobs(jobs)
             .sweep(req.options.sweep.unwrap_or(false))
+            .classes(req.options.classes.unwrap_or(false))
             .build()
             .map_err(|e| e.to_string())?;
         // Per-request QoS: the request's own deadline and fair-share

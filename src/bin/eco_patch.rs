@@ -7,7 +7,7 @@
 //!           [--out patched.v] [--budget N] [--default-weight N]
 //!           [--stats-json stats.json|-] [--progress] [--quiet]
 //!           [--no-fallback] [--timeout-ms MS] [--global-budget N]
-//!           [--jobs N] [--sweep]
+//!           [--jobs N] [--sweep] [--classes]
 //!           [--trace-out trace.json] [--trace-format jsonl|chrome]
 //! eco-patch report <trace.jsonl> [--top N]
 //! eco-patch report --journal <journal.jsonl>
@@ -125,6 +125,7 @@ struct Args {
     trace_format: TraceFormat,
     jobs: usize,
     sweep: bool,
+    classes: bool,
 }
 
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -139,7 +140,7 @@ fn usage() -> &'static str {
      [--targets n1,n2] [--detect] [--method baseline|minimize|prune] \
      [--out patched.v] [--budget CONFLICTS] [--default-weight N] \
      [--stats-json PATH|-] [--progress] [--quiet] [--no-fallback] \
-     [--timeout-ms MS] [--global-budget CONFLICTS] [--jobs N] [--sweep] \
+     [--timeout-ms MS] [--global-budget CONFLICTS] [--jobs N] [--sweep] [--classes] \
      [--trace-out PATH] [--trace-format jsonl|chrome]\n\
      \x20      eco-patch report TRACE.jsonl [--top N]\n\
      \x20      eco-patch report --journal JOURNAL.jsonl"
@@ -208,6 +209,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--sweep" => args.sweep = true,
+            "--classes" => args.classes = true,
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--trace-format" => {
                 args.trace_format = match value("--trace-format")?.as_str() {
@@ -471,6 +473,7 @@ fn run(args: Args) -> Result<u8, CliError> {
         .global_conflicts(args.global_budget)
         .jobs(args.jobs)
         .sweep(args.sweep)
+        .classes(args.classes)
         .build()
         .map_err(|e| CliError::usage(e.to_string()))?;
     let mut engine = EcoEngine::new(options);

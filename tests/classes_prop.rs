@@ -1,0 +1,235 @@
+//! Property tests for the test-equivalence-class layer: random
+//! benchgen circuits have their node literals partitioned with
+//! [`partition_literals`] and every class is checked exact — members
+//! agree with their representative by exhaustive simulation up to
+//! [`MAX_EXHAUSTIVE_INPUTS`] inputs and by miter-SAT above — across
+//! seeds, budgets, and fault-injection chaos. A degraded partition
+//! must collapse to the identity (zero inherited answers), never to a
+//! wrong merge.
+
+use eco_patch::aig::{Aig, AigLit, MAX_EXHAUSTIVE_INPUTS};
+use eco_patch::benchgen::{random_aig, CircuitSpec};
+use eco_patch::core::{
+    check_equivalence, partition_literals, CecResult, FaultPlan, GovernorLimits, PartitionOutcome,
+    ResourceGovernor,
+};
+use eco_testutil::{cases, Rng};
+
+fn random_spec(rng: &mut Rng) -> CircuitSpec {
+    CircuitSpec {
+        num_inputs: rng.range(3, 10) as usize,
+        num_outputs: rng.range(1, 5) as usize,
+        num_gates: rng.range(20, 120) as usize,
+        seed: rng.next_u64(),
+    }
+}
+
+/// A deterministic candidate pool: every node literal of the circuit,
+/// with a pseudo-random phase so complement handling is exercised.
+fn candidate_literals(aig: &Aig, rng: &mut Rng) -> Vec<AigLit> {
+    aig.iter_nodes()
+        .map(|id| id.lit().xor_complement(rng.bool()))
+        .collect()
+}
+
+/// Structural partition invariants: every index appears exactly once,
+/// the first member of each class is its smallest index, and the
+/// counters describe the class shape.
+fn assert_is_partition(out: &PartitionOutcome, len: usize, label: &str) {
+    let mut seen = vec![false; len];
+    for class in &out.classes {
+        assert!(!class.is_empty(), "{label}: empty class");
+        for &i in class {
+            assert!(!seen[i], "{label}: index {i} appears in two classes");
+            seen[i] = true;
+        }
+        assert_eq!(
+            class[0],
+            *class.iter().min().expect("non-empty"),
+            "{label}: representative must be the smallest member"
+        );
+    }
+    assert!(seen.iter().all(|&b| b), "{label}: some index unclassified");
+    assert_eq!(out.stats.partitions, out.classes.len() as u64, "{label}");
+    let choose2 = |k: u64| k * k.saturating_sub(1) / 2;
+    let implied: u64 = out
+        .classes
+        .iter()
+        .map(|c| choose2(c.len() as u64 - 1))
+        .sum();
+    assert_eq!(
+        out.stats.inherited_answers, implied,
+        "{label}: inherited answers are the transitively implied member pairs"
+    );
+}
+
+/// Exact-class check by exhaustive simulation: two literals share a
+/// class iff they compute the same function, same phase.
+fn assert_classes_exact_exhaustive(
+    aig: &Aig,
+    literals: &[AigLit],
+    out: &PartitionOutcome,
+    label: &str,
+) {
+    let mut probe = aig.clone();
+    for &l in literals {
+        probe.add_output(l);
+    }
+    let base = probe.num_outputs() - literals.len();
+    let table = probe.simulate_all_inputs().expect("small input count");
+    let column = |i: usize| &table[base + i];
+    for class in &out.classes {
+        let rep = column(class[0]);
+        for &m in &class[1..] {
+            assert_eq!(
+                column(m),
+                rep,
+                "{label}: class member {m} disagrees with representative {}",
+                class[0]
+            );
+        }
+    }
+    // Exactness the other way: distinct classes compute distinct
+    // functions unless the partition was degraded to the identity.
+    if !out.degraded {
+        for (a, b) in out
+            .classes
+            .iter()
+            .zip(out.classes.iter().skip(1))
+            .map(|(x, y)| (x[0], y[0]))
+        {
+            assert_ne!(
+                column(a),
+                column(b),
+                "{label}: adjacent class representatives {a} and {b} coincide"
+            );
+        }
+    }
+}
+
+#[test]
+fn classes_over_random_aigs_are_exact() {
+    cases(24, |case, rng| {
+        let aig = random_aig(&random_spec(rng));
+        let literals = candidate_literals(&aig, rng);
+        let out = partition_literals(&aig, &literals, rng.next_u64(), Some(100_000), None);
+        let label = format!("case {case}");
+        assert!(
+            !out.degraded,
+            "{label}: an ungoverned generous budget must not degrade"
+        );
+        assert_is_partition(&out, literals.len(), &label);
+        assert_classes_exact_exhaustive(&aig, &literals, &out, &label);
+    });
+}
+
+#[test]
+fn classes_above_the_exhaustive_limit_are_verified_by_miter_sat() {
+    // 22 inputs puts exhaustive simulation out of reach, so class
+    // members are re-proven through the production CEC path instead.
+    for seed in [7u64, 1881, 424242] {
+        let spec = CircuitSpec {
+            num_inputs: MAX_EXHAUSTIVE_INPUTS + 2,
+            num_outputs: 4,
+            num_gates: 160,
+            seed,
+        };
+        let aig = random_aig(&spec);
+        assert!(aig.simulate_all_inputs().is_err());
+        let literals: Vec<AigLit> = aig.iter_nodes().map(|id| id.lit()).collect();
+        let out = partition_literals(&aig, &literals, seed, None, None);
+        assert!(!out.degraded, "seed {seed}");
+        assert_is_partition(&out, literals.len(), &format!("seed {seed}"));
+        // Pair every member with its representative across two probe
+        // AIGs whose output lists line up position by position.
+        let mut pr = aig.clone();
+        let mut pm = aig.clone();
+        let mut probes = 0usize;
+        'outer: for class in &out.classes {
+            for &m in &class[1..] {
+                pr.add_output(literals[class[0]]);
+                pm.add_output(literals[m]);
+                probes += 1;
+                if probes >= 40 {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(probes > 0, "seed {seed}: no merged class to verify");
+        assert_eq!(
+            check_equivalence(&pr, &pm, None),
+            CecResult::Equivalent,
+            "seed {seed}: class members must match their representatives"
+        );
+    }
+}
+
+fn random_fault_plan(rng: &mut Rng) -> Option<FaultPlan> {
+    Some(match rng.below(5) {
+        0 => return None,
+        1 => FaultPlan::EveryNth(rng.below(4)),
+        2 => FaultPlan::AtCalls((0..rng.range(1, 5)).map(|_| rng.range(1, 20)).collect()),
+        3 => FaultPlan::Seeded {
+            seed: rng.next_u64(),
+            one_in: rng.range(1, 5),
+        },
+        _ => FaultPlan::CancelAt(rng.range(1, 12)),
+    })
+}
+
+#[test]
+fn chaos_degrades_the_partition_but_never_corrupts_it() {
+    cases(24, |case, rng| {
+        let aig = random_aig(&random_spec(rng));
+        let literals = candidate_literals(&aig, rng);
+        let governor = ResourceGovernor::new(GovernorLimits {
+            global_conflicts: if rng.bool() {
+                Some(rng.below(200))
+            } else {
+                None
+            },
+            fault_plan: random_fault_plan(rng),
+            ..GovernorLimits::default()
+        });
+        let out = partition_literals(
+            &aig,
+            &literals,
+            rng.next_u64(),
+            Some(rng.below(50)),
+            Some(&governor),
+        );
+        let label = format!("case {case}");
+        if out.degraded {
+            // A tripped partition falls back to singletons and
+            // inherits nothing.
+            assert_eq!(
+                out.classes.len(),
+                literals.len(),
+                "{label}: degraded partitions must be the identity"
+            );
+            assert!(
+                out.classes.iter().all(|c| c.len() == 1),
+                "{label}: degraded classes must be singletons"
+            );
+            assert_eq!(out.stats.inherited_answers, 0, "{label}");
+        }
+        // Degraded or not, merged literals genuinely agree.
+        assert_is_partition(&out, literals.len(), &label);
+        assert_classes_exact_exhaustive(&aig, &literals, &out, &label);
+    });
+}
+
+#[test]
+fn partitioning_is_deterministic_for_a_fixed_seed() {
+    cases(12, |case, rng| {
+        let aig = random_aig(&random_spec(rng));
+        let literals = candidate_literals(&aig, rng);
+        let seed = rng.next_u64();
+        let first = partition_literals(&aig, &literals, seed, None, None);
+        let second = partition_literals(&aig, &literals, seed, None, None);
+        assert_eq!(first.classes, second.classes, "case {case}");
+        assert_eq!(first.sat_calls, second.sat_calls, "case {case}");
+        assert_eq!(first.stats, second.stats, "case {case}");
+        assert_eq!(first.degraded, second.degraded, "case {case}");
+    });
+}

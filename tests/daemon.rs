@@ -298,6 +298,81 @@ fn sweeping_requests_replay_as_zero_sat_call_outcome_hits() {
 }
 
 #[test]
+fn classed_requests_replay_as_zero_sat_call_outcome_hits() {
+    // Same contract as the swept replay test, for `"classes":true`:
+    // the cold classed run engages the equivalence-class layer (its
+    // counters reach the response metrics), the identical repeat is an
+    // outcome hit with zero SAT calls, and the patched netlist is
+    // byte-identical to a classless run of the same request. The
+    // classed request goes FIRST: `options_fingerprint` deliberately
+    // shares engine-cache entries across the verdict-preserving
+    // `classes` flag, so a preceding classless run would satisfy the
+    // per-target work from cache and the layer would never engage.
+    let session = format!(
+        "{}\n{}\n{}\n",
+        eco_line_with_options("cold", SPECIFICATION, "{\"classes\":true}"),
+        eco_line_with_options("warm", SPECIFICATION, "{\"classes\":true}"),
+        eco_line("plain", SPECIFICATION),
+    );
+    let responses = run_session(&session);
+    assert_eq!(responses.len(), 3);
+    let (cold, warm, plain) = (&responses[0], &responses[1], &responses[2]);
+    for (name, r) in [("cold", cold), ("warm", warm), ("plain", plain)] {
+        assert_eq!(
+            r.get("status").and_then(JsonValue::as_str),
+            Some("ok"),
+            "{name}"
+        );
+        assert_eq!(
+            r.get("verified").and_then(JsonValue::as_bool),
+            Some(true),
+            "{name}"
+        );
+    }
+    let metric = |r: &JsonValue, path: [&str; 2]| {
+        r.get("metrics")
+            .and_then(|m| m.get(path[0]))
+            .and_then(|s| s.get(path[1]))
+            .and_then(JsonValue::as_u64)
+    };
+    assert_eq!(cache_flag(cold, "outcome"), Some("miss"));
+    let cold_sat = metric(cold, ["sat_calls", "total"]).expect("classed SAT totals");
+    assert!(cold_sat > 0, "the cold classed run must do solver work");
+    assert!(
+        metric(cold, ["classes", "partitions"]).expect("v8 classes block") > 0,
+        "the cold run's class partitions must reach the daemon metrics"
+    );
+    assert_eq!(cache_flag(warm, "outcome"), Some("hit"));
+    assert_eq!(
+        metric(warm, ["sat_calls", "total"]),
+        Some(0),
+        "a classed outcome hit performs zero SAT calls"
+    );
+    assert_eq!(
+        metric(warm, ["classes", "inherited_answers"]),
+        Some(0),
+        "a replay inherits nothing — the stored outcome is returned as-is"
+    );
+    assert_eq!(
+        metric(plain, ["classes", "partitions"]),
+        Some(0),
+        "a classless run reports empty class counters"
+    );
+    let patched = |r: &JsonValue| {
+        r.get("patched_verilog")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+    };
+    assert!(patched(cold).is_some_and(|v| v.contains("module")));
+    assert_eq!(
+        patched(cold),
+        patched(plain),
+        "classes must not move a byte of the patched netlist"
+    );
+    assert_eq!(patched(cold), patched(warm), "replay is byte-identical");
+}
+
+#[test]
 fn malformed_and_failing_requests_answer_with_errors_and_keep_serving() {
     let session = format!(
         "not json\n{{\"id\":\"bad\",\"impl\":\"junk\",\"spec\":\"junk\",\"targets\":[\"t\"]}}\n{}\n",

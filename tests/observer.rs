@@ -5,9 +5,9 @@
 use eco_patch::aig::Aig;
 use eco_patch::core::json::{parse_json, JsonValue};
 use eco_patch::core::{
-    BudgetMetrics, CacheCounters, EcoEngine, EcoEvent, EcoObserver, EcoOptions, EcoProblem,
-    KindMetrics, PatchKind, Phase, PhaseMetrics, RunMetrics, SatCallKind, SatCallMetrics,
-    ServingCounters, SupportMethod, SweepCounters, TargetMetrics, WorkerMetrics,
+    BudgetMetrics, CacheCounters, ClassesCounters, EcoEngine, EcoEvent, EcoObserver, EcoOptions,
+    EcoProblem, KindMetrics, PatchKind, Phase, PhaseMetrics, RunMetrics, SatCallKind,
+    SatCallMetrics, ServingCounters, SupportMethod, SweepCounters, TargetMetrics, WorkerMetrics,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -338,7 +338,7 @@ fn run_metrics_totals_are_jobs_invariant() {
 }
 
 fn golden_metrics() -> RunMetrics {
-    let mut by_kind = [KindMetrics::default(); 9];
+    let mut by_kind = [KindMetrics::default(); 10];
     by_kind[SatCallKind::Support.index()] = KindMetrics {
         calls: 2,
         conflicts: 4,
@@ -440,6 +440,13 @@ fn golden_metrics() -> RunMetrics {
             oracle_hits: 17,
             sim_discharged_outputs: 18,
         },
+        classes: ClassesCounters {
+            partitions: 19,
+            representatives: 20,
+            inherited_answers: 21,
+            refinement_rounds: 22,
+            witness_replays: 23,
+        },
     }
 }
 
@@ -450,7 +457,7 @@ fn run_metrics_golden_json() {
                              \"latency_histogram\":[0,0,0,0,0,0,0,0]}";
     let expected = format!(
         concat!(
-            "{{\"schema_version\":7,\"request_id\":\"req-7\",",
+            "{{\"schema_version\":8,\"request_id\":\"req-7\",",
             "\"num_targets\":1,\"per_call_conflicts\":1000,",
             "\"jobs\":2,\"elapsed_us\":1234,",
             "\"phases\":[{{\"phase\":\"sufficiency_check\",\"elapsed_us\":10}}],",
@@ -476,7 +483,7 @@ fn run_metrics_golden_json() {
             "\"cec\":{{\"calls\":1,\"conflicts\":2,\"time_us\":10,",
             "\"conflict_histogram\":[0,1,0,0,0,0,0,0],",
             "\"latency_histogram\":[1,0,0,0,0,0,0,0]}},",
-            "\"sweep\":{z}}},",
+            "\"sweep\":{z},\"classes\":{z}}},",
             "\"conflict_histogram\":[1,3,0,0,0,0,0,0],",
             "\"latency_histogram\":[1,3,0,0,0,0,0,0]}},",
             "\"budget\":{{\"per_call_conflicts\":1000,\"max_fraction\":0.500000,",
@@ -490,7 +497,10 @@ fn run_metrics_golden_json() {
             "\"serving\":{{\"shed\":8,\"expired\":9,\"retried\":10,\"panicked\":11}},",
             "\"sweep\":{{\"classes\":12,\"merges\":13,\"sweep_sat_calls\":14,",
             "\"refinement_rounds\":15,\"nodes_eliminated\":16,\"oracle_hits\":17,",
-            "\"sim_discharged_outputs\":18}}}}"
+            "\"sim_discharged_outputs\":18}},",
+            "\"classes\":{{\"partitions\":19,\"representatives\":20,",
+            "\"inherited_answers\":21,\"refinement_rounds\":22,",
+            "\"witness_replays\":23}}}}"
         ),
         z = ZERO_KIND
     );
@@ -498,11 +508,11 @@ fn run_metrics_golden_json() {
 }
 
 #[test]
-fn run_metrics_v7_round_trips_through_parser() {
+fn run_metrics_v8_round_trips_through_parser() {
     let metrics = golden_metrics();
-    let doc = parse_json(&metrics.to_json()).expect("schema v7 output is valid JSON");
+    let doc = parse_json(&metrics.to_json()).expect("schema v8 output is valid JSON");
     let u = |v: &JsonValue, key: &str| v.get(key).and_then(JsonValue::as_u64);
-    assert_eq!(u(&doc, "schema_version"), Some(7));
+    assert_eq!(u(&doc, "schema_version"), Some(8));
     let serving = doc.get("serving").expect("serving counters object");
     assert_eq!(u(serving, "shed"), Some(8));
     assert_eq!(u(serving, "expired"), Some(9));
@@ -516,6 +526,12 @@ fn run_metrics_v7_round_trips_through_parser() {
     assert_eq!(u(sweep, "nodes_eliminated"), Some(16));
     assert_eq!(u(sweep, "oracle_hits"), Some(17));
     assert_eq!(u(sweep, "sim_discharged_outputs"), Some(18));
+    let classes = doc.get("classes").expect("classes counters object");
+    assert_eq!(u(classes, "partitions"), Some(19));
+    assert_eq!(u(classes, "representatives"), Some(20));
+    assert_eq!(u(classes, "inherited_answers"), Some(21));
+    assert_eq!(u(classes, "refinement_rounds"), Some(22));
+    assert_eq!(u(classes, "witness_replays"), Some(23));
     assert_eq!(
         doc.get("request_id").and_then(JsonValue::as_str),
         Some("req-7")
